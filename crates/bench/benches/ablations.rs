@@ -1,0 +1,134 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * swap vs copy reconfiguration,
+//! * directed vs destination SMP routing (`r` on/off, eq. 4 vs 5),
+//! * serial vs pipelined LFT distribution,
+//! * deterministic vs leaf-restricted migration,
+//! * prepopulated vs dynamic initial configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ib_core::migration::MigrationOptions;
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_routing::EngineKind;
+use ib_sim::smp_sim::{SmpLatencyModel, SmpReplay};
+use ib_sm::SmpMode;
+use ib_subnet::topology::fattree;
+
+fn dc(arch: VirtArch, opts: MigrationOptions) -> DataCenter {
+    DataCenter::from_topology(
+        fattree::two_level(6, 6, 3),
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 4,
+            engine: EngineKind::FatTree,
+            migration: opts,
+        },
+    )
+    .expect("bring-up")
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Swap (prepopulated) vs copy (dynamic) migration.
+    for (label, arch) in [
+        ("migrate/swap-prepopulated", VirtArch::VSwitchPrepopulated),
+        ("migrate/copy-dynamic", VirtArch::VSwitchDynamic),
+    ] {
+        let mut d = dc(arch, MigrationOptions::default());
+        let vm = d.create_vm("vm", 0).expect("create");
+        let far = d.hypervisors.len() - 1;
+        let mut at_far = false;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let dest = if at_far { 0 } else { far };
+                at_far = !at_far;
+                black_box(d.migrate_vm(vm, dest).expect("migrate").lft.lft_smps)
+            });
+        });
+    }
+
+    // Directed vs destination SMP addressing during migration.
+    for (label, mode) in [
+        ("smp_mode/directed", SmpMode::Directed),
+        ("smp_mode/destination", SmpMode::Destination),
+    ] {
+        let mut d = dc(
+            VirtArch::VSwitchPrepopulated,
+            MigrationOptions {
+                smp_mode: mode,
+                ..MigrationOptions::default()
+            },
+        );
+        let vm = d.create_vm("vm", 0).expect("create");
+        let far = d.hypervisors.len() - 1;
+        let mut at_far = false;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let dest = if at_far { 0 } else { far };
+                at_far = !at_far;
+                black_box(d.migrate_vm(vm, dest).expect("migrate").lft.lft_smps)
+            });
+        });
+    }
+
+    // Leaf shortcut vs deterministic for an intra-leaf move.
+    for (label, shortcut) in [
+        ("intra_leaf/deterministic", false),
+        ("intra_leaf/shortcut", true),
+    ] {
+        let mut d = dc(
+            VirtArch::VSwitchPrepopulated,
+            MigrationOptions {
+                intra_leaf_shortcut: shortcut,
+                ..MigrationOptions::default()
+            },
+        );
+        let vm = d.create_vm("vm", 0).expect("create");
+        let mut at_one = false;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let dest = usize::from(!at_one);
+                at_one = !at_one;
+                black_box(d.migrate_vm(vm, dest).expect("migrate").lft.lft_smps)
+            });
+        });
+    }
+
+    // Serial vs pipelined SMP replay of a full distribution.
+    let records: Vec<(usize, bool)> = (0..216).map(|i| (2 + i % 3, true)).collect();
+    for depth in [1usize, 4, 16] {
+        let model = SmpLatencyModel {
+            pipeline_depth: depth,
+            ..SmpLatencyModel::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("smp_replay_depth", depth),
+            &model,
+            |b, model| {
+                b.iter(|| black_box(SmpReplay::run_records(&records, model).makespan));
+            },
+        );
+    }
+
+    // Prepopulated vs dynamic initial configuration (bring-up end to end).
+    for (label, arch) in [
+        ("bring_up/prepopulated", VirtArch::VSwitchPrepopulated),
+        ("bring_up/dynamic", VirtArch::VSwitchDynamic),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let d = dc(arch, MigrationOptions::default());
+                black_box(d.bring_up.decisions)
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 7: path-computation time of the four routing engines on the
+//! paper's fat-tree topologies.
+//!
+//! Defaults to the two 2-level trees; set `IB_BENCH_LEVEL=1` to add the
+//! 5832-node tree and `IB_BENCH_LEVEL=2` for 11664 (minutes per engine,
+//! as in the paper). LASH runs on the 2-level trees only — its per-pair
+//! layer packing is the 39145-second outlier of Fig. 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ib_bench::{bench_level, fig7_engines, fig7_topologies};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_path_computation");
+    group.sample_size(10);
+
+    for fabric in fig7_topologies(bench_level()) {
+        for engine in fig7_engines(fabric.switches, false) {
+            let built = engine.build();
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), &fabric.name),
+                &fabric,
+                |b, fabric| {
+                    b.iter(|| {
+                        let tables = built.compute(black_box(&fabric.subnet)).expect("engine");
+                        black_box(tables.decisions)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Simulation-layer benchmarks: credit-gated forwarding (the §VI-C
+//! deadlock instrument), the max-min fairness solver (the §V-A/B balance
+//! instrument), and the event-driven SMP replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ib_routing::EngineKind;
+use ib_sim::credit::{run, CreditSimConfig, Flow};
+use ib_sim::fairness::{max_min_fair, FairFlow};
+use ib_sim::smp_sim::{SmpLatencyModel, SmpReplay};
+use ib_sm::{SmConfig, SmpMode, SubnetManager};
+use ib_subnet::topology::{fattree, torus};
+
+fn sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_simulation");
+    group.sample_size(10);
+
+    // Credit sim: all-to-all on a managed fat tree (drains cleanly).
+    {
+        let mut t = fattree::two_level(4, 4, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine: EngineKind::FatTree,
+                smp_mode: SmpMode::Directed,
+            },
+        );
+        sm.bring_up(&mut t.subnet).expect("bring-up");
+        let tables = EngineKind::FatTree
+            .build()
+            .compute(&t.subnet)
+            .expect("routing");
+        let mut flows = Vec::new();
+        for &a in &t.hosts {
+            for &b in &t.hosts {
+                if a != b {
+                    flows.push(Flow {
+                        src: a,
+                        dst: t.subnet.node(b).ports[1].lid.unwrap(),
+                        packets: 3,
+                    });
+                }
+            }
+        }
+        group.bench_function("credit_sim/fat-tree-all-to-all", |b| {
+            b.iter(|| {
+                let report = run(
+                    &t.subnet,
+                    &flows,
+                    &tables.vls,
+                    &CreditSimConfig::default(),
+                )
+                .expect("sim");
+                assert!(report.drained);
+                black_box(report.rounds)
+            });
+        });
+    }
+
+    // Credit sim with timeout recovery on the deadlocking torus.
+    {
+        let mut t = torus::torus_2d(4, 4, 1, true);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine: EngineKind::MinHop,
+                smp_mode: SmpMode::Directed,
+            },
+        );
+        sm.bring_up(&mut t.subnet).expect("bring-up");
+        let tables = EngineKind::MinHop
+            .build()
+            .compute(&t.subnet)
+            .expect("routing");
+        let mut flows = Vec::new();
+        for &a in &t.hosts {
+            for &b in &t.hosts {
+                if a != b {
+                    flows.push(Flow {
+                        src: a,
+                        dst: t.subnet.node(b).ports[1].lid.unwrap(),
+                        packets: 3,
+                    });
+                }
+            }
+        }
+        group.bench_function("credit_sim/torus-with-timeouts", |b| {
+            b.iter(|| {
+                let report = run(
+                    &t.subnet,
+                    &flows,
+                    &tables.vls,
+                    &CreditSimConfig {
+                        credits_per_channel: 1,
+                        timeout_rounds: Some(64),
+                        max_rounds: 2_000_000,
+                        ..CreditSimConfig::default()
+                    },
+                )
+                .expect("sim");
+                assert!(report.drained);
+                black_box(report.dropped)
+            });
+        });
+    }
+
+    // Max-min fairness solver on a loaded fat tree.
+    {
+        let mut t = fattree::two_level(4, 6, 3);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine: EngineKind::FatTree,
+                smp_mode: SmpMode::Directed,
+            },
+        );
+        sm.bring_up(&mut t.subnet).expect("bring-up");
+        let flows: Vec<FairFlow> = t
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| FairFlow {
+                src: h,
+                dst: t.subnet.node(t.hosts[(i + 7) % t.hosts.len()]).ports[1]
+                    .lid
+                    .unwrap(),
+            })
+            .collect();
+        group.bench_function("fairness/24-flow-fat-tree", |b| {
+            b.iter(|| black_box(max_min_fair(&t.subnet, &flows).expect("solve").aggregate));
+        });
+    }
+
+    // SMP replay at Table I full-reconfiguration scale (336,960 SMPs).
+    {
+        let records: Vec<(usize, bool)> = (0..336_960).map(|i| (2 + i % 4, true)).collect();
+        for depth in [1usize, 16] {
+            let model = SmpLatencyModel {
+                pipeline_depth: depth,
+                ..SmpLatencyModel::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new("smp_replay_table1_floor", depth),
+                &model,
+                |b, model| {
+                    b.iter(|| black_box(SmpReplay::run_records(&records, model).makespan));
+                },
+            );
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, sim);
+criterion_main!(benches);

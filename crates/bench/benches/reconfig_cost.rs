@@ -1,0 +1,93 @@
+//! Reconfiguration cost head-to-head (§VI, equations 1-5): a live
+//! migration under the vSwitch method vs a traditional full
+//! reconfiguration, both measured on a running data center.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_mad::CostModel;
+use ib_routing::EngineKind;
+use ib_subnet::topology::fattree;
+
+fn build_dc() -> DataCenter {
+    DataCenter::from_topology(
+        fattree::paper_324(),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 4,
+            engine: EngineKind::FatTree,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("bring-up")
+}
+
+fn reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_cost");
+    group.sample_size(10);
+
+    // vSwitch migration: swap + endpoint moves, zero path computation.
+    {
+        let mut dc = build_dc();
+        let vm = dc.create_vm("mover", 0).expect("create");
+        let far = dc.hypervisors.len() - 1;
+        let mut at_far = false;
+        group.bench_function("vswitch_migration/324", |b| {
+            b.iter(|| {
+                let dest = if at_far { 0 } else { far };
+                at_far = !at_far;
+                let report = dc.migrate_vm(vm, dest).expect("migrate");
+                black_box(report.lft.lft_smps)
+            });
+        });
+    }
+
+    // Traditional: full path recomputation + dirty-block redistribution
+    // (LFTs cleared each round so every block is dirty — the n*m floor).
+    {
+        let dc = build_dc();
+        group.bench_function("traditional_full_rc/324", |b| {
+            b.iter_batched(
+                || {
+                    let mut fresh = build_dc();
+                    let switches: Vec<_> =
+                        fresh.subnet.physical_switches().map(|n| n.id).collect();
+                    for sw in switches {
+                        *fresh.subnet.lft_mut(sw).unwrap() = Default::default();
+                    }
+                    fresh
+                },
+                |mut fresh| {
+                    let report = fresh
+                        .sm
+                        .full_reconfiguration(&mut fresh.subnet)
+                        .expect("full rc");
+                    black_box(report.distribution.lft_smps)
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+        let _ = dc;
+    }
+
+    // The analytic model itself (pure arithmetic, here for completeness).
+    group.bench_function("cost_model_eval", |b| {
+        let model = CostModel::default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [36usize, 54, 972, 1620] {
+                for m in [6usize, 11, 107, 208] {
+                    acc += model.traditional_reconfig_us(black_box(1e6), n, m);
+                    acc += model.vswitch_reconfig_destination_us(n, 2);
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, reconfig);
+criterion_main!(benches);

@@ -1,0 +1,504 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p ib-bench --bin harness -- all
+//! cargo run --release -p ib-bench --bin harness -- fig7 --level 1
+//! ```
+//!
+//! Subcommands: `table1`, `fig7 [--level N] [--lash]`, `fig5`, `fig6`,
+//! `cost-model`, `capacity`, `emulation`, `deadlock`, `sa-cache`,
+//! `balance`, `all`.
+
+use std::time::Instant;
+
+use ib_bench::{fig7_engines, fig7_topologies, manage, time_engine};
+use ib_cloud::scenarios::testbed_datacenter;
+use ib_cloud::LiveMigrationWorkflow;
+use ib_core::capacity::{dynamic_lids_consumed, prepopulated_limits, prepopulated_lids_consumed};
+use ib_core::cost::{Table1Row, PAPER_TABLE1};
+use ib_core::{DataCenter, DataCenterConfig, MigrationOptions, VirtArch};
+use ib_mad::CostModel;
+use ib_subnet::topology::basic::{fig5_fabric, fig6_fabric};
+use ib_subnet::topology::fattree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let level: u8 = args
+        .iter()
+        .position(|a| a == "--level")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(ib_bench::bench_level);
+    let force_lash = args.iter().any(|a| a == "--lash" || a == "--force-engines");
+
+    match cmd {
+        "table1" => table1(),
+        "fig7" => fig7(level, force_lash),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "cost-model" => cost_model(),
+        "capacity" => capacity(),
+        "emulation" => emulation(),
+        "deadlock" => deadlock(),
+        "sa-cache" => sa_cache(),
+        "balance" => balance(),
+        "dot" => dot(),
+        "all" => {
+            table1();
+            fig7(level, force_lash);
+            fig5();
+            fig6();
+            cost_model();
+            capacity();
+            emulation();
+            deadlock();
+            sa_cache();
+            balance();
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|dot|all] [--level N] [--force-engines]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Table I: SMP counts for full vs vSwitch reconfiguration.
+fn table1() {
+    println!("\n===== TABLE I: reconfiguration SMPs (derived from real topologies) =====");
+    println!(
+        "{:>7} {:>9} {:>7} {:>14} {:>16} {:>13} {:>13}",
+        "Nodes", "Switches", "LIDs", "MinBlocks/Sw", "MinSMPs FullRC", "MinSMPs Swap", "MaxSMPs Swap"
+    );
+    let builders: [fn() -> ib_subnet::topology::BuiltTopology; 4] = [
+        fattree::paper_324,
+        fattree::paper_648,
+        fattree::paper_5832,
+        fattree::paper_11664,
+    ];
+    for (i, build) in builders.iter().enumerate() {
+        let fabric = manage(build());
+        let row = Table1Row::for_subnet(&fabric.subnet);
+        println!(
+            "{:>7} {:>9} {:>7} {:>14} {:>16} {:>13} {:>13}   (improvement vs full: {:.2}%)",
+            row.nodes,
+            row.switches,
+            row.lids,
+            row.min_lft_blocks_per_switch,
+            row.min_smps_full_rc,
+            row.min_smps_vswitch,
+            row.max_smps_vswitch,
+            (1.0 - row.worst_case_ratio()) * 100.0,
+        );
+        let paper = PAPER_TABLE1[i];
+        assert_eq!(
+            (row.nodes, row.switches, row.lids, row.min_lft_blocks_per_switch,
+             row.min_smps_full_rc, row.min_smps_vswitch, row.max_smps_vswitch),
+            paper,
+            "derived row must match the published Table I"
+        );
+    }
+    println!("(all four rows match the published Table I exactly)");
+}
+
+/// Fig. 7: path-computation time per routing engine per topology.
+fn fig7(level: u8, force_lash: bool) {
+    println!("\n===== FIG. 7: path computation time (this machine; paper shape: ftree < minhop << dfsssp << lash) =====");
+    println!("level {level}: 324/648 always; 5832 at --level 1; 11664 at --level 2; LASH/DFSSSP capped at scale unless --force-engines");
+    println!(
+        "{:>18} {:>10} {:>12} {:>14} {:>14}",
+        "topology", "engine", "seconds", "decisions", "LID swap/copy"
+    );
+    for fabric in fig7_topologies(level) {
+        for engine in fig7_engines(fabric.switches, force_lash) {
+            let (elapsed, decisions) = time_engine(&fabric, engine);
+            println!(
+                "{:>18} {:>10} {:>12.4} {:>14} {:>14}",
+                fabric.name,
+                engine.name(),
+                elapsed.as_secs_f64(),
+                decisions,
+                "0 (none)"
+            );
+        }
+        // The vSwitch reconfiguration's path-computation time is zero by
+        // construction — there is nothing to run.
+        println!(
+            "{:>18} {:>10} {:>12.4} {:>14} {:>14}",
+            fabric.name, "lid-swap", 0.0, 0, "-"
+        );
+    }
+}
+
+/// Fig. 5: the worked LID-swap example.
+fn fig5() {
+    println!("\n===== FIG. 5: LFT rows before/after the VM1 migration (LID 2 <-> LID 12) =====");
+    let built = fig5_fabric();
+    let mut dc = DataCenter::from_topology(
+        built,
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 3,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("fig5 bring-up");
+    let vm = dc.create_vm("vm1", 0).expect("create");
+    let vm_lid = dc.vm(vm).unwrap().lid;
+    let leaf0 = dc.hypervisors[0].leaf;
+    let dest_vf_lid = dc.hypervisors[2].vf_lid(&dc.subnet, 0).unwrap();
+
+    let before_vm = dc.subnet.lft(leaf0).unwrap().get(vm_lid).unwrap();
+    let before_vf = dc.subnet.lft(leaf0).unwrap().get(dest_vf_lid).unwrap();
+    let report = dc.migrate_vm(vm, 2).expect("migrate");
+    let after_vm = dc.subnet.lft(leaf0).unwrap().get(vm_lid).unwrap();
+    let after_vf = dc.subnet.lft(leaf0).unwrap().get(dest_vf_lid).unwrap();
+
+    println!("upper-left leaf switch, LFT excerpt:");
+    println!("  {:>8} {:>12} {:>12}", "LID", "port before", "port after");
+    println!("  {:>8} {:>12} {:>12}   (the VM's LID)", vm_lid, before_vm, after_vm);
+    println!("  {:>8} {:>12} {:>12}   (the destination VF's LID)", dest_vf_lid, before_vf, after_vf);
+    println!(
+        "swap sent {} LFT SMPs over {} switches (same-block -> {} SMP per switch)",
+        report.lft.lft_smps, report.lft.switches_updated, report.lft.max_blocks_per_switch
+    );
+    dc.verify_connectivity().expect("consistent");
+    println!("connectivity verified after the swap");
+}
+
+/// Fig. 6: switches updated vs migration distance; concurrency ceiling.
+fn fig6() {
+    println!("\n===== FIG. 6: switches updated vs migration distance (min reconfiguration) =====");
+    for (desc, from, to, shortcut) in [
+        ("intra-leaf (hyp1 -> hyp2), shortcut on", 0usize, 1usize, true),
+        ("intra-leaf (hyp1 -> hyp2), deterministic", 0, 1, false),
+        ("near (hyp1 -> hyp3)", 0, 2, false),
+        ("far (hyp1 -> hyp4)", 0, 3, false),
+    ] {
+        let mut dc = DataCenter::from_topology(
+            fig6_fabric(),
+            DataCenterConfig {
+                arch: VirtArch::VSwitchPrepopulated,
+                vfs_per_hypervisor: 3,
+                migration: MigrationOptions {
+                    intra_leaf_shortcut: shortcut,
+                    ..MigrationOptions::default()
+                },
+                ..DataCenterConfig::default()
+            },
+        )
+        .expect("fig6 bring-up");
+        let vm = dc.create_vm("vm", from).expect("create");
+        let report = dc.migrate_vm(vm, to).expect("migrate");
+        println!(
+            "  {:<42} n' = {:>2} of {:>2} switches, {} SMPs",
+            desc,
+            report.lft.switches_updated,
+            dc.subnet.num_physical_switches(),
+            report.lft.lft_smps
+        );
+        dc.verify_connectivity().expect("consistent");
+    }
+    let dc = DataCenter::from_topology(fig6_fabric(), DataCenterConfig::default()).unwrap();
+    println!(
+        "  concurrent intra-leaf migration ceiling: {} (one per occupied leaf)",
+        ib_core::affected::max_concurrent_intra_leaf(&dc.subnet)
+    );
+}
+
+/// Equations 1-5 as a sweep table.
+fn cost_model() {
+    println!("\n===== COST MODEL (equations 1-5), k = 5us, r = 4us =====");
+    let model = CostModel { k_us: 5.0, r_us: 4.0 };
+    println!(
+        "{:>7} {:>9} {:>14} {:>14} {:>14} {:>14}",
+        "Nodes", "Switches", "full n*m*(k+r)", "vsw 2n*(k+r)", "vsw 2n*k", "best-case k"
+    );
+    for &(nodes, switches, lids, ..) in &PAPER_TABLE1 {
+        let row = Table1Row::from_counts(nodes, switches, lids);
+        let full = model.full_distribution_us(row.switches, row.min_lft_blocks_per_switch);
+        let e4 = model.vswitch_reconfig_directed_us(row.switches, 2);
+        let e5 = model.vswitch_reconfig_destination_us(row.switches, 2);
+        let best = model.vswitch_reconfig_destination_us(1, 1);
+        println!(
+            "{:>7} {:>9} {:>12.1}us {:>12.1}us {:>12.1}us {:>12.1}us",
+            nodes, switches, full, e4, e5, best
+        );
+    }
+    println!("(PCt comes on top of the full column and is minutes at scale — see fig7)");
+}
+
+/// §V-A/§V-B capacity arithmetic.
+fn capacity() {
+    println!("\n===== CAPACITY (sections V-A / V-B) =====");
+    for vfs in [4usize, 16, 64, 126] {
+        let lim = prepopulated_limits(vfs);
+        println!(
+            "  {vfs:>3} VFs/hypervisor: prepopulated max {:>5} hypervisors / {:>6} VMs",
+            lim.max_hypervisors, lim.max_vms
+        );
+    }
+    println!(
+        "  paper example (16 VFs): {} hypervisors, {} VMs",
+        prepopulated_limits(16).max_hypervisors,
+        prepopulated_limits(16).max_vms
+    );
+    let prepop = prepopulated_lids_consumed(2891, 16, 0, 0);
+    let dynamic = dynamic_lids_consumed(2891, 0, 0, 0);
+    println!("  initial LIDs to route: prepopulated {prepop} vs dynamic {dynamic}");
+}
+
+/// §VII-B emulation workflow.
+fn emulation() {
+    println!("\n===== SECTION VII-B: live-migration workflow on the testbed replica =====");
+    for arch in [
+        VirtArch::SharedPort,
+        VirtArch::VSwitchPrepopulated,
+        VirtArch::VSwitchDynamic,
+    ] {
+        let mut dc = testbed_datacenter(DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 4,
+            ..DataCenterConfig::default()
+        })
+        .expect("testbed");
+        let vm = dc.create_vm("centos7", 0).expect("create");
+        let started = Instant::now();
+        let trace = LiveMigrationWorkflow::default()
+            .execute(&mut dc, vm, 3)
+            .expect("workflow");
+        println!(
+            "  {:<22} downtime {} | reconfig share {:.4}% | {} SMPs (n'={}, m'={}) | addresses preserved: {} | wall {:?}",
+            arch.to_string(),
+            trace.timeline.downtime,
+            trace.timeline.reconfiguration_share() * 100.0,
+            trace.report.total_smps(),
+            trace.report.lft.switches_updated,
+            trace.report.lft.max_blocks_per_switch,
+            trace.addresses_preserved,
+            started.elapsed(),
+        );
+    }
+}
+
+/// §VI-C: transition-deadlock demonstration via the credit simulator.
+fn deadlock() {
+    use ib_routing::EngineKind;
+    use ib_sim::credit::{run, CreditSimConfig, Flow};
+    use ib_sm::{SmConfig, SmpMode, SubnetManager};
+    use ib_subnet::topology::torus;
+
+    println!("\n===== SECTION VI-C: deadlock occurrence and resolution (credit-gated 4x4 torus) =====");
+    let mut t = torus::torus_2d(4, 4, 1, true);
+    let mut sm = SubnetManager::new(
+        t.hosts[0],
+        SmConfig {
+            engine: EngineKind::MinHop,
+            smp_mode: SmpMode::Directed,
+        },
+    );
+    sm.bring_up(&mut t.subnet).expect("bring-up");
+    let tables = EngineKind::MinHop.build().compute(&t.subnet).expect("routing");
+    let mut flows = Vec::new();
+    for &a in &t.hosts {
+        for &b in &t.hosts {
+            if a != b {
+                flows.push(Flow {
+                    src: a,
+                    dst: t.subnet.node(b).ports[1].lid.unwrap(),
+                    packets: 20,
+                });
+            }
+        }
+    }
+    let base = CreditSimConfig {
+        credits_per_channel: 1,
+        ..CreditSimConfig::default()
+    };
+    let wedged = run(&t.subnet, &flows, &tables.vls, &base).expect("sim");
+    println!(
+        "  min-hop, 1 VL, no timeout : deadlocked={} delivered={} (of {})",
+        wedged.deadlocked,
+        wedged.delivered,
+        flows.len() * 20
+    );
+    let recovered = run(
+        &t.subnet,
+        &flows,
+        &tables.vls,
+        &CreditSimConfig {
+            timeout_rounds: Some(64),
+            max_rounds: 2_000_000,
+            ..base
+        },
+    )
+    .expect("sim");
+    println!(
+        "  min-hop, 1 VL, IB timeout : deadlocked={} delivered={} dropped={} drained={}",
+        recovered.deadlocked, recovered.delivered, recovered.dropped, recovered.drained
+    );
+    // A second fabric brought up with DFSSSP: its LFTs and its lanes.
+    let mut t2 = torus::torus_2d(4, 4, 1, true);
+    let mut sm2 = SubnetManager::new(
+        t2.hosts[0],
+        SmConfig {
+            engine: EngineKind::Dfsssp,
+            smp_mode: SmpMode::Directed,
+        },
+    );
+    sm2.bring_up(&mut t2.subnet).expect("bring-up");
+    let dtables = EngineKind::Dfsssp.build().compute(&t2.subnet).expect("routing");
+    let mut flows2 = Vec::new();
+    for &a in &t2.hosts {
+        for &b in &t2.hosts {
+            if a != b {
+                flows2.push(Flow {
+                    src: a,
+                    dst: t2.subnet.node(b).ports[1].lid.unwrap(),
+                    packets: 20,
+                });
+            }
+        }
+    }
+    let clean = run(&t2.subnet, &flows2, &dtables.vls, &base).expect("sim");
+    println!(
+        "  dfsssp, {} VLs             : deadlocked={} delivered={} dropped={}",
+        dtables.vls.lanes_used(),
+        clean.deadlocked,
+        clean.delivered,
+        clean.dropped
+    );
+}
+
+/// §I / reference [10]: SA query load with and without address-preserving
+/// migration.
+fn sa_cache() {
+    use ib_sm::{PathRecordCache, SaService};
+    use ib_subnet::topology::fattree;
+
+    println!("\n===== SECTION I: SA PathRecord query load around a migration =====");
+    let mut dc = DataCenter::from_topology(
+        fattree::two_level(4, 4, 2),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 2,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("bring-up");
+    let server = dc.create_vm("server", 0).expect("create");
+    let gid = dc.vm(server).unwrap().gid();
+    let mut sa = SaService::new();
+    sa.register(gid, dc.vm(server).unwrap().lid);
+    let mut caches: Vec<PathRecordCache> = (0..12).map(|_| PathRecordCache::new()).collect();
+    let peers: Vec<_> = (1..13)
+        .map(|h| dc.hypervisors[h].pf_lid(&dc.subnet).unwrap())
+        .collect();
+    for (c, &slid) in caches.iter_mut().zip(&peers) {
+        c.resolve(&mut sa, &dc.subnet, slid, gid).expect("resolve");
+    }
+    let cold = sa.queries_served;
+    dc.migrate_vm(server, 15).expect("migrate");
+    let stale = caches.iter().filter(|c| c.is_stale(&dc.subnet, gid)).count();
+    for (c, &slid) in caches.iter_mut().zip(&peers) {
+        c.resolve(&mut sa, &dc.subnet, slid, gid).expect("resolve");
+    }
+    println!("  cold-start queries: {cold}; stale caches after vSwitch migration: {stale}");
+    println!(
+        "  reconnection queries after migration: {} (addresses followed the VM)",
+        sa.queries_served - cold
+    );
+}
+
+/// §V-A vs §V-B: the balancing trade-off under skewed VM placement.
+fn balance() {
+    use ib_routing::EngineKind;
+    use ib_sim::fairness::{max_min_fair, FairFlow};
+    use ib_subnet::topology::fattree;
+
+    println!("\n===== SECTIONS V-A/V-B: traffic balancing when PF spine choices collide =====");
+    // 2 leaves x 4 hypervisors, 3 spines: by pigeonhole two hypervisors
+    // on leaf 0 share a spine for their PF rows. Put three VMs on each of
+    // those two: dynamic mode funnels all six VM rows onto the shared
+    // spine downlink; prepopulated VM LIDs spread.
+    let build = |arch| {
+        DataCenter::from_topology(
+            fattree::two_level(2, 4, 3),
+            DataCenterConfig {
+                arch,
+                vfs_per_hypervisor: 3,
+                engine: EngineKind::FatTree,
+                ..DataCenterConfig::default()
+            },
+        )
+        .expect("bring-up")
+    };
+    for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+        let mut dcx = build(arch);
+        // Find two leaf-0 hypervisors whose PF rows at a remote leaf use
+        // the same uplink.
+        let remote_leaf = dcx.hypervisors[4].leaf;
+        let (a, b) = {
+            let lft = dcx.subnet.lft(remote_leaf).expect("leaf");
+            let mut by_port: std::collections::HashMap<u8, Vec<usize>> =
+                std::collections::HashMap::new();
+            for h in 0..4 {
+                let pf = dcx.hypervisors[h].pf_lid(&dcx.subnet).expect("pf");
+                by_port
+                    .entry(lft.get(pf).expect("row").raw())
+                    .or_default()
+                    .push(h);
+            }
+            let pair = by_port
+                .values()
+                .find(|v| v.len() >= 2)
+                .expect("pigeonhole: 4 PFs over 3 spines");
+            (pair[0], pair[1])
+        };
+        for v in 0..3 {
+            dcx.create_vm(format!("vm-a{v}"), a).expect("create");
+            dcx.create_vm(format!("vm-b{v}"), b).expect("create");
+        }
+        // Flows: remote PFs (hypervisors 4..8) -> the six VMs.
+        let flows: Vec<FairFlow> = dcx
+            .vms()
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| FairFlow {
+                src: dcx.hypervisors[4 + (i % 4)].pf,
+                dst: vm.lid,
+            })
+            .collect();
+        let report = max_min_fair(&dcx.subnet, &flows).expect("fairness");
+        let lft = dcx.subnet.lft(remote_leaf).expect("leaf");
+        let mut counts: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
+        for vm in dcx.vms() {
+            *counts.entry(lft.get(vm.lid).expect("row").raw()).or_insert(0) += 1;
+        }
+        let max_rows = counts.values().copied().max().unwrap_or(0);
+        println!(
+            "  {:<22} VM aggregate throughput {:.3} | Jain {:.3} | max VM rows on one remote uplink: {}",
+            arch.to_string(),
+            report.aggregate,
+            report.jain_index(),
+            max_rows
+        );
+    }
+    println!("  (prepopulated spreads VM LIDs like LMC paths; dynamic stacks them on colliding PF spines)");
+}
+
+/// Prints the Fig. 5 fabric (virtualized, one VM) as GraphViz dot.
+fn dot() {
+    let mut dc = DataCenter::from_topology(
+        fig5_fabric(),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 3,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("fig5 bring-up");
+    dc.create_vm("vm1", 0).expect("create");
+    print!("{}", ib_subnet::dot::to_dot(&dc.subnet));
+}

@@ -1,0 +1,93 @@
+//! Shared helpers for the benchmark harness and Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use ib_mad::SmpLedger;
+use ib_routing::EngineKind;
+use ib_sm::{discovery, lids};
+use ib_subnet::topology::{fattree, BuiltTopology};
+use ib_subnet::Subnet;
+use ib_types::LidSpace;
+
+/// A topology with LIDs assigned (switches first, then hosts) but no LFTs
+/// distributed — the exact input a routing engine sees.
+pub struct ManagedFabric {
+    /// The subnet, LID-assigned.
+    pub subnet: Subnet,
+    /// Host nodes.
+    pub hosts: Vec<ib_subnet::NodeId>,
+    /// Topology name.
+    pub name: String,
+    /// Physical switch count.
+    pub switches: usize,
+}
+
+/// Assigns LIDs the way the SM would (discovery sweep + dense assignment).
+#[must_use]
+pub fn manage(built: BuiltTopology) -> ManagedFabric {
+    let mut subnet = built.subnet;
+    let sm_host = built.hosts[0];
+    let mut ledger = SmpLedger::new();
+    let disc = discovery::sweep(&subnet, sm_host, &mut ledger).expect("sweep");
+    let mut space = LidSpace::new();
+    lids::assign_all(&mut subnet, &disc, &mut space, &mut ledger).expect("assign");
+    let switches = subnet.num_physical_switches();
+    ManagedFabric {
+        subnet,
+        hosts: built.hosts,
+        name: built.name,
+        switches,
+    }
+}
+
+/// Times one engine run on a fabric, returning `(elapsed, decisions)`.
+pub fn time_engine(fabric: &ManagedFabric, engine: EngineKind) -> (Duration, u64) {
+    let e = engine.build();
+    let started = Instant::now();
+    let tables = e.compute(&fabric.subnet).expect("engine");
+    (started.elapsed(), tables.decisions)
+}
+
+/// The Fig. 7 topology set, gated by size so debug/CI runs stay fast:
+/// level 0 = the two 2-level trees; level 1 adds 5832; level 2 adds 11664.
+#[must_use]
+pub fn fig7_topologies(level: u8) -> Vec<ManagedFabric> {
+    let mut out = vec![manage(fattree::paper_324()), manage(fattree::paper_648())];
+    if level >= 1 {
+        out.push(manage(fattree::paper_5832()));
+    }
+    if level >= 2 {
+        out.push(manage(fattree::paper_11664()));
+    }
+    out
+}
+
+/// Which engines Fig. 7 runs at a given subnet size. The expensive
+/// engines are capped by default, mirroring the paper's own data: LASH is
+/// quadratic in switches with a cycle check per pair (39145 s at 11664
+/// nodes in the paper) and runs on the 2-level trees only; DFSSSP's
+/// virtual-lane layering takes minutes on the 3-level trees and is capped
+/// at 600 switches. `force` lifts both caps.
+#[must_use]
+pub fn fig7_engines(switches: usize, force: bool) -> Vec<EngineKind> {
+    let mut engines = vec![EngineKind::FatTree, EngineKind::MinHop];
+    if switches <= 600 || force {
+        engines.push(EngineKind::Dfsssp);
+    }
+    if switches <= 54 || force {
+        engines.push(EngineKind::Lash);
+    }
+    engines
+}
+
+/// Reads a benchmark scale level from `IB_BENCH_LEVEL` (default 0).
+#[must_use]
+pub fn bench_level() -> u8 {
+    std::env::var("IB_BENCH_LEVEL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}

@@ -1,0 +1,144 @@
+//! VM placement policies.
+
+use ib_core::DataCenter;
+
+use crate::inventory::{Inventory, VmFlavor};
+
+/// Chooses a hypervisor for a new VM, or `None` when nothing fits.
+///
+/// A candidate must have both a free VF slot (IB-side capacity) and room
+/// for the flavor (compute-side capacity) — the two capacity planes §V-B
+/// distinguishes.
+pub trait PlacementPolicy {
+    /// Picks a hypervisor index.
+    fn choose(&mut self, dc: &DataCenter, inv: &Inventory, flavor: &VmFlavor) -> Option<usize>;
+}
+
+fn candidates<'a>(
+    dc: &'a DataCenter,
+    inv: &'a Inventory,
+    flavor: &'a VmFlavor,
+) -> impl Iterator<Item = usize> + 'a {
+    (0..dc.hypervisors.len())
+        .filter(move |&h| dc.hypervisors[h].free_slot().is_some() && inv.fits(h, flavor))
+}
+
+/// Spread: pick the candidate with the fewest running VMs (ties: lowest
+/// index). Maximizes failure isolation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpreadPolicy;
+
+impl PlacementPolicy for SpreadPolicy {
+    fn choose(&mut self, dc: &DataCenter, inv: &Inventory, flavor: &VmFlavor) -> Option<usize> {
+        candidates(dc, inv, flavor).min_by_key(|&h| (dc.hypervisors[h].active_vms(), h))
+    }
+}
+
+/// Pack: pick the busiest candidate that still fits. Minimizes the number
+/// of powered hypervisors — the defragmentation-friendly policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PackPolicy;
+
+impl PlacementPolicy for PackPolicy {
+    fn choose(&mut self, dc: &DataCenter, inv: &Inventory, flavor: &VmFlavor) -> Option<usize> {
+        candidates(dc, inv, flavor)
+            .max_by_key(|&h| (dc.hypervisors[h].active_vms(), usize::MAX - h))
+    }
+}
+
+/// Round robin across hypervisors.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinPolicy {
+    next: usize,
+}
+
+impl PlacementPolicy for RoundRobinPolicy {
+    fn choose(&mut self, dc: &DataCenter, inv: &Inventory, flavor: &VmFlavor) -> Option<usize> {
+        let n = dc.hypervisors.len();
+        for off in 0..n {
+            let h = (self.next + off) % n;
+            if dc.hypervisors[h].free_slot().is_some() && inv.fits(h, flavor) {
+                self.next = (h + 1) % n;
+                return Some(h);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inventory::NodeResources;
+    use ib_core::{DataCenterConfig, VirtArch};
+    use ib_subnet::topology::fattree::two_level;
+
+    fn dc() -> DataCenter {
+        DataCenter::from_topology(
+            two_level(2, 2, 2),
+            DataCenterConfig {
+                arch: VirtArch::VSwitchPrepopulated,
+                vfs_per_hypervisor: 2,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn inv() -> Inventory {
+        Inventory::uniform(4, NodeResources { cores: 8, ram_gb: 32 })
+    }
+
+    #[test]
+    fn spread_avoids_busy_nodes() {
+        let mut dc = dc();
+        let inv = inv();
+        let f = VmFlavor::small();
+        dc.create_vm("a", 0).unwrap();
+        let pick = SpreadPolicy.choose(&dc, &inv, &f).unwrap();
+        assert_ne!(pick, 0);
+    }
+
+    #[test]
+    fn pack_prefers_busy_nodes() {
+        let mut dc = dc();
+        let inv = inv();
+        let f = VmFlavor::small();
+        dc.create_vm("a", 1).unwrap();
+        let pick = PackPolicy.choose(&dc, &inv, &f).unwrap();
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn pack_overflows_to_next_when_full() {
+        let mut dc = dc();
+        let inv = inv();
+        let f = VmFlavor::small();
+        dc.create_vm("a", 1).unwrap();
+        dc.create_vm("b", 1).unwrap(); // node 1 VF-full (2 slots)
+        let pick = PackPolicy.choose(&dc, &inv, &f).unwrap();
+        assert_ne!(pick, 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut dc = dc();
+        let inv = inv();
+        let f = VmFlavor::small();
+        let mut rr = RoundRobinPolicy::default();
+        let a = rr.choose(&dc, &inv, &f).unwrap();
+        let _ = dc.create_vm("a", a).unwrap();
+        let b = rr.choose(&dc, &inv, &f).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_compute_capacity() {
+        let dc = dc();
+        let tight = Inventory::uniform(4, NodeResources { cores: 1, ram_gb: 1 });
+        // Medium flavor (2 cores) fits nowhere.
+        assert!(SpreadPolicy
+            .choose(&dc, &tight, &VmFlavor::medium())
+            .is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Canned scenarios: the paper's testbed and the fleet-management moves
+//! (§V-B) that motivate fast reconfiguration.
+
+use ib_core::{DataCenter, DataCenterConfig, MigrationReport, VmId};
+use ib_subnet::topology::BuiltTopology;
+use ib_subnet::Subnet;
+use ib_types::{IbResult, PortNum};
+
+/// Replica of the §VII-A testbed fabric: two 36-port switches joined by a
+/// trunk, six compute nodes (the HP ProLiant machines) spread three per
+/// switch, and three infrastructure nodes (the SUN Fire controller /
+/// network / storage machines) that carry LIDs but are never virtualized.
+#[must_use]
+pub fn paper_testbed() -> BuiltTopology {
+    let mut subnet = Subnet::new();
+    let sw0 = subnet.add_switch("dcs36-0", 36);
+    let sw1 = subnet.add_switch("dcs36-1", 36);
+    subnet
+        .connect(sw0, PortNum::new(36), sw1, PortNum::new(36))
+        .expect("trunk");
+
+    let mut hosts = Vec::new();
+    for i in 0..6 {
+        let host = subnet.add_hca(format!("compute-{i}"));
+        let sw = if i < 3 { sw0 } else { sw1 };
+        let port = PortNum::new((i % 3) as u8 + 1);
+        subnet.connect(sw, port, host, PortNum::new(1)).expect("compute");
+        hosts.push(host);
+    }
+    for (i, name) in ["controller", "network", "storage"].iter().enumerate() {
+        let infra = subnet.add_hca(format!("sunfire-{name}"));
+        let sw = if i < 2 { sw0 } else { sw1 };
+        let port = PortNum::new(10 + i as u8);
+        subnet.connect(sw, port, infra, PortNum::new(1)).expect("infra");
+        // Infra nodes are deliberately NOT in `hosts`, so the data center
+        // never virtualizes them — they just consume LIDs like real ones.
+    }
+
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![vec![sw0, sw1]],
+        name: "paper-testbed".into(),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+/// Builds the testbed data center in one call.
+pub fn testbed_datacenter(config: DataCenterConfig) -> IbResult<DataCenter> {
+    DataCenter::from_topology(paper_testbed(), config)
+}
+
+/// Consolidates VMs onto the fewest hypervisors: repeatedly moves a VM
+/// from the least-loaded non-empty hypervisor to the most-loaded one with
+/// room. Returns the executed migrations. This is §V-B's "optimization of
+/// fragmented networks" put into code.
+pub fn defragment(dc: &mut DataCenter) -> IbResult<Vec<MigrationReport>> {
+    let mut reports = Vec::new();
+    loop {
+        let loads: Vec<(usize, usize, bool)> = dc
+            .hypervisors
+            .iter()
+            .map(|h| (h.index, h.active_vms(), h.free_slot().is_some()))
+            .collect();
+        // Donor: fewest VMs but nonzero. Receiver: most VMs with room.
+        let Some(&(donor, donor_load, _)) = loads
+            .iter()
+            .filter(|&&(_, vms, _)| vms > 0)
+            .min_by_key(|&&(i, vms, _)| (vms, i))
+        else {
+            break;
+        };
+        let Some(&(receiver, recv_load, _)) = loads
+            .iter()
+            .filter(|&&(i, _, room)| room && i != donor)
+            .max_by_key(|&&(i, vms, _)| (vms, usize::MAX - i))
+        else {
+            break;
+        };
+        // Moving from donor to receiver only helps if the receiver is at
+        // least as loaded (strictly packing).
+        if recv_load < donor_load || (recv_load == 0 && donor_load <= 1) {
+            break;
+        }
+        let vm: VmId = dc
+            .vms()
+            .iter()
+            .find(|r| r.hypervisor == donor)
+            .map(|r| r.id)
+            .expect("donor has a VM");
+        reports.push(dc.migrate_vm(vm, receiver)?);
+    }
+    Ok(reports)
+}
+
+/// Evacuates every VM from hypervisor `hyp` (maintenance / disaster
+/// recovery), spreading them across the other hypervisors.
+pub fn evacuate(dc: &mut DataCenter, hyp: usize) -> IbResult<Vec<MigrationReport>> {
+    let mut reports = Vec::new();
+    while let Some(vm) = dc
+        .vms()
+        .iter()
+        .find(|r| r.hypervisor == hyp)
+        .map(|r| r.id)
+    {
+        let dest = dc
+            .hypervisors
+            .iter()
+            .filter(|h| h.index != hyp && h.free_slot().is_some())
+            .min_by_key(|h| (h.active_vms(), h.index))
+            .map(|h| h.index)
+            .ok_or_else(|| {
+                ib_types::IbError::Capacity("no hypervisor can absorb the evacuation".into())
+            })?;
+        reports.push(dc.migrate_vm(vm, dest)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_core::VirtArch;
+
+    fn config(arch: VirtArch) -> DataCenterConfig {
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 4,
+            ..DataCenterConfig::default()
+        }
+    }
+
+    #[test]
+    fn testbed_shape_matches_section_viia() {
+        let t = paper_testbed();
+        assert_eq!(t.num_hosts(), 6);
+        assert_eq!(t.num_switches(), 2);
+        // 9 HCAs total: 6 compute + 3 infra.
+        assert_eq!(t.subnet.num_hcas(), 9);
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn testbed_datacenter_only_virtualizes_compute() {
+        let dc = testbed_datacenter(config(VirtArch::VSwitchPrepopulated)).unwrap();
+        assert_eq!(dc.hypervisors.len(), 6);
+        // LIDs: 2 switches + 6 PFs + 3 infra + 24 VFs = 35.
+        assert_eq!(dc.subnet.num_lids(), 35);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn defragment_packs_vms() {
+        let mut dc = testbed_datacenter(config(VirtArch::VSwitchDynamic)).unwrap();
+        // One VM on each of four hypervisors.
+        for h in 0..4 {
+            dc.create_vm(format!("vm{h}"), h).unwrap();
+        }
+        let reports = defragment(&mut dc).unwrap();
+        assert!(!reports.is_empty());
+        let occupied = dc.hypervisors.iter().filter(|h| h.active_vms() > 0).count();
+        assert_eq!(occupied, 1, "four small VMs pack onto one 4-VF node");
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn evacuate_empties_the_target() {
+        let mut dc = testbed_datacenter(config(VirtArch::VSwitchPrepopulated)).unwrap();
+        for i in 0..3 {
+            dc.create_vm(format!("vm{i}"), 2).unwrap();
+        }
+        let reports = evacuate(&mut dc, 2).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(dc.hypervisors[2].active_vms(), 0);
+        // Spread: the three VMs land on three different hypervisors.
+        let dests: std::collections::HashSet<usize> =
+            reports.iter().map(|r| r.to_hypervisor).collect();
+        assert_eq!(dests.len(), 3);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn evacuation_fails_when_nowhere_to_go() {
+        let mut dc = DataCenter::from_topology(
+            ib_subnet::topology::basic::single_switch(2),
+            DataCenterConfig {
+                arch: VirtArch::VSwitchPrepopulated,
+                vfs_per_hypervisor: 1,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap();
+        dc.create_vm("a", 0).unwrap();
+        dc.create_vm("b", 1).unwrap();
+        assert!(evacuate(&mut dc, 0).is_err());
+    }
+}

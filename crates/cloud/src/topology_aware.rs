@@ -1,0 +1,144 @@
+//! Topology-aware migration planning.
+//!
+//! §VI-D shows that the number of switches a migration must reconfigure
+//! depends on how far the VM moves *from an interconnection point of
+//! view*, and that disjoint-footprint migrations can run concurrently.
+//! This module turns that observation into a planner: given a VM and a set
+//! of candidate destinations, rank them by the *predicted* reconfiguration
+//! footprint (via [`ib_core::affected`]) before a single SMP is sent.
+
+use ib_core::{affected, DataCenter, VirtArch, VmId};
+use ib_types::{IbError, IbResult};
+
+/// A ranked migration candidate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationCandidate {
+    /// Destination hypervisor index.
+    pub hypervisor: usize,
+    /// Predicted switches to update (the paper's `n'`).
+    pub switches_to_update: usize,
+    /// Whether the move stays within the source's leaf switch.
+    pub intra_leaf: bool,
+}
+
+/// Ranks every feasible destination for migrating `vm`, cheapest
+/// reconfiguration first (ties: intra-leaf first, then lowest index).
+pub fn rank_destinations(dc: &DataCenter, vm: VmId) -> IbResult<Vec<MigrationCandidate>> {
+    let rec = dc
+        .vm(vm)
+        .ok_or_else(|| IbError::Virtualization(format!("{vm} does not exist")))?;
+    let src_leaf = dc.hypervisors[rec.hypervisor].leaf;
+
+    let mut out = Vec::new();
+    for hyp in &dc.hypervisors {
+        if hyp.index == rec.hypervisor {
+            continue;
+        }
+        let Some(slot) = hyp.free_slot() else { continue };
+        let predicted = match dc.config.arch {
+            VirtArch::VSwitchPrepopulated => {
+                let Some(dest_lid) = hyp.vf_lid(&dc.subnet, slot) else {
+                    continue;
+                };
+                affected::affected_by_swap(&dc.subnet, rec.lid, dest_lid).len()
+            }
+            VirtArch::VSwitchDynamic => {
+                let pf_lid = hyp.pf_lid(&dc.subnet)?;
+                affected::affected_by_copy(&dc.subnet, pf_lid, rec.lid).len()
+            }
+            VirtArch::SharedPort => {
+                // The emulation swaps node LIDs; predict with the swap set.
+                let src_pf = dc.hypervisors[rec.hypervisor].pf_lid(&dc.subnet)?;
+                let dst_pf = hyp.pf_lid(&dc.subnet)?;
+                affected::affected_by_swap(&dc.subnet, src_pf, dst_pf).len()
+            }
+        };
+        out.push(MigrationCandidate {
+            hypervisor: hyp.index,
+            switches_to_update: predicted,
+            intra_leaf: hyp.leaf == src_leaf,
+        });
+    }
+    out.sort_by_key(|c| (c.switches_to_update, !c.intra_leaf, c.hypervisor));
+    Ok(out)
+}
+
+/// Migrates `vm` to the destination with the smallest predicted
+/// reconfiguration footprint. Returns the chosen candidate and the actual
+/// migration report so callers can check prediction vs reality.
+pub fn migrate_cheapest(
+    dc: &mut DataCenter,
+    vm: VmId,
+) -> IbResult<(MigrationCandidate, ib_core::MigrationReport)> {
+    let ranked = rank_destinations(dc, vm)?;
+    let best = ranked
+        .into_iter()
+        .next()
+        .ok_or_else(|| IbError::Capacity("no feasible migration destination".into()))?;
+    let report = dc.migrate_vm(vm, best.hypervisor)?;
+    Ok((best, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_core::DataCenterConfig;
+    use ib_subnet::topology::fattree::two_level;
+
+    fn dc(arch: VirtArch) -> DataCenter {
+        DataCenter::from_topology(
+            two_level(3, 3, 2),
+            DataCenterConfig {
+                arch,
+                vfs_per_hypervisor: 2,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ranking_prefers_cheap_intra_leaf_moves() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let ranked = rank_destinations(&dc, vm).unwrap();
+        assert_eq!(ranked.len(), 8);
+        // The cheapest candidates should be on the same leaf (hyps 1, 2).
+        assert!(ranked[0].intra_leaf, "{ranked:?}");
+        // Ordering is by predicted n'.
+        for w in ranked.windows(2) {
+            assert!(w[0].switches_to_update <= w[1].switches_to_update);
+        }
+    }
+
+    #[test]
+    fn prediction_matches_reality() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let (best, report) = migrate_cheapest(&mut dc, vm).unwrap();
+        assert_eq!(best.switches_to_update, report.lft.switches_updated);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn dynamic_mode_prediction_matches_too() {
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let (best, report) = migrate_cheapest(&mut dc, vm).unwrap();
+        assert_eq!(best.switches_to_update, report.lft.switches_updated);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn full_fabric_has_no_candidates() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        // Fill every slot everywhere.
+        for h in 0..dc.hypervisors.len() {
+            for s in 0..2 {
+                dc.create_vm(format!("vm-{h}-{s}"), h).unwrap();
+            }
+        }
+        let victim = dc.vms()[0].id;
+        assert!(migrate_cheapest(&mut dc, victim).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! LID-budget arithmetic for the two vSwitch architectures (§V-A/§V-B).
+
+use ib_types::MAX_UNICAST_LID;
+
+/// Capacity limits of the prepopulated-LID architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrepopulatedLimits {
+    /// Maximum hypervisors a subnet can hold (ignoring switches/SM nodes).
+    pub max_hypervisors: usize,
+    /// Maximum VMs (`max_hypervisors * vfs_per_hypervisor`).
+    pub max_vms: usize,
+}
+
+/// §V-A's arithmetic: each hypervisor consumes `1 + vfs` LIDs (one for the
+/// PF — shared with the vSwitch — and one per VF, used or not), so the
+/// theoretical ceiling is `⌊49151 / (vfs + 1)⌋` hypervisors.
+///
+/// The paper's example: 16 VFs → 17 LIDs each → 2891 hypervisors, 46256
+/// VMs. Switches, routers and dedicated SM nodes shrink this further.
+#[must_use]
+pub fn prepopulated_limits(vfs_per_hypervisor: usize) -> PrepopulatedLimits {
+    let per_hyp = vfs_per_hypervisor + 1;
+    let max_hypervisors = MAX_UNICAST_LID as usize / per_hyp;
+    PrepopulatedLimits {
+        max_hypervisors,
+        max_vms: max_hypervisors * vfs_per_hypervisor,
+    }
+}
+
+/// LIDs consumed by a prepopulated deployment of `hypervisors` hypervisors
+/// with `vfs` VFs each, plus `switches` physical switches and
+/// `other_nodes` (routers, dedicated SM nodes).
+#[must_use]
+pub fn prepopulated_lids_consumed(
+    hypervisors: usize,
+    vfs: usize,
+    switches: usize,
+    other_nodes: usize,
+) -> usize {
+    hypervisors * (1 + vfs) + switches + other_nodes
+}
+
+/// LIDs consumed under dynamic assignment: only the PFs, switches, other
+/// nodes and *active VMs* count. The VF pool itself is unbounded (§V-B:
+/// "the number of VFs may exceed that of the unicast LID limit").
+#[must_use]
+pub fn dynamic_lids_consumed(
+    hypervisors: usize,
+    active_vms: usize,
+    switches: usize,
+    other_nodes: usize,
+) -> usize {
+    hypervisors + active_vms + switches + other_nodes
+}
+
+/// Whether a deployment fits the unicast LID space.
+#[must_use]
+pub fn fits_lid_space(lids: usize) -> bool {
+    lids <= MAX_UNICAST_LID as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_16_vfs() {
+        // §V-A: ⌊49151/17⌋ = 2891 hypervisors, 2891·16 = 46256 VMs.
+        let lim = prepopulated_limits(16);
+        assert_eq!(lim.max_hypervisors, 2891);
+        assert_eq!(lim.max_vms, 46256);
+    }
+
+    #[test]
+    fn mellanox_max_126_vfs() {
+        // Footnote 2: ConnectX-3 supports up to 126 VFs. 49151/127 = 387.
+        let lim = prepopulated_limits(126);
+        assert_eq!(lim.max_hypervisors, 387);
+        assert_eq!(lim.max_vms, 48762);
+    }
+
+    #[test]
+    fn prepopulated_counts_idle_vfs() {
+        // 100 hypervisors x 16 VFs + 12 switches: VFs cost LIDs even with
+        // zero VMs running.
+        let lids = prepopulated_lids_consumed(100, 16, 12, 1);
+        assert_eq!(lids, 100 * 17 + 13);
+        assert!(fits_lid_space(lids));
+    }
+
+    #[test]
+    fn dynamic_counts_only_active_vms() {
+        let idle = dynamic_lids_consumed(100, 0, 12, 1);
+        assert_eq!(idle, 113);
+        let busy = dynamic_lids_consumed(100, 1600, 12, 1);
+        assert_eq!(busy, 1713);
+        // The same deployment prepopulated would cost 1713 vs 1813:
+        assert!(idle < prepopulated_lids_consumed(100, 16, 12, 1));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let lids = prepopulated_lids_consumed(3000, 16, 0, 0);
+        assert!(!fits_lid_space(lids));
+    }
+
+    #[test]
+    fn initial_path_computation_scale_example() {
+        // §V-A/V-B's comparison: 2891 hypervisors with 16 VFs prepopulate
+        // ~49k LIDs; dynamic assignment boots with <3000.
+        let prepop = prepopulated_lids_consumed(2891, 16, 0, 0);
+        let dynamic = dynamic_lids_consumed(2891, 0, 0, 0);
+        assert!(prepop > 49_000);
+        assert!(dynamic < 3_000);
+    }
+}

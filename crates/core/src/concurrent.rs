@@ -1,0 +1,87 @@
+//! Concurrent-migration admission (§VI-D).
+//!
+//! Migrations whose affected switch sets are disjoint can reconfigure in
+//! parallel without interfering; the scheduler below greedily packs planned
+//! migrations into conflict-free batches. In the best case — migrations
+//! confined to distinct leaf switches — the batch width reaches the number
+//! of leaves.
+
+use rustc_hash::FxHashSet;
+
+use ib_subnet::NodeId;
+
+/// A planned migration with its predicted affected-switch set.
+#[derive(Clone, Debug)]
+pub struct PlannedMigration<T> {
+    /// Caller's tag (a VM id, an index, ...).
+    pub tag: T,
+    /// Switches this migration will update (from [`crate::affected`]).
+    pub affected: Vec<NodeId>,
+}
+
+/// Packs planned migrations into batches whose members touch pairwise
+/// disjoint switch sets. Order within the input is preserved greedily:
+/// each migration joins the earliest batch it does not conflict with.
+pub fn schedule<T>(plans: Vec<PlannedMigration<T>>) -> Vec<Vec<PlannedMigration<T>>> {
+    let mut batches: Vec<(FxHashSet<NodeId>, Vec<PlannedMigration<T>>)> = Vec::new();
+    for plan in plans {
+        let mut placed = None;
+        for (i, (used, _)) in batches.iter().enumerate() {
+            if plan.affected.iter().all(|sw| !used.contains(sw)) {
+                placed = Some(i);
+                break;
+            }
+        }
+        match placed {
+            Some(i) => {
+                batches[i].0.extend(plan.affected.iter().copied());
+                batches[i].1.push(plan);
+            }
+            None => {
+                let used: FxHashSet<NodeId> = plan.affected.iter().copied().collect();
+                batches.push((used, vec![plan]));
+            }
+        }
+    }
+    batches.into_iter().map(|(_, b)| b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(tag: u32, switches: &[usize]) -> PlannedMigration<u32> {
+        PlannedMigration {
+            tag,
+            affected: switches.iter().map(|&i| NodeId::from_index(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn disjoint_plans_share_a_batch() {
+        let batches = schedule(vec![plan(1, &[0]), plan(2, &[1]), plan(3, &[2])]);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 3);
+    }
+
+    #[test]
+    fn conflicting_plans_split() {
+        let batches = schedule(vec![plan(1, &[0, 1]), plan(2, &[1, 2]), plan(3, &[3])]);
+        assert_eq!(batches.len(), 2);
+        // Plan 3 joins the first batch (disjoint from plan 1).
+        assert_eq!(batches[0].iter().map(|p| p.tag).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(batches[1][0].tag, 2);
+    }
+
+    #[test]
+    fn empty_affected_sets_always_fit() {
+        let batches = schedule(vec![plan(1, &[]), plan(2, &[]), plan(3, &[0])]);
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn identical_sets_serialize() {
+        let batches = schedule(vec![plan(1, &[5]), plan(2, &[5]), plan(3, &[5])]);
+        assert_eq!(batches.len(), 3);
+    }
+}

@@ -1,0 +1,709 @@
+//! The virtualized data center: subnet + hypervisors + subnet manager +
+//! VM lifecycle.
+
+use ib_mad::Smp;
+use ib_routing::EngineKind;
+use ib_sm::distribution::{hops_of, routing_for};
+use ib_sm::{BringUpReport, SmConfig, SmpMode, SubnetManager};
+use ib_subnet::topology::BuiltTopology;
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbError, IbResult, Lid, PortNum};
+use rustc_hash::FxHashMap;
+
+use crate::migration::{
+    copy_on_fabric, swap_on_fabric, LftUpdateStats, MigrationOptions, MigrationReport,
+};
+use crate::virtualize::{
+    virtualize_host, vswitch_vf_port, Hypervisor, VirtArch, VSWITCH_UPLINK,
+};
+use crate::vm::{VmId, VmRecord};
+
+/// Data center construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DataCenterConfig {
+    /// SR-IOV addressing architecture.
+    pub arch: VirtArch,
+    /// VFs per hypervisor (the paper's running example uses 16; Mellanox
+    /// ConnectX-3 defaults to 16 with up to 126 supported).
+    pub vfs_per_hypervisor: usize,
+    /// Routing engine for the initial path computation.
+    pub engine: EngineKind,
+    /// Reconfiguration options for migrations and dynamic VM creation.
+    pub migration: MigrationOptions,
+}
+
+impl Default for DataCenterConfig {
+    fn default() -> Self {
+        Self {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 4,
+            engine: EngineKind::MinHop,
+            migration: MigrationOptions::default(),
+        }
+    }
+}
+
+/// A running virtualized IB data center.
+#[derive(Debug)]
+pub struct DataCenter {
+    /// The fabric.
+    pub subnet: Subnet,
+    /// All hypervisors, indexed by the `hypervisor` field of VM records.
+    pub hypervisors: Vec<Hypervisor>,
+    /// The subnet manager (owns the SMP ledger and the LID space).
+    pub sm: SubnetManager,
+    /// Construction parameters.
+    pub config: DataCenterConfig,
+    /// The initial bring-up report.
+    pub bring_up: BringUpReport,
+    vms: FxHashMap<VmId, VmRecord>,
+    next_vm: u64,
+}
+
+impl DataCenter {
+    /// Virtualizes every host of `built` into a hypervisor and brings the
+    /// fabric up. The SM runs on hypervisor 0's PF.
+    pub fn from_topology(built: BuiltTopology, config: DataCenterConfig) -> IbResult<Self> {
+        let mut subnet = built.subnet;
+        if built.hosts.is_empty() {
+            return Err(IbError::Virtualization("topology has no hosts".into()));
+        }
+        let mut hypervisors = Vec::with_capacity(built.hosts.len());
+        for (i, &host) in built.hosts.iter().enumerate() {
+            hypervisors.push(virtualize_host(
+                &mut subnet,
+                config.arch,
+                i,
+                host,
+                config.vfs_per_hypervisor,
+            )?);
+        }
+        let mut sm = SubnetManager::new(
+            hypervisors[0].pf,
+            SmConfig {
+                engine: config.engine,
+                smp_mode: SmpMode::Directed,
+            },
+        );
+        let bring_up = sm.bring_up(&mut subnet)?;
+        Ok(Self {
+            subnet,
+            hypervisors,
+            sm,
+            config,
+            bring_up,
+            vms: FxHashMap::default(),
+            next_vm: 0,
+        })
+    }
+
+    /// The record of a VM.
+    #[must_use]
+    pub fn vm(&self, id: VmId) -> Option<&VmRecord> {
+        self.vms.get(&id)
+    }
+
+    /// All VMs, in id order.
+    #[must_use]
+    pub fn vms(&self) -> Vec<&VmRecord> {
+        let mut v: Vec<&VmRecord> = self.vms.values().collect();
+        v.sort_unstable_by_key(|r| r.id);
+        v
+    }
+
+    /// Number of running VMs.
+    #[must_use]
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    // ------------------------------------------------------------------
+    // VM lifecycle
+    // ------------------------------------------------------------------
+
+    /// Boots a VM on hypervisor `hyp`.
+    ///
+    /// * Shared Port: the VM shares the PF's LID; one vGUID SMP.
+    /// * Prepopulated: the VM inherits the VF's prepopulated LID; one vGUID
+    ///   SMP and **zero** LFT updates (§V-A: "All that needs to be done is
+    ///   to find an available VM slot ... and use it").
+    /// * Dynamic: the next free LID is allocated and every physical
+    ///   switch's LFT learns it by copying the PF's row — one SMP per
+    ///   switch (§V-B).
+    pub fn create_vm(&mut self, name: impl Into<String>, hyp: usize) -> IbResult<VmId> {
+        let name = name.into();
+        let slot = self.hypervisors[hyp]
+            .free_slot()
+            .ok_or_else(|| IbError::Capacity(format!("hypervisor {hyp} has no free VF")))?;
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        self.sm.ledger.begin_phase(format!("create-{id}"));
+
+        let vguid = self.subnet.mint_vguid();
+        let pf = self.hypervisors[hyp].pf;
+
+        let lid = match self.config.arch {
+            VirtArch::SharedPort => {
+                self.hypervisor_smp_vguid(pf, Some(vguid))?;
+                self.hypervisors[hyp].pf_lid(&self.subnet)?
+            }
+            VirtArch::VSwitchPrepopulated => {
+                self.hypervisor_smp_vguid(pf, Some(vguid))?;
+                self.hypervisors[hyp]
+                    .vf_lid(&self.subnet, slot)
+                    .ok_or_else(|| {
+                        IbError::Virtualization(format!(
+                            "VF {slot} of hypervisor {hyp} has no prepopulated LID"
+                        ))
+                    })?
+            }
+            VirtArch::VSwitchDynamic => {
+                // Cable the dormant VF, hand it the next free LID, and let
+                // the fabric learn the LID by copying the PF's rows.
+                let vsw = self.hypervisors[hyp].vswitch.expect("vswitch mode");
+                let vf = self.hypervisors[hyp].vfs[slot].node.expect("vswitch mode");
+                self.subnet
+                    .connect(vsw, vswitch_vf_port(slot), vf, PortNum::new(1))?;
+                let lid = self.sm.lid_space.allocate()?;
+                self.subnet.assign_port_lid(vf, PortNum::new(1), lid)?;
+                self.hypervisor_smp_set_lid(pf, Some(lid))?;
+                self.hypervisor_smp_vguid(pf, Some(vguid))?;
+                let pf_lid = self.hypervisors[hyp].pf_lid(&self.subnet)?;
+                copy_on_fabric(
+                    &mut self.subnet,
+                    self.sm.sm_node,
+                    pf_lid,
+                    lid,
+                    &self.config.migration,
+                    None,
+                    &mut self.sm.ledger,
+                )?;
+                self.set_vswitch_routes(lid, Some((hyp, slot)));
+                lid
+            }
+        };
+
+        self.hypervisors[hyp].vfs[slot].attached = Some(id);
+        self.vms.insert(
+            id,
+            VmRecord {
+                id,
+                name,
+                hypervisor: hyp,
+                vf_slot: slot,
+                lid,
+                vguid,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Shuts a VM down and frees its VF.
+    ///
+    /// Dynamic mode releases the LID back to the allocator and un-cables
+    /// the VF; stale LFT rows are deliberately left behind (as OpenSM
+    /// would until the next sweep) and are overwritten on LID reuse.
+    pub fn destroy_vm(&mut self, id: VmId) -> IbResult<()> {
+        let vm = self
+            .vms
+            .remove(&id)
+            .ok_or_else(|| IbError::Virtualization(format!("{id} does not exist")))?;
+        self.sm.ledger.begin_phase(format!("destroy-{id}"));
+        let hyp = vm.hypervisor;
+        let pf = self.hypervisors[hyp].pf;
+        self.hypervisors[hyp].vfs[vm.vf_slot].attached = None;
+        self.hypervisor_smp_vguid(pf, None)?;
+
+        if self.config.arch == VirtArch::VSwitchDynamic {
+            let vf = self.hypervisors[hyp].vfs[vm.vf_slot].node.expect("vswitch mode");
+            self.hypervisor_smp_set_lid(pf, None)?;
+            self.subnet.clear_lid(vm.lid)?;
+            self.sm.lid_space.release(vm.lid)?;
+            self.subnet.disconnect(vf, PortNum::new(1))?;
+        }
+        Ok(())
+    }
+
+    /// Live-migrates a VM (Algorithm 1).
+    pub fn migrate_vm(&mut self, id: VmId, dest: usize) -> IbResult<MigrationReport> {
+        let vm = self
+            .vms
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| IbError::Virtualization(format!("{id} does not exist")))?;
+        let src = vm.hypervisor;
+        if src == dest {
+            return Err(IbError::Virtualization(format!(
+                "{id} is already on hypervisor {dest}"
+            )));
+        }
+        let dest_slot = self.hypervisors[dest]
+            .free_slot()
+            .ok_or_else(|| IbError::Capacity(format!("hypervisor {dest} has no free VF")))?;
+
+        let intra_leaf = self.hypervisors[src].leaf == self.hypervisors[dest].leaf;
+        let use_shortcut = self.config.migration.intra_leaf_shortcut && intra_leaf;
+        let restrict: Option<Vec<NodeId>> = use_shortcut.then(|| vec![self.hypervisors[src].leaf]);
+
+        self.sm.ledger.begin_phase(format!("migrate-{id}"));
+
+        // Step V-C(a): detach the VF, signal both hypervisors, move vGUID.
+        self.hypervisors[src].vfs[vm.vf_slot].attached = None;
+        let src_pf = self.hypervisors[src].pf;
+        let dest_pf = self.hypervisors[dest].pf;
+        self.hypervisor_smp_set_lid(src_pf, None)?;
+        self.hypervisor_smp_set_lid(dest_pf, Some(vm.lid))?;
+        self.hypervisor_smp_vguid(dest_pf, Some(vm.vguid))?;
+        let hypervisor_smps = 3;
+
+        // Step V-C(b): LFT updates.
+        let (lft, lid_after) = match self.config.arch {
+            VirtArch::VSwitchPrepopulated => {
+                let stats = self.migrate_prepopulated(&vm, dest, dest_slot, restrict.as_deref())?;
+                (stats, vm.lid)
+            }
+            VirtArch::VSwitchDynamic => {
+                let stats = self.migrate_dynamic(&vm, dest, dest_slot, restrict.as_deref())?;
+                (stats, vm.lid)
+            }
+            VirtArch::SharedPort => {
+                let stats = self.migrate_shared_port(&vm, src, dest)?;
+                (stats, vm.lid)
+            }
+        };
+
+        // Bookkeeping.
+        self.hypervisors[dest].vfs[dest_slot].attached = Some(id);
+        let rec = self.vms.get_mut(&id).expect("checked above");
+        rec.hypervisor = dest;
+        rec.vf_slot = dest_slot;
+        rec.lid = lid_after;
+
+        Ok(MigrationReport {
+            vm: id,
+            from_hypervisor: src,
+            to_hypervisor: dest,
+            lid_before: vm.lid,
+            lid_after,
+            hypervisor_smps,
+            lft,
+            intra_leaf,
+            used_leaf_shortcut: use_shortcut,
+        })
+    }
+
+    /// §V-C1: swap the VM's LID with the destination VF's prepopulated LID.
+    fn migrate_prepopulated(
+        &mut self,
+        vm: &VmRecord,
+        dest: usize,
+        dest_slot: usize,
+        restrict: Option<&[NodeId]>,
+    ) -> IbResult<LftUpdateStats> {
+        let src = vm.hypervisor;
+        let dest_vf_lid = self.hypervisors[dest]
+            .vf_lid(&self.subnet, dest_slot)
+            .ok_or_else(|| IbError::Virtualization("destination VF has no LID".into()))?;
+
+        let stats = swap_on_fabric(
+            &mut self.subnet,
+            self.sm.sm_node,
+            vm.lid,
+            dest_vf_lid,
+            &self.config.migration,
+            restrict,
+            &mut self.sm.ledger,
+        )?;
+
+        // Exchange the endpoint registrations: the VM's LID lands on the
+        // destination VF; the destination VF's old LID falls back to the
+        // source VF.
+        let src_vf = self.hypervisors[src].vfs[vm.vf_slot].node.expect("vswitch mode");
+        let dest_vf = self.hypervisors[dest].vfs[dest_slot].node.expect("vswitch mode");
+        self.subnet.clear_lid(vm.lid)?;
+        self.subnet.clear_lid(dest_vf_lid)?;
+        self.subnet.assign_port_lid(src_vf, PortNum::new(1), dest_vf_lid)?;
+        self.subnet.assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
+
+        // vSwitch-internal forwarding (HCA hardware, no SMPs counted): the
+        // two vSwitches re-home the swapped LIDs.
+        self.set_vswitch_routes(vm.lid, Some((dest, dest_slot)));
+        self.set_vswitch_routes(dest_vf_lid, Some((src, vm.vf_slot)));
+        Ok(stats)
+    }
+
+    /// §V-C2: the VM LID adopts the destination PF's path everywhere.
+    fn migrate_dynamic(
+        &mut self,
+        vm: &VmRecord,
+        dest: usize,
+        dest_slot: usize,
+        restrict: Option<&[NodeId]>,
+    ) -> IbResult<LftUpdateStats> {
+        let src = vm.hypervisor;
+        let pf_lid = self.hypervisors[dest].pf_lid(&self.subnet)?;
+        let stats = copy_on_fabric(
+            &mut self.subnet,
+            self.sm.sm_node,
+            pf_lid,
+            vm.lid,
+            &self.config.migration,
+            restrict,
+            &mut self.sm.ledger,
+        )?;
+
+        // Move the VF cable and the LID with the VM.
+        let src_vf = self.hypervisors[src].vfs[vm.vf_slot].node.expect("vswitch mode");
+        let dest_vf = self.hypervisors[dest].vfs[dest_slot].node.expect("vswitch mode");
+        let vsw = self.hypervisors[dest].vswitch.expect("vswitch mode");
+        self.subnet.clear_lid(vm.lid)?;
+        self.subnet.disconnect(src_vf, PortNum::new(1))?;
+        self.subnet
+            .connect(vsw, vswitch_vf_port(dest_slot), dest_vf, PortNum::new(1))?;
+        self.subnet.assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
+        self.set_vswitch_routes(vm.lid, Some((dest, dest_slot)));
+        Ok(stats)
+    }
+
+    /// The Shared Port emulation of §VII-B: the *hypervisor* LIDs of the
+    /// source and destination compute nodes are swapped so the VM's LID
+    /// value survives. Only legal when the source runs exactly this one VM
+    /// and the destination runs none — the emulation restriction the paper
+    /// had to impose because every VM on a node shares its LID.
+    fn migrate_shared_port(
+        &mut self,
+        _vm: &VmRecord,
+        src: usize,
+        dest: usize,
+    ) -> IbResult<LftUpdateStats> {
+        if self.hypervisors[src].active_vms() > 0 {
+            // (The migrating VM was already detached from its slot.)
+            return Err(IbError::Virtualization(
+                "shared-port migration: source hypervisor hosts other VMs that share its LID"
+                    .into(),
+            ));
+        }
+        if self.hypervisors[dest].active_vms() > 0 {
+            return Err(IbError::Virtualization(
+                "shared-port migration: destination hypervisor already hosts a VM".into(),
+            ));
+        }
+        let src_lid = self.hypervisors[src].pf_lid(&self.subnet)?;
+        let dest_lid = self.hypervisors[dest].pf_lid(&self.subnet)?;
+        let stats = swap_on_fabric(
+            &mut self.subnet,
+            self.sm.sm_node,
+            src_lid,
+            dest_lid,
+            &self.config.migration,
+            None,
+            &mut self.sm.ledger,
+        )?;
+        // Swap the endpoint registrations between the two PFs.
+        let src_pf = self.hypervisors[src].pf;
+        let dest_pf = self.hypervisors[dest].pf;
+        let src_port = first_lid_port(&self.subnet, src_pf);
+        let dest_port = first_lid_port(&self.subnet, dest_pf);
+        self.subnet.clear_lid(src_lid)?;
+        self.subnet.clear_lid(dest_lid)?;
+        self.subnet.assign_port_lid(src_pf, src_port, dest_lid)?;
+        self.subnet.assign_port_lid(dest_pf, dest_port, src_lid)?;
+        Ok(stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    /// Installs the vSwitch-internal route for `lid` on every hypervisor:
+    /// the owner's vSwitch delivers to the VF port, every other vSwitch
+    /// forwards out its uplink. Models vHCA hardware behaviour; sends no
+    /// SMPs (the paper's accounting covers physical switches only).
+    fn set_vswitch_routes(&mut self, lid: Lid, owner: Option<(usize, usize)>) {
+        for h in 0..self.hypervisors.len() {
+            let Some(vsw) = self.hypervisors[h].vswitch else {
+                continue;
+            };
+            let port = match owner {
+                Some((oh, slot)) if oh == h => vswitch_vf_port(slot),
+                _ => VSWITCH_UPLINK,
+            };
+            if let Some(lft) = self.subnet.lft_mut(vsw) {
+                lft.set(lid, port);
+            }
+        }
+    }
+
+    /// One `SubnSet(PortInfo)` SMP to a hypervisor (step V-C(a)).
+    fn hypervisor_smp_set_lid(&mut self, pf: NodeId, lid: Option<Lid>) -> IbResult<()> {
+        let routing = routing_for(
+            &self.subnet,
+            self.sm.sm_node,
+            pf,
+            // PortInfo SMPs to HCAs are directed unless the PF holds a LID
+            // we can address; keep it simple and faithful: directed, as
+            // OpenSM does for host configuration.
+            SmpMode::Directed,
+        )?;
+        let hops = hops_of(&self.subnet, self.sm.sm_node, pf, &routing)?;
+        let smp = Smp::set_port_lid(pf, routing, PortNum::new(1), lid);
+        self.sm.ledger.record(&smp, hops);
+        Ok(())
+    }
+
+    /// One `SubnSet(GUIDInfo)` SMP to a hypervisor (vGUID install/remove).
+    fn hypervisor_smp_vguid(&mut self, pf: NodeId, vguid: Option<ib_types::Guid>) -> IbResult<()> {
+        let routing = routing_for(&self.subnet, self.sm.sm_node, pf, SmpMode::Directed)?;
+        let hops = hops_of(&self.subnet, self.sm.sm_node, pf, &routing)?;
+        let smp = Smp::set_vguid(pf, routing, 0, vguid);
+        self.sm.ledger.record(&smp, hops);
+        Ok(())
+    }
+
+    /// Verifies that every VM LID and every PF LID is reachable from every
+    /// hypervisor PF by walking the installed LFTs hop by hop.
+    pub fn verify_connectivity(&self) -> IbResult<()> {
+        let mut lids: Vec<Lid> = self
+            .vms
+            .values()
+            .map(|vm| vm.lid)
+            .chain(
+                self.hypervisors
+                    .iter()
+                    .filter_map(|h| h.pf_lid(&self.subnet).ok()),
+            )
+            .collect();
+        lids.sort_unstable();
+        lids.dedup();
+        for h in &self.hypervisors {
+            for &lid in &lids {
+                let target = self.subnet.endpoint_of(lid).ok_or_else(|| {
+                    IbError::Management(format!("LID {lid} is unregistered"))
+                })?;
+                let path = self.subnet.trace_route(h.pf, lid, 64)?;
+                let arrived = *path.last().expect("non-empty path");
+                if arrived != target.node {
+                    return Err(IbError::Topology(format!(
+                        "LID {lid}: packet from hypervisor {} arrived at {} instead of {}",
+                        h.index,
+                        self.subnet.name_of(arrived),
+                        self.subnet.name_of(target.node),
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn first_lid_port(subnet: &Subnet, node: NodeId) -> PortNum {
+    subnet
+        .node(node)
+        .ports
+        .iter()
+        .enumerate()
+        .find(|(_, p)| p.lid.is_some())
+        .map_or(PortNum::new(1), |(i, _)| PortNum::new(i as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::fattree::two_level;
+
+    fn dc(arch: VirtArch) -> DataCenter {
+        let built = two_level(2, 3, 2);
+        DataCenter::from_topology(
+            built,
+            DataCenterConfig {
+                arch,
+                vfs_per_hypervisor: 3,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prepopulated_boot_numbers_every_vf() {
+        let dc = dc(VirtArch::VSwitchPrepopulated);
+        // 4 switches + 6 PFs + 6x3 VFs = 28 LIDs (vSwitches share PF LIDs).
+        assert_eq!(dc.subnet.num_lids(), 28);
+        for h in &dc.hypervisors {
+            for slot in 0..3 {
+                assert!(h.vf_lid(&dc.subnet, slot).is_some());
+            }
+        }
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn dynamic_boot_numbers_only_physical() {
+        let dc = dc(VirtArch::VSwitchDynamic);
+        // 4 switches + 6 PFs; dormant VFs are invisible.
+        assert_eq!(dc.subnet.num_lids(), 10);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn shared_port_boot_is_smallest() {
+        let dc = dc(VirtArch::SharedPort);
+        assert_eq!(dc.subnet.num_lids(), 10);
+        assert!(dc.hypervisors.iter().all(|h| h.vswitch.is_none()));
+    }
+
+    #[test]
+    fn prepopulated_create_vm_needs_no_lft_smps() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let before = dc.sm.ledger.lft_updates();
+        let vm = dc.create_vm("vm0", 1).unwrap();
+        assert_eq!(dc.sm.ledger.lft_updates(), before, "§V-A: creation is free");
+        let rec = dc.vm(vm).unwrap();
+        assert_eq!(rec.hypervisor, 1);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn dynamic_create_vm_costs_one_smp_per_switch() {
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let before = dc.sm.ledger.lft_updates();
+        let vm = dc.create_vm("vm0", 1).unwrap();
+        // §V-B: one SMP per physical switch to learn the new LID.
+        assert_eq!(
+            dc.sm.ledger.lft_updates() - before,
+            dc.subnet.num_physical_switches()
+        );
+        let rec = dc.vm(vm).unwrap();
+        // The VM LID rides the PF's path on every physical switch.
+        let pf_lid = dc.hypervisors[1].pf_lid(&dc.subnet).unwrap();
+        for sw in dc.subnet.physical_switches() {
+            let lft = sw.lft().unwrap();
+            assert_eq!(lft.get(rec.lid), lft.get(pf_lid));
+        }
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn dynamic_lids_spread_after_churn() {
+        // Fig. 4's spread layout: create/destroy churn makes VM LIDs
+        // non-sequential under dynamic assignment.
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let a = dc.create_vm("a", 0).unwrap();
+        let _b = dc.create_vm("b", 1).unwrap();
+        let a_lid = dc.vm(a).unwrap().lid;
+        dc.destroy_vm(a).unwrap();
+        let c = dc.create_vm("c", 2).unwrap();
+        // The freed LID is reused (lowest-first), proving churn reshuffles.
+        assert_eq!(dc.vm(c).unwrap().lid, a_lid);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        for i in 0..3 {
+            dc.create_vm(format!("vm{i}"), 0).unwrap();
+        }
+        assert!(matches!(
+            dc.create_vm("overflow", 0),
+            Err(IbError::Capacity(_))
+        ));
+    }
+
+    #[test]
+    fn prepopulated_migration_swaps_and_preserves_lid() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm0", 0).unwrap();
+        let lid_before = dc.vm(vm).unwrap().lid;
+        let report = dc.migrate_vm(vm, 4).unwrap();
+        assert_eq!(report.lid_before, lid_before);
+        assert_eq!(report.lid_after, lid_before, "the LID follows the VM");
+        assert_eq!(report.hypervisor_smps, 3);
+        assert!(report.lft.max_blocks_per_switch <= 2);
+        assert!(report.lft.switches_updated <= dc.subnet.num_physical_switches());
+        assert_eq!(dc.vm(vm).unwrap().hypervisor, 4);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn dynamic_migration_copies_and_preserves_lid() {
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let vm = dc.create_vm("vm0", 0).unwrap();
+        let lid = dc.vm(vm).unwrap().lid;
+        let report = dc.migrate_vm(vm, 4).unwrap();
+        assert_eq!(report.lid_after, lid);
+        assert_eq!(report.lft.max_blocks_per_switch.max(1), 1, "copy is 1 SMP max");
+        // The VM LID now rides hypervisor 4's PF path.
+        let pf_lid = dc.hypervisors[4].pf_lid(&dc.subnet).unwrap();
+        for sw in dc.subnet.physical_switches() {
+            let lft = sw.lft().unwrap();
+            assert_eq!(lft.get(lid), lft.get(pf_lid));
+        }
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn shared_port_migration_restricted() {
+        let mut dc = dc(VirtArch::SharedPort);
+        let vm0 = dc.create_vm("vm0", 0).unwrap();
+        let _vm1 = dc.create_vm("vm1", 1).unwrap();
+        // Destination hosts a VM: refused.
+        assert!(dc.migrate_vm(vm0, 1).is_err());
+        // Destination empty: allowed, LID value preserved via the node-LID
+        // swap of the §VII-B emulation.
+        let lid = dc.vm(vm0).unwrap().lid;
+        let report = dc.migrate_vm(vm0, 2).unwrap();
+        assert_eq!(report.lid_after, lid);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn migration_to_full_hypervisor_refused() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm0", 0).unwrap();
+        for i in 0..3 {
+            dc.create_vm(format!("f{i}"), 1).unwrap();
+        }
+        assert!(matches!(dc.migrate_vm(vm, 1), Err(IbError::Capacity(_))));
+        assert!(dc.migrate_vm(vm, 0).is_err(), "self-migration refused");
+    }
+
+    #[test]
+    fn destroy_dynamic_releases_lid() {
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let vm = dc.create_vm("vm0", 0).unwrap();
+        let lid = dc.vm(vm).unwrap().lid;
+        dc.destroy_vm(vm).unwrap();
+        assert_eq!(dc.subnet.endpoint_of(lid), None);
+        assert_eq!(dc.num_vms(), 0);
+        // Recreating gets the LID back.
+        let vm2 = dc.create_vm("vm1", 3).unwrap();
+        assert_eq!(dc.vm(vm2).unwrap().lid, lid);
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn intra_leaf_shortcut_updates_one_switch() {
+        let built = two_level(2, 3, 2);
+        let mut dc = DataCenter::from_topology(
+            built,
+            DataCenterConfig {
+                arch: VirtArch::VSwitchPrepopulated,
+                vfs_per_hypervisor: 2,
+                migration: MigrationOptions {
+                    intra_leaf_shortcut: true,
+                    ..MigrationOptions::default()
+                },
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap();
+        // Hypervisors 0..3 share leaf 0 (3 hosts per leaf).
+        let vm = dc.create_vm("vm0", 0).unwrap();
+        let report = dc.migrate_vm(vm, 1).unwrap();
+        assert!(report.intra_leaf);
+        assert!(report.used_leaf_shortcut);
+        assert!(report.lft.switches_updated <= 1, "§VI-D: only the leaf");
+        dc.verify_connectivity().unwrap();
+    }
+}

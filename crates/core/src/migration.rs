@@ -1,0 +1,471 @@
+//! The topology-agnostic dynamic reconfiguration method (§V-C, Algorithm 1).
+//!
+//! Both variants share the same structure:
+//!
+//! * **(a)** one SMP to each participating hypervisor to set/unset the LID
+//!   on the VF (plus one to install the vGUID at the destination), and
+//! * **(b)** at most one or two `SubnSet(LinearForwardingTable)` SMPs per
+//!   physical switch that actually needs its LFT changed:
+//!   * *LID swapping* (prepopulated LIDs, §V-C1): exchange the rows of the
+//!     VM's LID and the destination VF's LID — one SMP if the two LIDs
+//!     share a 64-entry block, two otherwise (`m' ∈ {1, 2}`);
+//!   * *LID copying* (dynamic assignment, §V-C2): overwrite the VM LID's
+//!     row with the destination PF's row — always one SMP (`m' = 1`).
+//!
+//! No path is ever recomputed: `PCt` is eliminated outright, which is the
+//! entire point of the paper.
+
+use ib_mad::{Smp, SmpLedger};
+use ib_sm::distribution::{hops_of, routing_for};
+use ib_sm::SmpMode;
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbError, IbResult, Lid, PortNum};
+use serde::{Deserialize, Serialize};
+
+use crate::vm::VmId;
+
+/// Tunables of one reconfiguration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationOptions {
+    /// How the LFT-update SMPs are addressed. §VI-B: switch LIDs are
+    /// untouched by a VM migration, so destination routing is safe and
+    /// removes the per-SMP directed-route overhead `r` (equation 5).
+    pub smp_mode: SmpMode,
+    /// §VI-C's partially-static variant: first forward the migrating LID
+    /// to port 255 (drop) on every switch about to be updated — one extra
+    /// SMP per such switch — so in-flight traffic towards the mover is
+    /// discarded instead of risking a transition deadlock.
+    pub invalidate_first: bool,
+    /// §VI-D: when source and destination hypervisors share a leaf switch,
+    /// update only that leaf (a leaf is non-blocking, so the rest of the
+    /// fabric keeps routing both LIDs toward it correctly).
+    pub intra_leaf_shortcut: bool,
+}
+
+impl Default for MigrationOptions {
+    fn default() -> Self {
+        Self {
+            smp_mode: SmpMode::Destination,
+            invalidate_first: false,
+            intra_leaf_shortcut: false,
+        }
+    }
+}
+
+/// SMP accounting of one LFT-update pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LftUpdateStats {
+    /// `SubnSet(LinearForwardingTable)` SMPs for the update itself.
+    pub lft_smps: usize,
+    /// Extra SMPs spent on port-255 invalidation, if enabled.
+    pub invalidation_smps: usize,
+    /// Switches that actually changed — the paper's `n'`.
+    pub switches_updated: usize,
+    /// Largest per-switch block count — the paper's `m'` (1 or 2).
+    pub max_blocks_per_switch: usize,
+}
+
+/// Everything one migration did.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// The migrated VM.
+    pub vm: VmId,
+    /// Source hypervisor index.
+    pub from_hypervisor: usize,
+    /// Destination hypervisor index.
+    pub to_hypervisor: usize,
+    /// VM LID before migration.
+    pub lid_before: Lid,
+    /// VM LID after migration (identical under both vSwitch architectures;
+    /// different only under the Shared Port baseline).
+    pub lid_after: Lid,
+    /// Step (a) SMPs: set/unset LID on the participating hypervisors plus
+    /// the vGUID install.
+    pub hypervisor_smps: usize,
+    /// Step (b) accounting.
+    pub lft: LftUpdateStats,
+    /// Whether source and destination share a leaf switch.
+    pub intra_leaf: bool,
+    /// Whether the intra-leaf shortcut actually restricted the update.
+    pub used_leaf_shortcut: bool,
+}
+
+impl MigrationReport {
+    /// Total SMPs of the whole migration.
+    #[must_use]
+    pub fn total_smps(&self) -> usize {
+        self.hypervisor_smps + self.lft.lft_smps + self.lft.invalidation_smps
+    }
+}
+
+/// The switches Algorithm 1 iterates for one update pass: every physical
+/// switch, or an explicit restriction (the §VI-D leaf-only case).
+fn targets(subnet: &Subnet, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
+    match restrict {
+        Some(r) => r.to_vec(),
+        None => {
+            let mut v: Vec<NodeId> = subnet.physical_switches().map(|n| n.id).collect();
+            v.sort_unstable_by_key(|n| n.index());
+            v
+        }
+    }
+}
+
+/// §V-C1 step (b): swap the LFT rows of `a` and `b` on every switch whose
+/// rows differ. Exactly the paper's cost: `m' = 1` SMP per switch when the
+/// LIDs share an LFT block, `m' = 2` otherwise, and `n'` = the number of
+/// switches whose two rows are not already equal.
+pub fn swap_on_fabric(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    a: Lid,
+    b: Lid,
+    opts: &MigrationOptions,
+    restrict: Option<&[NodeId]>,
+    ledger: &mut SmpLedger,
+) -> IbResult<LftUpdateStats> {
+    if a == b {
+        return Err(IbError::Virtualization("cannot swap a LID with itself".into()));
+    }
+    let mut stats = LftUpdateStats::default();
+    let blocks_for_swap: Vec<usize> = if a.same_block(b) {
+        vec![a.lft_block()]
+    } else {
+        vec![a.lft_block(), b.lft_block()]
+    };
+
+    for sw in targets(subnet, restrict) {
+        let lft = subnet
+            .lft(sw)
+            .ok_or_else(|| IbError::Management(format!("{} has no LFT", subnet.name_of(sw))))?;
+        let (pa, pb) = (lft.get(a), lft.get(b));
+        if pa == pb {
+            // §VI-B: the initial routing already forwards both LIDs the
+            // same way from here — nothing to update on this switch.
+            continue;
+        }
+        let routing = routing_for(subnet, sm_node, sw, opts.smp_mode)?;
+        let hops = hops_of(subnet, sm_node, sw, &routing)?;
+        if opts.invalidate_first {
+            record_block_smp(subnet, sw, a.lft_block(), &routing, hops, ledger);
+            subnet.lft_mut(sw).expect("switch").set(a, PortNum::DROP);
+            stats.invalidation_smps += 1;
+        }
+        {
+            let lft = subnet.lft_mut(sw).expect("switch");
+            match pb {
+                Some(p) => lft.set(a, p),
+                None => lft.clear(a),
+            }
+            match pa {
+                Some(p) => lft.set(b, p),
+                None => lft.clear(b),
+            }
+        }
+        for &block in &blocks_for_swap {
+            record_block_smp(subnet, sw, block, &routing, hops, ledger);
+        }
+        stats.lft_smps += blocks_for_swap.len();
+        stats.switches_updated += 1;
+        stats.max_blocks_per_switch = stats.max_blocks_per_switch.max(blocks_for_swap.len());
+    }
+    Ok(stats)
+}
+
+/// §V-C2 step (b): make `vm_lid`'s row a copy of `pf_lid`'s row on every
+/// switch where they differ. One SMP per updated switch, always.
+pub fn copy_on_fabric(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    pf_lid: Lid,
+    vm_lid: Lid,
+    opts: &MigrationOptions,
+    restrict: Option<&[NodeId]>,
+    ledger: &mut SmpLedger,
+) -> IbResult<LftUpdateStats> {
+    if pf_lid == vm_lid {
+        return Err(IbError::Virtualization(
+            "VM LID cannot equal the PF LID it copies".into(),
+        ));
+    }
+    let mut stats = LftUpdateStats::default();
+
+    for sw in targets(subnet, restrict) {
+        let lft = subnet
+            .lft(sw)
+            .ok_or_else(|| IbError::Management(format!("{} has no LFT", subnet.name_of(sw))))?;
+        let target = lft.get(pf_lid).ok_or_else(|| {
+            IbError::Management(format!(
+                "{} has no row for PF LID {pf_lid}",
+                subnet.name_of(sw)
+            ))
+        })?;
+        if lft.get(vm_lid) == Some(target) {
+            continue;
+        }
+        let routing = routing_for(subnet, sm_node, sw, opts.smp_mode)?;
+        let hops = hops_of(subnet, sm_node, sw, &routing)?;
+        if opts.invalidate_first {
+            record_block_smp(subnet, sw, vm_lid.lft_block(), &routing, hops, ledger);
+            subnet.lft_mut(sw).expect("switch").set(vm_lid, PortNum::DROP);
+            stats.invalidation_smps += 1;
+        }
+        subnet.lft_mut(sw).expect("switch").set(vm_lid, target);
+        record_block_smp(subnet, sw, vm_lid.lft_block(), &routing, hops, ledger);
+        stats.lft_smps += 1;
+        stats.switches_updated += 1;
+        stats.max_blocks_per_switch = 1;
+    }
+    Ok(stats)
+}
+
+fn record_block_smp(
+    subnet: &Subnet,
+    sw: NodeId,
+    block: usize,
+    routing: &ib_mad::SmpRouting,
+    hops: usize,
+    ledger: &mut SmpLedger,
+) {
+    let empty = vec![None; ib_types::LFT_BLOCK_SIZE];
+    let payload = subnet
+        .lft(sw)
+        .and_then(|l| l.block(block))
+        .map_or(empty.clone(), <[_]>::to_vec);
+    let smp = Smp::set_lft_block(sw, routing.clone(), block, &payload);
+    ledger.record(&smp, hops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_routing::testutil::assign_lids;
+    use ib_routing::EngineKind;
+    use ib_sm::{SmConfig, SubnetManager};
+    use ib_subnet::topology::fattree::two_level;
+
+    /// Bring up a 2-level fat tree with the default SM.
+    fn fabric() -> (ib_subnet::topology::BuiltTopology, SubnetManager) {
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+        (t, sm)
+    }
+
+    fn host_lid(t: &ib_subnet::topology::BuiltTopology, i: usize) -> Lid {
+        t.subnet.node(t.hosts[i]).ports[1].lid.unwrap()
+    }
+
+    #[test]
+    fn swap_costs_one_smp_per_switch_same_block() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1); // on leaf 0
+        let b = host_lid(&t, 4); // on leaf 1
+        let opts = MigrationOptions::default();
+        let stats =
+            swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        // All LIDs < 64: every updated switch takes exactly one SMP.
+        assert_eq!(stats.max_blocks_per_switch, 1);
+        assert!(stats.switches_updated >= 1);
+        assert_eq!(stats.lft_smps, stats.switches_updated);
+        assert_eq!(stats.invalidation_smps, 0);
+    }
+
+    #[test]
+    fn swap_across_blocks_costs_two() {
+        let (mut t, mut sm) = fabric();
+        // Re-home host 5 onto LID 70 (block 1) to force the 2-SMP case.
+        let h5 = t.hosts[5];
+        let old = host_lid(&t, 5);
+        t.subnet.clear_lid(old).unwrap();
+        t.subnet
+            .assign_port_lid(h5, PortNum::new(1), Lid::from_raw(70))
+            .unwrap();
+        sm.full_reconfiguration(&mut t.subnet).unwrap();
+
+        let a = host_lid(&t, 1);
+        let stats = swap_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            a,
+            Lid::from_raw(70),
+            &MigrationOptions::default(),
+            None,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert_eq!(stats.max_blocks_per_switch, 2);
+        assert_eq!(stats.lft_smps, stats.switches_updated * 2);
+    }
+
+    #[test]
+    fn swap_skips_switches_already_aligned() {
+        let (mut t, mut sm) = fabric();
+        // Hosts 1 and 2 share leaf 0: from leaf 1's perspective both are
+        // reached over (possibly) the same uplink; from leaf 0 they differ.
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 2);
+        let total_switches = t.subnet.num_physical_switches();
+        let stats = swap_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            a,
+            b,
+            &MigrationOptions::default(),
+            None,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert!(
+            stats.switches_updated < total_switches,
+            "n' must be < n when some switches already route both LIDs alike"
+        );
+        // Their shared leaf must be among the updated (different ports).
+        assert!(stats.switches_updated >= 1);
+    }
+
+    #[test]
+    fn swap_is_involution_on_the_fabric() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        let snapshot: Vec<_> = t
+            .subnet
+            .physical_switches()
+            .map(|n| (n.id, n.lft().unwrap().clone()))
+            .collect();
+        let opts = MigrationOptions::default();
+        swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        for (id, before) in snapshot {
+            assert_eq!(t.subnet.lft(id).unwrap(), &before);
+        }
+    }
+
+    #[test]
+    fn copy_costs_at_most_one_smp_per_switch() {
+        let (mut t, mut sm) = fabric();
+        // Add a fresh VM LID and copy host 4's path onto it.
+        let pf = host_lid(&t, 4);
+        let vm_lid = Lid::from_raw(40);
+        // Register the LID on a scratch endpoint so tracing works: reuse
+        // host 5's port (multi-LID endpoints are what vSwitches do).
+        let stats = copy_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            pf,
+            vm_lid,
+            &MigrationOptions::default(),
+            None,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert_eq!(stats.max_blocks_per_switch, 1);
+        assert_eq!(stats.lft_smps, stats.switches_updated);
+        // Every physical switch now forwards the VM LID like the PF LID.
+        for sw in t.subnet.physical_switches() {
+            let lft = sw.lft().unwrap();
+            assert_eq!(lft.get(vm_lid), lft.get(pf));
+        }
+    }
+
+    #[test]
+    fn copy_is_idempotent() {
+        let (mut t, mut sm) = fabric();
+        let pf = host_lid(&t, 4);
+        let vm_lid = Lid::from_raw(40);
+        let opts = MigrationOptions::default();
+        copy_on_fabric(&mut t.subnet, sm.sm_node, pf, vm_lid, &opts, None, &mut sm.ledger)
+            .unwrap();
+        let again =
+            copy_on_fabric(&mut t.subnet, sm.sm_node, pf, vm_lid, &opts, None, &mut sm.ledger)
+                .unwrap();
+        assert_eq!(again.lft_smps, 0);
+        assert_eq!(again.switches_updated, 0);
+    }
+
+    #[test]
+    fn invalidate_first_adds_n_prime_smps() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        let opts = MigrationOptions {
+            invalidate_first: true,
+            ..MigrationOptions::default()
+        };
+        let stats =
+            swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        assert_eq!(stats.invalidation_smps, stats.switches_updated);
+    }
+
+    #[test]
+    fn restriction_limits_the_update() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 2); // same leaf
+        let leaf0 = t.switch_levels[0][0];
+        let stats = swap_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            a,
+            b,
+            &MigrationOptions::default(),
+            Some(&[leaf0]),
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert!(stats.switches_updated <= 1);
+        // The LFT swap moves the LIDs between the two hosts; move the
+        // endpoint registrations accordingly (the caller's step (a)).
+        t.subnet.clear_lid(a).unwrap();
+        t.subnet.clear_lid(b).unwrap();
+        t.subnet.assign_port_lid(t.hosts[2], PortNum::new(1), a).unwrap();
+        t.subnet.assign_port_lid(t.hosts[1], PortNum::new(1), b).unwrap();
+        // Traffic to both LIDs still delivers from everywhere.
+        for &h in &t.hosts {
+            for lid in [a, b] {
+                let path = t.subnet.trace_route(h, lid, 16).unwrap();
+                let end = *path.last().unwrap();
+                let ep = t.subnet.endpoint_of(lid).unwrap();
+                assert_eq!(end, ep.node);
+            }
+        }
+    }
+
+    #[test]
+    fn self_swap_and_self_copy_rejected() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let opts = MigrationOptions::default();
+        assert!(
+            swap_on_fabric(&mut t.subnet, sm.sm_node, a, a, &opts, None, &mut sm.ledger).is_err()
+        );
+        assert!(
+            copy_on_fabric(&mut t.subnet, sm.sm_node, a, a, &opts, None, &mut sm.ledger).is_err()
+        );
+    }
+
+    #[test]
+    fn destination_mode_smps_avoid_directed_overhead() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        sm.ledger.reset();
+        let opts = MigrationOptions {
+            smp_mode: SmpMode::Destination,
+            ..MigrationOptions::default()
+        };
+        swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        assert!(sm.ledger.records().iter().all(|r| !r.directed));
+
+        let opts = MigrationOptions {
+            smp_mode: SmpMode::Directed,
+            ..MigrationOptions::default()
+        };
+        sm.ledger.reset();
+        swap_on_fabric(&mut t.subnet, sm.sm_node, b, a, &opts, None, &mut sm.ledger).unwrap();
+        assert!(sm.ledger.records().iter().all(|r| r.directed));
+        let _ = EngineKind::MinHop;
+        let _ = assign_lids;
+    }
+}

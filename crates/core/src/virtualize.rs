@@ -1,0 +1,276 @@
+//! Turning plain hosts into SR-IOV hypervisors.
+//!
+//! A physical host HCA cabled to a leaf switch becomes, under the vSwitch
+//! architecture (Fig. 2 of the paper), a little subtree: the leaf port now
+//! leads to a **vSwitch**, behind which sit the **PF** (used by the
+//! hypervisor itself) and `n` **VFs** (each a complete vHCA handed to a
+//! VM). Under Shared Port the host keeps its single HCA and VFs are mere
+//! GUID slots sharing the PF's LID and port.
+
+use serde::{Deserialize, Serialize};
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbError, IbResult, Lid, PortNum};
+
+use crate::vm::VmId;
+
+/// Which SR-IOV addressing architecture a data center runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VirtArch {
+    /// §IV-A: one LID per hypervisor, shared by the PF and every VF.
+    SharedPort,
+    /// §V-A: a vSwitch per HCA; every VF LID prepopulated at boot.
+    VSwitchPrepopulated,
+    /// §V-B: a vSwitch per HCA; LIDs assigned as VMs are created.
+    VSwitchDynamic,
+}
+
+impl VirtArch {
+    /// Whether this architecture exposes a vSwitch (both vSwitch variants).
+    #[must_use]
+    pub fn has_vswitch(self) -> bool {
+        !matches!(self, Self::SharedPort)
+    }
+}
+
+impl std::fmt::Display for VirtArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::SharedPort => "shared-port",
+            Self::VSwitchPrepopulated => "vswitch-prepopulated",
+            Self::VSwitchDynamic => "vswitch-dynamic",
+        })
+    }
+}
+
+/// One SR-IOV virtual function slot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VfSlot {
+    /// The vHCA node representing this VF in the subnet (present in both
+    /// vSwitch modes; under Shared Port the slot is only a GUID slot and
+    /// has no node).
+    pub node: Option<NodeId>,
+    /// The VM currently attached, if any.
+    pub attached: Option<VmId>,
+}
+
+impl VfSlot {
+    /// Whether the slot can accept a VM.
+    #[must_use]
+    pub fn is_free(&self) -> bool {
+        self.attached.is_none()
+    }
+}
+
+/// A hypervisor: the PF the host owns plus its VF slots (and, in vSwitch
+/// modes, the vSwitch node between them and the fabric).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypervisor {
+    /// Index of this hypervisor within the data center.
+    pub index: usize,
+    /// The vSwitch node (vSwitch modes only).
+    pub vswitch: Option<NodeId>,
+    /// The PF node (the original host HCA).
+    pub pf: NodeId,
+    /// VF slots.
+    pub vfs: Vec<VfSlot>,
+    /// The leaf switch this hypervisor hangs off.
+    pub leaf: NodeId,
+    /// The leaf port that carries the hypervisor's uplink.
+    pub leaf_port: PortNum,
+}
+
+impl Hypervisor {
+    /// Index of the first free VF slot.
+    #[must_use]
+    pub fn free_slot(&self) -> Option<usize> {
+        self.vfs.iter().position(VfSlot::is_free)
+    }
+
+    /// Number of attached VMs.
+    #[must_use]
+    pub fn active_vms(&self) -> usize {
+        self.vfs.iter().filter(|v| v.attached.is_some()).count()
+    }
+
+    /// The PF's LID (reads the subnet).
+    pub fn pf_lid(&self, subnet: &Subnet) -> IbResult<Lid> {
+        subnet
+            .node(self.pf)
+            .lids()
+            .next()
+            .ok_or_else(|| IbError::Management(format!("PF of hypervisor {} has no LID", self.index)))
+    }
+
+    /// The LID currently on a VF slot, if any.
+    #[must_use]
+    pub fn vf_lid(&self, subnet: &Subnet, slot: usize) -> Option<Lid> {
+        let node = self.vfs.get(slot)?.node?;
+        subnet.node(node).lids().next()
+    }
+}
+
+/// Port layout on a vSwitch: port 1 is the uplink to the leaf, port 2 the
+/// PF, ports 3.. the VFs.
+pub const VSWITCH_UPLINK: PortNum = PortNum::new(1);
+/// The vSwitch port carrying the PF.
+pub const VSWITCH_PF_PORT: PortNum = PortNum::new(2);
+
+/// The vSwitch port carrying VF slot `slot`.
+#[must_use]
+pub fn vswitch_vf_port(slot: usize) -> PortNum {
+    PortNum::new(3 + slot as u8)
+}
+
+/// Converts host HCA `host` (cabled to a leaf) into a hypervisor.
+///
+/// In vSwitch modes this splices a vSwitch between the leaf and the host
+/// and adds `num_vfs` vHCA nodes; whether the vHCAs are cabled at once
+/// (prepopulated: the SM will then see and number them) or left uncabled
+/// until a VM attaches (dynamic) follows the architecture. Under Shared
+/// Port the topology is untouched and the VFs are bookkeeping slots.
+pub fn virtualize_host(
+    subnet: &mut Subnet,
+    arch: VirtArch,
+    index: usize,
+    host: NodeId,
+    num_vfs: usize,
+) -> IbResult<Hypervisor> {
+    if !subnet.node(host).is_hca() {
+        return Err(IbError::Virtualization(format!(
+            "{} is not an HCA",
+            subnet.name_of(host)
+        )));
+    }
+    let (host_port, leaf_ep) = subnet
+        .node(host)
+        .connected_ports()
+        .next()
+        .ok_or_else(|| IbError::Virtualization(format!("{} is uncabled", subnet.name_of(host))))?;
+
+    match arch {
+        VirtArch::SharedPort => Ok(Hypervisor {
+            index,
+            vswitch: None,
+            pf: host,
+            vfs: vec![
+                VfSlot {
+                    node: None,
+                    attached: None,
+                };
+                num_vfs
+            ],
+            leaf: leaf_ep.node,
+            leaf_port: leaf_ep.port,
+        }),
+        VirtArch::VSwitchPrepopulated | VirtArch::VSwitchDynamic => {
+            // Splice the vSwitch in: leaf <-> vswitch(1), vswitch(2) <-> PF.
+            subnet.disconnect(host, host_port)?;
+            let vsw = subnet.add_vswitch(
+                format!("hyp{index}-vsw"),
+                2 + num_vfs as u8,
+            );
+            subnet.connect(leaf_ep.node, leaf_ep.port, vsw, VSWITCH_UPLINK)?;
+            subnet.connect(vsw, VSWITCH_PF_PORT, host, host_port)?;
+
+            let mut vfs = Vec::with_capacity(num_vfs);
+            for slot in 0..num_vfs {
+                let vf = subnet.add_vhca(format!("hyp{index}-vf{slot}"));
+                if arch == VirtArch::VSwitchPrepopulated {
+                    // Cabled from boot: the SM discovers it and prepopulates
+                    // a LID for it.
+                    subnet.connect(vsw, vswitch_vf_port(slot), vf, PortNum::new(1))?;
+                }
+                vfs.push(VfSlot {
+                    node: Some(vf),
+                    attached: None,
+                });
+            }
+            Ok(Hypervisor {
+                index,
+                vswitch: Some(vsw),
+                pf: host,
+                vfs,
+                leaf: leaf_ep.node,
+                leaf_port: leaf_ep.port,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::basic::single_switch;
+
+    #[test]
+    fn shared_port_leaves_topology_alone() {
+        let mut t = single_switch(2);
+        let before = t.subnet.num_nodes();
+        let hyp = virtualize_host(&mut t.subnet, VirtArch::SharedPort, 0, t.hosts[0], 4).unwrap();
+        assert_eq!(t.subnet.num_nodes(), before);
+        assert!(hyp.vswitch.is_none());
+        assert_eq!(hyp.vfs.len(), 4);
+        assert!(hyp.vfs.iter().all(|v| v.node.is_none()));
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn prepopulated_splices_vswitch_and_cables_vfs() {
+        let mut t = single_switch(2);
+        let hyp =
+            virtualize_host(&mut t.subnet, VirtArch::VSwitchPrepopulated, 0, t.hosts[0], 3)
+                .unwrap();
+        let vsw = hyp.vswitch.unwrap();
+        // Leaf -> vSwitch on the original leaf port.
+        assert_eq!(
+            t.subnet.neighbor(hyp.leaf, hyp.leaf_port).unwrap().node,
+            vsw
+        );
+        // vSwitch port 2 -> PF, ports 3..6 -> VFs.
+        assert_eq!(t.subnet.neighbor(vsw, VSWITCH_PF_PORT).unwrap().node, hyp.pf);
+        for (slot, vf) in hyp.vfs.iter().enumerate() {
+            assert_eq!(
+                t.subnet.neighbor(vsw, vswitch_vf_port(slot)).unwrap().node,
+                vf.node.unwrap()
+            );
+        }
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn dynamic_leaves_vfs_uncabled() {
+        let mut t = single_switch(2);
+        let hyp =
+            virtualize_host(&mut t.subnet, VirtArch::VSwitchDynamic, 0, t.hosts[0], 3).unwrap();
+        for vf in &hyp.vfs {
+            let node = vf.node.unwrap();
+            assert!(t.subnet.node(node).connected_ports().next().is_none());
+        }
+        // The subnet minus the floating VFs is still connected; a full
+        // validate(true) would flag them, which is exactly the point.
+        assert!(t.subnet.validate(true).is_err());
+        assert!(t.subnet.validate(false).is_ok());
+    }
+
+    #[test]
+    fn uncabled_host_rejected() {
+        let mut s = Subnet::new();
+        let h = s.add_hca("floating");
+        assert!(virtualize_host(&mut s, VirtArch::SharedPort, 0, h, 2).is_err());
+    }
+
+    #[test]
+    fn free_slot_tracking() {
+        let mut t = single_switch(1);
+        let mut hyp =
+            virtualize_host(&mut t.subnet, VirtArch::VSwitchPrepopulated, 0, t.hosts[0], 2)
+                .unwrap();
+        assert_eq!(hyp.free_slot(), Some(0));
+        hyp.vfs[0].attached = Some(VmId(9));
+        assert_eq!(hyp.free_slot(), Some(1));
+        hyp.vfs[1].attached = Some(VmId(10));
+        assert_eq!(hyp.free_slot(), None);
+        assert_eq!(hyp.active_vms(), 2);
+    }
+}

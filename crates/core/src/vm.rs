@@ -1,0 +1,73 @@
+//! Virtual machines as the virtualization layer sees them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ib_types::{Gid, Guid, Lid};
+
+/// Opaque VM handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u64);
+
+impl fmt::Debug for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VM{}", self.0)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}", self.0)
+    }
+}
+
+/// A running VM and the IB addresses bound to it.
+///
+/// Under the vSwitch architectures all three addresses (§II-B) belong to
+/// the *VM* and follow it across migrations; under Shared Port the LID
+/// belongs to the hypervisor and changes when the VM moves — the exact
+/// deficiency the paper sets out to fix.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmRecord {
+    /// Handle.
+    pub id: VmId,
+    /// Human-readable name.
+    pub name: String,
+    /// Index of the hosting hypervisor.
+    pub hypervisor: usize,
+    /// VF slot index on that hypervisor.
+    pub vf_slot: usize,
+    /// The VM's LID. Under Shared Port this aliases the hypervisor PF LID.
+    pub lid: Lid,
+    /// The VM's virtual GUID (migrates with the VM).
+    pub vguid: Guid,
+}
+
+impl VmRecord {
+    /// The VM's GID under the default subnet prefix (derived from the
+    /// vGUID, so it follows the VM automatically).
+    #[must_use]
+    pub fn gid(&self) -> Gid {
+        Gid::link_local(self.vguid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_follows_vguid() {
+        let vm = VmRecord {
+            id: VmId(1),
+            name: "vm".into(),
+            hypervisor: 0,
+            vf_slot: 0,
+            lid: Lid::from_raw(5),
+            vguid: Guid::from_raw(0xabc),
+        };
+        assert_eq!(vm.gid().guid(), vm.vguid);
+        assert_eq!(VmId(3).to_string(), "vm-3");
+    }
+}

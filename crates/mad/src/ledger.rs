@@ -1,0 +1,234 @@
+//! The SMP ledger: ground-truth accounting of management traffic.
+
+use serde::{Deserialize, Serialize};
+
+use ib_subnet::NodeId;
+use rustc_hash::FxHashMap;
+
+use crate::cost::CostModel;
+use crate::smp::{AttributeKind, Smp, SmpMethod};
+
+/// One recorded SMP.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmpRecord {
+    /// Destination node.
+    pub target: NodeId,
+    /// Get or Set.
+    pub method: SmpMethod,
+    /// Attribute discriminant.
+    pub attribute: AttributeKind,
+    /// Whether the packet was directed-routed.
+    pub directed: bool,
+    /// Link traversals to reach the target (0 for the local node).
+    pub hops: usize,
+}
+
+/// Records every SMP sent during an operation, with phase markers so one
+/// ledger can account an entire bring-up (discovery, LID assignment, LFT
+/// distribution) or a single live migration.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SmpLedger {
+    records: Vec<SmpRecord>,
+    /// (phase name, index of first record in that phase).
+    phases: Vec<(String, usize)>,
+}
+
+impl SmpLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of a named phase; subsequent records belong to it.
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        self.phases.push((name.into(), self.records.len()));
+    }
+
+    /// Records one SMP. `hops` is the measured link-traversal count.
+    pub fn record(&mut self, smp: &Smp, hops: usize) {
+        self.records.push(SmpRecord {
+            target: smp.target,
+            method: smp.method,
+            attribute: smp.attribute.kind(),
+            directed: smp.routing.is_directed(),
+            hops,
+        });
+    }
+
+    /// Total SMPs recorded.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    /// SMPs with a given attribute kind.
+    #[must_use]
+    pub fn count_attribute(&self, kind: AttributeKind) -> usize {
+        self.records.iter().filter(|r| r.attribute == kind).count()
+    }
+
+    /// `SubnSet(LinearForwardingTable)` SMPs — the quantity Table I reports.
+    #[must_use]
+    pub fn lft_updates(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.attribute == AttributeKind::LftBlock && r.method == SmpMethod::Set)
+            .count()
+    }
+
+    /// LFT-update SMPs per target switch.
+    #[must_use]
+    pub fn lft_updates_per_switch(&self) -> FxHashMap<NodeId, usize> {
+        let mut map = FxHashMap::default();
+        for r in &self.records {
+            if r.attribute == AttributeKind::LftBlock && r.method == SmpMethod::Set {
+                *map.entry(r.target).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// Number of distinct switches that received LFT updates — the paper's
+    /// `n'` (§VI-B: "there are certain cases that 0 < n' < n switches will
+    /// need to be updated").
+    #[must_use]
+    pub fn switches_updated(&self) -> usize {
+        self.lft_updates_per_switch().len()
+    }
+
+    /// Records in a named phase (last phase with that name).
+    #[must_use]
+    pub fn phase_records(&self, name: &str) -> &[SmpRecord] {
+        let Some(pos) = self.phases.iter().rposition(|(n, _)| n == name) else {
+            return &[];
+        };
+        let start = self.phases[pos].1;
+        let end = self
+            .phases
+            .get(pos + 1)
+            .map_or(self.records.len(), |(_, s)| *s);
+        &self.records[start..end]
+    }
+
+    /// SMPs in a named phase.
+    #[must_use]
+    pub fn phase_total(&self, name: &str) -> usize {
+        self.phase_records(name).len()
+    }
+
+    /// All records.
+    #[must_use]
+    pub fn records(&self) -> &[SmpRecord] {
+        &self.records
+    }
+
+    /// Serial cost under the paper's constant-`k` model (equation 2-style):
+    /// every SMP pays `k`, directed ones pay `k + r`.
+    #[must_use]
+    pub fn paper_cost_us(&self, model: &CostModel) -> f64 {
+        self.records
+            .iter()
+            .map(|r| model.per_smp_us(r.directed))
+            .sum()
+    }
+
+    /// Serial cost with per-hop resolution: each SMP pays `hops · k_hop`,
+    /// plus `hops · r_hop` if directed (the finer-grained model `ib-sim`
+    /// uses; footnote 4 of the paper notes switches nearer the SM are
+    /// cheaper to reach).
+    #[must_use]
+    pub fn per_hop_cost_us(&self, k_hop_us: f64, r_hop_us: f64) -> f64 {
+        self.records
+            .iter()
+            .map(|r| {
+                let hops = r.hops as f64;
+                hops * k_hop_us + if r.directed { hops * r_hop_us } else { 0.0 }
+            })
+            .sum()
+    }
+
+    /// Clears records and phases.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.phases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::{DirectedRoute, SmpRouting};
+    use ib_types::{Lid, PortNum};
+
+    fn lft_smp(target: usize, directed: bool, block: usize) -> Smp {
+        let routing = if directed {
+            SmpRouting::Directed(DirectedRoute::from_hops(vec![PortNum::new(1)]))
+        } else {
+            SmpRouting::Destination(Lid::from_raw(1))
+        };
+        Smp::set_lft_block(
+            NodeId::from_index(target),
+            routing,
+            block,
+            &[None; 64],
+        )
+    }
+
+    #[test]
+    fn counts_by_kind_and_switch() {
+        let mut ledger = SmpLedger::new();
+        ledger.record(&lft_smp(0, true, 0), 2);
+        ledger.record(&lft_smp(0, true, 1), 2);
+        ledger.record(&lft_smp(1, false, 0), 3);
+        let port_smp = Smp::set_port_lid(
+            NodeId::from_index(2),
+            SmpRouting::Directed(DirectedRoute::local()),
+            PortNum::new(1),
+            Some(Lid::from_raw(5)),
+        );
+        ledger.record(&port_smp, 0);
+
+        assert_eq!(ledger.total(), 4);
+        assert_eq!(ledger.lft_updates(), 3);
+        assert_eq!(ledger.count_attribute(AttributeKind::PortInfo), 1);
+        assert_eq!(ledger.switches_updated(), 2);
+        let per = ledger.lft_updates_per_switch();
+        assert_eq!(per[&NodeId::from_index(0)], 2);
+        assert_eq!(per[&NodeId::from_index(1)], 1);
+    }
+
+    #[test]
+    fn phases_partition_records() {
+        let mut ledger = SmpLedger::new();
+        ledger.begin_phase("discovery");
+        ledger.record(&lft_smp(0, true, 0), 1);
+        ledger.begin_phase("distribution");
+        ledger.record(&lft_smp(0, true, 1), 1);
+        ledger.record(&lft_smp(1, true, 0), 2);
+        assert_eq!(ledger.phase_total("discovery"), 1);
+        assert_eq!(ledger.phase_total("distribution"), 2);
+        assert_eq!(ledger.phase_total("missing"), 0);
+    }
+
+    #[test]
+    fn paper_cost_reflects_routing_mode() {
+        let model = CostModel { k_us: 5.0, r_us: 4.0 };
+        let mut ledger = SmpLedger::new();
+        ledger.record(&lft_smp(0, true, 0), 2);
+        ledger.record(&lft_smp(1, false, 0), 2);
+        assert!((ledger.paper_cost_us(&model) - 14.0).abs() < 1e-9);
+        // Per-hop model: directed 2*(1+0.5), destination 2*1.
+        assert!((ledger.per_hop_cost_us(1.0, 0.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ledger = SmpLedger::new();
+        ledger.begin_phase("p");
+        ledger.record(&lft_smp(0, true, 0), 1);
+        ledger.reset();
+        assert_eq!(ledger.total(), 0);
+        assert_eq!(ledger.phase_total("p"), 0);
+    }
+}

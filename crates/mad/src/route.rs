@@ -1,0 +1,184 @@
+//! SMP addressing: directed routes and destination (LID) routing.
+//!
+//! OpenSM uses directed routing for all SMPs because it must work before any
+//! LFT exists (initial discovery) and while routes are in flux. §VI-B of the
+//! paper observes that during a vSwitch live migration the *switch* LIDs are
+//! untouched, so destination-based routing can address the switches and the
+//! per-hop directed-route processing overhead `r` disappears from the cost
+//! model (equation 5).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{Lid, PortNum};
+
+/// An explicit hop-by-hop source route: the sequence of output ports taken
+/// from the SM's node to the target.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedRoute {
+    hops: Vec<PortNum>,
+}
+
+impl DirectedRoute {
+    /// The empty route (target is the local node).
+    #[must_use]
+    pub fn local() -> Self {
+        Self::default()
+    }
+
+    /// A route from an explicit port list.
+    #[must_use]
+    pub fn from_hops(hops: Vec<PortNum>) -> Self {
+        Self { hops }
+    }
+
+    /// The output-port sequence.
+    #[must_use]
+    pub fn hops(&self) -> &[PortNum] {
+        &self.hops
+    }
+
+    /// Number of link traversals.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Computes a shortest directed route from `from` to `to` by BFS over
+    /// the physical graph. Returns `None` if unreachable.
+    #[must_use]
+    pub fn compute(subnet: &Subnet, from: NodeId, to: NodeId) -> Option<Self> {
+        if from == to {
+            return Some(Self::local());
+        }
+        let mut prev: Vec<Option<(NodeId, PortNum)>> = vec![None; subnet.num_nodes()];
+        let mut seen = vec![false; subnet.num_nodes()];
+        let mut queue = VecDeque::new();
+        seen[from.index()] = true;
+        queue.push_back(from);
+        while let Some(id) = queue.pop_front() {
+            for (out_port, remote) in subnet.node(id).connected_ports() {
+                if !seen[remote.node.index()] {
+                    seen[remote.node.index()] = true;
+                    prev[remote.node.index()] = Some((id, out_port));
+                    if remote.node == to {
+                        // Reconstruct the port sequence.
+                        let mut rev = Vec::new();
+                        let mut cur = to;
+                        while cur != from {
+                            let (p_node, p_port) =
+                                prev[cur.index()].expect("BFS parent chain");
+                            rev.push(p_port);
+                            cur = p_node;
+                        }
+                        rev.reverse();
+                        return Some(Self::from_hops(rev));
+                    }
+                    queue.push_back(remote.node);
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks the route from `from` and returns the node it lands on, or
+    /// `None` if a hop points at an uncabled port.
+    #[must_use]
+    pub fn resolve(&self, subnet: &Subnet, from: NodeId) -> Option<NodeId> {
+        let mut cur = from;
+        for &port in &self.hops {
+            cur = subnet.neighbor(cur, port)?.node;
+        }
+        Some(cur)
+    }
+}
+
+/// How an SMP is addressed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmpRouting {
+    /// Source-routed hop by hop; every intermediate switch must process and
+    /// rewrite the packet header (hop pointer, return path) — the paper's
+    /// per-SMP overhead `r`.
+    Directed(DirectedRoute),
+    /// Destination-routed to a LID through the existing LFTs; forwarded in
+    /// the data path with no header rewriting.
+    Destination(Lid),
+}
+
+impl SmpRouting {
+    /// Whether the packet pays the directed-route processing overhead.
+    #[must_use]
+    pub fn is_directed(&self) -> bool {
+        matches!(self, Self::Directed(_))
+    }
+
+    /// Link traversals for cost accounting: directed routes know their
+    /// length; destination routes are measured against the subnet by the
+    /// ledger at record time.
+    #[must_use]
+    pub fn known_hop_count(&self) -> Option<usize> {
+        match self {
+            Self::Directed(r) => Some(r.hop_count()),
+            Self::Destination(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::basic::linear;
+
+    #[test]
+    fn bfs_route_reaches_target() {
+        let t = linear(4, 1);
+        let s = &t.subnet;
+        let first = t.switch_levels[0][0];
+        let last = t.switch_levels[0][3];
+        let route = DirectedRoute::compute(s, first, last).unwrap();
+        assert_eq!(route.hop_count(), 3);
+        assert_eq!(route.resolve(s, first), Some(last));
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let t = linear(2, 1);
+        let sw = t.switch_levels[0][0];
+        let route = DirectedRoute::compute(&t.subnet, sw, sw).unwrap();
+        assert_eq!(route.hop_count(), 0);
+        assert_eq!(route.resolve(&t.subnet, sw), Some(sw));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut s = Subnet::new();
+        let a = s.add_switch("a", 2);
+        let b = s.add_switch("b", 2);
+        assert!(DirectedRoute::compute(&s, a, b).is_none());
+    }
+
+    #[test]
+    fn resolve_rejects_bad_hops() {
+        let t = linear(2, 1);
+        let sw = t.switch_levels[0][0];
+        let bogus = DirectedRoute::from_hops(vec![PortNum::new(7)]);
+        assert_eq!(bogus.resolve(&t.subnet, sw), None);
+    }
+
+    #[test]
+    fn routing_kind_flags() {
+        assert!(SmpRouting::Directed(DirectedRoute::local()).is_directed());
+        assert!(!SmpRouting::Destination(Lid::from_raw(1)).is_directed());
+        assert_eq!(
+            SmpRouting::Directed(DirectedRoute::from_hops(vec![PortNum::new(1)]))
+                .known_hop_count(),
+            Some(1)
+        );
+        assert_eq!(
+            SmpRouting::Destination(Lid::from_raw(1)).known_hop_count(),
+            None
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The routing-engine abstraction.
+
+use ib_subnet::Subnet;
+use ib_types::IbResult;
+
+use crate::tables::RoutingTables;
+
+/// A routing engine: a pure function from a LID-assigned subnet to a full
+/// set of LFTs (plus a VL layering when the engine provides one).
+///
+/// Engines never mutate the subnet; the subnet manager decides when and how
+/// (and at what SMP cost) tables reach the switches. The wall-clock time of
+/// [`RoutingEngine::compute`] is precisely the `PCt` term of the paper's
+/// equation 1 — what Fig. 7 measures and what the vSwitch reconfiguration
+/// eliminates.
+pub trait RoutingEngine: Send + Sync {
+    /// Engine name as it appears in reports (`"fat-tree"`, `"minhop"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Computes routing tables for every switch in the subnet.
+    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables>;
+}
+
+/// The engines of Fig. 7 (plus Up*/Down*, used in the deadlock analysis).
+///
+/// ```
+/// use ib_routing::EngineKind;
+/// use ib_routing::testutil::assign_lids;
+/// use ib_subnet::topology::fattree;
+///
+/// let mut t = fattree::two_level(2, 2, 2);
+/// assign_lids(&mut t);
+/// let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+/// assert!(tables.unreachable_pairs(&t.subnet, 16).is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// OpenSM's default Min-Hop.
+    MinHop,
+    /// Structured fat-tree routing.
+    FatTree,
+    /// Up*/Down*.
+    UpDown,
+    /// Deadlock-free SSSP.
+    Dfsssp,
+    /// LASH.
+    Lash,
+}
+
+impl EngineKind {
+    /// All engine kinds.
+    #[must_use]
+    pub fn all() -> [EngineKind; 5] {
+        [
+            Self::FatTree,
+            Self::MinHop,
+            Self::UpDown,
+            Self::Dfsssp,
+            Self::Lash,
+        ]
+    }
+
+    /// The four engines the paper's Fig. 7 compares.
+    #[must_use]
+    pub fn fig7() -> [EngineKind; 4] {
+        [Self::FatTree, Self::MinHop, Self::Dfsssp, Self::Lash]
+    }
+
+    /// Engine name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::MinHop => "minhop",
+            Self::FatTree => "fat-tree",
+            Self::UpDown => "up-down",
+            Self::Dfsssp => "dfsssp",
+            Self::Lash => "lash",
+        }
+    }
+
+    /// Instantiates the engine with default parameters.
+    #[must_use]
+    pub fn build(self) -> Box<dyn RoutingEngine> {
+        match self {
+            Self::MinHop => Box::new(crate::minhop::MinHop),
+            Self::FatTree => Box::new(crate::ftree::FatTree),
+            Self::UpDown => Box::new(crate::updn::UpDown::default()),
+            Self::Dfsssp => Box::new(crate::dfsssp::Dfsssp::default()),
+            Self::Lash => Box::new(crate::lash::Lash::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EngineKind::MinHop.name(), "minhop");
+        assert_eq!(EngineKind::FatTree.to_string(), "fat-tree");
+        assert_eq!(EngineKind::all().len(), 5);
+        assert_eq!(EngineKind::fig7().len(), 4);
+    }
+
+    #[test]
+    fn build_matches_kind() {
+        for kind in EngineKind::all() {
+            assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+}

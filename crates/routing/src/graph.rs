@@ -1,0 +1,267 @@
+//! The switch-level view of a subnet that routing engines compute over.
+
+use std::collections::VecDeque;
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbError, IbResult, Lid, PortNum};
+use rustc_hash::FxHashMap;
+
+/// A routing destination: one LID, the switch it is reached through, and the
+/// port on that switch that delivers it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Destination {
+    /// The destination LID.
+    pub lid: Lid,
+    /// The switch the LID terminates at or hangs off.
+    pub switch: usize,
+    /// Delivery port on that switch: `PortNum::MANAGEMENT` if the LID is the
+    /// switch's own, otherwise the port cabled to the HCA.
+    pub port: PortNum,
+}
+
+/// Dense adjacency view over the switches of a subnet.
+///
+/// Engines work in switch-index space (`0..num_switches`) for cache-friendly
+/// BFS; [`SwitchGraph::node_id`] maps back to subnet handles. Both physical
+/// switches and vSwitches participate: a vSwitch routes packets between its
+/// VFs and its uplink like any other switch.
+#[derive(Clone, Debug)]
+pub struct SwitchGraph {
+    switches: Vec<NodeId>,
+    index_of: FxHashMap<NodeId, usize>,
+    /// `adj[s]` = (neighbor switch index, output port on `s`).
+    adj: Vec<Vec<(usize, PortNum)>>,
+    destinations: Vec<Destination>,
+}
+
+impl SwitchGraph {
+    /// Extracts the switch graph and the destination list from a subnet.
+    ///
+    /// Fails if an HCA carries a LID but is not cabled to a switch.
+    pub fn build(subnet: &Subnet) -> IbResult<Self> {
+        let switches: Vec<NodeId> = subnet.switches().map(|n| n.id).collect();
+        let index_of: FxHashMap<NodeId, usize> = switches
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+
+        let mut adj = vec![Vec::new(); switches.len()];
+        for (i, &sw) in switches.iter().enumerate() {
+            for (port, remote) in subnet.node(sw).connected_ports() {
+                if let Some(&j) = index_of.get(&remote.node) {
+                    adj[i].push((j, port));
+                }
+            }
+        }
+
+        let mut destinations = Vec::with_capacity(subnet.num_lids());
+        for lid in subnet.lids() {
+            let ep = subnet.endpoint_of(lid).expect("registered LID");
+            if let Some(&s) = index_of.get(&ep.node) {
+                // The LID belongs to a switch itself.
+                destinations.push(Destination {
+                    lid,
+                    switch: s,
+                    port: PortNum::MANAGEMENT,
+                });
+            } else {
+                // The LID belongs to an HCA port; find the switch it hangs
+                // off (the far end of its cable).
+                let hca = subnet.node(ep.node);
+                let remote = hca
+                    .ports
+                    .get(ep.port.raw() as usize)
+                    .and_then(|p| p.remote)
+                    .ok_or_else(|| {
+                        IbError::Topology(format!(
+                            "{} carries LID {lid} but is not cabled",
+                            hca.name
+                        ))
+                    })?;
+                let &s = index_of.get(&remote.node).ok_or_else(|| {
+                    IbError::Topology(format!(
+                        "{} (LID {lid}) is cabled to a non-switch",
+                        hca.name
+                    ))
+                })?;
+                destinations.push(Destination {
+                    lid,
+                    switch: s,
+                    port: remote.port,
+                });
+            }
+        }
+
+        Ok(Self {
+            switches,
+            index_of,
+            adj,
+            destinations,
+        })
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Whether there are no switches.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+
+    /// Subnet handle of switch index `s`.
+    #[must_use]
+    pub fn node_id(&self, s: usize) -> NodeId {
+        self.switches[s]
+    }
+
+    /// Switch index of a subnet node, if it is a switch.
+    #[must_use]
+    pub fn index(&self, id: NodeId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    /// Adjacency of switch `s`.
+    #[must_use]
+    pub fn neighbors(&self, s: usize) -> &[(usize, PortNum)] {
+        &self.adj[s]
+    }
+
+    /// All destinations (every registered LID).
+    #[must_use]
+    pub fn destinations(&self) -> &[Destination] {
+        &self.destinations
+    }
+
+    /// BFS hop distances from switch `from` to every switch
+    /// (`u32::MAX` = unreachable).
+    #[must_use]
+    pub fn bfs_distances(&self, from: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        dist[from] = 0;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Rank of each switch as hop distance to the nearest endpoint-bearing
+    /// (leaf) switch: leaves are rank 0, their neighbors rank 1, and so on.
+    /// This is the rank structure fat-tree routing keys off.
+    #[must_use]
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut rank = vec![u32::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        for d in &self.destinations {
+            if d.port != PortNum::MANAGEMENT && rank[d.switch] != 0 {
+                rank[d.switch] = 0;
+                queue.push_back(d.switch);
+            }
+        }
+        // No endpoints at all: treat switch 0 as the single leaf.
+        if queue.is_empty() && !self.is_empty() {
+            rank[0] = 0;
+            queue.push_back(0);
+        }
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if rank[v] == u32::MAX {
+                    rank[v] = rank[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::basic::linear;
+    use ib_subnet::topology::fattree::two_level;
+
+    fn lid(raw: u16) -> Lid {
+        Lid::from_raw(raw)
+    }
+
+    fn managed_linear() -> (ib_subnet::topology::BuiltTopology, SwitchGraph) {
+        let mut t = linear(3, 1);
+        // Switch LIDs 1..=3, host LIDs 4..=6.
+        for (i, &sw) in t.switch_levels[0].clone().iter().enumerate() {
+            t.subnet.assign_switch_lid(sw, lid(i as u16 + 1)).unwrap();
+        }
+        for (i, &h) in t.hosts.clone().iter().enumerate() {
+            t.subnet
+                .assign_port_lid(h, PortNum::new(1), lid(i as u16 + 4))
+                .unwrap();
+        }
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        (t, g)
+    }
+
+    #[test]
+    fn graph_shape() {
+        let (t, g) = managed_linear();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.destinations().len(), 6);
+        assert_eq!(g.neighbors(1).len(), 2);
+        assert_eq!(g.index(t.switch_levels[0][2]), Some(2));
+    }
+
+    #[test]
+    fn destination_ports_resolved() {
+        let (_, g) = managed_linear();
+        // Switch LIDs terminate at port 0; host LIDs at the cable port.
+        let d1 = g.destinations().iter().find(|d| d.lid == lid(1)).unwrap();
+        assert_eq!(d1.port, PortNum::MANAGEMENT);
+        let d4 = g.destinations().iter().find(|d| d.lid == lid(4)).unwrap();
+        assert_eq!(d4.switch, 0);
+        assert_eq!(d4.port, PortNum::new(3));
+    }
+
+    #[test]
+    fn bfs_distances_linear() {
+        let (_, g) = managed_linear();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2]);
+        assert_eq!(g.bfs_distances(2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn ranks_on_fat_tree() {
+        let mut t = two_level(4, 2, 2);
+        for (i, &h) in t.hosts.clone().iter().enumerate() {
+            t.subnet
+                .assign_port_lid(h, PortNum::new(1), lid(i as u16 + 1))
+                .unwrap();
+        }
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        let ranks = g.ranks();
+        for &leaf in &t.switch_levels[0] {
+            assert_eq!(ranks[g.index(leaf).unwrap()], 0);
+        }
+        for &spine in &t.switch_levels[1] {
+            assert_eq!(ranks[g.index(spine).unwrap()], 1);
+        }
+    }
+
+    #[test]
+    fn uncabled_lid_bearing_hca_rejected() {
+        let mut s = Subnet::new();
+        let _sw = s.add_switch("sw", 2);
+        let h = s.add_hca("h");
+        s.assign_port_lid(h, PortNum::new(1), lid(1)).unwrap();
+        assert!(SwitchGraph::build(&s).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Min-Hop routing: OpenSM's default engine.
+//!
+//! All-pairs shortest switch distances (parallel BFS), then for every
+//! destination LID each switch picks the least-loaded among its minimal
+//! next-hop ports. Load balancing is the sequential, destination-ordered
+//! port-counting scheme OpenSM uses, so the computation has an inherently
+//! serial phase on top of the parallel distance matrix — one reason Min-Hop
+//! costs more than structured fat-tree routing in Fig. 7.
+
+use ib_subnet::{Lft, Subnet};
+use ib_types::{IbError, IbResult, PortNum};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+use crate::engine::RoutingEngine;
+use crate::graph::SwitchGraph;
+use crate::tables::{RoutingTables, VlAssignment};
+
+/// The Min-Hop engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MinHop;
+
+impl RoutingEngine for MinHop {
+    fn name(&self) -> &'static str {
+        "minhop"
+    }
+
+    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+        let g = SwitchGraph::build(subnet)?;
+        if g.is_empty() {
+            return Ok(RoutingTables {
+                lfts: FxHashMap::default(),
+                vls: VlAssignment::SingleVl,
+                engine: self.name(),
+                decisions: 0,
+            });
+        }
+
+        // Parallel all-pairs BFS: dist[s] = distances from switch s.
+        let dist: Vec<Vec<u32>> = (0..g.len())
+            .into_par_iter()
+            .map(|s| g.bfs_distances(s))
+            .collect();
+
+        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
+        // port_load[s][p] = destinations already routed out port p of s.
+        let max_port = 1 + g
+            .neighbors_max_port()
+            .unwrap_or(PortNum::MANAGEMENT)
+            .raw() as usize;
+        let mut port_load: Vec<Vec<u64>> = vec![vec![0; max_port + 1]; g.len()];
+        let mut decisions = 0u64;
+
+        for dest in g.destinations() {
+            for s in 0..g.len() {
+                decisions += 1;
+                if s == dest.switch {
+                    lfts[s].set(dest.lid, dest.port);
+                    continue;
+                }
+                let d_here = dist[s][dest.switch];
+                if d_here == u32::MAX {
+                    return Err(IbError::Topology(format!(
+                        "switch {s} cannot reach LID {}",
+                        dest.lid
+                    )));
+                }
+                // Minimal candidates: neighbors exactly one hop closer.
+                let mut best: Option<(u64, PortNum)> = None;
+                for &(v, p) in g.neighbors(s) {
+                    if dist[v][dest.switch] + 1 == d_here {
+                        let load = port_load[s][p.raw() as usize];
+                        let better = match best {
+                            None => true,
+                            Some((bl, bp)) => load < bl || (load == bl && p < bp),
+                        };
+                        if better {
+                            best = Some((load, p));
+                        }
+                    }
+                }
+                let (_, port) =
+                    best.ok_or_else(|| IbError::Topology("distance inversion".into()))?;
+                port_load[s][port.raw() as usize] += 1;
+                lfts[s].set(dest.lid, port);
+            }
+        }
+
+        let lfts = lfts
+            .into_iter()
+            .enumerate()
+            .map(|(s, lft)| (g.node_id(s), lft))
+            .collect();
+        Ok(RoutingTables {
+            lfts,
+            vls: VlAssignment::SingleVl,
+            engine: self.name(),
+            decisions,
+        })
+    }
+}
+
+impl SwitchGraph {
+    /// Highest port number used by any switch-switch link (helper for load
+    /// arrays).
+    #[must_use]
+    pub fn neighbors_max_port(&self) -> Option<PortNum> {
+        (0..self.len())
+            .flat_map(|s| self.neighbors(s).iter().map(|&(_, p)| p))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assign_lids, assert_full_reachability};
+    use ib_subnet::topology::basic::linear;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_subnet::topology::torus::torus_2d;
+
+    #[test]
+    fn routes_linear_chain() {
+        let mut t = linear(3, 2);
+        assign_lids(&mut t);
+        let tables = MinHop.compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+    }
+
+    #[test]
+    fn routes_fat_tree() {
+        let mut t = two_level(4, 3, 2);
+        assign_lids(&mut t);
+        let tables = MinHop.compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+    }
+
+    #[test]
+    fn routes_torus() {
+        let mut t = torus_2d(3, 3, 1, true);
+        assign_lids(&mut t);
+        let tables = MinHop.compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+    }
+
+    #[test]
+    fn balances_uplinks() {
+        // 1 leaf pair, 2 spines: the two distinct cross-leaf destinations
+        // must not pile onto a single uplink.
+        let mut t = two_level(2, 4, 2);
+        assign_lids(&mut t);
+        let tables = MinHop.compute(&t.subnet).unwrap();
+        let leaf0 = t.switch_levels[0][0];
+        let lft = &tables.lfts[&leaf0];
+        // Destinations on leaf 1 (hosts 4..8 => LIDs computed by helper):
+        // collect the uplink ports used and expect both uplinks present.
+        let mut ports: Vec<u8> = t.hosts[4..]
+            .iter()
+            .map(|&h| {
+                let lid = t.subnet.node(h).ports[1].lid.unwrap();
+                lft.get(lid).unwrap().raw()
+            })
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert!(ports.len() >= 2, "all cross traffic on one uplink: {ports:?}");
+    }
+
+    #[test]
+    fn decisions_scale_with_lids_times_switches() {
+        let mut t = linear(3, 2);
+        assign_lids(&mut t);
+        let tables = MinHop.compute(&t.subnet).unwrap();
+        // 9 LIDs (3 switches + 6 hosts) x 3 switches.
+        assert_eq!(tables.decisions, 27);
+    }
+
+    #[test]
+    fn empty_subnet_is_ok() {
+        let s = Subnet::new();
+        let tables = MinHop.compute(&s).unwrap();
+        assert!(tables.lfts.is_empty());
+    }
+}

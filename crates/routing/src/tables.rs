@@ -1,0 +1,175 @@
+//! Routing-engine output: per-switch LFTs plus a virtual-lane assignment.
+
+use ib_subnet::{Lft, NodeId, Subnet};
+use ib_types::{IbResult, Lid, VirtualLane};
+use rustc_hash::FxHashMap;
+
+/// How flows are spread across virtual lanes for deadlock freedom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VlAssignment {
+    /// Everything on VL0 (engines whose routes are acyclic by construction:
+    /// fat-tree, Up*/Down*, and Min-Hop — which makes no such guarantee but
+    /// assigns no lanes either).
+    SingleVl,
+    /// DFSSSP-style: each *destination LID* is served on one VL; the
+    /// per-destination routing tree lives entirely in that layer.
+    PerDestination(FxHashMap<u16, VirtualLane>),
+    /// LASH-style: each ordered source→destination *switch pair* is assigned
+    /// a layer.
+    PerSwitchPair(FxHashMap<(u32, u32), VirtualLane>),
+    /// DFSSSP-style fine granularity: each (source switch, destination
+    /// LID) *path* is assigned a layer. Unlisted paths ride VL0.
+    PerSourceDestination(FxHashMap<(u32, u16), VirtualLane>),
+}
+
+impl VlAssignment {
+    /// The VL a packet from switch-index `src` to LID `dst` travels on.
+    #[must_use]
+    pub fn lane_for(&self, src_switch: u32, dst_switch: u32, dst: Lid) -> VirtualLane {
+        match self {
+            Self::SingleVl => VirtualLane::VL0,
+            Self::PerDestination(map) => map
+                .get(&dst.raw())
+                .copied()
+                .unwrap_or(VirtualLane::VL0),
+            Self::PerSwitchPair(map) => map
+                .get(&(src_switch, dst_switch))
+                .copied()
+                .unwrap_or(VirtualLane::VL0),
+            Self::PerSourceDestination(map) => map
+                .get(&(src_switch, dst.raw()))
+                .copied()
+                .unwrap_or(VirtualLane::VL0),
+        }
+    }
+
+    /// Number of distinct lanes in use.
+    #[must_use]
+    pub fn lanes_used(&self) -> usize {
+        match self {
+            Self::SingleVl => 1,
+            Self::PerDestination(map) => {
+                let mut lanes: Vec<u8> = map.values().map(|v| v.raw()).collect();
+                lanes.sort_unstable();
+                lanes.dedup();
+                lanes.len().max(1)
+            }
+            Self::PerSwitchPair(map) => {
+                let mut lanes: Vec<u8> = map.values().map(|v| v.raw()).collect();
+                lanes.sort_unstable();
+                lanes.dedup();
+                lanes.len().max(1)
+            }
+            Self::PerSourceDestination(map) => {
+                let mut lanes: Vec<u8> = map.values().map(|v| v.raw()).collect();
+                lanes.push(0);
+                lanes.sort_unstable();
+                lanes.dedup();
+                lanes.len()
+            }
+        }
+    }
+}
+
+/// The complete output of a routing computation.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    /// New LFT for every switch (physical and virtual).
+    pub lfts: FxHashMap<NodeId, Lft>,
+    /// VL layering, if the engine produces one.
+    pub vls: VlAssignment,
+    /// Name of the engine that produced the tables.
+    pub engine: &'static str,
+    /// Number of (switch, destination) route decisions made — a
+    /// machine-independent proxy for `PCt` used in tests where wall-clock
+    /// would flake.
+    pub decisions: u64,
+}
+
+impl RoutingTables {
+    /// Installs every LFT into the subnet directly (no SMP accounting —
+    /// the subnet manager is the component that distributes with SMPs).
+    pub fn install(&self, subnet: &mut Subnet) -> IbResult<()> {
+        for (&sw, lft) in &self.lfts {
+            subnet.set_lft(sw, lft.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Verifies that, per these tables, every destination LID is reachable
+    /// from every switch, by walking LFT hops in table space. Returns the
+    /// list of `(switch, lid)` failures.
+    #[must_use]
+    pub fn unreachable_pairs(&self, subnet: &Subnet, max_hops: usize) -> Vec<(NodeId, Lid)> {
+        let mut failures = Vec::new();
+        let lids = subnet.lids();
+        for &start in self.lfts.keys() {
+            'dest: for &lid in &lids {
+                let target = subnet.endpoint_of(lid).expect("registered LID");
+                let mut cur = start;
+                for _ in 0..max_hops {
+                    if cur == target.node {
+                        continue 'dest;
+                    }
+                    let Some(lft) = self.lfts.get(&cur) else {
+                        failures.push((start, lid));
+                        continue 'dest;
+                    };
+                    let Some(out) = lft.get(lid) else {
+                        failures.push((start, lid));
+                        continue 'dest;
+                    };
+                    if out.is_management() {
+                        if cur == target.node {
+                            continue 'dest;
+                        }
+                        failures.push((start, lid));
+                        continue 'dest;
+                    }
+                    let Some(remote) = subnet.neighbor(cur, out) else {
+                        failures.push((start, lid));
+                        continue 'dest;
+                    };
+                    if remote.node == target.node {
+                        continue 'dest;
+                    }
+                    cur = remote.node;
+                }
+                failures.push((start, lid));
+            }
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_vl_defaults() {
+        let vls = VlAssignment::SingleVl;
+        assert_eq!(vls.lane_for(0, 1, Lid::from_raw(5)), VirtualLane::VL0);
+        assert_eq!(vls.lanes_used(), 1);
+    }
+
+    #[test]
+    fn per_destination_lookup() {
+        let mut map = FxHashMap::default();
+        map.insert(5u16, VirtualLane::new(2).unwrap());
+        let vls = VlAssignment::PerDestination(map);
+        assert_eq!(vls.lane_for(0, 1, Lid::from_raw(5)).raw(), 2);
+        assert_eq!(vls.lane_for(0, 1, Lid::from_raw(6)).raw(), 0);
+        assert_eq!(vls.lanes_used(), 1);
+    }
+
+    #[test]
+    fn per_pair_lookup() {
+        let mut map = FxHashMap::default();
+        map.insert((0u32, 1u32), VirtualLane::new(1).unwrap());
+        map.insert((1u32, 0u32), VirtualLane::new(3).unwrap());
+        let vls = VlAssignment::PerSwitchPair(map);
+        assert_eq!(vls.lane_for(0, 1, Lid::from_raw(9)).raw(), 1);
+        assert_eq!(vls.lanes_used(), 2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Test support shared by engine unit tests, integration tests, and benches.
+
+#![allow(missing_docs)]
+
+use ib_subnet::topology::BuiltTopology;
+use ib_subnet::Subnet;
+use ib_types::{Lid, PortNum};
+
+use crate::tables::RoutingTables;
+
+/// Assigns LIDs the way the subnet manager would: switches first (in
+/// builder order), then host ports, densely from 1.
+pub fn assign_lids(t: &mut BuiltTopology) {
+    let mut next = 1u16;
+    for sw in t.all_switches() {
+        t.subnet
+            .assign_switch_lid(sw, Lid::from_raw(next))
+            .expect("switch LID");
+        next += 1;
+    }
+    for &h in &t.hosts.clone() {
+        t.subnet
+            .assign_port_lid(h, PortNum::new(1), Lid::from_raw(next))
+            .expect("host LID");
+        next += 1;
+    }
+}
+
+/// LID of a host node assigned by [`assign_lids`].
+pub fn host_lid(t: &BuiltTopology, host_index: usize) -> Lid {
+    t.subnet.node(t.hosts[host_index]).ports[1]
+        .lid
+        .expect("host LID assigned")
+}
+
+/// Asserts every destination LID is reachable from every switch under the
+/// given tables, panicking with the offending pairs otherwise.
+pub fn assert_full_reachability(subnet: &Subnet, tables: &RoutingTables) {
+    let failures = tables.unreachable_pairs(subnet, 64);
+    assert!(
+        failures.is_empty(),
+        "{} unreachable (switch, LID) pairs under {}: first few: {:?}",
+        failures.len(),
+        tables.engine,
+        &failures[..failures.len().min(5)]
+    );
+}

@@ -1,0 +1,246 @@
+//! Up*/Down* routing.
+//!
+//! Links are oriented toward a root switch; a legal path climbs zero or
+//! more *up* links, then descends zero or more *down* links, and never
+//! turns upward again. The up/down restriction breaks every cycle in the
+//! channel dependency graph, making Up*/Down* deadlock-free on a single
+//! virtual lane on any topology — the baseline deadlock argument the
+//! paper's §VI-C discussion builds on.
+
+use std::collections::VecDeque;
+
+use ib_subnet::{Lft, Subnet};
+use ib_types::{IbError, IbResult, PortNum};
+use rustc_hash::FxHashMap;
+
+use crate::engine::RoutingEngine;
+use crate::graph::SwitchGraph;
+use crate::tables::{RoutingTables, VlAssignment};
+
+/// The Up*/Down* engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpDown {
+    /// Root switch index override; by default the highest-rank switch.
+    pub root: Option<usize>,
+}
+
+/// Per-switch (level, id) label; "up" is lexicographically decreasing.
+pub(crate) fn labels(g: &SwitchGraph, root: usize) -> Vec<(u32, usize)> {
+    let mut level = vec![u32::MAX; g.len()];
+    let mut queue = VecDeque::new();
+    level[root] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in g.neighbors(u) {
+            if level[v] == u32::MAX {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    level.into_iter().enumerate().map(|(i, l)| (l, i)).collect()
+}
+
+/// Whether the move `from -> to` is an *up* move under the labels.
+pub(crate) fn is_up(labels: &[(u32, usize)], from: usize, to: usize) -> bool {
+    labels[to] < labels[from]
+}
+
+impl UpDown {
+    /// Picks the default root: a switch of maximal rank (a core switch in a
+    /// fat tree), tie-broken by lowest index.
+    fn pick_root(&self, g: &SwitchGraph) -> usize {
+        if let Some(r) = self.root {
+            return r;
+        }
+        let ranks = g.ranks();
+        (0..g.len())
+            .max_by_key(|&s| (ranks[s] != u32::MAX) as u32 * ranks[s].wrapping_add(1))
+            .unwrap_or(0)
+    }
+}
+
+impl RoutingEngine for UpDown {
+    fn name(&self) -> &'static str {
+        "up-down"
+    }
+
+    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+        let g = SwitchGraph::build(subnet)?;
+        if g.is_empty() {
+            return Ok(RoutingTables {
+                lfts: FxHashMap::default(),
+                vls: VlAssignment::SingleVl,
+                engine: self.name(),
+                decisions: 0,
+            });
+        }
+        let root = self.pick_root(&g);
+        let lab = labels(&g, root);
+        if lab.iter().any(|&(l, _)| l == u32::MAX) {
+            return Err(IbError::Topology("disconnected switch graph".into()));
+        }
+
+        // Group destinations by delivery switch; compute legal distances
+        // once per delivery switch.
+        let mut by_switch: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for (i, d) in g.destinations().iter().enumerate() {
+            by_switch.entry(d.switch).or_default().push(i);
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = by_switch.into_iter().collect();
+        groups.sort_unstable_by_key(|(s, _)| *s);
+
+        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
+        let mut decisions = 0u64;
+
+        for (dsw, dest_indices) in groups {
+            // down_dist[s]: shortest all-down path s -> dsw.
+            // full_dist[s]: shortest up*down* path s -> dsw.
+            let mut down_dist = vec![u32::MAX; g.len()];
+            down_dist[dsw] = 0;
+            // Reverse BFS along down edges: expand y where y->x is down.
+            let mut queue = VecDeque::new();
+            queue.push_back(dsw);
+            while let Some(x) = queue.pop_front() {
+                for &(y, _) in g.neighbors(x) {
+                    // Move y -> x must be a *down* move for the path y..dsw
+                    // to stay all-down.
+                    if !is_up(&lab, y, x) && down_dist[y] == u32::MAX {
+                        down_dist[y] = down_dist[x] + 1;
+                        queue.push_back(y);
+                    }
+                }
+            }
+            // Process switches in increasing label order: all up-moves go to
+            // already-finalized switches.
+            let mut order: Vec<usize> = (0..g.len()).collect();
+            order.sort_unstable_by_key(|&s| lab[s]);
+            let mut full_dist = down_dist.clone();
+            for &s in &order {
+                for &(v, _) in g.neighbors(s) {
+                    if is_up(&lab, s, v) && full_dist[v] != u32::MAX {
+                        full_dist[s] = full_dist[s].min(full_dist[v].saturating_add(1));
+                    }
+                }
+            }
+            if full_dist.contains(&u32::MAX) {
+                return Err(IbError::Topology(format!(
+                    "no legal up*/down* path to switch {dsw}"
+                )));
+            }
+
+            for &di in &dest_indices {
+                let dest = g.destinations()[di];
+                for s in 0..g.len() {
+                    decisions += 1;
+                    if s == dsw {
+                        lfts[s].set(dest.lid, dest.port);
+                        continue;
+                    }
+                    // The rule must compose: a packet that descended into
+                    // `s` follows the same LFT row as one that just
+                    // arrived climbing, so the row itself must never turn
+                    // a descent back upward. Hence: **descend whenever the
+                    // destination is down-reachable** (every switch on the
+                    // down chain is then also down-reachable and keeps
+                    // descending), and climb toward the root otherwise
+                    // (the root down-reaches everything, so the climb
+                    // terminates).
+                    let mut candidates: Vec<PortNum> = Vec::new();
+                    if down_dist[s] != u32::MAX {
+                        for &(v, p) in g.neighbors(s) {
+                            if !is_up(&lab, s, v)
+                                && down_dist[v] != u32::MAX
+                                && down_dist[v] + 1 == down_dist[s]
+                            {
+                                candidates.push(p);
+                            }
+                        }
+                    } else {
+                        for &(v, p) in g.neighbors(s) {
+                            if is_up(&lab, s, v)
+                                && full_dist[v] != u32::MAX
+                                && full_dist[v] + 1 == full_dist[s]
+                            {
+                                candidates.push(p);
+                            }
+                        }
+                    }
+                    candidates.sort_unstable();
+                    let pick = candidates[dest.lid.raw() as usize % candidates.len()];
+                    lfts[s].set(dest.lid, pick);
+                }
+            }
+        }
+
+        let lfts = lfts
+            .into_iter()
+            .enumerate()
+            .map(|(s, lft)| (g.node_id(s), lft))
+            .collect();
+        Ok(RoutingTables {
+            lfts,
+            vls: VlAssignment::SingleVl,
+            engine: self.name(),
+            decisions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdg::Cdg;
+    use crate::testutil::{assign_lids, assert_full_reachability};
+    use ib_subnet::topology::fattree::two_level;
+    use ib_subnet::topology::irregular::{irregular, IrregularSpec};
+    use ib_subnet::topology::torus::torus_2d;
+
+    #[test]
+    fn routes_fat_tree() {
+        let mut t = two_level(4, 3, 2);
+        assign_lids(&mut t);
+        let tables = UpDown::default().compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+    }
+
+    #[test]
+    fn routes_torus_without_deadlock() {
+        let mut t = torus_2d(3, 3, 1, true);
+        assign_lids(&mut t);
+        let tables = UpDown::default().compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+        // The defining property: the CDG of the whole routing on one VL is
+        // acyclic.
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        let cdg = Cdg::from_tables(&g, &tables, |_| true);
+        assert!(cdg.find_cycle().is_none(), "up*/down* produced a cyclic CDG");
+    }
+
+    #[test]
+    fn routes_irregular_without_deadlock() {
+        for seed in 0..5 {
+            let mut t = irregular(IrregularSpec {
+                num_switches: 10,
+                num_hosts: 20,
+                extra_links: 7,
+                seed,
+            });
+            assign_lids(&mut t);
+            let tables = UpDown::default().compute(&t.subnet).unwrap();
+            assert_full_reachability(&t.subnet, &tables);
+            let g = SwitchGraph::build(&t.subnet).unwrap();
+            let cdg = Cdg::from_tables(&g, &tables, |_| true);
+            assert!(cdg.find_cycle().is_none(), "seed {seed} deadlocks");
+        }
+    }
+
+    #[test]
+    fn explicit_root_respected() {
+        let mut t = two_level(2, 2, 2);
+        assign_lids(&mut t);
+        let engine = UpDown { root: Some(0) };
+        let tables = engine.compute(&t.subnet).unwrap();
+        assert_full_reachability(&t.subnet, &tables);
+    }
+}

@@ -1,0 +1,187 @@
+//! Flow-level connectivity checking through installed LFTs.
+
+use serde::{Deserialize, Serialize};
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::Lid;
+
+/// A set of unidirectional flows `(source node, destination LID)`.
+#[derive(Clone, Debug, Default)]
+pub struct FlowSet {
+    flows: Vec<(NodeId, Lid)>,
+}
+
+impl FlowSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one flow.
+    pub fn add(&mut self, src: NodeId, dst: Lid) {
+        self.flows.push((src, dst));
+    }
+
+    /// All-pairs flows between the given endpoints (`src != dst`).
+    #[must_use]
+    pub fn all_pairs(subnet: &Subnet, endpoints: &[(NodeId, Lid)]) -> Self {
+        let mut flows = Vec::new();
+        for &(src, _) in endpoints {
+            for &(dst_node, dst_lid) in endpoints {
+                if src != dst_node {
+                    flows.push((src, dst_lid));
+                }
+            }
+        }
+        let _ = subnet;
+        Self { flows }
+    }
+
+    /// Number of flows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether there are no flows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Walks every flow through the subnet's installed LFTs.
+    #[must_use]
+    pub fn check(&self, subnet: &Subnet) -> FlowReport {
+        let mut report = FlowReport::default();
+        for &(src, dst) in &self.flows {
+            match subnet.trace_route(src, dst, 64) {
+                Ok(path) => {
+                    let delivered = subnet
+                        .endpoint_of(dst)
+                        .is_some_and(|ep| ep.node == *path.last().expect("non-empty"));
+                    if delivered {
+                        report.delivered += 1;
+                        report.total_hops += path.len() - 1;
+                        report.max_hops = report.max_hops.max(path.len() - 1);
+                    } else {
+                        report.misdelivered += 1;
+                        report.failures.push((src, dst));
+                    }
+                }
+                Err(e) => {
+                    if e.to_string().contains("dropped") {
+                        report.dropped += 1;
+                    } else {
+                        report.undeliverable += 1;
+                    }
+                    report.failures.push((src, dst));
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Outcome of checking a flow set.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Flows that reached the right endpoint.
+    pub delivered: usize,
+    /// Flows that arrived somewhere else.
+    pub misdelivered: usize,
+    /// Flows discarded at a drop (port 255) entry — the §VI-C
+    /// partially-static window.
+    pub dropped: usize,
+    /// Flows that could not be forwarded (missing entry, loop, uncabled).
+    pub undeliverable: usize,
+    /// Link traversals summed over delivered flows.
+    pub total_hops: usize,
+    /// Longest delivered path.
+    pub max_hops: usize,
+    /// The failing flows.
+    pub failures: Vec<(NodeId, Lid)>,
+}
+
+impl FlowReport {
+    /// Whether every flow was delivered.
+    #[must_use]
+    pub fn all_delivered(&self) -> bool {
+        self.misdelivered == 0 && self.dropped == 0 && self.undeliverable == 0
+    }
+
+    /// Mean hop count of delivered flows.
+    #[must_use]
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_sm::{SmConfig, SubnetManager};
+    use ib_subnet::topology::fattree::two_level;
+    use ib_types::PortNum;
+
+    fn fabric() -> ib_subnet::topology::BuiltTopology {
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+        t
+    }
+
+    fn endpoints(t: &ib_subnet::topology::BuiltTopology) -> Vec<(NodeId, Lid)> {
+        t.hosts
+            .iter()
+            .map(|&h| (h, t.subnet.node(h).ports[1].lid.unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn all_pairs_delivered_after_bring_up() {
+        let t = fabric();
+        let eps = endpoints(&t);
+        let flows = FlowSet::all_pairs(&t.subnet, &eps);
+        assert_eq!(flows.len(), 30);
+        let report = flows.check(&t.subnet);
+        assert!(report.all_delivered(), "{report:?}");
+        assert!(report.mean_hops() >= 2.0);
+        assert!(report.max_hops <= 4);
+    }
+
+    #[test]
+    fn dropped_flows_classified() {
+        let mut t = fabric();
+        let eps = endpoints(&t);
+        // Drop the first host's LID on both leaves.
+        let lid = eps[0].1;
+        for leaf in t.switch_levels[0].clone() {
+            t.subnet.lft_mut(leaf).unwrap().set(lid, PortNum::DROP);
+        }
+        let mut flows = FlowSet::new();
+        flows.add(eps[5].0, lid);
+        let report = flows.check(&t.subnet);
+        assert_eq!(report.dropped, 1);
+        assert!(!report.all_delivered());
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn missing_entry_is_undeliverable() {
+        let mut t = fabric();
+        let eps = endpoints(&t);
+        let lid = eps[0].1;
+        for sw in t.subnet.physical_switches().map(|n| n.id).collect::<Vec<_>>() {
+            t.subnet.lft_mut(sw).unwrap().clear(lid);
+        }
+        let mut flows = FlowSet::new();
+        flows.add(eps[3].0, lid);
+        let report = flows.check(&t.subnet);
+        assert_eq!(report.undeliverable, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ib-sim
+//!
+//! Discrete-event simulation on top of the subnet model — the ibsim analog
+//! of the reproduction. Three instruments:
+//!
+//! * [`des`] — a small deterministic event queue with logical time.
+//! * [`smp_sim`] — replays an [`ib_mad::SmpLedger`] through a per-hop
+//!   latency model (`k` per link, `r` per directed-routed hop) with
+//!   configurable SM pipelining, turning SMP *counts* into reconfiguration
+//!   *time* (equations 2–5 of the paper, including footnote 4's
+//!   switches-nearer-the-SM-are-faster effect).
+//! * [`flows`] — walks flow sets through the installed LFTs to verify
+//!   connectivity (and count hops / observe drops) before, during, and
+//!   after reconfigurations.
+//! * [`downtime`] — the end-to-end live-migration timeline (detach, memory
+//!   copy, reconfiguration, attach) that lets the three architectures be
+//!   compared on VM downtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod credit;
+pub mod des;
+pub mod downtime;
+pub mod fairness;
+pub mod flows;
+pub mod smp_sim;
+
+pub use credit::{CreditSimConfig, CreditSimReport, Flow};
+pub use des::{EventQueue, SimTime};
+pub use fairness::{max_min_fair, FairFlow, FairnessReport};
+pub use downtime::{DowntimeModel, MigrationTimeline};
+pub use flows::{FlowReport, FlowSet};
+pub use smp_sim::{SmpLatencyModel, SmpReplay};

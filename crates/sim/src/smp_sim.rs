@@ -1,0 +1,192 @@
+//! Replaying an SMP ledger through a per-hop latency model.
+//!
+//! The paper's `k` and `r` are subnet-wide averages; the replay refines
+//! them to per-hop quantities (footnote 4: "switches closer to the SM can
+//! be reached faster"), and models the SM's transmit window: with
+//! `pipeline_depth = 1` the replay reproduces the serial `Σ (k + r)` model
+//! of equations 2–4, and with deeper pipelines it shows the §VI-B remark
+//! that OpenSM's pipelining shrinks `LFTDt` further.
+
+use serde::{Deserialize, Serialize};
+
+use ib_mad::SmpLedger;
+
+use crate::des::{EventQueue, SimTime};
+
+/// Per-hop latency parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SmpLatencyModel {
+    /// Wire+switch traversal per hop (ns).
+    pub k_hop_ns: u64,
+    /// Extra directed-route header processing per hop (ns).
+    pub r_hop_ns: u64,
+    /// How many SMPs the SM keeps in flight (1 = strictly serial).
+    pub pipeline_depth: usize,
+}
+
+impl Default for SmpLatencyModel {
+    fn default() -> Self {
+        // QDR-era ballpark: ~1 µs per hop round-trip share, directed
+        // processing roughly doubling per-hop cost; serial by default.
+        Self {
+            k_hop_ns: 1_000,
+            r_hop_ns: 800,
+            pipeline_depth: 1,
+        }
+    }
+}
+
+impl SmpLatencyModel {
+    /// One-way latency of a single SMP with `hops` link traversals.
+    #[must_use]
+    pub fn smp_latency(&self, hops: usize, directed: bool) -> SimTime {
+        let per_hop = self.k_hop_ns + if directed { self.r_hop_ns } else { 0 };
+        // Minimum one unit even for hops == 0 (local delivery still costs
+        // a MAD round through the stack).
+        SimTime(per_hop * hops.max(1) as u64)
+    }
+}
+
+/// Result of replaying a ledger.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SmpReplay {
+    /// Completion time of the last acknowledgement.
+    pub makespan: SimTime,
+    /// Number of SMPs replayed.
+    pub smps: usize,
+    /// Completion time of each SMP, in ledger order.
+    pub completions: Vec<SimTime>,
+}
+
+impl SmpReplay {
+    /// Replays `ledger` (optionally a single named phase) under `model`.
+    ///
+    /// Each SMP occupies a transmit credit from issue until its ack
+    /// returns (round trip = 2x one-way latency); the SM has
+    /// `pipeline_depth` credits.
+    #[must_use]
+    pub fn run(ledger: &SmpLedger, phase: Option<&str>, model: &SmpLatencyModel) -> Self {
+        let records: Vec<(usize, bool)> = match phase {
+            Some(p) => ledger
+                .phase_records(p)
+                .iter()
+                .map(|r| (r.hops, r.directed))
+                .collect(),
+            None => ledger
+                .records()
+                .iter()
+                .map(|r| (r.hops, r.directed))
+                .collect(),
+        };
+        Self::run_records(&records, model)
+    }
+
+    /// Replays raw `(hops, directed)` pairs.
+    #[must_use]
+    pub fn run_records(records: &[(usize, bool)], model: &SmpLatencyModel) -> Self {
+        #[derive(Debug)]
+        enum Ev {
+            Ack { index: usize },
+        }
+        let depth = model.pipeline_depth.max(1);
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut completions = vec![SimTime::ZERO; records.len()];
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+
+        // Prime the window.
+        while next < records.len() && in_flight < depth {
+            let (hops, directed) = records[next];
+            let rtt = SimTime(2 * model.smp_latency(hops, directed).as_ns());
+            q.schedule_in(rtt, Ev::Ack { index: next });
+            next += 1;
+            in_flight += 1;
+        }
+        let _ = in_flight;
+        // Each ack returns exactly one credit; spend it on the next SMP.
+        while let Some((at, Ev::Ack { index })) = q.pop() {
+            completions[index] = at;
+            if next < records.len() {
+                let (hops, directed) = records[next];
+                let rtt = SimTime(2 * model.smp_latency(hops, directed).as_ns());
+                q.schedule_in(rtt, Ev::Ack { index: next });
+                next += 1;
+            }
+        }
+        Self {
+            makespan: completions.iter().copied().max().unwrap_or(SimTime::ZERO),
+            smps: records.len(),
+            completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: SmpLatencyModel = SmpLatencyModel {
+        k_hop_ns: 1_000,
+        r_hop_ns: 1_000,
+        pipeline_depth: 1,
+    };
+
+    #[test]
+    fn serial_replay_sums_round_trips() {
+        // Three directed SMPs, 2 hops each: rtt = 2*2*(1+1) us = 8 us each.
+        let records = vec![(2, true); 3];
+        let replay = SmpReplay::run_records(&records, &MODEL);
+        assert_eq!(replay.makespan, SimTime(24_000));
+        assert_eq!(replay.smps, 3);
+    }
+
+    #[test]
+    fn destination_routing_is_cheaper() {
+        let directed = SmpReplay::run_records(&[(3, true); 10], &MODEL);
+        let destination = SmpReplay::run_records(&[(3, false); 10], &MODEL);
+        assert!(destination.makespan < directed.makespan);
+        // Exactly the k/(k+r) ratio.
+        assert_eq!(destination.makespan.as_ns() * 2, directed.makespan.as_ns());
+    }
+
+    #[test]
+    fn pipelining_divides_makespan() {
+        let records = vec![(2, true); 8];
+        let serial = SmpReplay::run_records(&records, &MODEL);
+        let piped = SmpReplay::run_records(
+            &records,
+            &SmpLatencyModel {
+                pipeline_depth: 4,
+                ..MODEL
+            },
+        );
+        assert_eq!(piped.makespan.as_ns() * 4, serial.makespan.as_ns());
+    }
+
+    #[test]
+    fn nearer_switches_complete_sooner() {
+        // Footnote 4: an SMP to a 1-hop switch finishes before a 5-hop one.
+        let replay = SmpReplay::run_records(
+            &[(1, true), (5, true)],
+            &SmpLatencyModel {
+                pipeline_depth: 2,
+                ..MODEL
+            },
+        );
+        assert!(replay.completions[0] < replay.completions[1]);
+    }
+
+    #[test]
+    fn zero_hop_smp_still_costs_something() {
+        let replay = SmpReplay::run_records(&[(0, false)], &MODEL);
+        assert!(replay.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_ledger_is_instant() {
+        let ledger = SmpLedger::new();
+        let replay = SmpReplay::run(&ledger, None, &MODEL);
+        assert_eq!(replay.makespan, SimTime::ZERO);
+        assert_eq!(replay.smps, 0);
+    }
+}

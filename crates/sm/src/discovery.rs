@@ -1,0 +1,135 @@
+//! Directed-route subnet discovery.
+//!
+//! Before any LFT exists, the only way to reach a node is to source-route
+//! hop by hop — which is why OpenSM uses directed routing for discovery
+//! (and, conservatively, for everything else; §VI-A). The sweep is a BFS
+//! from the SM node: each newly seen node gets a `SubnGet(NodeInfo)` (and
+//! switches a `SubnGet(SwitchInfo)`), addressed by the directed route the
+//! BFS followed.
+
+use std::collections::VecDeque;
+
+use ib_mad::{DirectedRoute, Smp, SmpAttribute, SmpLedger, SmpMethod, SmpRouting};
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbError, IbResult, PortNum};
+
+/// Result of a discovery sweep.
+#[derive(Clone, Debug)]
+pub struct DiscoveryResult {
+    /// Nodes in the order discovered (SM node first).
+    pub nodes: Vec<NodeId>,
+    /// Directed route to each discovered node, parallel to `nodes`.
+    pub routes: Vec<DirectedRoute>,
+}
+
+/// Sweeps the fabric from `sm_node`, recording one `SubnGet(NodeInfo)` per
+/// node (plus `SubnGet(SwitchInfo)` per switch) in the ledger.
+pub fn sweep(subnet: &Subnet, sm_node: NodeId, ledger: &mut SmpLedger) -> IbResult<DiscoveryResult> {
+    if sm_node.index() >= subnet.num_nodes() {
+        return Err(IbError::Management("SM node does not exist".into()));
+    }
+    ledger.begin_phase("discovery");
+
+    let mut seen = vec![false; subnet.num_nodes()];
+    let mut route_to: Vec<Option<Vec<PortNum>>> = vec![None; subnet.num_nodes()];
+    let mut queue = VecDeque::new();
+
+    seen[sm_node.index()] = true;
+    route_to[sm_node.index()] = Some(Vec::new());
+    queue.push_back(sm_node);
+
+    let mut nodes = Vec::new();
+    let mut routes = Vec::new();
+
+    while let Some(id) = queue.pop_front() {
+        let hops = route_to[id.index()].clone().expect("route recorded");
+        let route = DirectedRoute::from_hops(hops.clone());
+        let node = subnet.node(id);
+
+        let node_info = Smp {
+            method: SmpMethod::Get,
+            attribute: SmpAttribute::NodeInfo,
+            routing: SmpRouting::Directed(route.clone()),
+            target: id,
+        };
+        ledger.record(&node_info, route.hop_count());
+        if node.is_switch() {
+            let switch_info = Smp {
+                method: SmpMethod::Get,
+                attribute: SmpAttribute::SwitchInfo,
+                routing: SmpRouting::Directed(route.clone()),
+                target: id,
+            };
+            ledger.record(&switch_info, route.hop_count());
+        }
+        nodes.push(id);
+        routes.push(route);
+
+        for (port, remote) in node.connected_ports() {
+            if !seen[remote.node.index()] {
+                seen[remote.node.index()] = true;
+                let mut next = hops.clone();
+                next.push(port);
+                route_to[remote.node.index()] = Some(next);
+                queue.push_back(remote.node);
+            }
+        }
+    }
+
+    // Nodes the sweep did not reach simply are not part of the active
+    // fabric — e.g. dynamic-LID vSwitch VFs that are not cabled until a VM
+    // attaches (§V-B). They are not discovered and not configured.
+    Ok(DiscoveryResult { nodes, routes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::basic::linear;
+    use ib_subnet::topology::fattree::two_level;
+
+    #[test]
+    fn sweep_reaches_every_node_with_valid_routes() {
+        let t = linear(3, 2);
+        let sm_host = t.hosts[0];
+        let mut ledger = SmpLedger::new();
+        let result = sweep(&t.subnet, sm_host, &mut ledger).unwrap();
+        assert_eq!(result.nodes.len(), t.subnet.num_nodes());
+        for (node, route) in result.nodes.iter().zip(&result.routes) {
+            assert_eq!(route.resolve(&t.subnet, sm_host), Some(*node));
+        }
+    }
+
+    #[test]
+    fn smp_count_is_nodes_plus_switches() {
+        let t = two_level(2, 2, 2);
+        let mut ledger = SmpLedger::new();
+        sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        // NodeInfo per node + SwitchInfo per switch.
+        let nodes = t.subnet.num_nodes();
+        let switches = 4;
+        assert_eq!(ledger.phase_total("discovery"), nodes + switches);
+    }
+
+    #[test]
+    fn sweep_covers_only_the_sm_component() {
+        // Uncabled nodes (e.g. dormant dynamic-mode VFs) stay undiscovered.
+        let mut s = Subnet::new();
+        let a = s.add_switch("a", 2);
+        let _b = s.add_switch("b", 2);
+        let mut ledger = SmpLedger::new();
+        let result = sweep(&s, a, &mut ledger).unwrap();
+        assert_eq!(result.nodes, vec![a]);
+    }
+
+    #[test]
+    fn routes_are_shortest() {
+        let t = linear(5, 1);
+        let mut ledger = SmpLedger::new();
+        let result = sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        // Route to the last switch: host -> sw0 -> ... -> sw4 = 5 hops.
+        let last_sw = t.switch_levels[0][4];
+        let idx = result.nodes.iter().position(|&n| n == last_sw).unwrap();
+        assert_eq!(result.routes[idx].hop_count(), 5);
+    }
+}

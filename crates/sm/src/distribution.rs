@@ -1,0 +1,225 @@
+//! LFT distribution: pushing computed tables to switches, block by block.
+//!
+//! Per switch, the dirty 64-entry blocks between the installed LFT and the
+//! target LFT each cost one `SubnSet(LinearForwardingTable)` SMP. On a
+//! virgin fabric *every* covered block is dirty, giving the
+//! `n · m` SMP total of the paper's equation 2 and Table I's "Min SMPs Full
+//! RC" column.
+
+use ib_mad::{DirectedRoute, Smp, SmpLedger, SmpRouting};
+use ib_routing::RoutingTables;
+use ib_subnet::{Lft, LftDelta, NodeId, Subnet};
+use ib_types::{IbError, IbResult};
+
+use crate::report::DistributionReport;
+use crate::sm::SmpMode;
+
+/// Distributes `tables` into the subnet, sending one SMP per dirty block
+/// per switch, and applying each block to the switch's installed LFT.
+pub fn distribute(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    tables: &RoutingTables,
+    mode: SmpMode,
+    ledger: &mut SmpLedger,
+) -> IbResult<DistributionReport> {
+    ledger.begin_phase("lft-distribution");
+    let mut report = DistributionReport::default();
+
+    // Deterministic switch order.
+    let mut targets: Vec<(&NodeId, &Lft)> = tables.lfts.iter().collect();
+    targets.sort_unstable_by_key(|(id, _)| id.index());
+
+    // OpenSM populates every LFT entry up to the topmost assigned LID
+    // (unreachable ones to the drop port) and pushes all covered blocks —
+    // the `m` of equation 2 is set by the topmost LID, not by how many
+    // entries actually route anywhere.
+    let topmost = subnet.topmost_lid();
+
+    for (&sw, target_lft) in targets {
+        let target_lft = match topmost {
+            Some(top) => target_lft.padded(top),
+            None => target_lft.clone(),
+        };
+        let current = subnet
+            .lft(sw)
+            .ok_or_else(|| IbError::Management(format!("{} is not a switch", subnet.name_of(sw))))?;
+        let delta = LftDelta::between(current, &target_lft);
+        if delta.is_empty() {
+            continue;
+        }
+        let routing = routing_for(subnet, sm_node, sw, mode)?;
+        let hops = hops_of(subnet, sm_node, sw, &routing)?;
+        for &block in &delta.blocks {
+            let empty = vec![None; ib_types::LFT_BLOCK_SIZE];
+            let payload = target_lft
+                .block(block)
+                .map_or(empty.clone(), <[_]>::to_vec);
+            let smp = Smp::set_lft_block(sw, routing.clone(), block, &payload);
+            ledger.record(&smp, hops);
+            // Apply the block to the installed LFT (the "switch firmware"
+            // side of the Set).
+            let mut arr = [None; ib_types::LFT_BLOCK_SIZE];
+            arr.copy_from_slice(&payload);
+            subnet
+                .lft_mut(sw)
+                .expect("checked above")
+                .write_block(block, &arr);
+        }
+        report.lft_smps += delta.smp_count();
+        report.switches_updated += 1;
+        report.max_blocks_per_switch = report.max_blocks_per_switch.max(delta.smp_count());
+    }
+    Ok(report)
+}
+
+/// Chooses SMP addressing for a switch under the given mode.
+pub fn routing_for(
+    subnet: &Subnet,
+    sm_node: NodeId,
+    switch: NodeId,
+    mode: SmpMode,
+) -> IbResult<SmpRouting> {
+    match mode {
+        SmpMode::Directed => {
+            let route = DirectedRoute::compute(subnet, sm_node, switch).ok_or_else(|| {
+                IbError::Topology(format!("{} unreachable from SM", subnet.name_of(switch)))
+            })?;
+            Ok(SmpRouting::Directed(route))
+        }
+        SmpMode::Destination => {
+            let lid = subnet
+                .node(switch)
+                .lids()
+                .next()
+                .ok_or_else(|| {
+                    IbError::Management(format!(
+                        "{} has no LID for destination-routed SMPs",
+                        subnet.name_of(switch)
+                    ))
+                })?;
+            Ok(SmpRouting::Destination(lid))
+        }
+    }
+}
+
+/// Link traversals an SMP takes from the SM to the switch.
+pub fn hops_of(
+    subnet: &Subnet,
+    sm_node: NodeId,
+    switch: NodeId,
+    routing: &SmpRouting,
+) -> IbResult<usize> {
+    match routing {
+        SmpRouting::Directed(r) => Ok(r.hop_count()),
+        SmpRouting::Destination(_) => DirectedRoute::compute(subnet, sm_node, switch)
+            .map(|r| r.hop_count())
+            .ok_or_else(|| IbError::Topology("switch unreachable".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_routing::testutil::assign_lids;
+    use ib_routing::EngineKind;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_types::Lid;
+
+    fn setup() -> (ib_subnet::topology::BuiltTopology, RoutingTables) {
+        let mut t = two_level(2, 3, 2);
+        assign_lids(&mut t);
+        let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+        (t, tables)
+    }
+
+    #[test]
+    fn virgin_fabric_pays_n_times_m() {
+        let (mut t, tables) = setup();
+        let mut ledger = SmpLedger::new();
+        let report = distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger,
+        )
+        .unwrap();
+        // 10 LIDs -> topmost 10 -> 1 block; 4 switches -> 4 SMPs.
+        assert_eq!(report.lft_smps, 4);
+        assert_eq!(report.switches_updated, 4);
+        assert_eq!(report.max_blocks_per_switch, 1);
+        assert_eq!(ledger.lft_updates(), 4);
+    }
+
+    #[test]
+    fn redistribution_is_free_when_nothing_changed() {
+        let (mut t, tables) = setup();
+        let mut ledger = SmpLedger::new();
+        distribute(&mut t.subnet, t.hosts[0], &tables, SmpMode::Directed, &mut ledger).unwrap();
+        let again = distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger,
+        )
+        .unwrap();
+        assert_eq!(again.lft_smps, 0);
+        assert_eq!(again.switches_updated, 0);
+    }
+
+    #[test]
+    fn installed_lfts_route_traffic() {
+        let (mut t, tables) = setup();
+        let mut ledger = SmpLedger::new();
+        distribute(&mut t.subnet, t.hosts[0], &tables, SmpMode::Directed, &mut ledger).unwrap();
+        // After distribution the *subnet* LFTs (not just the tables) must
+        // deliver packets between the first and last hosts.
+        let last = t.hosts[5];
+        let lid = t.subnet.node(last).ports[1].lid.unwrap();
+        let path = t.subnet.trace_route(t.hosts[0], lid, 16).unwrap();
+        assert_eq!(*path.last().unwrap(), last);
+    }
+
+    #[test]
+    fn destination_mode_needs_switch_lids() {
+        let (mut t, tables) = setup();
+        let mut ledger = SmpLedger::new();
+        let report = distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Destination,
+            &mut ledger,
+        )
+        .unwrap();
+        assert_eq!(report.lft_smps, 4);
+        // None of the recorded SMPs paid the directed-route overhead.
+        assert!(ledger.records().iter().all(|r| !r.directed));
+    }
+
+    #[test]
+    fn topmost_lid_rules_block_count() {
+        // §VII-C: a single node holding the topmost unicast LID forces the
+        // full 768-block LFT onto every switch.
+        let (mut t, _) = setup();
+        t.subnet
+            .clear_lid(Lid::from_raw(10))
+            .unwrap();
+        t.subnet
+            .assign_port_lid(t.hosts[5], ib_types::PortNum::new(1), Lid::from_raw(0xBFFF))
+            .unwrap();
+        let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+        let mut ledger = SmpLedger::new();
+        let report = distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger,
+        )
+        .unwrap();
+        assert_eq!(report.max_blocks_per_switch, 768);
+    }
+}

@@ -1,0 +1,161 @@
+//! LID assignment.
+//!
+//! Switches are assigned LIDs first, then HCA ports, in discovery order,
+//! densely from the bottom of the unicast space — the layout that makes the
+//! paper's regular networks consume exactly `nodes + switches` LIDs and
+//! `ceil((topmost+1)/64)` LFT blocks per switch (Table I). Each assignment
+//! is a `SubnSet(PortInfo)` SMP.
+
+use ib_mad::{Smp, SmpLedger, SmpRouting};
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, Lid, LidSpace, PortNum};
+
+use crate::discovery::DiscoveryResult;
+
+/// Assigns LIDs to every discovered endpoint that lacks one.
+///
+/// Returns the number of `SubnSet(PortInfo)` SMPs sent. Nodes that already
+/// hold LIDs are skipped (a re-sweep must not renumber a live fabric).
+pub fn assign_all(
+    subnet: &mut Subnet,
+    discovery: &DiscoveryResult,
+    space: &mut LidSpace,
+    ledger: &mut SmpLedger,
+) -> IbResult<usize> {
+    ledger.begin_phase("lid-assignment");
+    let mut sent = 0;
+
+    // Pre-register LIDs that already exist so the allocator cannot hand
+    // them out again (idempotent re-runs, prepopulated vSwitch setups).
+    for lid in subnet.lids() {
+        if !space.is_allocated(lid) {
+            space.claim(lid)?;
+        }
+    }
+
+    // Switches first ...
+    for (i, &id) in discovery.nodes.iter().enumerate() {
+        if !subnet.node(id).is_switch() {
+            continue;
+        }
+        if subnet.node(id).lids().next().is_some() || subnet.node(id).is_vswitch() {
+            // vSwitches share the PF's LID (§V-A: "the vSwitch does not
+            // need to occupy an additional LID as it can share the LID
+            // with the PF"), so they get none of their own.
+            continue;
+        }
+        let lid = space.allocate()?;
+        subnet.assign_switch_lid(id, lid)?;
+        record_set(subnet, ledger, id, PortNum::MANAGEMENT, lid, &discovery.routes[i]);
+        sent += 1;
+    }
+    // ... then HCA ports.
+    for (i, &id) in discovery.nodes.iter().enumerate() {
+        if !subnet.node(id).is_hca() {
+            continue;
+        }
+        let ports: Vec<PortNum> = subnet
+            .node(id)
+            .connected_ports()
+            .map(|(p, _)| p)
+            .collect();
+        for port in ports {
+            if subnet.node(id).ports[port.raw() as usize].lid.is_some() {
+                continue;
+            }
+            let lid = space.allocate()?;
+            subnet.assign_port_lid(id, port, lid)?;
+            record_set(subnet, ledger, id, port, lid, &discovery.routes[i]);
+            sent += 1;
+        }
+    }
+    Ok(sent)
+}
+
+fn record_set(
+    _subnet: &Subnet,
+    ledger: &mut SmpLedger,
+    target: NodeId,
+    port: PortNum,
+    lid: Lid,
+    route: &ib_mad::DirectedRoute,
+) {
+    let smp = Smp::set_port_lid(
+        target,
+        SmpRouting::Directed(route.clone()),
+        port,
+        Some(lid),
+    );
+    ledger.record(&smp, route.hop_count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::sweep;
+    use ib_subnet::topology::fattree::two_level;
+
+    #[test]
+    fn dense_assignment_matches_table1_layout() {
+        let mut t = two_level(2, 3, 2);
+        let mut ledger = SmpLedger::new();
+        let disc = sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        let mut space = LidSpace::new();
+        let sent = assign_all(&mut t.subnet, &disc, &mut space, &mut ledger).unwrap();
+        // 4 switches + 6 hosts = 10 LIDs, densely 1..=10.
+        assert_eq!(sent, 10);
+        assert_eq!(t.subnet.num_lids(), 10);
+        assert_eq!(t.subnet.topmost_lid().unwrap().raw(), 10);
+        assert_eq!(space.in_use(), 10);
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn idempotent_on_rerun() {
+        let mut t = two_level(2, 3, 2);
+        let mut ledger = SmpLedger::new();
+        let disc = sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        let mut space = LidSpace::new();
+        assign_all(&mut t.subnet, &disc, &mut space, &mut ledger).unwrap();
+        let sent = assign_all(&mut t.subnet, &disc, &mut space, &mut ledger).unwrap();
+        assert_eq!(sent, 0, "re-running must not renumber anything");
+        assert_eq!(t.subnet.num_lids(), 10);
+    }
+
+    #[test]
+    fn preexisting_lids_respected() {
+        let mut t = two_level(2, 3, 2);
+        // Pin host 0 to LID 7 before bring-up.
+        t.subnet
+            .assign_port_lid(t.hosts[0], PortNum::new(1), Lid::from_raw(7))
+            .unwrap();
+        let mut ledger = SmpLedger::new();
+        let disc = sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        let mut space = LidSpace::new();
+        assign_all(&mut t.subnet, &disc, &mut space, &mut ledger).unwrap();
+        // LID 7 still belongs to host 0; nothing else took it.
+        let ep = t.subnet.endpoint_of(Lid::from_raw(7)).unwrap();
+        assert_eq!(ep.node, t.hosts[0]);
+        assert_eq!(t.subnet.num_lids(), 10);
+    }
+
+    #[test]
+    fn vswitches_share_pf_lid() {
+        // linear(2, 2) leaves port 1 of the first switch free for the
+        // vSwitch uplink.
+        let mut t = ib_subnet::topology::basic::linear(2, 2);
+        let vsw = t.subnet.add_vswitch("hyp-vsw", 4);
+        let leaf = t.switch_levels[0][0];
+        t.subnet.connect_free(leaf, vsw).unwrap();
+        let pf = t.subnet.add_hca("pf");
+        t.subnet.connect_free(vsw, pf).unwrap();
+        let mut ledger = SmpLedger::new();
+        let disc = sweep(&t.subnet, t.hosts[0], &mut ledger).unwrap();
+        let mut space = LidSpace::new();
+        assign_all(&mut t.subnet, &disc, &mut space, &mut ledger).unwrap();
+        // The vSwitch itself holds no LID.
+        assert!(t.subnet.node(vsw).lids().next().is_none());
+        // The PF behind it does.
+        assert!(t.subnet.node(pf).lids().next().is_some());
+    }
+}

@@ -1,0 +1,68 @@
+//! Reports produced by subnet-manager operations.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// What one LFT distribution cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributionReport {
+    /// `SubnSet(LinearForwardingTable)` SMPs sent.
+    pub lft_smps: usize,
+    /// Switches that received at least one SMP (the paper's `n`, or `n'`
+    /// for partial updates).
+    pub switches_updated: usize,
+    /// Largest per-switch SMP count (the paper's `m` for a full
+    /// distribution; 1 or 2 — `m'` — for a vSwitch migration).
+    pub max_blocks_per_switch: usize,
+}
+
+/// What a full bring-up or full reconfiguration cost.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BringUpReport {
+    /// Discovery `SubnGet` SMPs (0 when re-running on a known fabric).
+    pub discovery_smps: usize,
+    /// `SubnSet(PortInfo)` LID-assignment SMPs.
+    pub lid_smps: usize,
+    /// Wall-clock path-computation time — the `PCt` of equation 1.
+    pub path_computation: Duration,
+    /// Machine-independent routing-decision count (proxy for `PCt`).
+    pub decisions: u64,
+    /// LFT distribution accounting — the `LFTDt` side of equation 1.
+    pub distribution: DistributionReport,
+    /// Number of LIDs in the subnet after bring-up.
+    pub lids: usize,
+    /// Minimum LFT blocks per switch implied by the topmost LID (Table I's
+    /// "Min LFT Blocks/Switch" column).
+    pub min_blocks_per_switch: usize,
+    /// Engine that computed the paths.
+    pub engine: String,
+}
+
+impl BringUpReport {
+    /// Total SMPs across all phases.
+    #[must_use]
+    pub fn total_smps(&self) -> usize {
+        self.discovery_smps + self.lid_smps + self.distribution.lft_smps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = BringUpReport {
+            discovery_smps: 10,
+            lid_smps: 5,
+            distribution: DistributionReport {
+                lft_smps: 12,
+                switches_updated: 2,
+                max_blocks_per_switch: 6,
+            },
+            ..BringUpReport::default()
+        };
+        assert_eq!(r.total_smps(), 27);
+    }
+}

@@ -1,0 +1,241 @@
+//! The subnet manager proper.
+
+use std::time::Instant;
+
+use ib_mad::SmpLedger;
+use ib_routing::EngineKind;
+use ib_subnet::{lft::min_blocks_for, NodeId, Subnet};
+use ib_types::{IbResult, LidSpace};
+
+use crate::discovery;
+use crate::distribution;
+use crate::lids;
+use crate::report::BringUpReport;
+
+/// How the SM addresses its SMPs.
+///
+/// OpenSM uses directed routing for everything (necessary during discovery
+/// and whenever switch routes may be stale). §VI-B's improvement: during a
+/// vSwitch migration the switch LIDs are stable, so destination routing is
+/// safe and removes the `r` overhead (equation 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SmpMode {
+    /// Source-routed, hop-pointer rewriting at every switch.
+    Directed,
+    /// LID-routed through the installed LFTs.
+    Destination,
+}
+
+/// Subnet manager configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SmConfig {
+    /// Which routing engine computes paths.
+    pub engine: EngineKind,
+    /// How configuration SMPs are addressed.
+    pub smp_mode: SmpMode,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineKind::MinHop,
+            smp_mode: SmpMode::Directed,
+        }
+    }
+}
+
+/// The master subnet manager: owns the LID space and the SMP ledger, runs
+/// bring-ups and full reconfigurations.
+#[derive(Debug)]
+pub struct SubnetManager {
+    config: SmConfig,
+    /// Node the SM runs on.
+    pub sm_node: NodeId,
+    /// Allocator over the unicast LID space.
+    pub lid_space: LidSpace,
+    /// Every SMP this SM ever sent.
+    pub ledger: SmpLedger,
+}
+
+impl SubnetManager {
+    /// Creates an SM hosted on `sm_node`.
+    #[must_use]
+    pub fn new(sm_node: NodeId, config: SmConfig) -> Self {
+        Self {
+            config,
+            sm_node,
+            lid_space: LidSpace::new(),
+            ledger: SmpLedger::new(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> SmConfig {
+        self.config
+    }
+
+    /// Full fabric bring-up: discovery sweep, LID assignment, path
+    /// computation, LFT distribution.
+    ///
+    /// ```
+    /// use ib_sm::{SmConfig, SubnetManager};
+    /// use ib_subnet::topology::fattree;
+    ///
+    /// let mut t = fattree::two_level(2, 3, 2);
+    /// let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+    /// let report = sm.bring_up(&mut t.subnet).unwrap();
+    /// assert_eq!(report.lids, 10);                       // 4 switches + 6 hosts
+    /// assert_eq!(report.distribution.lft_smps, 4);       // n x m = 4 x 1
+    /// assert_eq!(sm.ledger.total(), report.total_smps());
+    /// ```
+    pub fn bring_up(&mut self, subnet: &mut Subnet) -> IbResult<BringUpReport> {
+        let disc = discovery::sweep(subnet, self.sm_node, &mut self.ledger)?;
+        let discovery_smps = self.ledger.phase_total("discovery");
+
+        let lid_smps = lids::assign_all(subnet, &disc, &mut self.lid_space, &mut self.ledger)?;
+
+        let report = self.reroute_and_distribute(subnet)?;
+        Ok(BringUpReport {
+            discovery_smps,
+            lid_smps,
+            ..report
+        })
+    }
+
+    /// The *traditional* full reconfiguration the paper's §VI-A costs out:
+    /// recompute every path (`PCt`) and redistribute dirty LFT blocks
+    /// (`LFTDt`). This is what a live migration would trigger without the
+    /// vSwitch reconfiguration method.
+    pub fn full_reconfiguration(&mut self, subnet: &mut Subnet) -> IbResult<BringUpReport> {
+        self.reroute_and_distribute(subnet)
+    }
+
+    fn reroute_and_distribute(&mut self, subnet: &mut Subnet) -> IbResult<BringUpReport> {
+        let engine = self.config.engine.build();
+        let started = Instant::now();
+        let tables = engine.compute(subnet)?;
+        let path_computation = started.elapsed();
+
+        let dist = distribution::distribute(
+            subnet,
+            self.sm_node,
+            &tables,
+            self.config.smp_mode,
+            &mut self.ledger,
+        )?;
+
+        Ok(BringUpReport {
+            discovery_smps: 0,
+            lid_smps: 0,
+            path_computation,
+            decisions: tables.decisions,
+            distribution: dist,
+            lids: subnet.num_lids(),
+            min_blocks_per_switch: subnet.topmost_lid().map_or(0, min_blocks_for),
+            engine: engine.name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_subnet::topology::torus::torus_2d;
+
+    #[test]
+    fn bring_up_configures_fat_tree_end_to_end() {
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        let report = sm.bring_up(&mut t.subnet).unwrap();
+
+        assert_eq!(report.lids, 10);
+        assert_eq!(report.lid_smps, 10);
+        assert_eq!(report.min_blocks_per_switch, 1);
+        assert_eq!(report.distribution.lft_smps, 4); // 4 switches x 1 block.
+        assert!(report.decisions > 0);
+
+        // Every host reaches every other host through the installed LFTs.
+        for &a in &t.hosts {
+            for &b in &t.hosts {
+                let lid = t.subnet.node(b).ports[1].lid.unwrap();
+                let path = t.subnet.trace_route(a, lid, 16).unwrap();
+                assert_eq!(*path.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn full_reconfiguration_without_changes_sends_nothing() {
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let again = sm.full_reconfiguration(&mut t.subnet).unwrap();
+        assert_eq!(again.distribution.lft_smps, 0);
+    }
+
+    #[test]
+    fn dfsssp_brings_up_torus() {
+        let mut t = torus_2d(3, 3, 1, true);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine: EngineKind::Dfsssp,
+                smp_mode: SmpMode::Directed,
+            },
+        );
+        let report = sm.bring_up(&mut t.subnet).unwrap();
+        assert_eq!(report.engine, "dfsssp");
+        for &b in &t.hosts {
+            let lid = t.subnet.node(b).ports[1].lid.unwrap();
+            let path = t.subnet.trace_route(t.hosts[0], lid, 32).unwrap();
+            assert_eq!(*path.last().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn ledger_phases_cover_pipeline() {
+        let mut t = two_level(2, 2, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        let report = sm.bring_up(&mut t.subnet).unwrap();
+        assert_eq!(
+            sm.ledger.phase_total("discovery"),
+            report.discovery_smps
+        );
+        assert_eq!(sm.ledger.phase_total("lid-assignment"), report.lid_smps);
+        assert_eq!(
+            sm.ledger.phase_total("lft-distribution"),
+            report.distribution.lft_smps
+        );
+        assert_eq!(sm.ledger.total(), report.total_smps());
+    }
+
+    #[test]
+    fn destination_mode_after_directed_bring_up() {
+        // First bring-up must be directed (no LFTs yet); once tables are in
+        // place a second SM can run destination-routed.
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+
+        // Nudge a LID to force redistribution: move host 5 to a new LID.
+        let h5 = t.hosts[5];
+        let old = t.subnet.node(h5).ports[1].lid.unwrap();
+        t.subnet.clear_lid(old).unwrap();
+        t.subnet
+            .assign_port_lid(h5, ib_types::PortNum::new(1), ib_types::Lid::from_raw(40))
+            .unwrap();
+
+        let mut sm2 = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine: EngineKind::MinHop,
+                smp_mode: SmpMode::Destination,
+            },
+        );
+        let report = sm2.full_reconfiguration(&mut t.subnet).unwrap();
+        assert!(report.distribution.lft_smps > 0);
+        assert!(sm2.ledger.records().iter().all(|r| !r.directed));
+    }
+}

@@ -1,0 +1,98 @@
+//! GraphViz export of a subnet.
+//!
+//! `to_dot` renders the fabric for inspection: physical switches as boxes,
+//! vSwitches as diamonds, HCAs as ellipses, one edge per cable labeled
+//! with its port pair, and LIDs in the node labels. Pipe through
+//! `dot -Tsvg` to see what the builders built.
+
+use std::fmt::Write as _;
+
+use crate::subnet::Subnet;
+
+/// Renders the subnet as a GraphViz `graph` document.
+#[must_use]
+pub fn to_dot(subnet: &Subnet) -> String {
+    let mut out = String::new();
+    out.push_str("graph subnet {\n");
+    out.push_str("  graph [overlap=false, splines=true];\n");
+    out.push_str("  node [fontname=\"monospace\", fontsize=10];\n");
+
+    for node in subnet.nodes() {
+        let lids: Vec<String> = node.lids().map(|l| l.to_string()).collect();
+        let lid_label = if lids.is_empty() {
+            String::new()
+        } else {
+            format!("\\nLID {}", lids.join(","))
+        };
+        let (shape, style) = if node.is_vswitch() {
+            ("diamond", "dashed")
+        } else if node.is_switch() {
+            ("box", "solid")
+        } else {
+            ("ellipse", "solid")
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}{}\", shape={}, style={}];",
+            node.id.index(),
+            node.name,
+            lid_label,
+            shape,
+            style,
+        );
+    }
+
+    for node in subnet.nodes() {
+        for (port, remote) in node.connected_ports() {
+            // Each cable once: owner = lower arena index.
+            if node.id.index() < remote.node.index() {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [label=\"{}:{}\", fontsize=8];",
+                    node.id.index(),
+                    remote.node.index(),
+                    port,
+                    remote.port,
+                );
+            }
+        }
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::basic::fig5_fabric;
+    use ib_types::{Lid, PortNum};
+
+    #[test]
+    fn dot_contains_every_node_and_cable() {
+        let mut t = fig5_fabric();
+        t.subnet
+            .assign_port_lid(t.hosts[0], PortNum::new(1), Lid::from_raw(1))
+            .unwrap();
+        let dot = to_dot(&t.subnet);
+        assert!(dot.starts_with("graph subnet {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 5 nodes, 4 cables.
+        assert_eq!(dot.matches("shape=").count(), 5);
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.contains("LID 1"));
+        assert!(dot.contains("leaf-0"));
+        assert!(dot.contains("hyp-3"));
+    }
+
+    #[test]
+    fn vswitches_render_dashed_diamonds() {
+        let mut s = Subnet::new();
+        let sw = s.add_switch("sw", 2);
+        let vsw = s.add_vswitch("vsw", 2);
+        s.connect_free(sw, vsw).unwrap();
+        let dot = to_dot(&s);
+        assert!(dot.contains("shape=diamond, style=dashed"));
+        assert!(dot.contains("shape=box, style=solid"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Nodes (switches and HCAs), ports, and endpoints.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use ib_types::{Guid, Lid, PortNum};
+
+use crate::lft::Lft;
+
+/// Dense, copyable handle to a node within one [`crate::Subnet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The index into the subnet's node arena.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from an arena index.
+    ///
+    /// Only meaningful for indices previously obtained from the same subnet.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A `(node, port)` pair — one side of a link, or the attachment point of a
+/// LID.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The node.
+    pub node: NodeId,
+    /// The port on that node.
+    pub port: PortNum,
+}
+
+impl Endpoint {
+    /// Convenience constructor.
+    #[must_use]
+    pub const fn new(node: NodeId, port: PortNum) -> Self {
+        Self { node, port }
+    }
+}
+
+/// Per-port state: cabling and (for HCA ports) the port LID(s).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortState {
+    /// The far end of the cable plugged into this port, if any.
+    pub remote: Option<Endpoint>,
+    /// The base LID assigned to this port.
+    ///
+    /// Only HCA ports carry per-port LIDs; a switch's single LID lives on
+    /// its management port 0 and is stored in [`NodeKind::Switch`].
+    pub lid: Option<Lid>,
+    /// Additional LIDs answered by this port: the `2^lmc - 1` extra
+    /// sequential LIDs of an LMC range (IBA multipathing), which §V-A of
+    /// the paper contrasts with the non-sequential per-VF LIDs of the
+    /// prepopulated vSwitch.
+    pub extra_lids: Vec<Lid>,
+}
+
+/// What a node is.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A crossbar switch with a Linear Forwarding Table.
+    Switch {
+        /// The LFT this switch routes by.
+        lft: Lft,
+        /// The switch's own LID (assigned by the SM to port 0).
+        lid: Option<Lid>,
+        /// Marks switches that are really SR-IOV vSwitches embedded in an
+        /// HCA (§IV-B): they share a LID with their PF, are non-blocking by
+        /// construction, and are *excluded* from "iterate all physical
+        /// switches" reconfiguration loops.
+        is_vswitch: bool,
+    },
+    /// A host channel adapter endpoint (a physical PF port or a VF exposed
+    /// as a vHCA behind a vSwitch).
+    Hca,
+}
+
+/// A node in the subnet.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Handle of this node in its subnet.
+    pub id: NodeId,
+    /// Manufacturer (or SM-assigned virtual) GUID.
+    pub guid: Guid,
+    /// Human-readable name for diagnostics (`"leaf-3"`, `"hyp-1-vf2"`, ...).
+    pub name: String,
+    /// Switch or HCA specifics.
+    pub kind: NodeKind,
+    /// Port array. Index 0 is the management port; external ports start
+    /// at index 1. HCAs conventionally use port 1.
+    pub ports: Vec<PortState>,
+}
+
+impl Node {
+    /// Whether the node is a switch (including vSwitches).
+    #[must_use]
+    pub fn is_switch(&self) -> bool {
+        matches!(self.kind, NodeKind::Switch { .. })
+    }
+
+    /// Whether the node is a *physical* switch (excluding vSwitches).
+    #[must_use]
+    pub fn is_physical_switch(&self) -> bool {
+        matches!(self.kind, NodeKind::Switch { is_vswitch: false, .. })
+    }
+
+    /// Whether the node is an SR-IOV vSwitch.
+    #[must_use]
+    pub fn is_vswitch(&self) -> bool {
+        matches!(self.kind, NodeKind::Switch { is_vswitch: true, .. })
+    }
+
+    /// Whether the node is an HCA.
+    #[must_use]
+    pub fn is_hca(&self) -> bool {
+        matches!(self.kind, NodeKind::Hca)
+    }
+
+    /// The switch's LFT, if this is a switch.
+    #[must_use]
+    pub fn lft(&self) -> Option<&Lft> {
+        match &self.kind {
+            NodeKind::Switch { lft, .. } => Some(lft),
+            NodeKind::Hca => None,
+        }
+    }
+
+    /// Mutable access to the switch's LFT.
+    #[must_use]
+    pub fn lft_mut(&mut self) -> Option<&mut Lft> {
+        match &mut self.kind {
+            NodeKind::Switch { lft, .. } => Some(lft),
+            NodeKind::Hca => None,
+        }
+    }
+
+    /// Every LID this node answers to: the switch LID, or all HCA port LIDs.
+    pub fn lids(&self) -> impl Iterator<Item = Lid> + '_ {
+        let switch_lid = match &self.kind {
+            NodeKind::Switch { lid, .. } => *lid,
+            NodeKind::Hca => None,
+        };
+        switch_lid
+            .into_iter()
+            .chain(self.ports.iter().filter_map(|p| p.lid))
+            .chain(self.ports.iter().flat_map(|p| p.extra_lids.iter().copied()))
+    }
+
+    /// Number of external ports (ports 1..).
+    #[must_use]
+    pub fn num_external_ports(&self) -> usize {
+        self.ports.len().saturating_sub(1)
+    }
+
+    /// External ports currently cabled to a neighbor.
+    pub fn connected_ports(&self) -> impl Iterator<Item = (PortNum, Endpoint)> + '_ {
+        self.ports.iter().enumerate().skip(1).filter_map(|(i, p)| {
+            p.remote.map(|r| (PortNum::new(i as u8), r))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn switch_node() -> Node {
+        Node {
+            id: NodeId(0),
+            guid: Guid::from_raw(1),
+            name: "sw".into(),
+            kind: NodeKind::Switch {
+                lft: Lft::new(),
+                lid: Some(Lid::from_raw(5)),
+                is_vswitch: false,
+            },
+            ports: vec![PortState::default(); 37],
+        }
+    }
+
+    #[test]
+    fn switch_classification() {
+        let n = switch_node();
+        assert!(n.is_switch());
+        assert!(n.is_physical_switch());
+        assert!(!n.is_vswitch());
+        assert!(!n.is_hca());
+        assert_eq!(n.num_external_ports(), 36);
+        assert_eq!(n.lids().collect::<Vec<_>>(), vec![Lid::from_raw(5)]);
+    }
+
+    #[test]
+    fn vswitch_classification() {
+        let mut n = switch_node();
+        n.kind = NodeKind::Switch {
+            lft: Lft::new(),
+            lid: None,
+            is_vswitch: true,
+        };
+        assert!(n.is_switch());
+        assert!(!n.is_physical_switch());
+        assert!(n.is_vswitch());
+    }
+
+    #[test]
+    fn hca_lids_come_from_ports() {
+        let mut ports = vec![PortState::default(); 2];
+        ports[1].lid = Some(Lid::from_raw(9));
+        let n = Node {
+            id: NodeId(1),
+            guid: Guid::from_raw(2),
+            name: "hca".into(),
+            kind: NodeKind::Hca,
+            ports,
+        };
+        assert!(n.is_hca());
+        assert!(n.lft().is_none());
+        assert_eq!(n.lids().collect::<Vec<_>>(), vec![Lid::from_raw(9)]);
+    }
+
+    #[test]
+    fn connected_ports_skips_management_and_empty() {
+        let mut n = switch_node();
+        n.ports[2].remote = Some(Endpoint::new(NodeId(7), PortNum::new(1)));
+        let conns: Vec<_> = n.connected_ports().collect();
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].0, PortNum::new(2));
+        assert_eq!(conns[0].1.node, NodeId(7));
+    }
+}

@@ -1,0 +1,215 @@
+//! Small hand-shaped topologies used by unit tests and the paper's worked
+//! examples (Fig. 3–6).
+
+use ib_types::PortNum;
+
+use crate::subnet::Subnet;
+
+use super::BuiltTopology;
+
+/// A single switch with `num_hosts` hosts — the smallest useful subnet.
+#[must_use]
+pub fn single_switch(num_hosts: usize) -> BuiltTopology {
+    let mut subnet = Subnet::new();
+    let sw = subnet.add_switch("sw-0", num_hosts as u8);
+    let hosts: Vec<_> = (0..num_hosts)
+        .map(|h| {
+            let host = subnet.add_hca(format!("host-{h}"));
+            subnet
+                .connect(sw, PortNum::new(h as u8 + 1), host, PortNum::new(1))
+                .expect("single-switch wiring");
+            host
+        })
+        .collect();
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![vec![sw]],
+        name: format!("single-switch-{num_hosts}"),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+/// A linear chain of switches, each carrying `hosts_per_switch` hosts.
+///
+/// Port 1 points to the previous switch, port 2 to the next, hosts from 3.
+#[must_use]
+pub fn linear(num_switches: usize, hosts_per_switch: usize) -> BuiltTopology {
+    assert!(num_switches >= 1);
+    let mut subnet = Subnet::new();
+    let radix = (2 + hosts_per_switch) as u8;
+    let switches: Vec<_> = (0..num_switches)
+        .map(|i| subnet.add_switch(format!("sw-{i}"), radix))
+        .collect();
+    for w in switches.windows(2) {
+        subnet
+            .connect(w[0], PortNum::new(2), w[1], PortNum::new(1))
+            .expect("linear wiring");
+    }
+    let mut hosts = Vec::with_capacity(num_switches * hosts_per_switch);
+    for (i, &sw) in switches.iter().enumerate() {
+        for h in 0..hosts_per_switch {
+            let host = subnet.add_hca(format!("host-{}", i * hosts_per_switch + h));
+            subnet
+                .connect(sw, PortNum::new(3 + h as u8), host, PortNum::new(1))
+                .expect("linear host wiring");
+            hosts.push(host);
+        }
+    }
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![switches],
+        name: format!("linear-{num_switches}x{hosts_per_switch}"),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+/// The two-leaf-switch, three-hypervisor fabric of the paper's Fig. 3/4/5.
+///
+/// Hosts 0 and 1 (hypervisor 1 and 2) sit on leaf 0, host 2 (hypervisor 3)
+/// sits on leaf 1; the leaves are joined by a trunk. The Fig. 5 worked
+/// example — migrate VM1 from hypervisor 1 to hypervisor 3 by swapping LIDs
+/// 2 and 12 — runs on exactly this shape.
+#[must_use]
+pub fn fig5_fabric() -> BuiltTopology {
+    let mut subnet = Subnet::new();
+    let leaf0 = subnet.add_switch("leaf-0", 8);
+    let leaf1 = subnet.add_switch("leaf-1", 8);
+    // Port 4 on the upper-left switch forwards towards leaf 1 in Fig. 5
+    // (LID 12's pre-migration port); port 2 carries hypervisor 1.
+    subnet
+        .connect(leaf0, PortNum::new(4), leaf1, PortNum::new(4))
+        .expect("fig5 trunk");
+    let hyp1 = subnet.add_hca("hyp-1");
+    let hyp2 = subnet.add_hca("hyp-2");
+    let hyp3 = subnet.add_hca("hyp-3");
+    subnet
+        .connect(leaf0, PortNum::new(2), hyp1, PortNum::new(1))
+        .expect("fig5 hyp1");
+    subnet
+        .connect(leaf0, PortNum::new(3), hyp2, PortNum::new(1))
+        .expect("fig5 hyp2");
+    subnet
+        .connect(leaf1, PortNum::new(2), hyp3, PortNum::new(1))
+        .expect("fig5 hyp3");
+    let built = BuiltTopology {
+        subnet,
+        hosts: vec![hyp1, hyp2, hyp3],
+        switch_levels: vec![vec![leaf0, leaf1]],
+        name: "fig5".into(),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+/// The three-level, four-hypervisor network of the paper's Fig. 6.
+///
+/// Twelve switches: leaves 1/2/11/12, middle 3/4/9/10, top 5/6/7/8 (numbered
+/// here 0-based in `switch_levels`: leaves `[0..4)`, mids `[0..4)`, tops
+/// `[0..4)`). Hypervisors 1 and 2 share leaf 0; hypervisor 3 is on leaf 1;
+/// hypervisor 4 on leaf 3.
+#[must_use]
+pub fn fig6_fabric() -> BuiltTopology {
+    let mut subnet = Subnet::new();
+    // Leaves, mids, tops — 4 of each; radix 8 suffices.
+    let leaves: Vec<_> = (0..4)
+        .map(|i| subnet.add_switch(format!("leaf-{i}"), 8))
+        .collect();
+    let mids: Vec<_> = (0..4)
+        .map(|i| subnet.add_switch(format!("mid-{i}"), 8))
+        .collect();
+    let tops: Vec<_> = (0..4)
+        .map(|i| subnet.add_switch(format!("top-{i}"), 8))
+        .collect();
+    // Each leaf pairs with two mids (leaf i -> mids i/2*2 and i/2*2+1),
+    // each mid with two tops, forming two symmetric halves re-joined at the
+    // top — enough path diversity for the Fig. 6 scenarios.
+    for (i, &leaf) in leaves.iter().enumerate() {
+        let m0 = mids[(i / 2) * 2];
+        let m1 = mids[(i / 2) * 2 + 1];
+        subnet.connect_free(leaf, m0).expect("fig6 leaf-mid");
+        subnet.connect_free(leaf, m1).expect("fig6 leaf-mid");
+    }
+    for (i, &mid) in mids.iter().enumerate() {
+        let t0 = tops[(i % 2) * 2];
+        let t1 = tops[(i % 2) * 2 + 1];
+        subnet.connect_free(mid, t0).expect("fig6 mid-top");
+        subnet.connect_free(mid, t1).expect("fig6 mid-top");
+    }
+    let mut hosts = Vec::new();
+    // Hypervisors 1 and 2 on leaf 0, hypervisor 3 on leaf 1, hypervisor 4
+    // on leaf 3 (far side), matching Fig. 6's placement.
+    for (name, leaf) in [
+        ("hyp-1", leaves[0]),
+        ("hyp-2", leaves[0]),
+        ("hyp-3", leaves[1]),
+        ("hyp-4", leaves[3]),
+    ] {
+        let h = subnet.add_hca(name);
+        let p = subnet.first_free_port(leaf).expect("fig6 host port");
+        subnet.connect(leaf, p, h, PortNum::new(1)).expect("fig6 host");
+        hosts.push(h);
+    }
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![leaves, mids, tops],
+        name: "fig6".into(),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_shape() {
+        let t = single_switch(4);
+        assert_eq!(t.num_hosts(), 4);
+        assert_eq!(t.num_switches(), 1);
+        assert_eq!(t.subnet.num_links(), 4);
+    }
+
+    #[test]
+    fn linear_shape() {
+        let t = linear(3, 2);
+        assert_eq!(t.num_hosts(), 6);
+        assert_eq!(t.subnet.num_links(), 2 + 6);
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let t = fig5_fabric();
+        assert_eq!(t.num_hosts(), 3);
+        assert_eq!(t.num_switches(), 2);
+        // Hypervisor 1 hangs off leaf 0 port 2, the trunk off port 4 —
+        // the exact ports the Fig. 5 LFT excerpt shows for LIDs 2 and 12.
+        let leaf0 = t.switch_levels[0][0];
+        let hyp1 = t.hosts[0];
+        assert_eq!(
+            t.subnet.neighbor(leaf0, ib_types::PortNum::new(2)).unwrap().node,
+            hyp1
+        );
+    }
+
+    #[test]
+    fn fig6_shape() {
+        let t = fig6_fabric();
+        assert_eq!(t.num_hosts(), 4);
+        assert_eq!(t.num_switches(), 12);
+        t.subnet.validate(true).unwrap();
+        // Hypervisors 1 and 2 share a leaf.
+        let h1_leaf = t.subnet.neighbor(t.hosts[0], ib_types::PortNum::new(1)).unwrap().node;
+        let h2_leaf = t.subnet.neighbor(t.hosts[1], ib_types::PortNum::new(1)).unwrap().node;
+        assert_eq!(h1_leaf, h2_leaf);
+        // Hypervisor 4 does not.
+        let h4_leaf = t.subnet.neighbor(t.hosts[3], ib_types::PortNum::new(1)).unwrap().node;
+        assert_ne!(h1_leaf, h4_leaf);
+    }
+}

@@ -1,0 +1,167 @@
+//! Dragonfly topologies.
+//!
+//! A dragonfly is a two-tier hierarchy: `g` groups of `a` switches each,
+//! fully connected *within* a group (local links) and with one global link
+//! between every pair of groups. Minimal routes take at most one global
+//! hop (`l-g-l`), but the global/local mix creates rich cycle structure —
+//! the hard case for the deadlock analyses of §VI-C.
+
+use ib_types::PortNum;
+
+use crate::subnet::Subnet;
+
+use super::BuiltTopology;
+
+/// Parameters of a canonical dragonfly.
+#[derive(Clone, Copy, Debug)]
+pub struct DragonflySpec {
+    /// Number of groups.
+    pub groups: usize,
+    /// Switches per group (fully meshed locally).
+    pub switches_per_group: usize,
+    /// Hosts per switch.
+    pub hosts_per_switch: usize,
+}
+
+impl Default for DragonflySpec {
+    fn default() -> Self {
+        Self {
+            groups: 5,
+            switches_per_group: 4,
+            hosts_per_switch: 2,
+        }
+    }
+}
+
+/// Builds the dragonfly. Global link `(gi, gj)` attaches to switch
+/// `(gj - gi - 1) mod a` of group `gi` (round-robin spreading), matching
+/// the usual palmtree arrangement.
+#[must_use]
+pub fn dragonfly(spec: DragonflySpec) -> BuiltTopology {
+    let DragonflySpec {
+        groups,
+        switches_per_group: a,
+        hosts_per_switch,
+    } = spec;
+    assert!(groups >= 2 && a >= 1);
+    assert!(
+        groups - 1 <= a * a,
+        "not enough global-link attachment points"
+    );
+
+    let mut subnet = Subnet::new();
+    // Generous radix: local mesh peers + worst-case global links + hosts.
+    let radix = (a - 1 + (groups - 1) + hosts_per_switch).min(250) as u8;
+
+    let mut switches = Vec::with_capacity(groups * a);
+    for g in 0..groups {
+        for s in 0..a {
+            switches.push(subnet.add_switch(format!("df-g{g}s{s}"), radix));
+        }
+    }
+    let sw_at = |g: usize, s: usize| switches[g * a + s];
+
+    // Local full mesh within each group.
+    for g in 0..groups {
+        for i in 0..a {
+            for j in (i + 1)..a {
+                // Port for peer j on switch i: peers in index order.
+                let pi = PortNum::new(j as u8); // peers 1..a-1 -> ports 1..
+                let pj = PortNum::new(i as u8 + 1);
+                subnet
+                    .connect(sw_at(g, i), pi, sw_at(g, j), pj)
+                    .expect("dragonfly local wiring");
+            }
+        }
+    }
+
+    // Global links: one per group pair, attach points spread round-robin
+    // over each group's switches (palmtree-style), cabled on the lowest
+    // free ports.
+    for gi in 0..groups {
+        for gj in (gi + 1)..groups {
+            let si = (gj - gi - 1) % a;
+            let sj = (gj - gi - 1) % a;
+            subnet
+                .connect_free(sw_at(gi, si), sw_at(gj, sj))
+                .expect("dragonfly global wiring");
+        }
+    }
+
+    // Hosts.
+    let mut hosts = Vec::with_capacity(groups * a * hosts_per_switch);
+    for (i, &sw) in switches.iter().enumerate() {
+        for h in 0..hosts_per_switch {
+            let host = subnet.add_hca(format!("host-{}", i * hosts_per_switch + h));
+            let hp = subnet
+                .first_free_port(sw)
+                .expect("dragonfly host port");
+            subnet
+                .connect(sw, hp, host, PortNum::new(1))
+                .expect("dragonfly host wiring");
+            hosts.push(host);
+            let _ = h;
+        }
+    }
+
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![switches],
+        name: format!("dragonfly-g{groups}a{a}"),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape() {
+        let t = dragonfly(DragonflySpec::default());
+        assert_eq!(t.num_switches(), 20);
+        assert_eq!(t.num_hosts(), 40);
+        t.subnet.validate(true).unwrap();
+        // Local links: 5 groups x C(4,2)=6 -> 30. Global: C(5,2)=10.
+        // Hosts: 40.
+        assert_eq!(t.subnet.num_links(), 30 + 10 + 40);
+    }
+
+    #[test]
+    fn minimal_two_groups() {
+        let t = dragonfly(DragonflySpec {
+            groups: 2,
+            switches_per_group: 1,
+            hosts_per_switch: 1,
+        });
+        assert_eq!(t.num_switches(), 2);
+        assert_eq!(t.subnet.num_links(), 1 + 2);
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn every_group_pair_linked() {
+        let spec = DragonflySpec {
+            groups: 4,
+            switches_per_group: 3,
+            hosts_per_switch: 0,
+        };
+        let t = dragonfly(spec);
+        // Count inter-group links by walking all cables.
+        let a = spec.switches_per_group;
+        let group_of = |idx: usize| idx / a;
+        let mut pairs = std::collections::HashSet::new();
+        for node in t.subnet.nodes() {
+            for (_, r) in node.connected_ports() {
+                let gi = group_of(node.id.index());
+                let gj = group_of(r.node.index());
+                if gi != gj {
+                    pairs.insert((gi.min(gj), gi.max(gj)));
+                }
+            }
+        }
+        assert_eq!(pairs.len(), 6, "C(4,2) group pairs all connected");
+    }
+}

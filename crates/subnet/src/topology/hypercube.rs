@@ -1,0 +1,105 @@
+//! Binary hypercubes.
+//!
+//! A `d`-dimensional hypercube has `2^d` switches, each cabled to the `d`
+//! switches whose index differs in one bit. Rich in cycles, low diameter —
+//! a classic stress case for deadlock-free routing.
+
+use ib_types::PortNum;
+
+use crate::subnet::Subnet;
+
+use super::BuiltTopology;
+
+/// Builds a `dims`-dimensional hypercube with `hosts_per_switch` hosts on
+/// each switch. Dimension `k` uses port `k + 1`; hosts start at port
+/// `dims + 1`.
+#[must_use]
+pub fn hypercube(dims: u32, hosts_per_switch: usize) -> BuiltTopology {
+    assert!((1..=10).contains(&dims), "1..=10 dimensions supported");
+    let n = 1usize << dims;
+    let mut subnet = Subnet::new();
+    let radix = dims as u8 + hosts_per_switch as u8;
+
+    let switches: Vec<_> = (0..n)
+        .map(|i| subnet.add_switch(format!("cube-{i:0width$b}", width = dims as usize), radix))
+        .collect();
+
+    for i in 0..n {
+        for k in 0..dims {
+            let j = i ^ (1 << k);
+            if i < j {
+                subnet
+                    .connect(
+                        switches[i],
+                        PortNum::new(k as u8 + 1),
+                        switches[j],
+                        PortNum::new(k as u8 + 1),
+                    )
+                    .expect("hypercube wiring");
+            }
+        }
+    }
+
+    let mut hosts = Vec::with_capacity(n * hosts_per_switch);
+    for (i, &sw) in switches.iter().enumerate() {
+        for h in 0..hosts_per_switch {
+            let host = subnet.add_hca(format!("host-{}", i * hosts_per_switch + h));
+            subnet
+                .connect(
+                    sw,
+                    PortNum::new(dims as u8 + 1 + h as u8),
+                    host,
+                    PortNum::new(1),
+                )
+                .expect("hypercube host wiring");
+            hosts.push(host);
+        }
+    }
+
+    let built = BuiltTopology {
+        subnet,
+        hosts,
+        switch_levels: vec![switches],
+        name: format!("hypercube-{dims}d"),
+    };
+    debug_assert!(built.subnet.validate(true).is_ok());
+    built
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_3d_shape() {
+        let t = hypercube(3, 1);
+        assert_eq!(t.num_switches(), 8);
+        assert_eq!(t.num_hosts(), 8);
+        // 8 switches x 3 dims / 2 + 8 host links.
+        assert_eq!(t.subnet.num_links(), 12 + 8);
+        t.subnet.validate(true).unwrap();
+    }
+
+    #[test]
+    fn dimension_links_match_port_numbers() {
+        let t = hypercube(2, 0);
+        // Switch 0 port 1 -> switch 1 (bit 0); port 2 -> switch 2 (bit 1).
+        let sw0 = t.switch_levels[0][0];
+        assert_eq!(
+            t.subnet.neighbor(sw0, PortNum::new(1)).unwrap().node,
+            t.switch_levels[0][1]
+        );
+        assert_eq!(
+            t.subnet.neighbor(sw0, PortNum::new(2)).unwrap().node,
+            t.switch_levels[0][2]
+        );
+    }
+
+    #[test]
+    fn degenerate_1d() {
+        let t = hypercube(1, 2);
+        assert_eq!(t.num_switches(), 2);
+        assert_eq!(t.subnet.num_links(), 1 + 4);
+        t.subnet.validate(true).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! Topology builders.
+//!
+//! Builders produce un-managed subnets: cabling only, no LIDs and no LFTs —
+//! exactly what a subnet manager finds when it first sweeps a fabric. The
+//! four presets in [`fattree`] reproduce the evaluation topologies of the
+//! paper (Fig. 7 / Table I); [`torus`] and [`irregular`] exist to exercise
+//! the *topology-agnostic* claims of the reconfiguration method.
+
+pub mod basic;
+pub mod dragonfly;
+pub mod fattree;
+pub mod hypercube;
+pub mod irregular;
+pub mod torus;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::subnet::Subnet;
+
+/// A constructed topology: the subnet plus role annotations that builders
+/// know but the raw graph does not express.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BuiltTopology {
+    /// The cabled subnet.
+    pub subnet: Subnet,
+    /// Host (HCA) nodes, in builder order.
+    pub hosts: Vec<NodeId>,
+    /// Switches grouped by level; level 0 is the edge/leaf level.
+    pub switch_levels: Vec<Vec<NodeId>>,
+    /// Human-readable topology name (`"fat-tree-2L-324"`, ...).
+    pub name: String,
+}
+
+impl BuiltTopology {
+    /// All switches across levels.
+    #[must_use]
+    pub fn all_switches(&self) -> Vec<NodeId> {
+        self.switch_levels.iter().flatten().copied().collect()
+    }
+
+    /// Leaf (edge) switches.
+    #[must_use]
+    pub fn leaves(&self) -> &[NodeId] {
+        self.switch_levels.first().map_or(&[], Vec::as_slice)
+    }
+
+    /// Total switch count.
+    #[must_use]
+    pub fn num_switches(&self) -> usize {
+        self.switch_levels.iter().map(Vec::len).sum()
+    }
+
+    /// Total host count.
+    #[must_use]
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+}

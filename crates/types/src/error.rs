@@ -1,0 +1,113 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Result alias over [`IbError`].
+pub type IbResult<T> = Result<T, IbError>;
+
+/// Errors arising from address construction and allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressError {
+    /// LID 0 is reserved.
+    ReservedLid,
+    /// The value is outside the unicast LID range.
+    NotUnicast(u16),
+    /// All 49151 unicast LIDs are allocated.
+    LidSpaceExhausted,
+    /// The LID is already allocated.
+    LidInUse(u16),
+    /// The LID is not currently allocated.
+    LidNotAllocated(u16),
+    /// GUID 0 is reserved.
+    ReservedGuid,
+    /// LMC above 7.
+    InvalidLmc(u8),
+    /// Data VL above 14.
+    InvalidVl(u8),
+    /// Partition number outside the 15-bit space (or reserved).
+    InvalidPartition(u16),
+}
+
+impl fmt::Display for AddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ReservedLid => write!(f, "LID 0 is reserved"),
+            Self::NotUnicast(raw) => write!(f, "LID {raw:#06x} is not unicast"),
+            Self::LidSpaceExhausted => write!(f, "unicast LID space exhausted (49151 in use)"),
+            Self::LidInUse(raw) => write!(f, "LID {raw} is already allocated"),
+            Self::LidNotAllocated(raw) => write!(f, "LID {raw} is not allocated"),
+            Self::ReservedGuid => write!(f, "GUID 0 is reserved"),
+            Self::InvalidLmc(bits) => write!(f, "LMC {bits} exceeds the maximum of 7"),
+            Self::InvalidVl(raw) => write!(f, "VL{raw} is not a data virtual lane"),
+            Self::InvalidPartition(n) => {
+                write!(f, "partition number {n:#06x} is reserved or out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
+
+/// Top-level error type for subnet, management, and virtualization
+/// operations.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IbError {
+    /// An addressing failure.
+    Address(AddressError),
+    /// A topology inconsistency (dangling link, port out of range, ...).
+    Topology(String),
+    /// A management operation was attempted against missing state.
+    Management(String),
+    /// A virtualization operation failed (no free VF, VM not found, ...).
+    Virtualization(String),
+    /// The operation would violate a capacity limit.
+    Capacity(String),
+}
+
+impl fmt::Display for IbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Address(e) => write!(f, "address error: {e}"),
+            Self::Topology(msg) => write!(f, "topology error: {msg}"),
+            Self::Management(msg) => write!(f, "management error: {msg}"),
+            Self::Virtualization(msg) => write!(f, "virtualization error: {msg}"),
+            Self::Capacity(msg) => write!(f, "capacity error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Address(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AddressError> for IbError {
+    fn from(e: AddressError) -> Self {
+        Self::Address(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IbError::from(AddressError::LidInUse(7));
+        assert_eq!(e.to_string(), "address error: LID 7 is already allocated");
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = IbError::from(AddressError::ReservedLid);
+        assert!(e.source().is_some());
+        assert!(IbError::Topology("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Global Identifiers (GIDs): 128-bit, IPv6-compatible addresses formed from
+//! a subnet prefix and a GUID.
+
+use std::fmt;
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::guid::Guid;
+
+/// Default subnet prefix used by IB fabrics that have not been assigned a
+/// globally unique one (`fe80::/64`, the link-local prefix).
+pub const DEFAULT_SUBNET_PREFIX: u64 = 0xfe80_0000_0000_0000;
+
+/// A 128-bit InfiniBand Global Identifier.
+///
+/// `GID = subnet_prefix (64 bits) || GUID (64 bits)`. The GID of a virtual
+/// function is derived from its vGUID, so when a VM migrates with its vGUID
+/// the GID follows automatically — the paper's §V-C notes this is why GID
+/// migration "does not pose a significant burden".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Gid {
+    prefix: u64,
+    guid: Guid,
+}
+
+impl Gid {
+    /// Forms a GID from a subnet prefix and a GUID.
+    #[must_use]
+    pub const fn new(prefix: u64, guid: Guid) -> Self {
+        Self { prefix, guid }
+    }
+
+    /// Forms a GID under the default (link-local) subnet prefix.
+    #[must_use]
+    pub const fn link_local(guid: Guid) -> Self {
+        Self::new(DEFAULT_SUBNET_PREFIX, guid)
+    }
+
+    /// The 64-bit subnet prefix.
+    #[must_use]
+    pub const fn prefix(self) -> u64 {
+        self.prefix
+    }
+
+    /// The interface identifier half — the GUID.
+    #[must_use]
+    pub const fn guid(self) -> Guid {
+        self.guid
+    }
+
+    /// The GID as a 128-bit integer.
+    #[must_use]
+    pub const fn as_u128(self) -> u128 {
+        ((self.prefix as u128) << 64) | self.guid.raw() as u128
+    }
+
+    /// The GID rendered as the IPv6 address it is defined to be.
+    #[must_use]
+    pub fn to_ipv6(self) -> Ipv6Addr {
+        Ipv6Addr::from(self.as_u128())
+    }
+}
+
+impl fmt::Debug for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gid({})", self.to_ipv6())
+    }
+}
+
+impl fmt::Display for Gid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ipv6())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_is_prefix_plus_guid() {
+        let guid = Guid::from_raw(0x0002_c903_00a1_b2c3);
+        let gid = Gid::link_local(guid);
+        assert_eq!(gid.prefix(), DEFAULT_SUBNET_PREFIX);
+        assert_eq!(gid.guid(), guid);
+        assert_eq!(
+            gid.as_u128(),
+            0xfe80_0000_0000_0000_0002_c903_00a1_b2c3u128
+        );
+    }
+
+    #[test]
+    fn gid_renders_as_ipv6() {
+        let guid = Guid::from_raw(0x0002_c903_00a1_b2c3);
+        let gid = Gid::link_local(guid);
+        assert_eq!(gid.to_string(), "fe80::2:c903:a1:b2c3");
+    }
+
+    #[test]
+    fn same_guid_different_prefix_differs() {
+        let guid = Guid::from_raw(42);
+        let a = Gid::new(0x1111_0000_0000_0000, guid);
+        let b = Gid::link_local(guid);
+        assert_ne!(a, b);
+        assert_eq!(a.guid(), b.guid());
+    }
+}

@@ -1,0 +1,376 @@
+//! Local Identifiers (LIDs) and the subnet-wide LID space allocator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AddressError;
+
+/// Highest LID usable as a unicast destination (`0xBFFF` = 49151).
+///
+/// LIDs `0xC000..=0xFFFE` are multicast, `0xFFFF` is the permissive LID and
+/// `0x0000` is reserved, so an InfiniBand subnet can never hold more than
+/// 49151 addressable unicast endpoints — the hard scalability wall the
+/// paper's §V discusses for the prepopulated-LID vSwitch.
+pub const MAX_UNICAST_LID: u16 = 0xBFFF;
+
+/// First multicast LID (`0xC000`).
+pub const MULTICAST_LID_BASE: u16 = 0xC000;
+
+/// A 16-bit InfiniBand Local Identifier.
+///
+/// The newtype guarantees the contained value is a *valid unicast* LID
+/// (`1..=0xBFFF`); multicast and reserved values are rejected at
+/// construction. LIDs order and hash as their integer value, so they can be
+/// used directly as dense table indices via [`Lid::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Lid(u16);
+
+impl Lid {
+    /// Creates a unicast LID, rejecting `0` and multicast/permissive values.
+    pub fn new(raw: u16) -> Result<Self, AddressError> {
+        if raw == 0 {
+            Err(AddressError::ReservedLid)
+        } else if raw > MAX_UNICAST_LID {
+            Err(AddressError::NotUnicast(raw))
+        } else {
+            Ok(Self(raw))
+        }
+    }
+
+    /// Creates a LID from a value already known to be valid.
+    ///
+    /// # Panics
+    /// Panics if `raw` is zero or above [`MAX_UNICAST_LID`]. Use this for
+    /// literals and trusted allocator output; use [`Lid::new`] for input.
+    #[must_use]
+    pub fn from_raw(raw: u16) -> Self {
+        Self::new(raw).expect("raw LID must be valid unicast")
+    }
+
+    /// The raw 16-bit wire value.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Zero-based dense index (`lid - 1`), suitable for `Vec` indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Index of the 64-entry LFT block containing this LID.
+    ///
+    /// Block boundaries are aligned at multiples of 64 of the *raw* value
+    /// (LID 0 belongs to block 0), matching OpenSM's block layout: LIDs 2 and
+    /// 12 share block 0, while LID 64 starts block 1.
+    #[must_use]
+    pub const fn lft_block(self) -> usize {
+        (self.0 as usize) / crate::LFT_BLOCK_SIZE
+    }
+
+    /// Offset of this LID within its LFT block.
+    #[must_use]
+    pub const fn lft_offset(self) -> usize {
+        (self.0 as usize) % crate::LFT_BLOCK_SIZE
+    }
+
+    /// Whether `self` and `other` live in the same LFT block.
+    ///
+    /// Determines whether a LID swap costs one SMP (same block) or two
+    /// (different blocks) on each switch that must be updated (§V-C1).
+    #[must_use]
+    pub const fn same_block(self, other: Lid) -> bool {
+        self.lft_block() == other.lft_block()
+    }
+}
+
+impl fmt::Debug for Lid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lid({})", self.0)
+    }
+}
+
+impl fmt::Display for Lid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for Lid {
+    type Error = AddressError;
+
+    fn try_from(raw: u16) -> Result<Self, Self::Error> {
+        Self::new(raw)
+    }
+}
+
+impl From<Lid> for u16 {
+    fn from(lid: Lid) -> u16 {
+        lid.raw()
+    }
+}
+
+/// LID Mask Control: the low `lmc` bits of a LID address a single port,
+/// giving `2^lmc` consecutive LIDs (and thus up to `2^lmc` distinct paths)
+/// per endpoint.
+///
+/// §V-A notes that prepopulated vSwitch LIDs *imitate* LMC — multiple paths
+/// to one physical machine — without LMC's requirement that the LIDs be
+/// sequential.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lmc(u8);
+
+impl Lmc {
+    /// Creates an LMC value; IBA allows 0..=7.
+    pub fn new(bits: u8) -> Result<Self, AddressError> {
+        if bits <= 7 {
+            Ok(Self(bits))
+        } else {
+            Err(AddressError::InvalidLmc(bits))
+        }
+    }
+
+    /// LMC of zero: one LID per port.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self(0)
+    }
+
+    /// Raw bit count.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of LIDs covered (`2^lmc`).
+    #[must_use]
+    pub const fn lid_count(self) -> u16 {
+        1 << self.0
+    }
+
+    /// The base LID of the range containing `lid` under this mask.
+    #[must_use]
+    pub fn base_of(self, lid: Lid) -> Lid {
+        let mask = !(self.lid_count() - 1);
+        Lid::from_raw((lid.raw() & mask).max(1))
+    }
+}
+
+/// Sequential allocator over the unicast LID space.
+///
+/// The subnet manager owns exactly one of these. Freed LIDs are recycled in
+/// ascending order, matching the paper's "next available LID" policy for the
+/// dynamic-LID-assignment vSwitch (§V-B), which naturally produces the
+/// *spread* (non-sequential) VM LIDs of Fig. 4 once VMs churn.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LidSpace {
+    /// Bitmap of allocated LIDs, indexed by `Lid::index()`.
+    allocated: Vec<bool>,
+    /// Lowest raw value that *might* be free; everything below is allocated.
+    next_hint: u16,
+    /// Number of LIDs currently allocated.
+    in_use: usize,
+}
+
+impl LidSpace {
+    /// An empty LID space with nothing allocated.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            allocated: vec![false; MAX_UNICAST_LID as usize],
+            next_hint: 1,
+            in_use: 0,
+        }
+    }
+
+    /// Number of LIDs currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Number of unicast LIDs still free.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        MAX_UNICAST_LID as usize - self.in_use
+    }
+
+    /// Whether a specific LID is allocated.
+    #[must_use]
+    pub fn is_allocated(&self, lid: Lid) -> bool {
+        self.allocated[lid.index()]
+    }
+
+    /// Allocates the lowest free LID.
+    pub fn allocate(&mut self) -> Result<Lid, AddressError> {
+        let start = self.next_hint.max(1);
+        for raw in start..=MAX_UNICAST_LID {
+            let idx = (raw - 1) as usize;
+            if !self.allocated[idx] {
+                self.allocated[idx] = true;
+                self.in_use += 1;
+                self.next_hint = raw + 1;
+                return Ok(Lid::from_raw(raw));
+            }
+        }
+        Err(AddressError::LidSpaceExhausted)
+    }
+
+    /// Claims a specific LID (used when prepopulating VF LIDs, §V-A).
+    pub fn claim(&mut self, lid: Lid) -> Result<(), AddressError> {
+        if self.allocated[lid.index()] {
+            return Err(AddressError::LidInUse(lid.raw()));
+        }
+        self.allocated[lid.index()] = true;
+        self.in_use += 1;
+        Ok(())
+    }
+
+    /// Releases a LID back to the pool.
+    pub fn release(&mut self, lid: Lid) -> Result<(), AddressError> {
+        if !self.allocated[lid.index()] {
+            return Err(AddressError::LidNotAllocated(lid.raw()));
+        }
+        self.allocated[lid.index()] = false;
+        self.in_use -= 1;
+        if lid.raw() < self.next_hint {
+            self.next_hint = lid.raw();
+        }
+        Ok(())
+    }
+
+    /// The highest allocated LID, if any — the "topmost" LID that dictates
+    /// how many LFT blocks every switch must populate (§VII-C's example of a
+    /// node using LID 49151 forcing 768 blocks).
+    #[must_use]
+    pub fn topmost(&self) -> Option<Lid> {
+        self.allocated
+            .iter()
+            .rposition(|&a| a)
+            .map(|idx| Lid::from_raw(idx as u16 + 1))
+    }
+
+    /// Iterator over every allocated LID in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Lid> + '_ {
+        self.allocated
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(idx, _)| Lid::from_raw(idx as u16 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_and_multicast() {
+        assert_eq!(Lid::new(0), Err(AddressError::ReservedLid));
+        assert_eq!(Lid::new(0xC000), Err(AddressError::NotUnicast(0xC000)));
+        assert_eq!(Lid::new(0xFFFF), Err(AddressError::NotUnicast(0xFFFF)));
+        assert!(Lid::new(1).is_ok());
+        assert!(Lid::new(MAX_UNICAST_LID).is_ok());
+    }
+
+    #[test]
+    fn block_math_matches_paper_example() {
+        // §V-C1: LIDs 2 and 12 share the block covering 0-63, so swapping
+        // them costs a single SMP per switch.
+        let a = Lid::from_raw(2);
+        let b = Lid::from_raw(12);
+        assert!(a.same_block(b));
+        assert_eq!(a.lft_block(), 0);
+        // A LID of 64 or greater falls in the next block: two SMPs.
+        let c = Lid::from_raw(64);
+        assert!(!a.same_block(c));
+        assert_eq!(c.lft_block(), 1);
+        assert_eq!(c.lft_offset(), 0);
+    }
+
+    #[test]
+    fn topmost_unicast_needs_768_blocks() {
+        // §VII-C: a subnet whose topmost LID is 49151 forces the full LFT,
+        // 768 blocks, onto every switch.
+        let top = Lid::from_raw(MAX_UNICAST_LID);
+        assert_eq!(top.lft_block(), 767);
+    }
+
+    #[test]
+    fn allocator_is_lowest_first_and_recycles() {
+        let mut space = LidSpace::new();
+        let a = space.allocate().unwrap();
+        let b = space.allocate().unwrap();
+        assert_eq!(a.raw(), 1);
+        assert_eq!(b.raw(), 2);
+        space.release(a).unwrap();
+        let c = space.allocate().unwrap();
+        assert_eq!(c.raw(), 1, "freed LIDs are reused lowest-first");
+        assert_eq!(space.in_use(), 2);
+    }
+
+    #[test]
+    fn claim_conflicts_detected() {
+        let mut space = LidSpace::new();
+        space.claim(Lid::from_raw(10)).unwrap();
+        assert_eq!(
+            space.claim(Lid::from_raw(10)),
+            Err(AddressError::LidInUse(10))
+        );
+        assert_eq!(
+            space.release(Lid::from_raw(11)),
+            Err(AddressError::LidNotAllocated(11))
+        );
+    }
+
+    #[test]
+    fn allocate_skips_claimed() {
+        let mut space = LidSpace::new();
+        space.claim(Lid::from_raw(1)).unwrap();
+        space.claim(Lid::from_raw(2)).unwrap();
+        assert_eq!(space.allocate().unwrap().raw(), 3);
+    }
+
+    #[test]
+    fn topmost_tracks_highest() {
+        let mut space = LidSpace::new();
+        assert_eq!(space.topmost(), None);
+        space.claim(Lid::from_raw(5)).unwrap();
+        space.claim(Lid::from_raw(100)).unwrap();
+        assert_eq!(space.topmost().unwrap().raw(), 100);
+        space.release(Lid::from_raw(100)).unwrap();
+        assert_eq!(space.topmost().unwrap().raw(), 5);
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut space = LidSpace::new();
+        for _ in 0..MAX_UNICAST_LID {
+            space.allocate().unwrap();
+        }
+        assert_eq!(space.allocate(), Err(AddressError::LidSpaceExhausted));
+        assert_eq!(space.free(), 0);
+    }
+
+    #[test]
+    fn lmc_ranges() {
+        let lmc = Lmc::new(2).unwrap();
+        assert_eq!(lmc.lid_count(), 4);
+        assert_eq!(lmc.base_of(Lid::from_raw(7)).raw(), 4);
+        assert!(Lmc::new(8).is_err());
+        assert_eq!(Lmc::zero().lid_count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_sorted_allocated() {
+        let mut space = LidSpace::new();
+        for raw in [30u16, 10, 20] {
+            space.claim(Lid::from_raw(raw)).unwrap();
+        }
+        let got: Vec<u16> = space.iter().map(Lid::raw).collect();
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+}

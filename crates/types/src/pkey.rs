@@ -1,0 +1,117 @@
+//! Partition keys.
+//!
+//! InfiniBand isolates tenants with 16-bit partition keys: the low 15 bits
+//! name the partition, the top bit distinguishes *full* members (may talk
+//! to anyone in the partition) from *limited* members (may talk only to
+//! full members — the classic shared-storage pattern). Every packet
+//! carries a P_Key and every HCA port holds a P_Key table programmed by
+//! the SM.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AddressError;
+
+/// A partition key: 15-bit partition number plus the membership bit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PKey(u16);
+
+/// The default partition every port implicitly belongs to.
+pub const DEFAULT_PKEY: PKey = PKey(0xFFFF);
+
+impl PKey {
+    /// Builds a key for partition `number` (15 bits) with `full`
+    /// membership.
+    pub fn new(number: u16, full: bool) -> Result<Self, AddressError> {
+        if number > 0x7FFF {
+            return Err(AddressError::InvalidPartition(number));
+        }
+        if number == 0x7FFF && !full {
+            // 0x7FFF limited (raw 0x7FFF) is reserved alongside 0xFFFF.
+            return Err(AddressError::InvalidPartition(number));
+        }
+        Ok(Self(number | if full { 0x8000 } else { 0 }))
+    }
+
+    /// The raw wire value.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The 15-bit partition number.
+    #[must_use]
+    pub const fn number(self) -> u16 {
+        self.0 & 0x7FFF
+    }
+
+    /// Whether this key grants full membership.
+    #[must_use]
+    pub const fn is_full(self) -> bool {
+        self.0 & 0x8000 != 0
+    }
+
+    /// Whether two keys permit communication: same partition number, and
+    /// at least one side a full member.
+    #[must_use]
+    pub const fn matches(self, other: PKey) -> bool {
+        self.number() == other.number() && (self.is_full() || other.is_full())
+    }
+}
+
+impl fmt::Debug for PKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PKey({:#06x}:{})",
+            self.number(),
+            if self.is_full() { "full" } else { "limited" }
+        )
+    }
+}
+
+impl fmt::Display for PKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_bit() {
+        let full = PKey::new(0x12, true).unwrap();
+        let lim = PKey::new(0x12, false).unwrap();
+        assert!(full.is_full());
+        assert!(!lim.is_full());
+        assert_eq!(full.number(), 0x12);
+        assert_eq!(lim.number(), 0x12);
+        assert_eq!(full.raw(), 0x8012);
+        assert_eq!(lim.raw(), 0x0012);
+    }
+
+    #[test]
+    fn matching_rules() {
+        let full = PKey::new(7, true).unwrap();
+        let lim_a = PKey::new(7, false).unwrap();
+        let other = PKey::new(8, true).unwrap();
+        assert!(full.matches(full));
+        assert!(full.matches(lim_a));
+        assert!(lim_a.matches(full));
+        assert!(!lim_a.matches(lim_a), "two limited members cannot talk");
+        assert!(!full.matches(other), "different partitions never match");
+    }
+
+    #[test]
+    fn reserved_values_rejected() {
+        assert!(PKey::new(0x8000, true).is_err());
+        assert!(PKey::new(0x7FFF, false).is_err());
+        assert!(PKey::new(0x7FFF, true).is_ok(), "0xFFFF is the default");
+        assert_eq!(DEFAULT_PKEY.raw(), 0xFFFF);
+        assert!(DEFAULT_PKEY.is_full());
+    }
+}

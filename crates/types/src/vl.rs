@@ -1,0 +1,78 @@
+//! Virtual lanes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AddressError;
+
+/// Maximum number of data virtual lanes supported by IBA (VL0–VL14; VL15 is
+/// reserved for subnet management traffic).
+pub const MAX_DATA_VLS: u8 = 15;
+
+/// A data virtual lane.
+///
+/// Layered deadlock-free routing engines (LASH, DFSSSP) escape cyclic channel
+/// dependencies by assigning conflicting flows to different VLs; the Double
+/// Scheme reconfiguration separates old and new routing functions the same
+/// way. We model VL0–VL14 as data lanes and keep VL15 implicit (SMPs always
+/// travel on VL15 and can never deadlock against data traffic).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct VirtualLane(u8);
+
+impl VirtualLane {
+    /// VL0, the default data lane.
+    pub const VL0: VirtualLane = VirtualLane(0);
+
+    /// Creates a data VL (0..=14).
+    pub fn new(raw: u8) -> Result<Self, AddressError> {
+        if raw < MAX_DATA_VLS {
+            Ok(Self(raw))
+        } else {
+            Err(AddressError::InvalidVl(raw))
+        }
+    }
+
+    /// Raw lane number.
+    #[must_use]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The next-higher lane, if one exists — used by DFSSSP when lifting a
+    /// deadlocking flow out of a cyclic layer.
+    #[must_use]
+    pub fn next(self) -> Option<Self> {
+        Self::new(self.0 + 1).ok()
+    }
+}
+
+impl fmt::Debug for VirtualLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VL{}", self.0)
+    }
+}
+
+impl fmt::Display for VirtualLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VL{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vl15_is_not_a_data_lane() {
+        assert!(VirtualLane::new(14).is_ok());
+        assert_eq!(VirtualLane::new(15), Err(AddressError::InvalidVl(15)));
+    }
+
+    #[test]
+    fn next_saturates_at_vl14() {
+        assert_eq!(VirtualLane::VL0.next().unwrap().raw(), 1);
+        assert_eq!(VirtualLane::new(14).unwrap().next(), None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Fleet management with cheap reconfiguration: churn a dynamic-LID data
+//! center into fragmentation, then defragment and evacuate — counting
+//! every management packet (§V-B's motivation for spare VFs and fast
+//! migrations).
+//!
+//! ```sh
+//! cargo run --example datacenter_defrag
+//! ```
+
+use ib_vswitch::prelude::*;
+use ib_vswitch::topology::fattree;
+
+fn occupancy(dc: &DataCenter) -> String {
+    dc.hypervisors
+        .iter()
+        .map(|h| h.active_vms().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    // 4 leaves x 4 hosts with dynamic LID assignment: LIDs exist only for
+    // running VMs.
+    let built = fattree::two_level(4, 4, 2);
+    let mut dc = DataCenter::from_topology(
+        built,
+        DataCenterConfig {
+            arch: VirtArch::VSwitchDynamic,
+            vfs_per_hypervisor: 8,
+            engine: EngineKind::FatTree,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("bring-up");
+    println!(
+        "boot: {} LIDs (only physical endpoints — §V-B's fast initial configuration)",
+        dc.subnet.num_lids()
+    );
+
+    // Churn: boot 24 VMs round-robin, then kill every third one.
+    let mut ids = Vec::new();
+    for i in 0..24 {
+        let hyp = i % dc.hypervisors.len();
+        ids.push(dc.create_vm(format!("vm-{i}"), hyp).expect("create"));
+    }
+    println!("after boot storm:   [{}] ({} LIDs)", occupancy(&dc), dc.subnet.num_lids());
+    for (i, id) in ids.iter().enumerate() {
+        if i % 3 == 0 {
+            dc.destroy_vm(*id).expect("destroy");
+        }
+    }
+    println!("after churn:        [{}] ({} LIDs)", occupancy(&dc), dc.subnet.num_lids());
+
+    // Defragment: pack VMs onto as few hypervisors as possible.
+    let before = dc.sm.ledger.total();
+    let reports = ib_cloud::scenarios::defragment(&mut dc).expect("defrag");
+    let smps: usize = reports.iter().map(|r| r.total_smps()).sum();
+    println!(
+        "defragmentation:    [{}] — {} migrations, {} SMPs total ({} from the ledger)",
+        occupancy(&dc),
+        reports.len(),
+        smps,
+        dc.sm.ledger.total() - before,
+    );
+    for r in &reports {
+        println!(
+            "   {} hyp {} -> {} | n'={} m'={} intra-leaf={}",
+            r.vm,
+            r.from_hypervisor,
+            r.to_hypervisor,
+            r.lft.switches_updated,
+            r.lft.max_blocks_per_switch,
+            r.intra_leaf
+        );
+    }
+
+    // Evacuate the busiest hypervisor for maintenance.
+    let busiest = dc
+        .hypervisors
+        .iter()
+        .max_by_key(|h| h.active_vms())
+        .map(|h| h.index)
+        .unwrap();
+    let reports = ib_cloud::scenarios::evacuate(&mut dc, busiest).expect("evacuate");
+    println!(
+        "evacuate hyp {busiest}:     [{}] — {} migrations",
+        occupancy(&dc),
+        reports.len()
+    );
+
+    dc.verify_connectivity().expect("fabric consistent after fleet ops");
+    println!("connectivity verified after {} ledger SMPs", dc.sm.ledger.total());
+}

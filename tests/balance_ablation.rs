@@ -1,0 +1,164 @@
+//! The §V-A / §V-B balancing trade-off, measured.
+//!
+//! Prepopulated LIDs give every VM its own LFT rows, spread by the initial
+//! routing like an LMC would spread paths; dynamic assignment stacks every
+//! VM of a hypervisor onto the PF's rows. Link-load statistics and max-min
+//! fair throughput make the difference concrete.
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_routing::balance::LinkLoad;
+use ib_routing::EngineKind;
+use ib_sim::fairness::{max_min_fair, FairFlow};
+use ib_subnet::topology::fattree::two_level;
+
+fn dc(arch: VirtArch) -> DataCenter {
+    let mut dc = DataCenter::from_topology(
+        two_level(3, 3, 3),
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 3,
+            engine: EngineKind::FatTree,
+            ..DataCenterConfig::default()
+        },
+    )
+    .unwrap();
+    // Three VMs on each of the first three hypervisors (all on leaf 0).
+    for h in 0..3 {
+        for v in 0..3 {
+            dc.create_vm(format!("vm-{h}-{v}"), h).unwrap();
+        }
+    }
+    dc
+}
+
+#[test]
+fn dynamic_stacks_vm_rows_onto_one_uplink() {
+    // Six VMs all on hypervisor 0: under dynamic assignment their seven
+    // LIDs (6 VMs + the PF) ride the PF's single spine choice, so a
+    // remote leaf forwards all seven over ONE uplink; prepopulated VM
+    // LIDs spread across the uplinks like any other destinations
+    // (the LMC-imitation of §V-A).
+    let build = |arch| {
+        let mut dcx = DataCenter::from_topology(
+            two_level(3, 3, 3),
+            DataCenterConfig {
+                arch,
+                vfs_per_hypervisor: 6,
+                engine: EngineKind::FatTree,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap();
+        for v in 0..6 {
+            dcx.create_vm(format!("vm-{v}"), 0).unwrap();
+        }
+        dcx
+    };
+    let per_port_max = |dcx: &DataCenter| -> usize {
+        let lids: Vec<ib_types::Lid> = dcx
+            .vms()
+            .iter()
+            .map(|r| r.lid)
+            .chain(std::iter::once(dcx.hypervisors[0].pf_lid(&dcx.subnet).unwrap()))
+            .collect();
+        // Remote leaf: the leaf of hypervisor 3 (second leaf).
+        let remote_leaf = dcx.hypervisors[3].leaf;
+        let lft = dcx.subnet.lft(remote_leaf).unwrap();
+        let mut counts: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
+        for lid in lids {
+            let p = lft.get(lid).unwrap();
+            *counts.entry(p.raw()).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap()
+    };
+
+    let prepop = build(VirtArch::VSwitchPrepopulated);
+    let dynamic = build(VirtArch::VSwitchDynamic);
+    let p_max = per_port_max(&prepop);
+    let d_max = per_port_max(&dynamic);
+    assert_eq!(d_max, 7, "dynamic: all seven LIDs on the PF's uplink");
+    assert!(
+        p_max < 7,
+        "prepopulated spreads the seven LIDs (max {p_max} on one uplink)"
+    );
+}
+
+#[test]
+fn prepopulated_doubles_throughput_under_spine_collision() {
+    // 4 hypervisors per leaf over 3 spines: two leaf-0 PFs share a spine
+    // (pigeonhole). Dynamic mode funnels both hypervisors' VM rows onto
+    // that shared spine downlink; prepopulated VM LIDs spread, and the
+    // max-min fair aggregate doubles.
+    let build = |arch| {
+        DataCenter::from_topology(
+            two_level(2, 4, 3),
+            DataCenterConfig {
+                arch,
+                vfs_per_hypervisor: 3,
+                engine: EngineKind::FatTree,
+                ..DataCenterConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let run = |arch| -> f64 {
+        let mut dcx = build(arch);
+        let remote_leaf = dcx.hypervisors[4].leaf;
+        let (a, b) = {
+            let lft = dcx.subnet.lft(remote_leaf).unwrap();
+            let mut by_port: std::collections::HashMap<u8, Vec<usize>> =
+                std::collections::HashMap::new();
+            for h in 0..4 {
+                let pf = dcx.hypervisors[h].pf_lid(&dcx.subnet).unwrap();
+                by_port
+                    .entry(lft.get(pf).unwrap().raw())
+                    .or_default()
+                    .push(h);
+            }
+            let pair = by_port.values().find(|v| v.len() >= 2).unwrap();
+            (pair[0], pair[1])
+        };
+        for v in 0..3 {
+            dcx.create_vm(format!("vm-a{v}"), a).unwrap();
+            dcx.create_vm(format!("vm-b{v}"), b).unwrap();
+        }
+        let flows: Vec<FairFlow> = dcx
+            .vms()
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| FairFlow {
+                src: dcx.hypervisors[4 + (i % 4)].pf,
+                dst: vm.lid,
+            })
+            .collect();
+        max_min_fair(&dcx.subnet, &flows).unwrap().aggregate
+    };
+    let prepop = run(VirtArch::VSwitchPrepopulated);
+    let dynamic = run(VirtArch::VSwitchDynamic);
+    assert!(
+        (prepop - 2.0).abs() < 1e-9,
+        "prepopulated fills both hypervisor uplinks: {prepop}"
+    );
+    assert!(
+        (dynamic - 1.0).abs() < 1e-9,
+        "dynamic is capped by the shared spine downlink: {dynamic}"
+    );
+}
+
+#[test]
+fn migration_storm_preserves_prepopulated_balance_but_not_dynamic() {
+    let mut prepop = dc(VirtArch::VSwitchPrepopulated);
+    let before = LinkLoad::from_subnet(&prepop.subnet).unwrap().load_multiset();
+    // Shuffle three VMs across the fabric and back.
+    let ids: Vec<_> = prepop.vms().iter().map(|r| r.id).take(3).collect();
+    for (i, &vm) in ids.iter().enumerate() {
+        prepop.migrate_vm(vm, 4 + i).unwrap();
+    }
+    // All three came from hypervisor 0, which now has three free slots.
+    for &vm in &ids {
+        prepop.migrate_vm(vm, 0).unwrap();
+    }
+    let after = LinkLoad::from_subnet(&prepop.subnet).unwrap().load_multiset();
+    assert_eq!(before, after, "swap round-trips preserve the load multiset");
+    prepop.verify_connectivity().unwrap();
+}

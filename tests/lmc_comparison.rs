@@ -1,0 +1,122 @@
+//! §V-A's LMC comparison: prepopulated VF LIDs imitate LID Mask Control —
+//! multiple paths to one physical machine — "without being bound by the
+//! limitation of the LMC that requires the LIDs to be sequential", which is
+//! exactly what makes per-VM migration possible.
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_routing::{EngineKind, RoutingEngine};
+use ib_sm::{SmConfig, SubnetManager};
+use ib_subnet::topology::fattree::two_level;
+use ib_types::{Lid, Lmc, PortNum};
+
+#[test]
+fn lmc_range_gives_path_diversity() {
+    // Classic LMC multipathing: one host answers 4 sequential LIDs, and
+    // the routing spreads them over distinct spines.
+    let mut t = two_level(2, 2, 4);
+    // Assign LIDs manually: switches 1..=6, host LIDs from 16 (aligned).
+    for (i, &sw) in t.all_switches().iter().enumerate() {
+        t.subnet
+            .assign_switch_lid(sw, Lid::from_raw(i as u16 + 1))
+            .unwrap();
+    }
+    let lmc = Lmc::new(2).unwrap();
+    t.subnet
+        .assign_lmc_range(t.hosts[0], PortNum::new(1), Lid::from_raw(16), lmc)
+        .unwrap();
+    for (i, &h) in t.hosts[1..].iter().enumerate() {
+        t.subnet
+            .assign_port_lid(h, PortNum::new(1), Lid::from_raw(24 + i as u16))
+            .unwrap();
+    }
+
+    let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+    // From the *other* leaf, the 4 LIDs of host 0 should use more than one
+    // uplink — the multipathing LMC exists for.
+    let remote_leaf = t.switch_levels[0][1];
+    let lft = &tables.lfts[&remote_leaf];
+    let mut ports: Vec<u8> = (16..20)
+        .map(|raw| lft.get(Lid::from_raw(raw)).unwrap().raw())
+        .collect();
+    ports.sort_unstable();
+    ports.dedup();
+    assert!(ports.len() >= 2, "LMC LIDs all on one uplink: {ports:?}");
+
+    // And packets to every LID of the range land on host 0.
+    tables.install(&mut t.subnet).unwrap();
+    for raw in 16..20 {
+        let path = t
+            .subnet
+            .trace_route(t.hosts[3], Lid::from_raw(raw), 16)
+            .unwrap();
+        assert_eq!(*path.last().unwrap(), t.hosts[0]);
+    }
+}
+
+#[test]
+fn lmc_is_structurally_sequential_prepopulated_is_not() {
+    // The LMC constraint the paper escapes: ranges must be aligned and
+    // sequential, so a single LID cannot be re-homed independently.
+    let mut t = two_level(2, 2, 2);
+    let lmc = Lmc::new(2).unwrap();
+    // Misaligned base: structurally impossible.
+    assert!(t
+        .subnet
+        .assign_lmc_range(t.hosts[0], PortNum::new(1), Lid::from_raw(18), lmc)
+        .is_err());
+
+    // The prepopulated vSwitch, by contrast, hands out *independent* LIDs:
+    // after churn and migration they are provably non-sequential on a
+    // hypervisor, yet each one can move alone.
+    let mut dc = DataCenter::from_topology(
+        two_level(2, 3, 2),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 3,
+            engine: EngineKind::FatTree,
+            ..DataCenterConfig::default()
+        },
+    )
+    .unwrap();
+    let a = dc.create_vm("a", 0).unwrap();
+    let b = dc.create_vm("b", 3).unwrap();
+    // Move b onto hypervisor 0: its LID (a leaf-1 prepopulated LID) now
+    // lives beside a's (a leaf-0 one) — almost certainly non-sequential.
+    dc.migrate_vm(b, 0).unwrap();
+    let la = dc.vm(a).unwrap().lid.raw();
+    let lb = dc.vm(b).unwrap().lid.raw();
+    assert_eq!(dc.vm(a).unwrap().hypervisor, dc.vm(b).unwrap().hypervisor);
+    assert!(
+        la.abs_diff(lb) > 1,
+        "both VMs on one hypervisor with non-sequential LIDs {la}, {lb}"
+    );
+    dc.verify_connectivity().unwrap();
+
+    // And each can still migrate independently — the per-VM mobility LMC
+    // cannot offer.
+    dc.migrate_vm(a, 4).unwrap();
+    dc.verify_connectivity().unwrap();
+}
+
+#[test]
+fn sm_bring_up_coexists_with_lmc_ranges() {
+    // A fabric with one LMC-enabled host still brings up cleanly: the SM
+    // skips pre-assigned LIDs and routes every registered LID.
+    let mut t = two_level(2, 2, 2);
+    let lmc = Lmc::new(1).unwrap();
+    t.subnet
+        .assign_lmc_range(t.hosts[0], PortNum::new(1), Lid::from_raw(32), lmc)
+        .unwrap();
+    let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+    let report = sm.bring_up(&mut t.subnet).unwrap();
+    // 4 switches + 3 plain hosts get fresh LIDs; the 2 LMC LIDs existed.
+    assert_eq!(report.lid_smps, 7);
+    assert_eq!(t.subnet.num_lids(), 9);
+    for raw in [32u16, 33] {
+        let path = t
+            .subnet
+            .trace_route(t.hosts[2], Lid::from_raw(raw), 16)
+            .unwrap();
+        assert_eq!(*path.last().unwrap(), t.hosts[0]);
+    }
+}

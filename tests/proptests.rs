@@ -1,0 +1,277 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch, VmId};
+use ib_subnet::topology::fattree;
+use ib_subnet::Lft;
+use ib_types::{Lid, LidSpace, PortNum};
+
+// ---------------------------------------------------------------------
+// LFT primitives
+// ---------------------------------------------------------------------
+
+fn arb_lid() -> impl Strategy<Value = Lid> {
+    (1u16..400).prop_map(Lid::from_raw)
+}
+
+fn arb_port() -> impl Strategy<Value = PortNum> {
+    (0u8..37).prop_map(PortNum::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Swapping twice restores the original LFT, regardless of contents.
+    #[test]
+    fn lft_swap_is_involution(entries in proptest::collection::vec((arb_lid(), arb_port()), 0..40),
+                              a in arb_lid(), b in arb_lid()) {
+        let mut lft = Lft::new();
+        for (lid, port) in &entries {
+            lft.set(*lid, *port);
+        }
+        let before = lft.clone();
+        lft.swap(a, b);
+        lft.swap(a, b);
+        prop_assert_eq!(lft, before);
+    }
+
+    /// A swap preserves the multiset of set entries (it only permutes two
+    /// rows) — the §V-A balance argument in miniature.
+    #[test]
+    fn lft_swap_preserves_entry_multiset(entries in proptest::collection::vec((arb_lid(), arb_port()), 0..40),
+                                         a in arb_lid(), b in arb_lid()) {
+        let mut lft = Lft::new();
+        for (lid, port) in &entries {
+            lft.set(*lid, *port);
+        }
+        let mut before: Vec<u8> = lft.iter().map(|(_, p)| p.raw()).collect();
+        before.sort_unstable();
+        lft.swap(a, b);
+        let mut after: Vec<u8> = lft.iter().map(|(_, p)| p.raw()).collect();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Copy makes the destination row equal the source row, and dirty
+    /// blocks against the original are at most one block.
+    #[test]
+    fn lft_copy_dirties_at_most_one_block(entries in proptest::collection::vec((arb_lid(), arb_port()), 1..40),
+                                          dst in arb_lid()) {
+        let mut lft = Lft::new();
+        for (lid, port) in &entries {
+            lft.set(*lid, *port);
+        }
+        let src = entries[0].0;
+        prop_assume!(src != dst);
+        let before = lft.clone();
+        lft.copy(src, dst);
+        prop_assert_eq!(lft.get(dst), lft.get(src));
+        let dirty = before.dirty_blocks(&lft);
+        prop_assert!(dirty.len() <= 1);
+        if let Some(&blk) = dirty.first() {
+            prop_assert_eq!(blk, dst.lft_block());
+        }
+    }
+
+    /// Same-block math matches the m' rule.
+    #[test]
+    fn same_block_iff_same_64_range(a in arb_lid(), b in arb_lid()) {
+        prop_assert_eq!(a.same_block(b), a.raw() / 64 == b.raw() / 64);
+    }
+
+    /// Padding covers exactly the blocks up to the topmost LID.
+    #[test]
+    fn padded_blocks_match_min_blocks(top in arb_lid()) {
+        let lft = Lft::new().padded(top);
+        prop_assert_eq!(lft.num_blocks(), ib_subnet::lft::min_blocks_for(top));
+        prop_assert_eq!(lft.get(top), Some(PortNum::DROP));
+    }
+}
+
+// ---------------------------------------------------------------------
+// LID space
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of allocations and releases keeps the accounting
+    /// consistent, and the allocator always returns the lowest free LID.
+    #[test]
+    fn lid_space_accounting(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut space = LidSpace::new();
+        let mut held: Vec<Lid> = Vec::new();
+        for alloc in ops {
+            if alloc || held.is_empty() {
+                let lid = space.allocate().unwrap();
+                // Lowest-free invariant: nothing below it is free.
+                for raw in 1..lid.raw() {
+                    prop_assert!(space.is_allocated(Lid::from_raw(raw)));
+                }
+                held.push(lid);
+            } else {
+                let lid = held.swap_remove(held.len() / 2);
+                space.release(lid).unwrap();
+            }
+            prop_assert_eq!(space.in_use(), held.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data-center lifecycle
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(usize),
+    Destroy(usize),
+    Migrate(usize, usize),
+}
+
+fn arb_op(hyps: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..hyps).prop_map(Op::Create),
+        (0usize..64).prop_map(Op::Destroy),
+        ((0usize..64), (0..hyps)).prop_map(|(v, h)| Op::Migrate(v, h)),
+    ]
+}
+
+fn check_invariants(dc: &DataCenter) {
+    // Every VM LID is unique (vSwitch modes).
+    if dc.config.arch != VirtArch::SharedPort {
+        let mut lids: Vec<u16> = dc.vms().iter().map(|r| r.lid.raw()).collect();
+        let n = lids.len();
+        lids.sort_unstable();
+        lids.dedup();
+        assert_eq!(lids.len(), n, "duplicate VM LIDs");
+    }
+    // Every VM sits on a slot that points back at it.
+    for rec in dc.vms() {
+        let slot = &dc.hypervisors[rec.hypervisor].vfs[rec.vf_slot];
+        assert_eq!(slot.attached, Some(rec.id), "slot/VM mismatch");
+    }
+    dc.verify_connectivity().expect("connectivity");
+}
+
+fn run_ops(arch: VirtArch, ops: &[Op]) {
+    let mut dc = DataCenter::from_topology(
+        fattree::two_level(3, 2, 2),
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 2,
+            ..DataCenterConfig::default()
+        },
+    )
+    .unwrap();
+    let hyps = dc.hypervisors.len();
+    let mut created = 0u64;
+    for op in ops {
+        match *op {
+            Op::Create(h) => {
+                if dc.create_vm(format!("vm{created}"), h % hyps).is_ok() {
+                    created += 1;
+                }
+            }
+            Op::Destroy(i) => {
+                let ids: Vec<VmId> = dc.vms().iter().map(|r| r.id).collect();
+                if !ids.is_empty() {
+                    let _ = dc.destroy_vm(ids[i % ids.len()]);
+                }
+            }
+            Op::Migrate(i, dest) => {
+                let ids: Vec<VmId> = dc.vms().iter().map(|r| r.id).collect();
+                if !ids.is_empty() {
+                    let vm = ids[i % ids.len()];
+                    let dest = dest % hyps;
+                    if dc.vm(vm).unwrap().hypervisor != dest {
+                        if let Ok(report) = dc.migrate_vm(vm, dest) {
+                            assert!(report.lft.max_blocks_per_switch <= 2, "m' bound");
+                            assert!(
+                                report.lft.switches_updated
+                                    <= dc.subnet.num_physical_switches(),
+                                "n' bound"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        check_invariants(&dc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary create/destroy/migrate interleavings keep the fabric
+    /// consistent under the prepopulated-LID architecture.
+    #[test]
+    fn prepopulated_lifecycle_fuzz(ops in proptest::collection::vec(arb_op(6), 1..25)) {
+        run_ops(VirtArch::VSwitchPrepopulated, &ops);
+    }
+
+    /// ... and under dynamic LID assignment.
+    #[test]
+    fn dynamic_lifecycle_fuzz(ops in proptest::collection::vec(arb_op(6), 1..25)) {
+        run_ops(VirtArch::VSwitchDynamic, &ops);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Credit simulator conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Packets are conserved: on a drained run every injected packet was
+    /// either delivered or dropped, never duplicated or lost — for any
+    /// flow matrix, credit budget, and timeout setting.
+    #[test]
+    fn credit_sim_conserves_packets(
+        pairs in proptest::collection::vec((0usize..6, 0usize..6, 1u64..6), 1..12),
+        credits in 1usize..4,
+        timeout in proptest::option::of(16u32..64),
+    ) {
+        use ib_sim::credit::{run, CreditSimConfig, Flow};
+        use ib_routing::tables::VlAssignment;
+        use ib_sm::{SmConfig, SubnetManager};
+
+        let mut t = fattree::two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+
+        let mut total = 0u64;
+        let flows: Vec<Flow> = pairs
+            .iter()
+            .filter(|&&(a, b, _)| a != b)
+            .map(|&(a, b, n)| {
+                total += n;
+                Flow {
+                    src: t.hosts[a],
+                    dst: t.subnet.node(t.hosts[b]).ports[1].lid.unwrap(),
+                    packets: n,
+                }
+            })
+            .collect();
+        prop_assume!(!flows.is_empty());
+
+        let report = run(
+            &t.subnet,
+            &flows,
+            &VlAssignment::SingleVl,
+            &CreditSimConfig {
+                credits_per_channel: credits,
+                timeout_rounds: timeout,
+                ..CreditSimConfig::default()
+            },
+        )
+        .unwrap();
+        // Fat-tree shortest paths cannot deadlock, so the run drains.
+        prop_assert!(report.drained, "{report:?}");
+        prop_assert!(!report.deadlocked);
+        prop_assert_eq!(report.delivered + report.dropped, total);
+    }
+}

@@ -1,0 +1,91 @@
+//! Reproduces Table I of the paper exactly: LIDs consumed, minimum LFT
+//! blocks per switch, minimum SMPs for a full reconfiguration, and the
+//! min/max SMPs of the vSwitch LID swap/copy, for all four fat-tree
+//! topologies.
+//!
+//! Only discovery + LID assignment are needed (no routing), so even the
+//! 11664-node fabric builds quickly.
+
+use ib_core::cost::{Table1Row, PAPER_TABLE1};
+use ib_mad::SmpLedger;
+use ib_sm::{discovery, lids};
+use ib_subnet::topology::fattree;
+use ib_types::LidSpace;
+
+fn derive_row(built: ib_subnet::topology::BuiltTopology) -> Table1Row {
+    let mut subnet = built.subnet;
+    let sm_host = built.hosts[0];
+    let mut ledger = SmpLedger::new();
+    let disc = discovery::sweep(&subnet, sm_host, &mut ledger).expect("sweep");
+    let mut space = LidSpace::new();
+    lids::assign_all(&mut subnet, &disc, &mut space, &mut ledger).expect("assign");
+    Table1Row::for_subnet(&subnet)
+}
+
+#[test]
+fn fat_tree_324_row() {
+    let row = derive_row(fattree::paper_324());
+    assert_eq!(
+        (row.nodes, row.switches, row.lids),
+        (324, 36, 360),
+        "{row:?}"
+    );
+    assert_eq!(row.min_lft_blocks_per_switch, 6);
+    assert_eq!(row.min_smps_full_rc, 216);
+    assert_eq!(row.min_smps_vswitch, 1);
+    assert_eq!(row.max_smps_vswitch, 72);
+}
+
+#[test]
+fn fat_tree_648_row() {
+    let row = derive_row(fattree::paper_648());
+    assert_eq!((row.nodes, row.switches, row.lids), (648, 54, 702));
+    assert_eq!(row.min_lft_blocks_per_switch, 11);
+    assert_eq!(row.min_smps_full_rc, 594);
+    assert_eq!(row.max_smps_vswitch, 108);
+}
+
+#[test]
+fn fat_tree_5832_row() {
+    let row = derive_row(fattree::paper_5832());
+    assert_eq!((row.nodes, row.switches, row.lids), (5832, 972, 6804));
+    assert_eq!(row.min_lft_blocks_per_switch, 107);
+    assert_eq!(row.min_smps_full_rc, 104_004);
+    assert_eq!(row.max_smps_vswitch, 1944);
+}
+
+#[test]
+fn fat_tree_11664_row() {
+    let row = derive_row(fattree::paper_11664());
+    assert_eq!((row.nodes, row.switches, row.lids), (11664, 1620, 13_284));
+    assert_eq!(row.min_lft_blocks_per_switch, 208);
+    assert_eq!(row.min_smps_full_rc, 336_960);
+    assert_eq!(row.max_smps_vswitch, 3240);
+}
+
+#[test]
+fn derived_rows_match_published_constants() {
+    // The static table in ib-core must agree with what the topologies
+    // produce, tying the analytic module to the subnet model.
+    for (i, build) in [fattree::paper_324, fattree::paper_648].iter().enumerate() {
+        let row = derive_row(build());
+        let (nodes, switches, lids, m, full, min_v, max_v) = PAPER_TABLE1[i];
+        assert_eq!(row.nodes, nodes);
+        assert_eq!(row.switches, switches);
+        assert_eq!(row.lids, lids);
+        assert_eq!(row.min_lft_blocks_per_switch, m);
+        assert_eq!(row.min_smps_full_rc, full);
+        assert_eq!(row.min_smps_vswitch, min_v);
+        assert_eq!(row.max_smps_vswitch, max_v);
+    }
+}
+
+#[test]
+fn improvement_percentages_match_section_viic() {
+    // 324 nodes: worst-case vSwitch = 33.3% of full (66.7% improvement);
+    // 11664 nodes: 0.96% (99.04% improvement).
+    let small = derive_row(fattree::paper_324());
+    assert!((small.worst_case_ratio() * 100.0 - 33.3).abs() < 0.1);
+    let large = Table1Row::from_counts(11664, 1620, 13_284);
+    assert!((large.worst_case_ratio() * 100.0 - 0.96).abs() < 0.01);
+}
