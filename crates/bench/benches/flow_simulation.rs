@@ -45,13 +45,8 @@ fn sim(c: &mut Criterion) {
         }
         group.bench_function("credit_sim/fat-tree-all-to-all", |b| {
             b.iter(|| {
-                let report = run(
-                    &t.subnet,
-                    &flows,
-                    &tables.vls,
-                    &CreditSimConfig::default(),
-                )
-                .expect("sim");
+                let report =
+                    run(&t.subnet, &flows, &tables.vls, &CreditSimConfig::default()).expect("sim");
                 assert!(report.drained);
                 black_box(report.rounds)
             });

@@ -51,8 +51,7 @@ fn reconfig(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut fresh = build_dc();
-                    let switches: Vec<_> =
-                        fresh.subnet.physical_switches().map(|n| n.id).collect();
+                    let switches: Vec<_> = fresh.subnet.physical_switches().map(|n| n.id).collect();
                     for sw in switches {
                         *fresh.subnet.lft_mut(sw).unwrap() = Default::default();
                     }

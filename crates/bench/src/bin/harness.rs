@@ -7,14 +7,14 @@
 //!
 //! Subcommands: `table1`, `fig7 [--level N] [--lash]`, `fig5`, `fig6`,
 //! `cost-model`, `capacity`, `emulation`, `deadlock`, `sa-cache`,
-//! `balance`, `all`.
+//! `balance`, `faults`, `all`.
 
 use std::time::Instant;
 
 use ib_bench::{fig7_engines, fig7_topologies, manage, time_engine};
 use ib_cloud::scenarios::testbed_datacenter;
 use ib_cloud::LiveMigrationWorkflow;
-use ib_core::capacity::{dynamic_lids_consumed, prepopulated_limits, prepopulated_lids_consumed};
+use ib_core::capacity::{dynamic_lids_consumed, prepopulated_lids_consumed, prepopulated_limits};
 use ib_core::cost::{Table1Row, PAPER_TABLE1};
 use ib_core::{DataCenter, DataCenterConfig, MigrationOptions, VirtArch};
 use ib_mad::CostModel;
@@ -43,6 +43,7 @@ fn main() {
         "deadlock" => deadlock(),
         "sa-cache" => sa_cache(),
         "balance" => balance(),
+        "faults" => faults(),
         "dot" => dot(),
         "all" => {
             table1();
@@ -55,10 +56,11 @@ fn main() {
             deadlock();
             sa_cache();
             balance();
+            faults();
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|dot|all] [--level N] [--force-engines]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines]");
             std::process::exit(2);
         }
     }
@@ -69,7 +71,13 @@ fn table1() {
     println!("\n===== TABLE I: reconfiguration SMPs (derived from real topologies) =====");
     println!(
         "{:>7} {:>9} {:>7} {:>14} {:>16} {:>13} {:>13}",
-        "Nodes", "Switches", "LIDs", "MinBlocks/Sw", "MinSMPs FullRC", "MinSMPs Swap", "MaxSMPs Swap"
+        "Nodes",
+        "Switches",
+        "LIDs",
+        "MinBlocks/Sw",
+        "MinSMPs FullRC",
+        "MinSMPs Swap",
+        "MaxSMPs Swap"
     );
     let builders: [fn() -> ib_subnet::topology::BuiltTopology; 4] = [
         fattree::paper_324,
@@ -93,8 +101,15 @@ fn table1() {
         );
         let paper = PAPER_TABLE1[i];
         assert_eq!(
-            (row.nodes, row.switches, row.lids, row.min_lft_blocks_per_switch,
-             row.min_smps_full_rc, row.min_smps_vswitch, row.max_smps_vswitch),
+            (
+                row.nodes,
+                row.switches,
+                row.lids,
+                row.min_lft_blocks_per_switch,
+                row.min_smps_full_rc,
+                row.min_smps_vswitch,
+                row.max_smps_vswitch
+            ),
             paper,
             "derived row must match the published Table I"
         );
@@ -157,8 +172,14 @@ fn fig5() {
 
     println!("upper-left leaf switch, LFT excerpt:");
     println!("  {:>8} {:>12} {:>12}", "LID", "port before", "port after");
-    println!("  {:>8} {:>12} {:>12}   (the VM's LID)", vm_lid, before_vm, after_vm);
-    println!("  {:>8} {:>12} {:>12}   (the destination VF's LID)", dest_vf_lid, before_vf, after_vf);
+    println!(
+        "  {:>8} {:>12} {:>12}   (the VM's LID)",
+        vm_lid, before_vm, after_vm
+    );
+    println!(
+        "  {:>8} {:>12} {:>12}   (the destination VF's LID)",
+        dest_vf_lid, before_vf, after_vf
+    );
     println!(
         "swap sent {} LFT SMPs over {} switches (same-block -> {} SMP per switch)",
         report.lft.lft_smps, report.lft.switches_updated, report.lft.max_blocks_per_switch
@@ -171,7 +192,12 @@ fn fig5() {
 fn fig6() {
     println!("\n===== FIG. 6: switches updated vs migration distance (min reconfiguration) =====");
     for (desc, from, to, shortcut) in [
-        ("intra-leaf (hyp1 -> hyp2), shortcut on", 0usize, 1usize, true),
+        (
+            "intra-leaf (hyp1 -> hyp2), shortcut on",
+            0usize,
+            1usize,
+            true,
+        ),
         ("intra-leaf (hyp1 -> hyp2), deterministic", 0, 1, false),
         ("near (hyp1 -> hyp3)", 0, 2, false),
         ("far (hyp1 -> hyp4)", 0, 3, false),
@@ -210,7 +236,10 @@ fn fig6() {
 /// Equations 1-5 as a sweep table.
 fn cost_model() {
     println!("\n===== COST MODEL (equations 1-5), k = 5us, r = 4us =====");
-    let model = CostModel { k_us: 5.0, r_us: 4.0 };
+    let model = CostModel {
+        k_us: 5.0,
+        r_us: 4.0,
+    };
     println!(
         "{:>7} {:>9} {:>14} {:>14} {:>14} {:>14}",
         "Nodes", "Switches", "full n*m*(k+r)", "vsw 2n*(k+r)", "vsw 2n*k", "best-case k"
@@ -289,7 +318,9 @@ fn deadlock() {
     use ib_sm::{SmConfig, SmpMode, SubnetManager};
     use ib_subnet::topology::torus;
 
-    println!("\n===== SECTION VI-C: deadlock occurrence and resolution (credit-gated 4x4 torus) =====");
+    println!(
+        "\n===== SECTION VI-C: deadlock occurrence and resolution (credit-gated 4x4 torus) ====="
+    );
     let mut t = torus::torus_2d(4, 4, 1, true);
     let mut sm = SubnetManager::new(
         t.hosts[0],
@@ -299,7 +330,10 @@ fn deadlock() {
         },
     );
     sm.bring_up(&mut t.subnet).expect("bring-up");
-    let tables = EngineKind::MinHop.build().compute(&t.subnet).expect("routing");
+    let tables = EngineKind::MinHop
+        .build()
+        .compute(&t.subnet)
+        .expect("routing");
     let mut flows = Vec::new();
     for &a in &t.hosts {
         for &b in &t.hosts {
@@ -348,7 +382,10 @@ fn deadlock() {
         },
     );
     sm2.bring_up(&mut t2.subnet).expect("bring-up");
-    let dtables = EngineKind::Dfsssp.build().compute(&t2.subnet).expect("routing");
+    let dtables = EngineKind::Dfsssp
+        .build()
+        .compute(&t2.subnet)
+        .expect("routing");
     let mut flows2 = Vec::new();
     for &a in &t2.hosts {
         for &b in &t2.hosts {
@@ -400,7 +437,10 @@ fn sa_cache() {
     }
     let cold = sa.queries_served;
     dc.migrate_vm(server, 15).expect("migrate");
-    let stale = caches.iter().filter(|c| c.is_stale(&dc.subnet, gid)).count();
+    let stale = caches
+        .iter()
+        .filter(|c| c.is_stale(&dc.subnet, gid))
+        .count();
     for (c, &slid) in caches.iter_mut().zip(&peers) {
         c.resolve(&mut sa, &dc.subnet, slid, gid).expect("resolve");
     }
@@ -474,7 +514,9 @@ fn balance() {
         let lft = dcx.subnet.lft(remote_leaf).expect("leaf");
         let mut counts: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
         for vm in dcx.vms() {
-            *counts.entry(lft.get(vm.lid).expect("row").raw()).or_insert(0) += 1;
+            *counts
+                .entry(lft.get(vm.lid).expect("row").raw())
+                .or_insert(0) += 1;
         }
         let max_rows = counts.values().copied().max().unwrap_or(0);
         println!(
@@ -486,6 +528,73 @@ fn balance() {
         );
     }
     println!("  (prepopulated spreads VM LIDs like LMC paths; dynamic stacks them on colliding PF spines)");
+}
+
+/// Robustness sweep: the Algorithm-1 migration under SMP loss, with the
+/// transactional transport (retry + rollback). One row per architecture
+/// and per-hop drop probability, averaged over seeded trials.
+fn faults() {
+    use ib_mad::SmpTransport;
+    use ib_subnet::topology::fattree::two_level;
+
+    const TRIALS: u64 = 20;
+    println!("\n===== ROBUSTNESS: transactional migration under SMP loss ({TRIALS} seeded trials per row) =====");
+    println!(
+        "{:>22} {:>8} {:>10} {:>10} {:>9} {:>10} {:>10}",
+        "architecture", "drop %", "attempts", "extra", "retries", "rollbacks", "committed"
+    );
+    for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+        let mut baseline = 0.0f64;
+        for pct in [0u32, 5, 10, 15, 20] {
+            let p = f64::from(pct) / 100.0;
+            let mut attempts = 0usize;
+            let mut retries = 0usize;
+            let mut rollbacks = 0usize;
+            let mut committed = 0usize;
+            for seed in 0..TRIALS {
+                let mut dc = DataCenter::from_topology(
+                    two_level(2, 3, 2),
+                    DataCenterConfig {
+                        arch,
+                        vfs_per_hypervisor: 3,
+                        ..DataCenterConfig::default()
+                    },
+                )
+                .expect("bring-up");
+                let vm = dc.create_vm("mover", 0).expect("create");
+                let mut transport = SmpTransport::lossy(dc.sm.sm_node, seed, p, 0);
+                transport.retry.max_attempts = 8;
+                let report = dc
+                    .migrate_vm_resilient(vm, 4, &mut transport)
+                    .expect("resilient migration");
+                let phase = format!("migrate-{vm}");
+                attempts += dc.sm.ledger.phase_records(&phase).len();
+                retries += report.tx.retries;
+                if report.committed {
+                    committed += 1;
+                } else {
+                    rollbacks += 1;
+                }
+                dc.verify_connectivity().expect("consistent either way");
+            }
+            let avg_attempts = attempts as f64 / TRIALS as f64;
+            if pct == 0 {
+                baseline = avg_attempts;
+            }
+            println!(
+                "{:>22} {:>8} {:>10.1} {:>10.1} {:>9.1} {:>10} {:>9}/{}",
+                arch.to_string(),
+                pct,
+                avg_attempts,
+                avg_attempts - baseline,
+                retries as f64 / TRIALS as f64,
+                rollbacks,
+                committed,
+                TRIALS,
+            );
+        }
+    }
+    println!("(attempts = SMPs on the wire incl. retries; extra = vs the fault-free run; every non-committed trial rolled back cleanly)");
 }
 
 /// Prints the Fig. 5 fabric (virtualized, one VM) as GraphViz dot.

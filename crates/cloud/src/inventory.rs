@@ -1,11 +1,9 @@
 //! Compute-node resources and VM flavors.
 
-use serde::{Deserialize, Serialize};
-
 use ib_types::{IbError, IbResult};
 
 /// A compute node's resource envelope.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeResources {
     /// CPU cores.
     pub cores: u32,
@@ -14,7 +12,7 @@ pub struct NodeResources {
 }
 
 /// A VM sizing.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VmFlavor {
     /// Flavor name (`"small"`, ...).
     pub name: String,
@@ -46,14 +44,14 @@ impl VmFlavor {
     }
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct NodeState {
     total: NodeResources,
     used: NodeResources,
 }
 
 /// Resource accounting across compute nodes, indexed by hypervisor index.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Inventory {
     nodes: Vec<NodeState>,
 }
@@ -66,7 +64,10 @@ impl Inventory {
             nodes: vec![
                 NodeState {
                     total: per_node,
-                    used: NodeResources { cores: 0, ram_gb: 0 },
+                    used: NodeResources {
+                        cores: 0,
+                        ram_gb: 0
+                    },
                 };
                 hypervisors
             ],
@@ -81,7 +82,10 @@ impl Inventory {
                 .into_iter()
                 .map(|total| NodeState {
                     total,
-                    used: NodeResources { cores: 0, ram_gb: 0 },
+                    used: NodeResources {
+                        cores: 0,
+                        ram_gb: 0,
+                    },
                 })
                 .collect(),
         }
@@ -146,7 +150,13 @@ mod tests {
 
     #[test]
     fn allocate_release_roundtrip() {
-        let mut inv = Inventory::uniform(2, NodeResources { cores: 4, ram_gb: 32 });
+        let mut inv = Inventory::uniform(
+            2,
+            NodeResources {
+                cores: 4,
+                ram_gb: 32,
+            },
+        );
         let f = VmFlavor::medium();
         assert!(inv.fits(0, &f));
         inv.allocate(0, &f).unwrap();
@@ -160,7 +170,13 @@ mod tests {
 
     #[test]
     fn over_release_rejected() {
-        let mut inv = Inventory::uniform(1, NodeResources { cores: 4, ram_gb: 8 });
+        let mut inv = Inventory::uniform(
+            1,
+            NodeResources {
+                cores: 4,
+                ram_gb: 8,
+            },
+        );
         assert!(inv.release(0, &VmFlavor::small()).is_err());
     }
 
@@ -168,8 +184,14 @@ mod tests {
     fn heterogeneous_nodes() {
         // The paper's testbed: 8-core and 4-core HP compute nodes.
         let inv = Inventory::from_nodes(vec![
-            NodeResources { cores: 8, ram_gb: 32 },
-            NodeResources { cores: 4, ram_gb: 32 },
+            NodeResources {
+                cores: 8,
+                ram_gb: 32,
+            },
+            NodeResources {
+                cores: 4,
+                ram_gb: 32,
+            },
         ]);
         assert_eq!(inv.free_cores(0), 8);
         assert_eq!(inv.free_cores(1), 4);

@@ -86,7 +86,13 @@ mod tests {
     }
 
     fn inv() -> Inventory {
-        Inventory::uniform(4, NodeResources { cores: 8, ram_gb: 32 })
+        Inventory::uniform(
+            4,
+            NodeResources {
+                cores: 8,
+                ram_gb: 32,
+            },
+        )
     }
 
     #[test]
@@ -135,7 +141,13 @@ mod tests {
     #[test]
     fn respects_compute_capacity() {
         let dc = dc();
-        let tight = Inventory::uniform(4, NodeResources { cores: 1, ram_gb: 1 });
+        let tight = Inventory::uniform(
+            4,
+            NodeResources {
+                cores: 1,
+                ram_gb: 1,
+            },
+        );
         // Medium flavor (2 cores) fits nowhere.
         assert!(SpreadPolicy
             .choose(&dc, &tight, &VmFlavor::medium())

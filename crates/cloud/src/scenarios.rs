@@ -24,14 +24,18 @@ pub fn paper_testbed() -> BuiltTopology {
         let host = subnet.add_hca(format!("compute-{i}"));
         let sw = if i < 3 { sw0 } else { sw1 };
         let port = PortNum::new((i % 3) as u8 + 1);
-        subnet.connect(sw, port, host, PortNum::new(1)).expect("compute");
+        subnet
+            .connect(sw, port, host, PortNum::new(1))
+            .expect("compute");
         hosts.push(host);
     }
     for (i, name) in ["controller", "network", "storage"].iter().enumerate() {
         let infra = subnet.add_hca(format!("sunfire-{name}"));
         let sw = if i < 2 { sw0 } else { sw1 };
         let port = PortNum::new(10 + i as u8);
-        subnet.connect(sw, port, infra, PortNum::new(1)).expect("infra");
+        subnet
+            .connect(sw, port, infra, PortNum::new(1))
+            .expect("infra");
         // Infra nodes are deliberately NOT in `hosts`, so the data center
         // never virtualizes them — they just consume LIDs like real ones.
     }
@@ -98,12 +102,7 @@ pub fn defragment(dc: &mut DataCenter) -> IbResult<Vec<MigrationReport>> {
 /// recovery), spreading them across the other hypervisors.
 pub fn evacuate(dc: &mut DataCenter, hyp: usize) -> IbResult<Vec<MigrationReport>> {
     let mut reports = Vec::new();
-    while let Some(vm) = dc
-        .vms()
-        .iter()
-        .find(|r| r.hypervisor == hyp)
-        .map(|r| r.id)
-    {
+    while let Some(vm) = dc.vms().iter().find(|r| r.hypervisor == hyp).map(|r| r.id) {
         let dest = dc
             .hypervisors
             .iter()

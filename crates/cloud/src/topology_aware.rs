@@ -34,7 +34,9 @@ pub fn rank_destinations(dc: &DataCenter, vm: VmId) -> IbResult<Vec<MigrationCan
         if hyp.index == rec.hypervisor {
             continue;
         }
-        let Some(slot) = hyp.free_slot() else { continue };
+        let Some(slot) = hyp.free_slot() else {
+            continue;
+        };
         let predicted = match dc.config.arch {
             VirtArch::VSwitchPrepopulated => {
                 let Some(dest_lid) = hyp.vf_lid(&dc.subnet, slot) else {

@@ -12,14 +12,14 @@
 //! [`DataCenter`], pulls the reconfiguration SMPs out of the SM's ledger,
 //! and replays them through the latency model to produce a timeline.
 
-use ib_core::{DataCenter, MigrationReport, VmId};
+use ib_core::{DataCenter, MigrationReport, TxMigrationReport, VmId};
+use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_sim::downtime::{DowntimeModel, MigrationTimeline};
 use ib_sim::SimTime;
 use ib_types::{IbResult, Lid};
-use serde::{Deserialize, Serialize};
 
 /// One recorded workflow step.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkflowStep {
     /// Step name, matching the §VII-B enumeration.
     pub name: String,
@@ -28,7 +28,7 @@ pub struct WorkflowStep {
 }
 
 /// The complete trace of one orchestrated migration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkflowTrace {
     /// The four steps with durations.
     pub steps: Vec<WorkflowStep>,
@@ -41,22 +41,15 @@ pub struct WorkflowTrace {
 }
 
 /// Orchestrates §VII-B migrations against a data center.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LiveMigrationWorkflow {
     /// Timeline parameters.
     pub model: DowntimeModel,
 }
 
-
 impl LiveMigrationWorkflow {
     /// Runs the four-step workflow, migrating `vm` to hypervisor `dest`.
-    pub fn execute(
-        &self,
-        dc: &mut DataCenter,
-        vm: VmId,
-        dest: usize,
-    ) -> IbResult<WorkflowTrace> {
+    pub fn execute(&self, dc: &mut DataCenter, vm: VmId, dest: usize) -> IbResult<WorkflowTrace> {
         let lid_before: Lid = dc
             .vm(vm)
             .map(|r| r.lid)
@@ -107,6 +100,95 @@ impl LiveMigrationWorkflow {
             addresses_preserved,
         })
     }
+
+    /// The fault-aware §VII-B workflow: step 3 runs the *transactional*
+    /// reconfiguration over `transport`, and when the network side rolls
+    /// back, step 4 becomes **re-attach the VF at the source** — the
+    /// orchestrator's compensation — instead of attaching at the
+    /// destination. Either way the VM ends up attached somewhere with its
+    /// addresses intact; `ResilientWorkflowTrace::committed` says where.
+    pub fn execute_resilient<C: SmpChannel>(
+        &self,
+        dc: &mut DataCenter,
+        vm: VmId,
+        dest: usize,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResilientWorkflowTrace> {
+        let lid_before: Lid = dc
+            .vm(vm)
+            .map(|r| r.lid)
+            .ok_or_else(|| ib_types::IbError::Virtualization(format!("{vm} does not exist")))?;
+        let vguid_before = dc.vm(vm).expect("checked").vguid;
+
+        let report = dc.migrate_vm_resilient(vm, dest, transport)?;
+
+        // Replay every SMP of the phase — including dropped and timed-out
+        // attempts, which is precisely the extra reconfiguration time that
+        // faults cost.
+        let phase = format!("migrate-{vm}");
+        let smps: Vec<(usize, bool)> = dc
+            .sm
+            .ledger
+            .phase_records(&phase)
+            .iter()
+            .map(|r| (r.hops, r.directed))
+            .collect();
+        let timeline = MigrationTimeline::compose(&self.model, &smps);
+
+        let rec = dc.vm(vm).expect("still exists");
+        let addresses_preserved = rec.lid == lid_before && rec.vguid == vguid_before;
+
+        let final_step = if report.committed {
+            WorkflowStep {
+                name: "4-attach-vf-with-guid".into(),
+                duration: self.model.attach,
+            }
+        } else {
+            WorkflowStep {
+                name: "4-reattach-vf-at-source".into(),
+                duration: self.model.attach,
+            }
+        };
+        let steps = vec![
+            WorkflowStep {
+                name: "1-detach-vf-and-start-migration".into(),
+                duration: self.model.detach + self.model.stop_and_copy,
+            },
+            WorkflowStep {
+                name: "2-signal-opensm".into(),
+                duration: SimTime::from_us(50.0),
+            },
+            WorkflowStep {
+                name: "3-opensm-reconfigures-transactionally".into(),
+                duration: timeline.reconfiguration,
+            },
+            final_step,
+        ];
+        Ok(ResilientWorkflowTrace {
+            committed: report.committed,
+            steps,
+            report,
+            timeline,
+            addresses_preserved,
+        })
+    }
+}
+
+/// The trace of one fault-aware orchestrated migration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilientWorkflowTrace {
+    /// Whether the migration committed (`false`: compensated, VM stayed at
+    /// the source).
+    pub committed: bool,
+    /// The four steps with durations; step 4 names the compensation when
+    /// rolled back.
+    pub steps: Vec<WorkflowStep>,
+    /// The transactional migration report.
+    pub report: TxMigrationReport,
+    /// The composed downtime timeline (includes retry/timeout SMPs).
+    pub timeline: MigrationTimeline,
+    /// VM addresses preserved across the move (or the rollback)?
+    pub addresses_preserved: bool,
 }
 
 #[cfg(test)]
@@ -151,6 +233,39 @@ mod tests {
         // The whole point: with PCt eliminated and a handful of SMPs, the
         // network reconfiguration is noise next to detach/attach.
         assert!(trace.timeline.reconfiguration_share() < 0.01);
+    }
+
+    #[test]
+    fn resilient_workflow_commits_when_fault_free() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+        let trace = LiveMigrationWorkflow::default()
+            .execute_resilient(&mut dc, vm, 4, &mut transport)
+            .unwrap();
+        assert!(trace.committed);
+        assert!(trace.addresses_preserved);
+        assert_eq!(trace.steps[3].name, "4-attach-vf-with-guid");
+        dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn resilient_workflow_compensates_on_persistent_failure() {
+        let mut dc = dc(VirtArch::VSwitchDynamic);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let mut transport =
+            SmpTransport::with_channel(dc.sm.sm_node, ib_mad::LossyChannel::black_hole());
+        let trace = LiveMigrationWorkflow::default()
+            .execute_resilient(&mut dc, vm, 4, &mut transport)
+            .unwrap();
+        assert!(!trace.committed);
+        assert!(
+            trace.addresses_preserved,
+            "rollback keeps the addresses too"
+        );
+        assert_eq!(trace.steps[3].name, "4-reattach-vf-at-source");
+        assert_eq!(dc.vm(vm).unwrap().hypervisor, 0, "VM stayed home");
+        dc.verify_connectivity().unwrap();
     }
 
     #[test]

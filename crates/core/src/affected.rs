@@ -120,7 +120,12 @@ mod tests {
         // (port 2 does not exist on an HCA — fall back to simulating by
         // copying the row first)
         let pf = host_lid(&t, 5);
-        for sw in t.subnet.physical_switches().map(|n| n.id).collect::<Vec<_>>() {
+        for sw in t
+            .subnet
+            .physical_switches()
+            .map(|n| n.id)
+            .collect::<Vec<_>>()
+        {
             let lft = t.subnet.lft_mut(sw).unwrap();
             if let Some(p) = lft.get(pf) {
                 lft.set(extra, p);

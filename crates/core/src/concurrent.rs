@@ -69,7 +69,10 @@ mod tests {
         let batches = schedule(vec![plan(1, &[0, 1]), plan(2, &[1, 2]), plan(3, &[3])]);
         assert_eq!(batches.len(), 2);
         // Plan 3 joins the first batch (disjoint from plan 1).
-        assert_eq!(batches[0].iter().map(|p| p.tag).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            batches[0].iter().map(|p| p.tag).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         assert_eq!(batches[1][0].tag, 2);
     }
 

@@ -5,13 +5,11 @@
 //! switch, the `n·m` SMP floor of a full reconfiguration, and the
 //! one-to-`2n` range of the vSwitch method.
 
-use serde::{Deserialize, Serialize};
-
 use ib_mad::CostModel;
 use ib_subnet::{lft::min_blocks_for, Subnet};
 
 /// One row of the paper's Table I.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Table1Row {
     /// End nodes (HCAs).
     pub nodes: usize,

@@ -1,6 +1,7 @@
 //! The virtualized data center: subnet + hypervisors + subnet manager +
 //! VM lifecycle.
 
+use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::Smp;
 use ib_routing::EngineKind;
 use ib_sm::distribution::{hops_of, routing_for};
@@ -11,11 +12,10 @@ use ib_types::{IbError, IbResult, Lid, PortNum};
 use rustc_hash::FxHashMap;
 
 use crate::migration::{
-    copy_on_fabric, swap_on_fabric, LftUpdateStats, MigrationOptions, MigrationReport,
+    copy_on_fabric, copy_on_fabric_tx, swap_on_fabric, swap_on_fabric_tx, LftUpdateStats,
+    MigrationOptions, MigrationReport, TxMigrationReport, TxStats,
 };
-use crate::virtualize::{
-    virtualize_host, vswitch_vf_port, Hypervisor, VirtArch, VSWITCH_UPLINK,
-};
+use crate::virtualize::{virtualize_host, vswitch_vf_port, Hypervisor, VirtArch, VSWITCH_UPLINK};
 use crate::vm::{VmId, VmRecord};
 
 /// Data center construction parameters.
@@ -132,6 +132,7 @@ impl DataCenter {
     ///   switch (§V-B).
     pub fn create_vm(&mut self, name: impl Into<String>, hyp: usize) -> IbResult<VmId> {
         let name = name.into();
+        self.check_hypervisor(hyp)?;
         let slot = self.hypervisors[hyp]
             .free_slot()
             .ok_or_else(|| IbError::Capacity(format!("hypervisor {hyp} has no free VF")))?;
@@ -215,7 +216,9 @@ impl DataCenter {
         self.hypervisor_smp_vguid(pf, None)?;
 
         if self.config.arch == VirtArch::VSwitchDynamic {
-            let vf = self.hypervisors[hyp].vfs[vm.vf_slot].node.expect("vswitch mode");
+            let vf = self.hypervisors[hyp].vfs[vm.vf_slot]
+                .node
+                .expect("vswitch mode");
             self.hypervisor_smp_set_lid(pf, None)?;
             self.subnet.clear_lid(vm.lid)?;
             self.sm.lid_space.release(vm.lid)?;
@@ -232,6 +235,7 @@ impl DataCenter {
             .cloned()
             .ok_or_else(|| IbError::Virtualization(format!("{id} does not exist")))?;
         let src = vm.hypervisor;
+        self.check_hypervisor(dest)?;
         if src == dest {
             return Err(IbError::Virtualization(format!(
                 "{id} is already on hypervisor {dest}"
@@ -300,7 +304,6 @@ impl DataCenter {
         dest_slot: usize,
         restrict: Option<&[NodeId]>,
     ) -> IbResult<LftUpdateStats> {
-        let src = vm.hypervisor;
         let dest_vf_lid = self.hypervisors[dest]
             .vf_lid(&self.subnet, dest_slot)
             .ok_or_else(|| IbError::Virtualization("destination VF has no LID".into()))?;
@@ -314,22 +317,39 @@ impl DataCenter {
             restrict,
             &mut self.sm.ledger,
         )?;
+        self.commit_prepopulated_registrations(vm, dest, dest_slot, dest_vf_lid)?;
+        Ok(stats)
+    }
 
-        // Exchange the endpoint registrations: the VM's LID lands on the
-        // destination VF; the destination VF's old LID falls back to the
-        // source VF.
-        let src_vf = self.hypervisors[src].vfs[vm.vf_slot].node.expect("vswitch mode");
-        let dest_vf = self.hypervisors[dest].vfs[dest_slot].node.expect("vswitch mode");
+    /// Endpoint bookkeeping after a committed prepopulated-mode swap: the
+    /// VM's LID lands on the destination VF; the destination VF's old LID
+    /// falls back to the source VF.
+    fn commit_prepopulated_registrations(
+        &mut self,
+        vm: &VmRecord,
+        dest: usize,
+        dest_slot: usize,
+        dest_vf_lid: Lid,
+    ) -> IbResult<()> {
+        let src = vm.hypervisor;
+        let src_vf = self.hypervisors[src].vfs[vm.vf_slot]
+            .node
+            .expect("vswitch mode");
+        let dest_vf = self.hypervisors[dest].vfs[dest_slot]
+            .node
+            .expect("vswitch mode");
         self.subnet.clear_lid(vm.lid)?;
         self.subnet.clear_lid(dest_vf_lid)?;
-        self.subnet.assign_port_lid(src_vf, PortNum::new(1), dest_vf_lid)?;
-        self.subnet.assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
+        self.subnet
+            .assign_port_lid(src_vf, PortNum::new(1), dest_vf_lid)?;
+        self.subnet
+            .assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
 
         // vSwitch-internal forwarding (HCA hardware, no SMPs counted): the
         // two vSwitches re-home the swapped LIDs.
         self.set_vswitch_routes(vm.lid, Some((dest, dest_slot)));
         self.set_vswitch_routes(dest_vf_lid, Some((src, vm.vf_slot)));
-        Ok(stats)
+        Ok(())
     }
 
     /// §V-C2: the VM LID adopts the destination PF's path everywhere.
@@ -340,7 +360,6 @@ impl DataCenter {
         dest_slot: usize,
         restrict: Option<&[NodeId]>,
     ) -> IbResult<LftUpdateStats> {
-        let src = vm.hypervisor;
         let pf_lid = self.hypervisors[dest].pf_lid(&self.subnet)?;
         let stats = copy_on_fabric(
             &mut self.subnet,
@@ -351,18 +370,34 @@ impl DataCenter {
             restrict,
             &mut self.sm.ledger,
         )?;
+        self.commit_dynamic_registrations(vm, dest, dest_slot)?;
+        Ok(stats)
+    }
 
-        // Move the VF cable and the LID with the VM.
-        let src_vf = self.hypervisors[src].vfs[vm.vf_slot].node.expect("vswitch mode");
-        let dest_vf = self.hypervisors[dest].vfs[dest_slot].node.expect("vswitch mode");
+    /// Endpoint bookkeeping after a committed dynamic-mode copy: the VF
+    /// cable and the LID move with the VM.
+    fn commit_dynamic_registrations(
+        &mut self,
+        vm: &VmRecord,
+        dest: usize,
+        dest_slot: usize,
+    ) -> IbResult<()> {
+        let src = vm.hypervisor;
+        let src_vf = self.hypervisors[src].vfs[vm.vf_slot]
+            .node
+            .expect("vswitch mode");
+        let dest_vf = self.hypervisors[dest].vfs[dest_slot]
+            .node
+            .expect("vswitch mode");
         let vsw = self.hypervisors[dest].vswitch.expect("vswitch mode");
         self.subnet.clear_lid(vm.lid)?;
         self.subnet.disconnect(src_vf, PortNum::new(1))?;
         self.subnet
             .connect(vsw, vswitch_vf_port(dest_slot), dest_vf, PortNum::new(1))?;
-        self.subnet.assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
+        self.subnet
+            .assign_port_lid(dest_vf, PortNum::new(1), vm.lid)?;
         self.set_vswitch_routes(vm.lid, Some((dest, dest_slot)));
-        Ok(stats)
+        Ok(())
     }
 
     /// The Shared Port emulation of §VII-B: the *hypervisor* LIDs of the
@@ -411,9 +446,212 @@ impl DataCenter {
         Ok(stats)
     }
 
+    /// Live-migrates a VM (Algorithm 1) over a faulty fabric, as a
+    /// transaction.
+    ///
+    /// Every SMP — the step (a) hypervisor signals and the step (b) LFT
+    /// updates — goes through `transport`, which retries with backoff and
+    /// reports persistent failure. On persistent failure the migration is
+    /// **rolled back**: every LFT row already swapped/copied is restored
+    /// (best-effort compensating SMPs, unconditional local state), the
+    /// hypervisors are signalled to restore the source attachment, and the
+    /// VM keeps running at the source with its registrations untouched.
+    /// The returned report says which way it went via `committed`.
+    ///
+    /// Only the two vSwitch architectures are supported — the Shared Port
+    /// baseline has no per-VM fabric state to protect transactionally.
+    pub fn migrate_vm_resilient<C: SmpChannel>(
+        &mut self,
+        id: VmId,
+        dest: usize,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<TxMigrationReport> {
+        let vm = self
+            .vms
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| IbError::Virtualization(format!("{id} does not exist")))?;
+        let src = vm.hypervisor;
+        self.check_hypervisor(dest)?;
+        if src == dest {
+            return Err(IbError::Virtualization(format!(
+                "{id} is already on hypervisor {dest}"
+            )));
+        }
+        if self.config.arch == VirtArch::SharedPort {
+            return Err(IbError::Virtualization(
+                "resilient migration models the vSwitch architectures only".into(),
+            ));
+        }
+        let dest_slot = self.hypervisors[dest]
+            .free_slot()
+            .ok_or_else(|| IbError::Capacity(format!("hypervisor {dest} has no free VF")))?;
+        let use_shortcut = self.config.migration.intra_leaf_shortcut
+            && self.hypervisors[src].leaf == self.hypervisors[dest].leaf;
+        let restrict: Option<Vec<NodeId>> = use_shortcut.then(|| vec![self.hypervisors[src].leaf]);
+
+        self.sm.ledger.begin_phase(format!("migrate-{id}"));
+        let mut tx = TxStats {
+            committed: true,
+            ..TxStats::default()
+        };
+        let mut hypervisor_smps = 0usize;
+        let src_pf = self.hypervisors[src].pf;
+        let dest_pf = self.hypervisors[dest].pf;
+
+        // A rollback report: the VM stays where it was.
+        let aborted =
+            |tx: TxStats, hypervisor_smps: usize, lft: LftUpdateStats| TxMigrationReport {
+                committed: false,
+                vm: id,
+                from_hypervisor: src,
+                to_hypervisor: dest,
+                lid: vm.lid,
+                hypervisor_smps,
+                lft,
+                tx,
+            };
+
+        // Step V-C(a): detach the VF, signal both hypervisors, move vGUID.
+        // Each signal that fails persistently triggers compensation of the
+        // ones already delivered, in reverse.
+        self.hypervisors[src].vfs[vm.vf_slot].attached = None;
+        match self.hypervisor_smp_set_lid_tx(src_pf, None, transport) {
+            Ok(attempt) => {
+                tx.retries += attempt as usize;
+                hypervisor_smps += 1;
+            }
+            Err(IbError::Transport(_)) => {
+                // Nothing was delivered anywhere: re-attach locally.
+                tx.committed = false;
+                self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+                return Ok(aborted(tx, hypervisor_smps, LftUpdateStats::default()));
+            }
+            Err(e) => return Err(e),
+        }
+        for dest_lid_is_set in [false, true] {
+            let sent = if dest_lid_is_set {
+                self.hypervisor_smp_vguid_tx(dest_pf, Some(vm.vguid), transport)
+            } else {
+                self.hypervisor_smp_set_lid_tx(dest_pf, Some(vm.lid), transport)
+            };
+            match sent {
+                Ok(attempt) => {
+                    tx.retries += attempt as usize;
+                    hypervisor_smps += 1;
+                }
+                Err(IbError::Transport(_)) => {
+                    tx.committed = false;
+                    if dest_lid_is_set {
+                        // The destination already holds the LID: take it back.
+                        tx.rollback_smps += 1;
+                        let _ = self.hypervisor_smp_set_lid_tx(dest_pf, None, transport);
+                    }
+                    tx.rollback_smps += 1;
+                    let _ = self.hypervisor_smp_set_lid_tx(src_pf, Some(vm.lid), transport);
+                    self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+                    return Ok(aborted(tx, hypervisor_smps, LftUpdateStats::default()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Step V-C(b): transactional LFT updates.
+        let dest_vf_lid = if self.config.arch == VirtArch::VSwitchPrepopulated {
+            Some(
+                self.hypervisors[dest]
+                    .vf_lid(&self.subnet, dest_slot)
+                    .ok_or_else(|| IbError::Virtualization("destination VF has no LID".into()))?,
+            )
+        } else {
+            None
+        };
+        let (lft, tx_b) = match self.config.arch {
+            VirtArch::VSwitchPrepopulated => swap_on_fabric_tx(
+                &mut self.subnet,
+                self.sm.sm_node,
+                vm.lid,
+                dest_vf_lid.expect("computed above"),
+                &self.config.migration,
+                restrict.as_deref(),
+                transport,
+                &mut self.sm.ledger,
+            )?,
+            VirtArch::VSwitchDynamic => {
+                let pf_lid = self.hypervisors[dest].pf_lid(&self.subnet)?;
+                copy_on_fabric_tx(
+                    &mut self.subnet,
+                    self.sm.sm_node,
+                    pf_lid,
+                    vm.lid,
+                    &self.config.migration,
+                    restrict.as_deref(),
+                    transport,
+                    &mut self.sm.ledger,
+                )?
+            }
+            VirtArch::SharedPort => unreachable!("rejected above"),
+        };
+        tx.retries += tx_b.retries;
+        tx.rolled_back_switches += tx_b.rolled_back_switches;
+        tx.rollback_smps += tx_b.rollback_smps;
+        if !tx_b.committed {
+            // The fabric is back to its pre-migration LFTs; compensate the
+            // hypervisor signals and re-attach the VF at the source.
+            tx.committed = false;
+            tx.rollback_smps += 2;
+            let _ = self.hypervisor_smp_set_lid_tx(dest_pf, None, transport);
+            let _ = self.hypervisor_smp_set_lid_tx(src_pf, Some(vm.lid), transport);
+            self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+            return Ok(aborted(tx, hypervisor_smps, lft));
+        }
+
+        // Commit: move the endpoint registrations and the bookkeeping.
+        match self.config.arch {
+            VirtArch::VSwitchPrepopulated => self.commit_prepopulated_registrations(
+                &vm,
+                dest,
+                dest_slot,
+                dest_vf_lid.expect("computed above"),
+            )?,
+            VirtArch::VSwitchDynamic => {
+                self.commit_dynamic_registrations(&vm, dest, dest_slot)?;
+            }
+            VirtArch::SharedPort => unreachable!("rejected above"),
+        }
+        self.hypervisors[dest].vfs[dest_slot].attached = Some(id);
+        let rec = self.vms.get_mut(&id).expect("checked above");
+        rec.hypervisor = dest;
+        rec.vf_slot = dest_slot;
+
+        Ok(TxMigrationReport {
+            committed: true,
+            vm: id,
+            from_hypervisor: src,
+            to_hypervisor: dest,
+            lid: vm.lid,
+            hypervisor_smps,
+            lft,
+            tx,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
+
+    /// Bounds-check a hypervisor index (public entry points take raw
+    /// indices; a bad one must be an error, not a panic).
+    fn check_hypervisor(&self, hyp: usize) -> IbResult<()> {
+        if hyp < self.hypervisors.len() {
+            Ok(())
+        } else {
+            Err(IbError::Virtualization(format!(
+                "hypervisor {hyp} does not exist (data center has {})",
+                self.hypervisors.len()
+            )))
+        }
+    }
 
     /// Installs the vSwitch-internal route for `lid` on every hypervisor:
     /// the owner's vSwitch delivers to the VF port, every other vSwitch
@@ -460,6 +698,37 @@ impl DataCenter {
         Ok(())
     }
 
+    /// The transactional counterpart of [`Self::hypervisor_smp_set_lid`]:
+    /// the SMP goes through the retrying transport, and an unroutable
+    /// hypervisor surfaces as a transport failure (so callers compensate
+    /// instead of crashing).
+    fn hypervisor_smp_set_lid_tx<C: SmpChannel>(
+        &mut self,
+        pf: NodeId,
+        lid: Option<Lid>,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<u32> {
+        let routing = routing_for(&self.subnet, self.sm.sm_node, pf, SmpMode::Directed)
+            .map_err(|e| IbError::Transport(format!("no route to hypervisor: {e}")))?;
+        let hops = hops_of(&self.subnet, self.sm.sm_node, pf, &routing).unwrap_or(0);
+        let smp = Smp::set_port_lid(pf, routing, PortNum::new(1), lid);
+        transport.send(&self.subnet, &smp, hops, &mut self.sm.ledger)
+    }
+
+    /// The transactional counterpart of [`Self::hypervisor_smp_vguid`].
+    fn hypervisor_smp_vguid_tx<C: SmpChannel>(
+        &mut self,
+        pf: NodeId,
+        vguid: Option<ib_types::Guid>,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<u32> {
+        let routing = routing_for(&self.subnet, self.sm.sm_node, pf, SmpMode::Directed)
+            .map_err(|e| IbError::Transport(format!("no route to hypervisor: {e}")))?;
+        let hops = hops_of(&self.subnet, self.sm.sm_node, pf, &routing).unwrap_or(0);
+        let smp = Smp::set_vguid(pf, routing, 0, vguid);
+        transport.send(&self.subnet, &smp, hops, &mut self.sm.ledger)
+    }
+
     /// Verifies that every VM LID and every PF LID is reachable from every
     /// hypervisor PF by walking the installed LFTs hop by hop.
     pub fn verify_connectivity(&self) -> IbResult<()> {
@@ -477,9 +746,10 @@ impl DataCenter {
         lids.dedup();
         for h in &self.hypervisors {
             for &lid in &lids {
-                let target = self.subnet.endpoint_of(lid).ok_or_else(|| {
-                    IbError::Management(format!("LID {lid} is unregistered"))
-                })?;
+                let target = self
+                    .subnet
+                    .endpoint_of(lid)
+                    .ok_or_else(|| IbError::Management(format!("LID {lid} is unregistered")))?;
                 let path = self.subnet.trace_route(h.pf, lid, 64)?;
                 let arrived = *path.last().expect("non-empty path");
                 if arrived != target.node {
@@ -632,7 +902,11 @@ mod tests {
         let lid = dc.vm(vm).unwrap().lid;
         let report = dc.migrate_vm(vm, 4).unwrap();
         assert_eq!(report.lid_after, lid);
-        assert_eq!(report.lft.max_blocks_per_switch.max(1), 1, "copy is 1 SMP max");
+        assert_eq!(
+            report.lft.max_blocks_per_switch.max(1),
+            1,
+            "copy is 1 SMP max"
+        );
         // The VM LID now rides hypervisor 4's PF path.
         let pf_lid = dc.hypervisors[4].pf_lid(&dc.subnet).unwrap();
         for sw in dc.subnet.physical_switches() {
@@ -680,6 +954,95 @@ mod tests {
         let vm2 = dc.create_vm("vm1", 3).unwrap();
         assert_eq!(dc.vm(vm2).unwrap().lid, lid);
         dc.verify_connectivity().unwrap();
+    }
+
+    #[test]
+    fn bad_hypervisor_index_is_an_error_not_a_panic() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        assert!(dc.create_vm("vm", 99).is_err());
+        let vm = dc.create_vm("vm", 0).unwrap();
+        assert!(dc.migrate_vm(vm, 99).is_err());
+        let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+        assert!(dc.migrate_vm_resilient(vm, 99, &mut transport).is_err());
+    }
+
+    #[test]
+    fn resilient_migration_commits_like_classic_when_fault_free() {
+        for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+            let mut classic = dc(arch);
+            let mut resilient = dc(arch);
+            let vm_c = classic.create_vm("vm", 0).unwrap();
+            let vm_r = resilient.create_vm("vm", 0).unwrap();
+            let report_c = classic.migrate_vm(vm_c, 4).unwrap();
+            let mut transport = SmpTransport::perfect(resilient.sm.sm_node);
+            let report_r = resilient
+                .migrate_vm_resilient(vm_r, 4, &mut transport)
+                .unwrap();
+            assert!(report_r.committed, "{arch}");
+            assert_eq!(report_r.tx.retries, 0);
+            assert_eq!(report_r.lft, report_c.lft, "{arch}");
+            assert_eq!(report_r.hypervisor_smps, report_c.hypervisor_smps);
+            for sw in classic.subnet.physical_switches() {
+                assert_eq!(resilient.subnet.lft(sw.id).unwrap(), sw.lft().unwrap());
+            }
+            resilient.verify_connectivity().unwrap();
+        }
+    }
+
+    #[test]
+    fn resilient_migration_rolls_back_on_black_hole() {
+        for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+            let mut dc = dc(arch);
+            let vm = dc.create_vm("vm", 0).unwrap();
+            let before_hyp = dc.vm(vm).unwrap().hypervisor;
+            let lid = dc.vm(vm).unwrap().lid;
+            let snapshot: Vec<_> = dc
+                .subnet
+                .physical_switches()
+                .map(|n| (n.id, n.lft().unwrap().clone()))
+                .collect();
+            let mut transport =
+                SmpTransport::with_channel(dc.sm.sm_node, ib_mad::LossyChannel::black_hole());
+            let report = dc.migrate_vm_resilient(vm, 4, &mut transport).unwrap();
+            assert!(!report.committed, "{arch}");
+            // The VM still runs at the source, same LID, VF re-attached.
+            let rec = dc.vm(vm).unwrap();
+            assert_eq!(rec.hypervisor, before_hyp);
+            assert_eq!(rec.lid, lid);
+            assert_eq!(
+                dc.hypervisors[before_hyp].vfs[rec.vf_slot].attached,
+                Some(vm)
+            );
+            for (id, before) in snapshot {
+                assert_eq!(dc.subnet.lft(id).unwrap(), &before, "{arch}: LFTs restored");
+            }
+            dc.verify_connectivity().unwrap();
+        }
+    }
+
+    #[test]
+    fn resilient_migration_converges_under_loss() {
+        for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+            let mut dc = dc(arch);
+            let vm = dc.create_vm("vm", 0).unwrap();
+            let mut transport = SmpTransport::lossy(dc.sm.sm_node, 11, 0.05, 0);
+            transport.retry.max_attempts = 8;
+            let report = dc.migrate_vm_resilient(vm, 4, &mut transport).unwrap();
+            if report.committed {
+                assert_eq!(dc.vm(vm).unwrap().hypervisor, 4, "{arch}");
+            } else {
+                assert_eq!(dc.vm(vm).unwrap().hypervisor, 0, "{arch}: clean rollback");
+            }
+            dc.verify_connectivity().unwrap();
+        }
+    }
+
+    #[test]
+    fn resilient_migration_rejects_shared_port() {
+        let mut dc = dc(VirtArch::SharedPort);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+        assert!(dc.migrate_vm_resilient(vm, 4, &mut transport).is_err());
     }
 
     #[test]

@@ -135,10 +135,20 @@ mod tests {
         let hosts: Vec<NodeId> = (0..4).map(|i| s.add_hca(format!("h{i}"))).collect();
         for i in 0..4 {
             // Port 1 = clockwise, port 2 = counterclockwise, port 3 = host.
-            s.connect(sw[i], ib_types::PortNum::new(1), sw[(i + 1) % 4], ib_types::PortNum::new(2))
-                .unwrap();
-            s.connect(sw[i], ib_types::PortNum::new(3), hosts[i], ib_types::PortNum::new(1))
-                .unwrap();
+            s.connect(
+                sw[i],
+                ib_types::PortNum::new(1),
+                sw[(i + 1) % 4],
+                ib_types::PortNum::new(2),
+            )
+            .unwrap();
+            s.connect(
+                sw[i],
+                ib_types::PortNum::new(3),
+                hosts[i],
+                ib_types::PortNum::new(1),
+            )
+            .unwrap();
         }
         for (i, &h) in hosts.iter().enumerate() {
             s.assign_port_lid(h, ib_types::PortNum::new(1), Lid::from_raw(i as u16 + 1))

@@ -15,12 +15,12 @@
 //! No path is ever recomputed: `PCt` is eliminated outright, which is the
 //! entire point of the paper.
 
+use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::{Smp, SmpLedger};
 use ib_sm::distribution::{hops_of, routing_for};
 use ib_sm::SmpMode;
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid, PortNum};
-use serde::{Deserialize, Serialize};
 
 use crate::vm::VmId;
 
@@ -53,7 +53,7 @@ impl Default for MigrationOptions {
 }
 
 /// SMP accounting of one LFT-update pass.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LftUpdateStats {
     /// `SubnSet(LinearForwardingTable)` SMPs for the update itself.
     pub lft_smps: usize,
@@ -66,7 +66,7 @@ pub struct LftUpdateStats {
 }
 
 /// Everything one migration did.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MigrationReport {
     /// The migrated VM.
     pub vm: VmId,
@@ -125,7 +125,9 @@ pub fn swap_on_fabric(
     ledger: &mut SmpLedger,
 ) -> IbResult<LftUpdateStats> {
     if a == b {
-        return Err(IbError::Virtualization("cannot swap a LID with itself".into()));
+        return Err(IbError::Virtualization(
+            "cannot swap a LID with itself".into(),
+        ));
     }
     let mut stats = LftUpdateStats::default();
     let blocks_for_swap: Vec<usize> = if a.same_block(b) {
@@ -207,7 +209,10 @@ pub fn copy_on_fabric(
         let hops = hops_of(subnet, sm_node, sw, &routing)?;
         if opts.invalidate_first {
             record_block_smp(subnet, sw, vm_lid.lft_block(), &routing, hops, ledger);
-            subnet.lft_mut(sw).expect("switch").set(vm_lid, PortNum::DROP);
+            subnet
+                .lft_mut(sw)
+                .expect("switch")
+                .set(vm_lid, PortNum::DROP);
             stats.invalidation_smps += 1;
         }
         subnet.lft_mut(sw).expect("switch").set(vm_lid, target);
@@ -217,6 +222,295 @@ pub fn copy_on_fabric(
         stats.max_blocks_per_switch = 1;
     }
     Ok(stats)
+}
+
+// ----------------------------------------------------------------------
+// Transactional variants
+// ----------------------------------------------------------------------
+
+/// Accounting of one transactional LFT-update pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Whether every LFT SMP was (eventually) delivered. `false` means the
+    /// pass was rolled back and the installed LFTs match the pre-pass
+    /// state.
+    pub committed: bool,
+    /// Retry attempts beyond the first, summed over the delivered SMPs.
+    pub retries: usize,
+    /// Switches whose rows were restored during rollback.
+    pub rolled_back_switches: usize,
+    /// Compensating SMPs attempted (best effort) during rollback.
+    pub rollback_smps: usize,
+}
+
+/// Everything one resilient (transactional) migration did — the
+/// fault-aware counterpart of [`MigrationReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxMigrationReport {
+    /// Whether the migration committed. `false` means every touched LFT
+    /// row was rolled back and the VM still runs at the source.
+    pub committed: bool,
+    /// The VM the migration was for.
+    pub vm: VmId,
+    /// Source hypervisor index.
+    pub from_hypervisor: usize,
+    /// Destination hypervisor index.
+    pub to_hypervisor: usize,
+    /// The VM's LID (unchanged whether the migration commits or rolls
+    /// back — that is the invariant the transaction protects).
+    pub lid: Lid,
+    /// Step (a) SMPs actually delivered to hypervisors.
+    pub hypervisor_smps: usize,
+    /// Step (b) accounting for whatever was applied before commit or
+    /// rollback.
+    pub lft: LftUpdateStats,
+    /// Transactional accounting (retries, rollback cost).
+    pub tx: TxStats,
+}
+
+/// One journaled LFT row: enough to undo a swap/copy on one switch.
+#[derive(Clone, Copy, Debug)]
+struct JournalRow {
+    sw: NodeId,
+    lid: Lid,
+    old: Option<PortNum>,
+}
+
+/// §V-C1 step (b) under a faulty fabric: the row swap of
+/// [`swap_on_fabric`], executed transactionally. Rows are applied switch
+/// by switch and confirmed with retried SMPs through `transport`; on the
+/// first persistent delivery failure every already-applied row is rolled
+/// back (locally unconditionally, remotely via best-effort compensating
+/// SMPs) and the pass reports `committed = false` instead of leaving the
+/// fabric half-swapped.
+#[allow(clippy::too_many_arguments)]
+pub fn swap_on_fabric_tx<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    a: Lid,
+    b: Lid,
+    opts: &MigrationOptions,
+    restrict: Option<&[NodeId]>,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+) -> IbResult<(LftUpdateStats, TxStats)> {
+    if a == b {
+        return Err(IbError::Virtualization(
+            "cannot swap a LID with itself".into(),
+        ));
+    }
+    let mut stats = LftUpdateStats::default();
+    let mut tx = TxStats {
+        committed: true,
+        ..TxStats::default()
+    };
+    let mut journal: Vec<JournalRow> = Vec::new();
+    let blocks_for_swap: Vec<usize> = if a.same_block(b) {
+        vec![a.lft_block()]
+    } else {
+        vec![a.lft_block(), b.lft_block()]
+    };
+
+    for sw in targets(subnet, restrict) {
+        let lft = subnet
+            .lft(sw)
+            .ok_or_else(|| IbError::Management(format!("{} has no LFT", subnet.name_of(sw))))?;
+        let (pa, pb) = (lft.get(a), lft.get(b));
+        if pa == pb {
+            continue;
+        }
+        // An unroutable switch (e.g. cut off by a mid-migration link
+        // failure) is a delivery failure, not a programming error.
+        let Ok(routing) = routing_for(subnet, sm_node, sw, opts.smp_mode) else {
+            rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+            return Ok((stats, tx));
+        };
+        let hops = hops_of(subnet, sm_node, sw, &routing).unwrap_or(0);
+        journal.push(JournalRow {
+            sw,
+            lid: a,
+            old: pa,
+        });
+        journal.push(JournalRow {
+            sw,
+            lid: b,
+            old: pb,
+        });
+        {
+            let lft = subnet.lft_mut(sw).expect("switch");
+            match pb {
+                Some(p) => lft.set(a, p),
+                None => lft.clear(a),
+            }
+            match pa {
+                Some(p) => lft.set(b, p),
+                None => lft.clear(b),
+            }
+        }
+        let mut failed = false;
+        for &block in &blocks_for_swap {
+            match send_block_smp(subnet, sw, block, &routing, hops, transport, ledger) {
+                Ok(attempt) => {
+                    tx.retries += attempt as usize;
+                    stats.lft_smps += 1;
+                }
+                Err(IbError::Transport(_)) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if failed {
+            rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+            return Ok((stats, tx));
+        }
+        stats.switches_updated += 1;
+        stats.max_blocks_per_switch = stats.max_blocks_per_switch.max(blocks_for_swap.len());
+    }
+    Ok((stats, tx))
+}
+
+/// §V-C2 step (b) under a faulty fabric: the row copy of
+/// [`copy_on_fabric`], executed transactionally with the same
+/// journal/rollback discipline as [`swap_on_fabric_tx`].
+#[allow(clippy::too_many_arguments)]
+pub fn copy_on_fabric_tx<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    pf_lid: Lid,
+    vm_lid: Lid,
+    opts: &MigrationOptions,
+    restrict: Option<&[NodeId]>,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+) -> IbResult<(LftUpdateStats, TxStats)> {
+    if pf_lid == vm_lid {
+        return Err(IbError::Virtualization(
+            "VM LID cannot equal the PF LID it copies".into(),
+        ));
+    }
+    let mut stats = LftUpdateStats::default();
+    let mut tx = TxStats {
+        committed: true,
+        ..TxStats::default()
+    };
+    let mut journal: Vec<JournalRow> = Vec::new();
+
+    for sw in targets(subnet, restrict) {
+        let lft = subnet
+            .lft(sw)
+            .ok_or_else(|| IbError::Management(format!("{} has no LFT", subnet.name_of(sw))))?;
+        let target = lft.get(pf_lid).ok_or_else(|| {
+            IbError::Management(format!(
+                "{} has no row for PF LID {pf_lid}",
+                subnet.name_of(sw)
+            ))
+        })?;
+        let old = lft.get(vm_lid);
+        if old == Some(target) {
+            continue;
+        }
+        let Ok(routing) = routing_for(subnet, sm_node, sw, opts.smp_mode) else {
+            rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+            return Ok((stats, tx));
+        };
+        let hops = hops_of(subnet, sm_node, sw, &routing).unwrap_or(0);
+        journal.push(JournalRow {
+            sw,
+            lid: vm_lid,
+            old,
+        });
+        subnet.lft_mut(sw).expect("switch").set(vm_lid, target);
+        match send_block_smp(
+            subnet,
+            sw,
+            vm_lid.lft_block(),
+            &routing,
+            hops,
+            transport,
+            ledger,
+        ) {
+            Ok(attempt) => {
+                tx.retries += attempt as usize;
+                stats.lft_smps += 1;
+                stats.switches_updated += 1;
+                stats.max_blocks_per_switch = 1;
+            }
+            Err(IbError::Transport(_)) => {
+                rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+                return Ok((stats, tx));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((stats, tx))
+}
+
+/// Restores every journaled row (newest first) and pushes best-effort
+/// compensating SMPs for the touched blocks.
+///
+/// The local restore is unconditional: the installed LFT models the state
+/// the SM *intends*, and a compensating SMP that is itself lost leaves a
+/// divergent physical switch that the next trap-driven re-sweep repairs —
+/// exactly OpenSM's safety net, so the simulation does not block rollback
+/// on it.
+fn rollback<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    opts: &MigrationOptions,
+    journal: &[JournalRow],
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+    tx: &mut TxStats,
+) {
+    tx.committed = false;
+    let mut switches: Vec<NodeId> = Vec::new();
+    let mut blocks: Vec<(NodeId, usize)> = Vec::new();
+    for row in journal.iter().rev() {
+        if let Some(lft) = subnet.lft_mut(row.sw) {
+            match row.old {
+                Some(p) => lft.set(row.lid, p),
+                None => lft.clear(row.lid),
+            }
+        }
+        if !switches.contains(&row.sw) {
+            switches.push(row.sw);
+        }
+        let key = (row.sw, row.lid.lft_block());
+        if !blocks.contains(&key) {
+            blocks.push(key);
+        }
+    }
+    tx.rolled_back_switches = switches.len();
+    for (sw, block) in blocks {
+        let Ok(routing) = routing_for(subnet, sm_node, sw, opts.smp_mode) else {
+            continue; // unreachable switch: the re-sweep will repair it
+        };
+        let hops = hops_of(subnet, sm_node, sw, &routing).unwrap_or(0);
+        tx.rollback_smps += 1;
+        let _ = send_block_smp(subnet, sw, block, &routing, hops, transport, ledger);
+    }
+}
+
+/// Builds the `SubnSet(LinearForwardingTable)` SMP for `block` from the
+/// currently-installed LFT and pushes it through the retrying transport.
+fn send_block_smp<C: SmpChannel>(
+    subnet: &Subnet,
+    sw: NodeId,
+    block: usize,
+    routing: &ib_mad::SmpRouting,
+    hops: usize,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+) -> IbResult<u32> {
+    let empty = vec![None; ib_types::LFT_BLOCK_SIZE];
+    let payload = subnet
+        .lft(sw)
+        .and_then(|l| l.block(block))
+        .map_or(empty, <[_]>::to_vec);
+    let smp = Smp::set_lft_block(sw, routing.clone(), block, &payload);
+    transport.send(subnet, &smp, hops, ledger)
 }
 
 fn record_block_smp(
@@ -375,11 +669,26 @@ mod tests {
         let pf = host_lid(&t, 4);
         let vm_lid = Lid::from_raw(40);
         let opts = MigrationOptions::default();
-        copy_on_fabric(&mut t.subnet, sm.sm_node, pf, vm_lid, &opts, None, &mut sm.ledger)
-            .unwrap();
-        let again =
-            copy_on_fabric(&mut t.subnet, sm.sm_node, pf, vm_lid, &opts, None, &mut sm.ledger)
-                .unwrap();
+        copy_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            pf,
+            vm_lid,
+            &opts,
+            None,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        let again = copy_on_fabric(
+            &mut t.subnet,
+            sm.sm_node,
+            pf,
+            vm_lid,
+            &opts,
+            None,
+            &mut sm.ledger,
+        )
+        .unwrap();
         assert_eq!(again.lft_smps, 0);
         assert_eq!(again.switches_updated, 0);
     }
@@ -419,8 +728,12 @@ mod tests {
         // endpoint registrations accordingly (the caller's step (a)).
         t.subnet.clear_lid(a).unwrap();
         t.subnet.clear_lid(b).unwrap();
-        t.subnet.assign_port_lid(t.hosts[2], PortNum::new(1), a).unwrap();
-        t.subnet.assign_port_lid(t.hosts[1], PortNum::new(1), b).unwrap();
+        t.subnet
+            .assign_port_lid(t.hosts[2], PortNum::new(1), a)
+            .unwrap();
+        t.subnet
+            .assign_port_lid(t.hosts[1], PortNum::new(1), b)
+            .unwrap();
         // Traffic to both LIDs still delivers from everywhere.
         for &h in &t.hosts {
             for lid in [a, b] {
@@ -443,6 +756,139 @@ mod tests {
         assert!(
             copy_on_fabric(&mut t.subnet, sm.sm_node, a, a, &opts, None, &mut sm.ledger).is_err()
         );
+    }
+
+    #[test]
+    fn tx_swap_under_perfect_transport_matches_classic() {
+        let (mut t, mut sm) = fabric();
+        let (mut t2, mut sm2) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        let opts = MigrationOptions::default();
+        let classic =
+            swap_on_fabric(&mut t.subnet, sm.sm_node, a, b, &opts, None, &mut sm.ledger).unwrap();
+        let mut transport = SmpTransport::perfect(sm2.sm_node);
+        let (stats, tx) = swap_on_fabric_tx(
+            &mut t2.subnet,
+            sm2.sm_node,
+            a,
+            b,
+            &opts,
+            None,
+            &mut transport,
+            &mut sm2.ledger,
+        )
+        .unwrap();
+        assert!(tx.committed);
+        assert_eq!(tx.retries, 0);
+        assert_eq!(tx.rollback_smps, 0);
+        assert_eq!(stats, classic);
+        assert_eq!(sm.ledger.records(), sm2.ledger.records());
+        for sw in t.subnet.physical_switches() {
+            assert_eq!(t2.subnet.lft(sw.id).unwrap(), sw.lft().unwrap());
+        }
+    }
+
+    #[test]
+    fn tx_swap_rolls_back_on_black_hole() {
+        let (mut t, mut sm) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        let snapshot: Vec<_> = t
+            .subnet
+            .physical_switches()
+            .map(|n| (n.id, n.lft().unwrap().clone()))
+            .collect();
+        let mut transport =
+            SmpTransport::with_channel(sm.sm_node, ib_mad::LossyChannel::black_hole());
+        let (_, tx) = swap_on_fabric_tx(
+            &mut t.subnet,
+            sm.sm_node,
+            a,
+            b,
+            &MigrationOptions::default(),
+            None,
+            &mut transport,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert!(!tx.committed);
+        // The very first switch fails, so exactly its rows were journaled.
+        assert_eq!(tx.rolled_back_switches, 1);
+        assert!(tx.rollback_smps >= 1);
+        for (id, before) in snapshot {
+            assert_eq!(t.subnet.lft(id).unwrap(), &before, "rows must be restored");
+        }
+        assert!(sm.ledger.dropped() > 0);
+    }
+
+    #[test]
+    fn tx_copy_rolls_back_on_black_hole() {
+        let (mut t, mut sm) = fabric();
+        let pf = host_lid(&t, 4);
+        let vm_lid = Lid::from_raw(40);
+        let snapshot: Vec<_> = t
+            .subnet
+            .physical_switches()
+            .map(|n| (n.id, n.lft().unwrap().clone()))
+            .collect();
+        let mut transport =
+            SmpTransport::with_channel(sm.sm_node, ib_mad::LossyChannel::black_hole());
+        let (_, tx) = copy_on_fabric_tx(
+            &mut t.subnet,
+            sm.sm_node,
+            pf,
+            vm_lid,
+            &MigrationOptions::default(),
+            None,
+            &mut transport,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert!(!tx.committed);
+        for (id, before) in snapshot {
+            assert_eq!(t.subnet.lft(id).unwrap(), &before);
+        }
+    }
+
+    #[test]
+    fn tx_swap_survives_moderate_loss() {
+        let (mut t, mut sm) = fabric();
+        let (mut base, mut sm_base) = fabric();
+        let a = host_lid(&t, 1);
+        let b = host_lid(&t, 4);
+        let opts = MigrationOptions::default();
+        swap_on_fabric(
+            &mut base.subnet,
+            sm_base.sm_node,
+            a,
+            b,
+            &opts,
+            None,
+            &mut sm_base.ledger,
+        )
+        .unwrap();
+        let mut transport = SmpTransport::lossy(sm.sm_node, 7, 0.10, 0);
+        transport.retry.max_attempts = 8;
+        let (_, tx) = swap_on_fabric_tx(
+            &mut t.subnet,
+            sm.sm_node,
+            a,
+            b,
+            &opts,
+            None,
+            &mut transport,
+            &mut sm.ledger,
+        )
+        .unwrap();
+        assert!(tx.committed, "8 attempts at 10% per-hop loss must converge");
+        for sw in base.subnet.physical_switches() {
+            assert_eq!(
+                t.subnet.lft(sw.id).unwrap(),
+                sw.lft().unwrap(),
+                "lossy commit must equal the fault-free result"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,6 @@
 //! on step (a) of Algorithm 1.
 
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 use ib_mad::Smp;
 use ib_sm::distribution::{hops_of, routing_for};
@@ -23,7 +22,7 @@ use crate::datacenter::DataCenter;
 use crate::vm::VmId;
 
 /// Membership grade within a partition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Membership {
     /// May talk to every member.
     Full,
@@ -32,7 +31,7 @@ pub enum Membership {
 }
 
 /// A named partition (tenant).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
     /// Partition number (15 bits).
     pub number: u16,
@@ -173,12 +172,7 @@ impl Tenancy {
         v
     }
 
-    fn send_table(
-        &mut self,
-        dc: &mut DataCenter,
-        vm: VmId,
-        pf: ib_subnet::NodeId,
-    ) -> IbResult<()> {
+    fn send_table(&mut self, dc: &mut DataCenter, vm: VmId, pf: ib_subnet::NodeId) -> IbResult<()> {
         let key = self.pkey_of(vm).expect("enrolled");
         let routing = routing_for(&dc.subnet, dc.sm.sm_node, pf, SmpMode::Directed)?;
         let hops = hops_of(&dc.subnet, dc.sm.sm_node, pf, &routing)?;
@@ -251,9 +245,15 @@ mod tests {
         let server = dc.create_vm("server", 0).unwrap();
         let c1 = dc.create_vm("client-1", 1).unwrap();
         let c2 = dc.create_vm("client-2", 2).unwrap();
-        tenancy.enroll(&mut dc, server, 0x30, Membership::Full).unwrap();
-        tenancy.enroll(&mut dc, c1, 0x30, Membership::Limited).unwrap();
-        tenancy.enroll(&mut dc, c2, 0x30, Membership::Limited).unwrap();
+        tenancy
+            .enroll(&mut dc, server, 0x30, Membership::Full)
+            .unwrap();
+        tenancy
+            .enroll(&mut dc, c1, 0x30, Membership::Limited)
+            .unwrap();
+        tenancy
+            .enroll(&mut dc, c2, 0x30, Membership::Limited)
+            .unwrap();
         assert!(tenancy.can_communicate(c1, server));
         assert!(!tenancy.can_communicate(c1, c2), "limited-limited blocked");
         assert_eq!(tenancy.members(0x30).len(), 3);

@@ -7,15 +7,13 @@
 //! VM). Under Shared Port the host keeps its single HCA and VFs are mere
 //! GUID slots sharing the PF's LID and port.
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid, PortNum};
 
 use crate::vm::VmId;
 
 /// Which SR-IOV addressing architecture a data center runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum VirtArch {
     /// §IV-A: one LID per hypervisor, shared by the PF and every VF.
     SharedPort,
@@ -44,7 +42,7 @@ impl std::fmt::Display for VirtArch {
 }
 
 /// One SR-IOV virtual function slot.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VfSlot {
     /// The vHCA node representing this VF in the subnet (present in both
     /// vSwitch modes; under Shared Port the slot is only a GUID slot and
@@ -64,7 +62,7 @@ impl VfSlot {
 
 /// A hypervisor: the PF the host owns plus its VF slots (and, in vSwitch
 /// modes, the vSwitch node between them and the fabric).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Hypervisor {
     /// Index of this hypervisor within the data center.
     pub index: usize,
@@ -95,11 +93,9 @@ impl Hypervisor {
 
     /// The PF's LID (reads the subnet).
     pub fn pf_lid(&self, subnet: &Subnet) -> IbResult<Lid> {
-        subnet
-            .node(self.pf)
-            .lids()
-            .next()
-            .ok_or_else(|| IbError::Management(format!("PF of hypervisor {} has no LID", self.index)))
+        subnet.node(self.pf).lids().next().ok_or_else(|| {
+            IbError::Management(format!("PF of hypervisor {} has no LID", self.index))
+        })
     }
 
     /// The LID currently on a VF slot, if any.
@@ -142,11 +138,10 @@ pub fn virtualize_host(
             subnet.name_of(host)
         )));
     }
-    let (host_port, leaf_ep) = subnet
-        .node(host)
-        .connected_ports()
-        .next()
-        .ok_or_else(|| IbError::Virtualization(format!("{} is uncabled", subnet.name_of(host))))?;
+    let (host_port, leaf_ep) =
+        subnet.node(host).connected_ports().next().ok_or_else(|| {
+            IbError::Virtualization(format!("{} is uncabled", subnet.name_of(host)))
+        })?;
 
     match arch {
         VirtArch::SharedPort => Ok(Hypervisor {
@@ -166,10 +161,7 @@ pub fn virtualize_host(
         VirtArch::VSwitchPrepopulated | VirtArch::VSwitchDynamic => {
             // Splice the vSwitch in: leaf <-> vswitch(1), vswitch(2) <-> PF.
             subnet.disconnect(host, host_port)?;
-            let vsw = subnet.add_vswitch(
-                format!("hyp{index}-vsw"),
-                2 + num_vfs as u8,
-            );
+            let vsw = subnet.add_vswitch(format!("hyp{index}-vsw"), 2 + num_vfs as u8);
             subnet.connect(leaf_ep.node, leaf_ep.port, vsw, VSWITCH_UPLINK)?;
             subnet.connect(vsw, VSWITCH_PF_PORT, host, host_port)?;
 
@@ -218,9 +210,14 @@ mod tests {
     #[test]
     fn prepopulated_splices_vswitch_and_cables_vfs() {
         let mut t = single_switch(2);
-        let hyp =
-            virtualize_host(&mut t.subnet, VirtArch::VSwitchPrepopulated, 0, t.hosts[0], 3)
-                .unwrap();
+        let hyp = virtualize_host(
+            &mut t.subnet,
+            VirtArch::VSwitchPrepopulated,
+            0,
+            t.hosts[0],
+            3,
+        )
+        .unwrap();
         let vsw = hyp.vswitch.unwrap();
         // Leaf -> vSwitch on the original leaf port.
         assert_eq!(
@@ -228,7 +225,10 @@ mod tests {
             vsw
         );
         // vSwitch port 2 -> PF, ports 3..6 -> VFs.
-        assert_eq!(t.subnet.neighbor(vsw, VSWITCH_PF_PORT).unwrap().node, hyp.pf);
+        assert_eq!(
+            t.subnet.neighbor(vsw, VSWITCH_PF_PORT).unwrap().node,
+            hyp.pf
+        );
         for (slot, vf) in hyp.vfs.iter().enumerate() {
             assert_eq!(
                 t.subnet.neighbor(vsw, vswitch_vf_port(slot)).unwrap().node,
@@ -263,9 +263,14 @@ mod tests {
     #[test]
     fn free_slot_tracking() {
         let mut t = single_switch(1);
-        let mut hyp =
-            virtualize_host(&mut t.subnet, VirtArch::VSwitchPrepopulated, 0, t.hosts[0], 2)
-                .unwrap();
+        let mut hyp = virtualize_host(
+            &mut t.subnet,
+            VirtArch::VSwitchPrepopulated,
+            0,
+            t.hosts[0],
+            2,
+        )
+        .unwrap();
         assert_eq!(hyp.free_slot(), Some(0));
         hyp.vfs[0].attached = Some(VmId(9));
         assert_eq!(hyp.free_slot(), Some(1));

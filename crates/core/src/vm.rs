@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ib_types::{Gid, Guid, Lid};
 
 /// Opaque VM handle.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VmId(pub u64);
 
 impl fmt::Debug for VmId {
@@ -28,7 +26,7 @@ impl fmt::Display for VmId {
 /// the *VM* and follow it across migrations; under Shared Port the LID
 /// belongs to the hypervisor and changes when the VM moves — the exact
 /// deficiency the paper sets out to fix.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VmRecord {
     /// Handle.
     pub id: VmId,

@@ -10,11 +10,9 @@
 //! network traversal time per SMP, `r` = mean directed-route processing
 //! overhead per SMP.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the SMP cost model. Times are in microseconds; the paper
 /// treats `k` and `r` as topology-averaged constants.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Mean time for one SMP to traverse the network to its switch (µs).
     pub k_us: f64,
@@ -26,7 +24,10 @@ impl Default for CostModel {
     fn default() -> Self {
         // Defaults in the ballpark of QDR IB management latencies: a few µs
         // of fabric traversal, and directed routing roughly doubling it.
-        Self { k_us: 5.0, r_us: 4.0 }
+        Self {
+            k_us: 5.0,
+            r_us: 4.0,
+        }
     }
 }
 
@@ -89,7 +90,10 @@ impl CostModel {
 mod tests {
     use super::*;
 
-    const MODEL: CostModel = CostModel { k_us: 5.0, r_us: 4.0 };
+    const MODEL: CostModel = CostModel {
+        k_us: 5.0,
+        r_us: 4.0,
+    };
 
     #[test]
     fn per_smp_distinguishes_routing() {

@@ -1,15 +1,14 @@
 //! The SMP ledger: ground-truth accounting of management traffic.
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::NodeId;
 use rustc_hash::FxHashMap;
 
 use crate::cost::CostModel;
+use crate::fault::SmpStatus;
 use crate::smp::{AttributeKind, Smp, SmpMethod};
 
-/// One recorded SMP.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// One recorded SMP attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SmpRecord {
     /// Destination node.
     pub target: NodeId,
@@ -21,12 +20,16 @@ pub struct SmpRecord {
     pub directed: bool,
     /// Link traversals to reach the target (0 for the local node).
     pub hops: usize,
+    /// 0 for the first try of an SMP, 1.. for retries of the same SMP.
+    pub attempt: u32,
+    /// Ground-truth delivery outcome of this attempt.
+    pub status: SmpStatus,
 }
 
 /// Records every SMP sent during an operation, with phase markers so one
 /// ledger can account an entire bring-up (discovery, LID assignment, LFT
 /// distribution) or a single live migration.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SmpLedger {
     records: Vec<SmpRecord>,
     /// (phase name, index of first record in that phase).
@@ -45,44 +48,102 @@ impl SmpLedger {
         self.phases.push((name.into(), self.records.len()));
     }
 
-    /// Records one SMP. `hops` is the measured link-traversal count.
+    /// Records one delivered SMP (the fault-free fast path). Equivalent to
+    /// [`SmpLedger::record_attempt`] with attempt 0 and
+    /// [`SmpStatus::Delivered`], so ledgers built without a fault channel
+    /// are byte-identical to ledgers built through a channel that never
+    /// fires.
     pub fn record(&mut self, smp: &Smp, hops: usize) {
+        self.record_attempt(smp, hops, 0, SmpStatus::Delivered);
+    }
+
+    /// Records one SMP attempt with its ground-truth outcome. `hops` is the
+    /// measured link-traversal count.
+    pub fn record_attempt(&mut self, smp: &Smp, hops: usize, attempt: u32, status: SmpStatus) {
         self.records.push(SmpRecord {
             target: smp.target,
             method: smp.method,
             attribute: smp.attribute.kind(),
             directed: smp.routing.is_directed(),
             hops,
+            attempt,
+            status,
         });
     }
 
-    /// Total SMPs recorded.
+    /// Total SMP attempts recorded (including failed ones).
     #[must_use]
     pub fn total(&self) -> usize {
         self.records.len()
     }
 
-    /// SMPs with a given attribute kind.
+    /// Attempts that reached their target and returned a response.
     #[must_use]
-    pub fn count_attribute(&self, kind: AttributeKind) -> usize {
-        self.records.iter().filter(|r| r.attribute == kind).count()
+    pub fn delivered(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status.is_delivered())
+            .count()
     }
 
-    /// `SubnSet(LinearForwardingTable)` SMPs — the quantity Table I reports.
+    /// Retry attempts (attempt number above 0) — the paper's notion of
+    /// "extra" SMPs a fault burns beyond the fault-free count.
+    #[must_use]
+    pub fn retries(&self) -> usize {
+        self.records.iter().filter(|r| r.attempt > 0).count()
+    }
+
+    /// Attempts lost on the forward path.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, SmpStatus::Dropped { .. }))
+            .count()
+    }
+
+    /// Attempts whose response was lost (SM saw a timeout).
+    #[must_use]
+    pub fn timed_out(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status == SmpStatus::TimedOut)
+            .count()
+    }
+
+    /// *Delivered* SMPs with a given attribute kind.
+    #[must_use]
+    pub fn count_attribute(&self, kind: AttributeKind) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.status.is_delivered() && r.attribute == kind)
+            .count()
+    }
+
+    /// Delivered `SubnSet(LinearForwardingTable)` SMPs — the quantity
+    /// Table I reports. Failed attempts are excluded: an update the fabric
+    /// never applied is not an update.
     #[must_use]
     pub fn lft_updates(&self) -> usize {
         self.records
             .iter()
-            .filter(|r| r.attribute == AttributeKind::LftBlock && r.method == SmpMethod::Set)
+            .filter(|r| {
+                r.status.is_delivered()
+                    && r.attribute == AttributeKind::LftBlock
+                    && r.method == SmpMethod::Set
+            })
             .count()
     }
 
-    /// LFT-update SMPs per target switch.
+    /// Delivered LFT-update SMPs per target switch.
     #[must_use]
     pub fn lft_updates_per_switch(&self) -> FxHashMap<NodeId, usize> {
         let mut map = FxHashMap::default();
         for r in &self.records {
-            if r.attribute == AttributeKind::LftBlock && r.method == SmpMethod::Set {
+            if r.status.is_delivered()
+                && r.attribute == AttributeKind::LftBlock
+                && r.method == SmpMethod::Set
+            {
                 *map.entry(r.target).or_insert(0) += 1;
             }
         }
@@ -167,12 +228,7 @@ mod tests {
         } else {
             SmpRouting::Destination(Lid::from_raw(1))
         };
-        Smp::set_lft_block(
-            NodeId::from_index(target),
-            routing,
-            block,
-            &[None; 64],
-        )
+        Smp::set_lft_block(NodeId::from_index(target), routing, block, &[None; 64])
     }
 
     #[test]
@@ -213,7 +269,10 @@ mod tests {
 
     #[test]
     fn paper_cost_reflects_routing_mode() {
-        let model = CostModel { k_us: 5.0, r_us: 4.0 };
+        let model = CostModel {
+            k_us: 5.0,
+            r_us: 4.0,
+        };
         let mut ledger = SmpLedger::new();
         ledger.record(&lft_smp(0, true, 0), 2);
         ledger.record(&lft_smp(1, false, 0), 2);

@@ -14,11 +14,16 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod ledger;
 pub mod route;
 pub mod smp;
 
 pub use cost::CostModel;
+pub use fault::{
+    one_way_latency_ns, LossyChannel, PerfectChannel, RetryPolicy, SmpChannel, SmpStatus,
+    SmpTransport,
+};
 pub use ledger::{SmpLedger, SmpRecord};
 pub use route::{DirectedRoute, SmpRouting};
 pub use smp::{AttributeKind, Smp, SmpAttribute, SmpMethod};

@@ -9,14 +9,12 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{Lid, PortNum};
 
 /// An explicit hop-by-hop source route: the sequence of output ports taken
 /// from the SM's node to the target.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DirectedRoute {
     hops: Vec<PortNum>,
 }
@@ -68,8 +66,7 @@ impl DirectedRoute {
                         let mut rev = Vec::new();
                         let mut cur = to;
                         while cur != from {
-                            let (p_node, p_port) =
-                                prev[cur.index()].expect("BFS parent chain");
+                            let (p_node, p_port) = prev[cur.index()].expect("BFS parent chain");
                             rev.push(p_port);
                             cur = p_node;
                         }
@@ -96,7 +93,7 @@ impl DirectedRoute {
 }
 
 /// How an SMP is addressed.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SmpRouting {
     /// Source-routed hop by hop; every intermediate switch must process and
     /// rewrite the packet header (hop pointer, return path) — the paper's
@@ -172,8 +169,7 @@ mod tests {
         assert!(SmpRouting::Directed(DirectedRoute::local()).is_directed());
         assert!(!SmpRouting::Destination(Lid::from_raw(1)).is_directed());
         assert_eq!(
-            SmpRouting::Directed(DirectedRoute::from_hops(vec![PortNum::new(1)]))
-                .known_hop_count(),
+            SmpRouting::Directed(DirectedRoute::from_hops(vec![PortNum::new(1)])).known_hop_count(),
             Some(1)
         );
         assert_eq!(

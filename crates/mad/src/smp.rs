@@ -1,14 +1,12 @@
 //! Subnet Management Packets and their attributes.
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::NodeId;
 use ib_types::{Guid, Lid, PortNum, LFT_BLOCK_SIZE};
 
 use crate::route::SmpRouting;
 
 /// SMP method: query or mutate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SmpMethod {
     /// `SubnGet` — read an attribute.
     Get,
@@ -21,7 +19,7 @@ pub enum SmpMethod {
 /// This is the subset of IBA attributes the simulator needs; each variant
 /// corresponds to a real `SubnGet`/`SubnSet` attribute and carries exactly
 /// the state that attribute moves.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SmpAttribute {
     /// `NodeInfo` — discovery: node type, GUID, port count.
     NodeInfo,
@@ -91,7 +89,7 @@ impl SmpAttribute {
 }
 
 /// Attribute discriminants for counting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AttributeKind {
     /// `NodeInfo`.
     NodeInfo,
@@ -108,7 +106,7 @@ pub enum AttributeKind {
 }
 
 /// A subnet management packet.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Smp {
     /// Get or Set.
     pub method: SmpMethod,
@@ -140,7 +138,12 @@ impl Smp {
 
     /// A `SubnSet(PortInfo)` LID assignment.
     #[must_use]
-    pub fn set_port_lid(target: NodeId, routing: SmpRouting, port: PortNum, lid: Option<Lid>) -> Self {
+    pub fn set_port_lid(
+        target: NodeId,
+        routing: SmpRouting,
+        port: PortNum,
+        lid: Option<Lid>,
+    ) -> Self {
         Self {
             method: SmpMethod::Set,
             attribute: SmpAttribute::PortInfo { lid, port },

@@ -51,10 +51,7 @@ impl LinkLoad {
     /// destination LIDs — the right instrument for comparing architectures
     /// whose *total* LID populations differ (prepopulated mode routes
     /// every idle VF LID; dynamic mode routes none of them).
-    pub fn from_subnet_for_lids(
-        subnet: &Subnet,
-        lids: &[ib_types::Lid],
-    ) -> IbResult<Self> {
+    pub fn from_subnet_for_lids(subnet: &Subnet, lids: &[ib_types::Lid]) -> IbResult<Self> {
         let wanted: rustc_hash::FxHashSet<u16> = lids.iter().map(|l| l.raw()).collect();
         let g = SwitchGraph::build(subnet)?;
         Self::compute(subnet, &g, |s, lid| {
@@ -167,10 +164,7 @@ mod tests {
         // Host-facing ports never appear as channels.
         let g = SwitchGraph::build(&t.subnet).unwrap();
         for &(s, p) in load.per_channel.keys() {
-            assert!(g
-                .neighbors(s as usize)
-                .iter()
-                .any(|&(_, q)| q.raw() == p));
+            assert!(g.neighbors(s as usize).iter().any(|&(_, q)| q.raw() == p));
         }
     }
 

@@ -205,7 +205,10 @@ impl Cdg {
     /// in a handful of passes instead of one rebuild per lifted path.
     #[must_use]
     pub fn find_back_edges(&self) -> Vec<(usize, usize)> {
-        self.find_cycles().into_iter().map(|c| c[c.len() - 1]).collect()
+        self.find_cycles()
+            .into_iter()
+            .map(|c| c[c.len() - 1])
+            .collect()
     }
 
     /// Like [`Cdg::find_back_edges`], but returns the *full edge list* of
@@ -254,10 +257,8 @@ impl Cdg {
                             nodes.push(cur);
                         }
                         nodes.reverse(); // v .. u
-                        let mut edges: Vec<(usize, usize)> = nodes
-                            .windows(2)
-                            .map(|w| (w[0], w[1]))
-                            .collect();
+                        let mut edges: Vec<(usize, usize)> =
+                            nodes.windows(2).map(|w| (w[0], w[1])).collect();
                         edges.push((u, v));
                         cycles.push(edges);
                     }
@@ -306,12 +307,7 @@ impl Cdg {
     ) {
         // Per-switch port -> neighbor-switch map.
         let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
-            .map(|s| {
-                g.neighbors(s)
-                    .iter()
-                    .map(|&(v, p)| (p.raw(), v))
-                    .collect()
-            })
+            .map(|s| g.neighbors(s).iter().map(|&(v, p)| (p.raw(), v)).collect())
             .collect();
 
         for dest in g.destinations().iter().filter(|d| filter(d)) {

@@ -68,7 +68,6 @@ impl RoutingEngine for Dfsssp {
             }
         }
 
-
         // Directed link weights, keyed (switch, out-port).
         let mut weight: FxHashMap<(usize, u8), u64> = FxHashMap::default();
         let w = |weight: &FxHashMap<(usize, u8), u64>, s: usize, p: PortNum| -> u64 {
@@ -321,10 +320,7 @@ impl RoutingEngine for Dfsssp {
         // Assemble the final assignment (lane 0 stays implicit).
         for (lane, pairs) in lane_pairs.iter().enumerate().skip(1) {
             for &(src, di) in pairs {
-                lane_of.insert(
-                    (src, g.destinations()[di as usize].lid.raw()),
-                    lane as u8,
-                );
+                lane_of.insert((src, g.destinations()[di as usize].lid.raw()), lane as u8);
             }
         }
 
@@ -477,7 +473,7 @@ pub fn verify_layers_acyclic(subnet: &Subnet, tables: &RoutingTables) -> IbResul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{assign_lids, assert_full_reachability};
+    use crate::testutil::{assert_full_reachability, assign_lids};
     use ib_subnet::topology::fattree::two_level;
     use ib_subnet::topology::irregular::{irregular, IrregularSpec};
     use ib_subnet::topology::torus::torus_2d;

@@ -13,7 +13,6 @@
 
 use ib_subnet::{Lft, Subnet};
 use ib_types::{IbError, IbResult, PortNum};
-use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 use crate::engine::RoutingEngine;
@@ -53,10 +52,7 @@ impl RoutingEngine for FatTree {
         // leaves), in parallel — far fewer sweeps than Min-Hop's
         // all-switches matrix, which is the structural shortcut that makes
         // fat-tree routing the cheapest engine in Fig. 7.
-        let dist: Vec<Vec<u32>> = delivery
-            .par_iter()
-            .map(|&dsw| g.bfs_distances(dsw))
-            .collect();
+        let dist: Vec<Vec<u32>> = delivery.iter().map(|&dsw| g.bfs_distances(dsw)).collect();
 
         // Per-switch neighbor lists sorted by port, so d-mod-k picks are
         // deterministic without per-destination allocation.
@@ -71,7 +67,6 @@ impl RoutingEngine for FatTree {
         // Phase 2: every switch fills its own LFT independently — no
         // sequential load-balancing state, so this parallelizes perfectly.
         let lfts: Vec<Lft> = (0..g.len())
-            .into_par_iter()
             .map(|s| {
                 let mut lft = Lft::new();
                 for dest in g.destinations() {
@@ -144,7 +139,7 @@ fn validate_fat_tree(g: &SwitchGraph, ranks: &[u32]) -> IbResult<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{assign_lids, assert_full_reachability, host_lid};
+    use crate::testutil::{assert_full_reachability, assign_lids, host_lid};
     use ib_subnet::topology::fattree::{three_level, two_level};
     use ib_subnet::topology::torus::torus_2d;
 

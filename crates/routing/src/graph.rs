@@ -69,10 +69,12 @@ impl SwitchGraph {
                 // The LID belongs to an HCA port; find the switch it hangs
                 // off (the far end of its cable).
                 let hca = subnet.node(ep.node);
+                // A down uplink counts as uncabled: the routing engine must
+                // not compute paths that end on a dead link.
                 let remote = hca
                     .ports
                     .get(ep.port.raw() as usize)
-                    .and_then(|p| p.remote)
+                    .and_then(|p| if p.down { None } else { p.remote })
                     .ok_or_else(|| {
                         IbError::Topology(format!(
                             "{} carries LID {lid} but is not cabled",

@@ -92,10 +92,7 @@ impl RoutingEngine for Lash {
                 if s == dest.switch {
                     lfts[s].set(dest.lid, dest.port);
                 } else {
-                    lfts[s].set(
-                        dest.lid,
-                        trees[dest.switch][s].expect("connected graph"),
-                    );
+                    lfts[s].set(dest.lid, trees[dest.switch][s].expect("connected graph"));
                 }
             }
         }
@@ -310,12 +307,7 @@ pub fn verify_pair_layers_acyclic(subnet: &Subnet, tables: &RoutingTables) -> Ib
                 if src == dsw {
                     continue;
                 }
-                if tables
-                    .vls
-                    .lane_for(src as u32, dsw as u32, dest.lid)
-                    .raw()
-                    != lane
-                {
+                if tables.vls.lane_for(src as u32, dsw as u32, dest.lid).raw() != lane {
                     continue;
                 }
                 let mut cur = src;
@@ -356,7 +348,7 @@ pub fn verify_pair_layers_acyclic(subnet: &Subnet, tables: &RoutingTables) -> Ib
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{assign_lids, assert_full_reachability};
+    use crate::testutil::{assert_full_reachability, assign_lids};
     use ib_subnet::topology::fattree::two_level;
     use ib_subnet::topology::irregular::{irregular, IrregularSpec};
     use ib_subnet::topology::torus::torus_2d;

@@ -9,7 +9,6 @@
 
 use ib_subnet::{Lft, Subnet};
 use ib_types::{IbError, IbResult, PortNum};
-use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 use crate::engine::RoutingEngine;
@@ -37,17 +36,11 @@ impl RoutingEngine for MinHop {
         }
 
         // Parallel all-pairs BFS: dist[s] = distances from switch s.
-        let dist: Vec<Vec<u32>> = (0..g.len())
-            .into_par_iter()
-            .map(|s| g.bfs_distances(s))
-            .collect();
+        let dist: Vec<Vec<u32>> = (0..g.len()).map(|s| g.bfs_distances(s)).collect();
 
         let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
         // port_load[s][p] = destinations already routed out port p of s.
-        let max_port = 1 + g
-            .neighbors_max_port()
-            .unwrap_or(PortNum::MANAGEMENT)
-            .raw() as usize;
+        let max_port = 1 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
         let mut port_load: Vec<Vec<u64>> = vec![vec![0; max_port + 1]; g.len()];
         let mut decisions = 0u64;
 
@@ -114,7 +107,7 @@ impl SwitchGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{assign_lids, assert_full_reachability};
+    use crate::testutil::{assert_full_reachability, assign_lids};
     use ib_subnet::topology::basic::linear;
     use ib_subnet::topology::fattree::two_level;
     use ib_subnet::topology::torus::torus_2d;
@@ -163,7 +156,10 @@ mod tests {
             .collect();
         ports.sort_unstable();
         ports.dedup();
-        assert!(ports.len() >= 2, "all cross traffic on one uplink: {ports:?}");
+        assert!(
+            ports.len() >= 2,
+            "all cross traffic on one uplink: {ports:?}"
+        );
     }
 
     #[test]

@@ -28,10 +28,7 @@ impl VlAssignment {
     pub fn lane_for(&self, src_switch: u32, dst_switch: u32, dst: Lid) -> VirtualLane {
         match self {
             Self::SingleVl => VirtualLane::VL0,
-            Self::PerDestination(map) => map
-                .get(&dst.raw())
-                .copied()
-                .unwrap_or(VirtualLane::VL0),
+            Self::PerDestination(map) => map.get(&dst.raw()).copied().unwrap_or(VirtualLane::VL0),
             Self::PerSwitchPair(map) => map
                 .get(&(src_switch, dst_switch))
                 .copied()

@@ -191,7 +191,7 @@ impl RoutingEngine for UpDown {
 mod tests {
     use super::*;
     use crate::cdg::Cdg;
-    use crate::testutil::{assign_lids, assert_full_reachability};
+    use crate::testutil::{assert_full_reachability, assign_lids};
     use ib_subnet::topology::fattree::two_level;
     use ib_subnet::topology::irregular::{irregular, IrregularSpec};
     use ib_subnet::topology::torus::torus_2d;
@@ -214,7 +214,10 @@ mod tests {
         // acyclic.
         let g = SwitchGraph::build(&t.subnet).unwrap();
         let cdg = Cdg::from_tables(&g, &tables, |_| true);
-        assert!(cdg.find_cycle().is_none(), "up*/down* produced a cyclic CDG");
+        assert!(
+            cdg.find_cycle().is_none(),
+            "up*/down* produced a cyclic CDG"
+        );
     }
 
     #[test]

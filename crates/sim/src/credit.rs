@@ -14,8 +14,6 @@
 //! and the fabric drains — at the price of dropped packets, exactly the
 //! trade the paper describes.
 
-use serde::{Deserialize, Serialize};
-
 use ib_routing::tables::VlAssignment;
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid};
@@ -23,7 +21,7 @@ use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 
 /// One traffic flow: `packets` packets from `src` (an HCA) to `dst`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Flow {
     /// Source HCA node.
     pub src: NodeId,
@@ -59,7 +57,7 @@ impl Default for CreditSimConfig {
 }
 
 /// What the run did.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CreditSimReport {
     /// Packets delivered to their destination.
     pub delivered: u64,
@@ -136,9 +134,7 @@ pub fn run(
                     .ok_or_else(|| IbError::Topology("destination not behind a switch".into()))?
             }
         };
-        let vl = vls
-            .lane_for(src_idx as u32, dst_idx as u32, flow.dst)
-            .raw();
+        let vl = vls.lane_for(src_idx as u32, dst_idx as u32, flow.dst).raw();
         entries.push(Entry {
             first_switch: remote.node,
             vl,
@@ -175,9 +171,10 @@ pub fn run(
                 progress += 1;
                 continue;
             }
-            let lft = subnet.node(v).lft().ok_or_else(|| {
-                IbError::Topology("packet reached a non-switch non-HCA".into())
-            })?;
+            let lft = subnet
+                .node(v)
+                .lft()
+                .ok_or_else(|| IbError::Topology("packet reached a non-switch non-HCA".into()))?;
             let Some(out) = lft.get(head.dst) else {
                 // Unroutable: count as a drop so the sim cannot wedge on
                 // misconfiguration.
@@ -196,7 +193,11 @@ pub fn run(
                     .get(&next_key)
                     .is_none_or(|q| q.len() < config.credits_per_channel);
             if has_room {
-                let pkt = queues.get_mut(&key).expect("exists").pop_front().expect("head");
+                let pkt = queues
+                    .get_mut(&key)
+                    .expect("exists")
+                    .pop_front()
+                    .expect("head");
                 if next_is_endpoint {
                     report.delivered += 1;
                 } else {
@@ -215,7 +216,9 @@ pub fn run(
             let entry = &entries[*fi];
             let s = entry.first_switch;
             let lft = subnet.node(s).lft().expect("entry switch");
-            let Some(out) = lft.get(flow.dst) else { continue };
+            let Some(out) = lft.get(flow.dst) else {
+                continue;
+            };
             // Destination on the entry switch: immediate delivery.
             let to_hca = subnet
                 .neighbor(s, out)
@@ -421,13 +424,7 @@ mod tests {
                 }
             }
         }
-        let report = run(
-            &t.subnet,
-            &flows,
-            &tables.vls,
-            &CreditSimConfig::default(),
-        )
-        .unwrap();
+        let report = run(&t.subnet, &flows, &tables.vls, &CreditSimConfig::default()).unwrap();
         assert!(report.drained);
         assert!(!report.deadlocked);
         assert_eq!(report.delivered, 150);
@@ -446,7 +443,12 @@ mod tests {
             dst: lids[2],
             packets: 3,
         }];
-        let report = run(&s, &flows, &VlAssignment::SingleVl, &CreditSimConfig::default());
+        let report = run(
+            &s,
+            &flows,
+            &VlAssignment::SingleVl,
+            &CreditSimConfig::default(),
+        );
         // Either dropped (entered the ring then hit the missing row) or
         // stuck at injection: both must terminate without panic.
         let report = report.unwrap();

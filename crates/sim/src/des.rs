@@ -5,12 +5,8 @@ use std::collections::BinaryHeap;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// Logical simulation time in nanoseconds.
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -111,6 +107,13 @@ impl<E> EventQueue<E> {
     /// Schedules `event` `delay` after now.
     pub fn schedule_in(&mut self, delay: SimTime, event: E) {
         self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event without popping it (the clock
+    /// does not advance).
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
     }
 
     /// Pops the next event, advancing the clock.

@@ -11,13 +11,11 @@
 //!            partially: reconfiguration starts when the SM is signalled.
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::des::SimTime;
 use crate::smp_sim::{SmpLatencyModel, SmpReplay};
 
 /// Parameters of the migration timeline.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DowntimeModel {
     /// Detaching the SR-IOV VF from the running VM (driver unbind).
     pub detach: SimTime,
@@ -47,7 +45,7 @@ impl Default for DowntimeModel {
 }
 
 /// A computed migration timeline.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MigrationTimeline {
     /// Named phases with their durations, in order.
     pub phases: Vec<(String, SimTime)>,

@@ -15,7 +15,6 @@
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid};
 use rustc_hash::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// A flow for the fairness solver: one source endpoint, one destination
 /// LID, demand unbounded (elastic).
@@ -28,7 +27,7 @@ pub struct FairFlow {
 }
 
 /// The allocation result.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FairnessReport {
     /// Rate of each flow, in link-capacity units, in input order.
     pub rates: Vec<f64>,
@@ -217,8 +216,14 @@ mod tests {
         // single trunk: 0.5 each.
         let t = managed(linear(2, 2));
         let flows = vec![
-            FairFlow { src: t.hosts[0], dst: lid_of(&t, 2) },
-            FairFlow { src: t.hosts[1], dst: lid_of(&t, 3) },
+            FairFlow {
+                src: t.hosts[0],
+                dst: lid_of(&t, 2),
+            },
+            FairFlow {
+                src: t.hosts[1],
+                dst: lid_of(&t, 3),
+            },
         ];
         let report = max_min_fair(&t.subnet, &flows).unwrap();
         assert!((report.rates[0] - 0.5).abs() < 1e-9);
@@ -233,9 +238,18 @@ mod tests {
         // host links, not the trunk).
         let t = managed(linear(2, 3));
         let flows = vec![
-            FairFlow { src: t.hosts[0], dst: lid_of(&t, 3) }, // trunk
-            FairFlow { src: t.hosts[1], dst: lid_of(&t, 4) }, // trunk
-            FairFlow { src: t.hosts[2], dst: lid_of(&t, 1) }, // local
+            FairFlow {
+                src: t.hosts[0],
+                dst: lid_of(&t, 3),
+            }, // trunk
+            FairFlow {
+                src: t.hosts[1],
+                dst: lid_of(&t, 4),
+            }, // trunk
+            FairFlow {
+                src: t.hosts[2],
+                dst: lid_of(&t, 1),
+            }, // local
         ];
         let report = max_min_fair(&t.subnet, &flows).unwrap();
         assert!((report.rates[0] - 0.5).abs() < 1e-9);

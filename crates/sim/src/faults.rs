@@ -1,0 +1,271 @@
+//! Deterministic fault injection: timed topology faults plus SMP loss.
+//!
+//! A [`FaultPlan`] is the experiment description: a seed, a per-hop SMP
+//! drop probability, delivery jitter, and a list of timed topology events
+//! (link down/up, switch death). Everything derived from the plan — the
+//! [`ib_mad::LossyChannel`], the [`ib_mad::SmpTransport`], the
+//! [`FaultDriver`] — is a pure function of the plan's fields, so any run is
+//! reproducible from `(plan, topology)` alone.
+//!
+//! The [`FaultDriver`] turns the timed events into subnet mutations as
+//! simulated time advances, and hands back the [`ib_sm::Trap`]s a real
+//! fabric would have raised, ready to feed
+//! [`ib_sm::SubnetManager::handle_trap`].
+
+use ib_mad::fault::{LossyChannel, SmpTransport};
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, PortNum};
+
+use crate::des::{EventQueue, SimTime};
+
+/// One topology fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A link stops passing traffic (both ends).
+    LinkDown {
+        /// One end of the link.
+        node: NodeId,
+        /// The port on that end.
+        port: PortNum,
+    },
+    /// A previously downed link comes back.
+    LinkUp {
+        /// One end of the link.
+        node: NodeId,
+        /// The port on that end.
+        port: PortNum,
+    },
+    /// A switch crashes: the node dies and all its links go down.
+    SwitchDeath {
+        /// The dying switch.
+        node: NodeId,
+    },
+}
+
+impl FaultEvent {
+    /// The trap the fabric would raise for this event, if any. A link
+    /// coming back up also raises a link-state-change trap.
+    #[must_use]
+    pub fn as_trap(&self) -> ib_sm::Trap {
+        match *self {
+            Self::LinkDown { node, port } | Self::LinkUp { node, port } => {
+                ib_sm::Trap::LinkStateChange { node, port }
+            }
+            Self::SwitchDeath { node } => ib_sm::Trap::SwitchDeath { node },
+        }
+    }
+}
+
+/// A fault event pinned to a point in simulated time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub event: FaultEvent,
+}
+
+/// A complete, seeded fault-injection scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the SMP loss/jitter stream.
+    pub seed: u64,
+    /// Per-hop, per-direction SMP drop probability in `[0, 1]`.
+    pub drop_probability: f64,
+    /// Upper bound (exclusive) on per-delivery jitter in ns; 0 disables.
+    pub max_jitter_ns: u64,
+    /// Timed topology faults, in any order (the driver sorts by time).
+    pub events: Vec<TimedFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no loss, no jitter, no events. Running any pipeline
+    /// under this plan is byte-identical to running without a fault layer
+    /// at all (the equivalence the property tests pin down).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_probability: 0.0,
+            max_jitter_ns: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Pure SMP loss, no topology events.
+    #[must_use]
+    pub fn lossy(seed: u64, drop_probability: f64) -> Self {
+        Self {
+            seed,
+            drop_probability,
+            ..Self::none()
+        }
+    }
+
+    /// Whether this plan can perturb anything at all.
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.drop_probability == 0.0 && self.max_jitter_ns == 0 && self.events.is_empty()
+    }
+
+    /// Adds a timed event (builder style).
+    #[must_use]
+    pub fn with_event(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.events.push(TimedFault { at, event });
+        self
+    }
+
+    /// The SMP loss channel this plan prescribes.
+    #[must_use]
+    pub fn channel(&self) -> LossyChannel {
+        LossyChannel::new(self.seed, self.drop_probability, self.max_jitter_ns)
+    }
+
+    /// A retrying SMP transport sourced at `sm_node` under this plan's
+    /// channel.
+    #[must_use]
+    pub fn transport(&self, sm_node: NodeId) -> SmpTransport<LossyChannel> {
+        SmpTransport::with_channel(sm_node, self.channel())
+    }
+
+    /// The driver that applies this plan's timed events.
+    #[must_use]
+    pub fn driver(&self) -> FaultDriver {
+        FaultDriver::new(self)
+    }
+}
+
+/// Applies a [`FaultPlan`]'s timed events to a subnet as time advances.
+#[derive(Debug)]
+pub struct FaultDriver {
+    queue: EventQueue<FaultEvent>,
+}
+
+impl FaultDriver {
+    /// A driver with every plan event scheduled.
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut events = plan.events.clone();
+        events.sort_by_key(|e| e.at);
+        let mut queue = EventQueue::new();
+        for e in events {
+            queue.schedule(e.at, e.event);
+        }
+        Self { queue }
+    }
+
+    /// When the next fault fires, if any remain.
+    #[must_use]
+    pub fn next_fault_at(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Whether all faults have been applied.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Applies every fault due at or before `now` to `subnet`, returning
+    /// the applied events in firing order (convert with
+    /// [`FaultEvent::as_trap`] to feed the SM).
+    pub fn advance(&mut self, subnet: &mut Subnet, now: SimTime) -> IbResult<Vec<FaultEvent>> {
+        let mut fired = Vec::new();
+        while self.queue.peek_time().is_some_and(|t| t <= now) {
+            let (_, event) = self.queue.pop().expect("peeked");
+            match event {
+                FaultEvent::LinkDown { node, port } => subnet.set_link_down(node, port)?,
+                FaultEvent::LinkUp { node, port } => subnet.set_link_up(node, port)?,
+                FaultEvent::SwitchDeath { node } => {
+                    subnet.remove_node(node)?;
+                }
+            }
+            fired.push(event);
+        }
+        Ok(fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::fattree::two_level;
+
+    #[test]
+    fn empty_plan_is_fault_free() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_fault_free());
+        assert!(plan.driver().is_done());
+        assert!(!FaultPlan::lossy(1, 0.05).is_fault_free());
+    }
+
+    #[test]
+    fn driver_applies_events_in_time_order() {
+        let mut t = two_level(2, 2, 2);
+        let leaf = t.switch_levels[0][0];
+        let (port, _) = t.subnet.node(leaf).connected_ports().next().unwrap();
+        let plan = FaultPlan::none()
+            .with_event(SimTime(200), FaultEvent::LinkUp { node: leaf, port })
+            .with_event(SimTime(100), FaultEvent::LinkDown { node: leaf, port });
+        let mut driver = plan.driver();
+        assert_eq!(driver.next_fault_at(), Some(SimTime(100)));
+
+        // Nothing due yet.
+        assert!(driver
+            .advance(&mut t.subnet, SimTime(50))
+            .unwrap()
+            .is_empty());
+        assert!(t.subnet.is_link_up(leaf, port));
+
+        // Both fire by t=500, in order: down then up, net no change.
+        let fired = driver.advance(&mut t.subnet, SimTime(500)).unwrap();
+        assert_eq!(fired.len(), 2);
+        assert!(matches!(fired[0], FaultEvent::LinkDown { .. }));
+        assert!(t.subnet.is_link_up(leaf, port));
+        assert!(driver.is_done());
+    }
+
+    #[test]
+    fn switch_death_event_kills_node() {
+        let mut t = two_level(2, 2, 2);
+        let spine = t.switch_levels[1][0];
+        let plan =
+            FaultPlan::none().with_event(SimTime(10), FaultEvent::SwitchDeath { node: spine });
+        let mut driver = plan.driver();
+        let fired = driver.advance(&mut t.subnet, SimTime(10)).unwrap();
+        assert_eq!(fired.len(), 1);
+        assert!(!t.subnet.is_alive(spine));
+        assert_eq!(fired[0].as_trap(), ib_sm::Trap::SwitchDeath { node: spine });
+    }
+
+    #[test]
+    fn plan_transport_is_deterministic() {
+        let t = two_level(2, 2, 2);
+        let plan = FaultPlan::lossy(42, 0.3);
+        let send_all = || {
+            let mut transport = plan.transport(t.hosts[0]);
+            let mut ledger = ib_mad::SmpLedger::new();
+            let sm = ib_sm::SubnetManager::new(t.hosts[0], ib_sm::SmConfig::default());
+            let _ = sm; // transport is independent of the SM instance
+            let smp = ib_mad::Smp {
+                method: ib_mad::SmpMethod::Get,
+                attribute: ib_mad::SmpAttribute::NodeInfo,
+                routing: ib_mad::SmpRouting::Directed(ib_mad::DirectedRoute::from_hops(vec![
+                    PortNum::new(1),
+                ])),
+                target: t.switch_levels[0][0],
+            };
+            for _ in 0..32 {
+                let _ = transport.send(&t.subnet, &smp, 1, &mut ledger);
+            }
+            (transport.clock_ns(), ledger.total(), ledger.delivered())
+        };
+        assert_eq!(send_all(), send_all());
+    }
+}

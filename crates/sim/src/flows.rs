@@ -1,7 +1,5 @@
 //! Flow-level connectivity checking through installed LFTs.
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::{NodeId, Subnet};
 use ib_types::Lid;
 
@@ -84,7 +82,7 @@ impl FlowSet {
 }
 
 /// Outcome of checking a flow set.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FlowReport {
     /// Flows that reached the right endpoint.
     pub delivered: usize,
@@ -176,7 +174,12 @@ mod tests {
         let mut t = fabric();
         let eps = endpoints(&t);
         let lid = eps[0].1;
-        for sw in t.subnet.physical_switches().map(|n| n.id).collect::<Vec<_>>() {
+        for sw in t
+            .subnet
+            .physical_switches()
+            .map(|n| n.id)
+            .collect::<Vec<_>>()
+        {
             t.subnet.lft_mut(sw).unwrap().clear(lid);
         }
         let mut flows = FlowSet::new();

@@ -15,6 +15,10 @@
 //! * [`downtime`] — the end-to-end live-migration timeline (detach, memory
 //!   copy, reconfiguration, attach) that lets the three architectures be
 //!   compared on VM downtime.
+//! * [`faults`] — seeded fault injection: a [`faults::FaultPlan`] describes
+//!   SMP loss/jitter plus timed topology faults, and a
+//!   [`faults::FaultDriver`] applies them to the subnet as simulated time
+//!   advances, emitting the traps a real fabric would raise.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,12 +27,14 @@ pub mod credit;
 pub mod des;
 pub mod downtime;
 pub mod fairness;
+pub mod faults;
 pub mod flows;
 pub mod smp_sim;
 
 pub use credit::{CreditSimConfig, CreditSimReport, Flow};
 pub use des::{EventQueue, SimTime};
-pub use fairness::{max_min_fair, FairFlow, FairnessReport};
 pub use downtime::{DowntimeModel, MigrationTimeline};
+pub use fairness::{max_min_fair, FairFlow, FairnessReport};
+pub use faults::{FaultDriver, FaultEvent, FaultPlan, TimedFault};
 pub use flows::{FlowReport, FlowSet};
 pub use smp_sim::{SmpLatencyModel, SmpReplay};

@@ -7,14 +7,12 @@
 //! of equations 2–4, and with deeper pipelines it shows the §VI-B remark
 //! that OpenSM's pipelining shrinks `LFTDt` further.
 
-use serde::{Deserialize, Serialize};
-
 use ib_mad::SmpLedger;
 
 use crate::des::{EventQueue, SimTime};
 
 /// Per-hop latency parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SmpLatencyModel {
     /// Wire+switch traversal per hop (ns).
     pub k_hop_ns: u64,
@@ -38,17 +36,23 @@ impl Default for SmpLatencyModel {
 
 impl SmpLatencyModel {
     /// One-way latency of a single SMP with `hops` link traversals.
+    ///
+    /// Delegates to [`ib_mad::one_way_latency_ns`] — the same formula the
+    /// fault transport's virtual clock uses — so replayed timings and
+    /// transport timings always agree.
     #[must_use]
     pub fn smp_latency(&self, hops: usize, directed: bool) -> SimTime {
-        let per_hop = self.k_hop_ns + if directed { self.r_hop_ns } else { 0 };
-        // Minimum one unit even for hops == 0 (local delivery still costs
-        // a MAD round through the stack).
-        SimTime(per_hop * hops.max(1) as u64)
+        SimTime(ib_mad::one_way_latency_ns(
+            self.k_hop_ns,
+            self.r_hop_ns,
+            hops,
+            directed,
+        ))
     }
 }
 
 /// Result of replaying a ledger.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SmpReplay {
     /// Completion time of the last acknowledgement.
     pub makespan: SimTime,
@@ -84,38 +88,69 @@ impl SmpReplay {
     /// Replays raw `(hops, directed)` pairs.
     #[must_use]
     pub fn run_records(records: &[(usize, bool)], model: &SmpLatencyModel) -> Self {
+        let costs: Vec<SimTime> = records
+            .iter()
+            .map(|&(hops, directed)| SimTime(2 * model.smp_latency(hops, directed).as_ns()))
+            .collect();
+        Self::run_costs(&costs, model.pipeline_depth)
+    }
+
+    /// Outcome-aware replay of a ledger that went through a fault channel:
+    /// a delivered attempt occupies its credit for the round trip, a failed
+    /// attempt occupies it until the SM's response timeout for that attempt
+    /// number expires. This is how "extra SMPs" become "extra time".
+    #[must_use]
+    pub fn run_with_faults(
+        ledger: &SmpLedger,
+        phase: Option<&str>,
+        model: &SmpLatencyModel,
+        retry: &ib_mad::RetryPolicy,
+    ) -> Self {
+        let records = match phase {
+            Some(p) => ledger.phase_records(p),
+            None => ledger.records(),
+        };
+        let costs: Vec<SimTime> = records
+            .iter()
+            .map(|r| {
+                if r.status.is_delivered() {
+                    SimTime(2 * model.smp_latency(r.hops, r.directed).as_ns())
+                } else {
+                    SimTime(retry.timeout_ns(r.attempt))
+                }
+            })
+            .collect();
+        Self::run_costs(&costs, model.pipeline_depth)
+    }
+
+    /// The credit-window engine: each entry of `costs` occupies one of
+    /// `depth` transmit credits for its duration.
+    fn run_costs(costs: &[SimTime], depth: usize) -> Self {
         #[derive(Debug)]
         enum Ev {
             Ack { index: usize },
         }
-        let depth = model.pipeline_depth.max(1);
+        let depth = depth.max(1);
         let mut q: EventQueue<Ev> = EventQueue::new();
-        let mut completions = vec![SimTime::ZERO; records.len()];
+        let mut completions = vec![SimTime::ZERO; costs.len()];
         let mut next = 0usize;
-        let mut in_flight = 0usize;
 
         // Prime the window.
-        while next < records.len() && in_flight < depth {
-            let (hops, directed) = records[next];
-            let rtt = SimTime(2 * model.smp_latency(hops, directed).as_ns());
-            q.schedule_in(rtt, Ev::Ack { index: next });
+        while next < costs.len() && next < depth {
+            q.schedule_in(costs[next], Ev::Ack { index: next });
             next += 1;
-            in_flight += 1;
         }
-        let _ = in_flight;
         // Each ack returns exactly one credit; spend it on the next SMP.
         while let Some((at, Ev::Ack { index })) = q.pop() {
             completions[index] = at;
-            if next < records.len() {
-                let (hops, directed) = records[next];
-                let rtt = SimTime(2 * model.smp_latency(hops, directed).as_ns());
-                q.schedule_in(rtt, Ev::Ack { index: next });
+            if next < costs.len() {
+                q.schedule_in(costs[next], Ev::Ack { index: next });
                 next += 1;
             }
         }
         Self {
             makespan: completions.iter().copied().max().unwrap_or(SimTime::ZERO),
-            smps: records.len(),
+            smps: costs.len(),
             completions,
         }
     }

@@ -24,7 +24,11 @@ pub struct DiscoveryResult {
 
 /// Sweeps the fabric from `sm_node`, recording one `SubnGet(NodeInfo)` per
 /// node (plus `SubnGet(SwitchInfo)` per switch) in the ledger.
-pub fn sweep(subnet: &Subnet, sm_node: NodeId, ledger: &mut SmpLedger) -> IbResult<DiscoveryResult> {
+pub fn sweep(
+    subnet: &Subnet,
+    sm_node: NodeId,
+    ledger: &mut SmpLedger,
+) -> IbResult<DiscoveryResult> {
     if sm_node.index() >= subnet.num_nodes() {
         return Err(IbError::Management("SM node does not exist".into()));
     }

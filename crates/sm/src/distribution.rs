@@ -6,6 +6,7 @@
 //! `n · m` SMP total of the paper's equation 2 and Table I's "Min SMPs Full
 //! RC" column.
 
+use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::{DirectedRoute, Smp, SmpLedger, SmpRouting};
 use ib_routing::RoutingTables;
 use ib_subnet::{Lft, LftDelta, NodeId, Subnet};
@@ -13,6 +14,15 @@ use ib_types::{IbError, IbResult};
 
 use crate::report::DistributionReport;
 use crate::sm::SmpMode;
+
+/// A dirty LFT block whose `Set` SMP could not be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailedBlock {
+    /// The switch the block was destined for.
+    pub switch: NodeId,
+    /// The 64-entry block index.
+    pub block: usize,
+}
 
 /// Distributes `tables` into the subnet, sending one SMP per dirty block
 /// per switch, and applying each block to the switch's installed LFT.
@@ -41,9 +51,9 @@ pub fn distribute(
             Some(top) => target_lft.padded(top),
             None => target_lft.clone(),
         };
-        let current = subnet
-            .lft(sw)
-            .ok_or_else(|| IbError::Management(format!("{} is not a switch", subnet.name_of(sw))))?;
+        let current = subnet.lft(sw).ok_or_else(|| {
+            IbError::Management(format!("{} is not a switch", subnet.name_of(sw)))
+        })?;
         let delta = LftDelta::between(current, &target_lft);
         if delta.is_empty() {
             continue;
@@ -52,9 +62,7 @@ pub fn distribute(
         let hops = hops_of(subnet, sm_node, sw, &routing)?;
         for &block in &delta.blocks {
             let empty = vec![None; ib_types::LFT_BLOCK_SIZE];
-            let payload = target_lft
-                .block(block)
-                .map_or(empty.clone(), <[_]>::to_vec);
+            let payload = target_lft.block(block).map_or(empty.clone(), <[_]>::to_vec);
             let smp = Smp::set_lft_block(sw, routing.clone(), block, &payload);
             ledger.record(&smp, hops);
             // Apply the block to the installed LFT (the "switch firmware"
@@ -73,6 +81,131 @@ pub fn distribute(
     Ok(report)
 }
 
+/// Like [`distribute`], but every `Set` goes through a fault-aware
+/// [`SmpTransport`]. Blocks whose SMP exhausts its retries are *not*
+/// applied to the installed LFT; they are returned as [`FailedBlock`]s so
+/// the caller can resume with [`retry_failed_blocks`] instead of resending
+/// everything. A switch that is currently unreachable (no directed route,
+/// no LID route) fails all of its dirty blocks without consuming attempts.
+pub fn distribute_with<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    tables: &RoutingTables,
+    mode: SmpMode,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+) -> IbResult<(DistributionReport, Vec<FailedBlock>)> {
+    ledger.begin_phase("lft-distribution");
+    push_blocks(subnet, sm_node, tables, mode, transport, ledger, None)
+}
+
+/// Resumes an interrupted distribution: only the listed failed blocks are
+/// re-derived from `tables` and resent. Blocks that became clean in the
+/// meantime (installed LFT already matches the target) cost nothing.
+pub fn retry_failed_blocks<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    tables: &RoutingTables,
+    mode: SmpMode,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+    failed: &[FailedBlock],
+) -> IbResult<(DistributionReport, Vec<FailedBlock>)> {
+    ledger.begin_phase("lft-distribution-retry");
+    push_blocks(
+        subnet,
+        sm_node,
+        tables,
+        mode,
+        transport,
+        ledger,
+        Some(failed),
+    )
+}
+
+/// Shared engine behind [`distribute_with`] and [`retry_failed_blocks`].
+fn push_blocks<C: SmpChannel>(
+    subnet: &mut Subnet,
+    sm_node: NodeId,
+    tables: &RoutingTables,
+    mode: SmpMode,
+    transport: &mut SmpTransport<C>,
+    ledger: &mut SmpLedger,
+    restrict: Option<&[FailedBlock]>,
+) -> IbResult<(DistributionReport, Vec<FailedBlock>)> {
+    let mut report = DistributionReport::default();
+    let mut failed = Vec::new();
+
+    let mut targets: Vec<(&NodeId, &Lft)> = tables.lfts.iter().collect();
+    targets.sort_unstable_by_key(|(id, _)| id.index());
+    let topmost = subnet.topmost_lid();
+
+    for (&sw, target_lft) in targets {
+        let target_lft = match topmost {
+            Some(top) => target_lft.padded(top),
+            None => target_lft.clone(),
+        };
+        let current = subnet.lft(sw).ok_or_else(|| {
+            IbError::Management(format!("{} is not a switch", subnet.name_of(sw)))
+        })?;
+        let delta = LftDelta::between(current, &target_lft);
+        let blocks: Vec<usize> = delta
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&block| {
+                restrict.is_none_or(|f| f.contains(&FailedBlock { switch: sw, block }))
+            })
+            .collect();
+        if blocks.is_empty() {
+            continue;
+        }
+        let Ok(routing) = routing_for(subnet, sm_node, sw, mode) else {
+            failed.extend(
+                blocks
+                    .iter()
+                    .map(|&block| FailedBlock { switch: sw, block }),
+            );
+            continue;
+        };
+        let Ok(hops) = hops_of(subnet, sm_node, sw, &routing) else {
+            failed.extend(
+                blocks
+                    .iter()
+                    .map(|&block| FailedBlock { switch: sw, block }),
+            );
+            continue;
+        };
+        let mut sent = 0;
+        for &block in &blocks {
+            let empty = vec![None; ib_types::LFT_BLOCK_SIZE];
+            let payload = target_lft.block(block).map_or(empty.clone(), <[_]>::to_vec);
+            let smp = Smp::set_lft_block(sw, routing.clone(), block, &payload);
+            match transport.send(subnet, &smp, hops, ledger) {
+                Ok(_) => {
+                    let mut arr = [None; ib_types::LFT_BLOCK_SIZE];
+                    arr.copy_from_slice(&payload);
+                    subnet
+                        .lft_mut(sw)
+                        .expect("checked above")
+                        .write_block(block, &arr);
+                    sent += 1;
+                }
+                Err(IbError::Transport(_)) => {
+                    failed.push(FailedBlock { switch: sw, block });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if sent > 0 {
+            report.lft_smps += sent;
+            report.switches_updated += 1;
+            report.max_blocks_per_switch = report.max_blocks_per_switch.max(sent);
+        }
+    }
+    Ok((report, failed))
+}
+
 /// Chooses SMP addressing for a switch under the given mode.
 pub fn routing_for(
     subnet: &Subnet,
@@ -88,16 +221,12 @@ pub fn routing_for(
             Ok(SmpRouting::Directed(route))
         }
         SmpMode::Destination => {
-            let lid = subnet
-                .node(switch)
-                .lids()
-                .next()
-                .ok_or_else(|| {
-                    IbError::Management(format!(
-                        "{} has no LID for destination-routed SMPs",
-                        subnet.name_of(switch)
-                    ))
-                })?;
+            let lid = subnet.node(switch).lids().next().ok_or_else(|| {
+                IbError::Management(format!(
+                    "{} has no LID for destination-routed SMPs",
+                    subnet.name_of(switch)
+                ))
+            })?;
             Ok(SmpRouting::Destination(lid))
         }
     }
@@ -156,7 +285,14 @@ mod tests {
     fn redistribution_is_free_when_nothing_changed() {
         let (mut t, tables) = setup();
         let mut ledger = SmpLedger::new();
-        distribute(&mut t.subnet, t.hosts[0], &tables, SmpMode::Directed, &mut ledger).unwrap();
+        distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger,
+        )
+        .unwrap();
         let again = distribute(
             &mut t.subnet,
             t.hosts[0],
@@ -173,7 +309,14 @@ mod tests {
     fn installed_lfts_route_traffic() {
         let (mut t, tables) = setup();
         let mut ledger = SmpLedger::new();
-        distribute(&mut t.subnet, t.hosts[0], &tables, SmpMode::Directed, &mut ledger).unwrap();
+        distribute(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger,
+        )
+        .unwrap();
         // After distribution the *subnet* LFTs (not just the tables) must
         // deliver packets between the first and last hosts.
         let last = t.hosts[5];
@@ -200,13 +343,119 @@ mod tests {
     }
 
     #[test]
+    fn distribute_with_perfect_transport_matches_classic() {
+        let (mut t, tables) = setup();
+        let mut classic = t.subnet.clone();
+        let mut ledger_a = SmpLedger::new();
+        let report_a = distribute(
+            &mut classic,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut ledger_a,
+        )
+        .unwrap();
+
+        let mut transport = SmpTransport::perfect(t.hosts[0]);
+        let mut ledger_b = SmpLedger::new();
+        let (report_b, failed) = distribute_with(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut transport,
+            &mut ledger_b,
+        )
+        .unwrap();
+        assert!(failed.is_empty());
+        assert_eq!(report_a, report_b);
+        // Byte-identical ledgers: the fault-free transport is invisible.
+        assert_eq!(ledger_a.records(), ledger_b.records());
+        for sw in classic.physical_switches() {
+            assert_eq!(sw.lft(), t.subnet.lft(sw.id), "{}", sw.name);
+        }
+    }
+
+    #[test]
+    fn black_hole_transport_fails_every_block_and_applies_none() {
+        let (mut t, tables) = setup();
+        let before: Vec<_> = t
+            .subnet
+            .physical_switches()
+            .map(|s| (s.id, s.lft().unwrap().clone()))
+            .collect();
+        let mut transport =
+            SmpTransport::with_channel(t.hosts[0], ib_mad::LossyChannel::black_hole());
+        let mut ledger = SmpLedger::new();
+        let (report, failed) = distribute_with(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut transport,
+            &mut ledger,
+        )
+        .unwrap();
+        assert_eq!(report.lft_smps, 0);
+        assert_eq!(failed.len(), 4); // 4 switches x 1 block
+        assert_eq!(ledger.delivered(), 0);
+        for (sw, lft) in before {
+            assert_eq!(t.subnet.lft(sw), Some(&lft));
+        }
+    }
+
+    #[test]
+    fn retry_resumes_only_failed_blocks() {
+        let (mut t, tables) = setup();
+        // ~40% per-hop drop: some blocks fail even with 4 attempts.
+        let mut transport = SmpTransport::lossy(t.hosts[0], 0xBAD, 0.4, 0);
+        transport.retry.max_attempts = 2;
+        let mut ledger = SmpLedger::new();
+        let (mut report, mut failed) = distribute_with(
+            &mut t.subnet,
+            t.hosts[0],
+            &tables,
+            SmpMode::Directed,
+            &mut transport,
+            &mut ledger,
+        )
+        .unwrap();
+        // Keep retrying failed blocks until done (the channel is lossy but
+        // fair, so this terminates with overwhelming probability).
+        let mut passes = 0;
+        while !failed.is_empty() && passes < 64 {
+            let (r2, f2) = retry_failed_blocks(
+                &mut t.subnet,
+                t.hosts[0],
+                &tables,
+                SmpMode::Directed,
+                &mut transport,
+                &mut ledger,
+                &failed,
+            )
+            .unwrap();
+            report.lft_smps += r2.lft_smps;
+            failed = f2;
+            passes += 1;
+        }
+        assert!(failed.is_empty(), "did not converge");
+        // Exactly the 4 blocks were eventually applied, once each.
+        assert_eq!(report.lft_smps, 4);
+        assert_eq!(ledger.lft_updates(), 4);
+        assert!(ledger.retries() > 0 || ledger.dropped() > 0);
+        // The fabric ends up fully routed.
+        let last = t.hosts[5];
+        let lid = t.subnet.node(last).ports[1].lid.unwrap();
+        let path = t.subnet.trace_route(t.hosts[0], lid, 16).unwrap();
+        assert_eq!(*path.last().unwrap(), last);
+    }
+
+    #[test]
     fn topmost_lid_rules_block_count() {
         // §VII-C: a single node holding the topmost unicast LID forces the
         // full 768-block LFT onto every switch.
         let (mut t, _) = setup();
-        t.subnet
-            .clear_lid(Lid::from_raw(10))
-            .unwrap();
+        t.subnet.clear_lid(Lid::from_raw(10)).unwrap();
         t.subnet
             .assign_port_lid(t.hosts[5], ib_types::PortNum::new(1), Lid::from_raw(0xBFFF))
             .unwrap();

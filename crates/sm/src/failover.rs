@@ -9,15 +9,13 @@
 //! (§V-A's capacity discussion counts "dedicated SM nodes" among the LID
 //! consumers; this module is what those nodes run.)
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult};
 
 use crate::{SmConfig, SubnetManager};
 
 /// SM instance states, after IBA's SMInfo state machine.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SmState {
     /// Actively managing the subnet.
     Master,
@@ -128,8 +126,7 @@ impl SmGroup {
         let inst = self.master_mut()?;
         // Adopt, don't renumber: a discovery sweep plus LID-space resync.
         let before = inst.manager.ledger.total();
-        let disc =
-            crate::discovery::sweep(subnet, inst.manager.sm_node, &mut inst.manager.ledger)?;
+        let disc = crate::discovery::sweep(subnet, inst.manager.sm_node, &mut inst.manager.ledger)?;
         let _ = disc;
         for lid in subnet.lids() {
             if !inst.manager.lid_space.is_allocated(lid) {
@@ -205,7 +202,12 @@ mod tests {
     fn failover_chain_exhausts_gracefully() {
         let (mut t, mut group) = fabric_with_group();
         group.elect(&t.subnet).unwrap();
-        group.master_mut().unwrap().manager.bring_up(&mut t.subnet).unwrap();
+        group
+            .master_mut()
+            .unwrap()
+            .manager
+            .bring_up(&mut t.subnet)
+            .unwrap();
         group.fail_over(&mut t.subnet).unwrap();
         group.fail_over(&mut t.subnet).unwrap();
         // All three dead now.
@@ -216,7 +218,12 @@ mod tests {
     fn new_master_can_reconfigure_after_adoption() {
         let (mut t, mut group) = fabric_with_group();
         group.elect(&t.subnet).unwrap();
-        group.master_mut().unwrap().manager.bring_up(&mut t.subnet).unwrap();
+        group
+            .master_mut()
+            .unwrap()
+            .manager
+            .bring_up(&mut t.subnet)
+            .unwrap();
         group.fail_over(&mut t.subnet).unwrap();
 
         // The adopted state is complete enough to run a reconfiguration:
@@ -229,7 +236,13 @@ mod tests {
             .unwrap();
         assert_eq!(report.distribution.lft_smps, 0);
         // And a fresh allocation continues where the dead master stopped.
-        let next = group.master_mut().unwrap().manager.lid_space.allocate().unwrap();
+        let next = group
+            .master_mut()
+            .unwrap()
+            .manager
+            .lid_space
+            .allocate()
+            .unwrap();
         assert_eq!(next.raw() as usize, t.subnet.num_lids() + 1);
         let _ = AttributeKind::LftBlock;
     }

@@ -26,8 +26,11 @@ pub mod lids;
 pub mod report;
 pub mod sa;
 pub mod sm;
+pub mod traps;
 
+pub use distribution::FailedBlock;
 pub use failover::{SmGroup, SmInstance, SmState};
 pub use report::{BringUpReport, DistributionReport};
 pub use sa::{PathRecord, PathRecordCache, SaService};
 pub use sm::{SmConfig, SmpMode, SubnetManager};
+pub use traps::{ResweepReport, SweepKind, Trap};

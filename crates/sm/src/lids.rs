@@ -46,7 +46,14 @@ pub fn assign_all(
         }
         let lid = space.allocate()?;
         subnet.assign_switch_lid(id, lid)?;
-        record_set(subnet, ledger, id, PortNum::MANAGEMENT, lid, &discovery.routes[i]);
+        record_set(
+            subnet,
+            ledger,
+            id,
+            PortNum::MANAGEMENT,
+            lid,
+            &discovery.routes[i],
+        );
         sent += 1;
     }
     // ... then HCA ports.
@@ -54,11 +61,7 @@ pub fn assign_all(
         if !subnet.node(id).is_hca() {
             continue;
         }
-        let ports: Vec<PortNum> = subnet
-            .node(id)
-            .connected_ports()
-            .map(|(p, _)| p)
-            .collect();
+        let ports: Vec<PortNum> = subnet.node(id).connected_ports().map(|(p, _)| p).collect();
         for port in ports {
             if subnet.node(id).ports[port.raw() as usize].lid.is_some() {
                 continue;
@@ -80,12 +83,7 @@ fn record_set(
     lid: Lid,
     route: &ib_mad::DirectedRoute,
 ) {
-    let smp = Smp::set_port_lid(
-        target,
-        SmpRouting::Directed(route.clone()),
-        port,
-        Some(lid),
-    );
+    let smp = Smp::set_port_lid(target, SmpRouting::Directed(route.clone()), port, Some(lid));
     ledger.record(&smp, route.hop_count());
 }
 

@@ -2,10 +2,8 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 /// What one LFT distribution cost.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DistributionReport {
     /// `SubnSet(LinearForwardingTable)` SMPs sent.
     pub lft_smps: usize,
@@ -18,7 +16,7 @@ pub struct DistributionReport {
 }
 
 /// What a full bring-up or full reconfiguration cost.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct BringUpReport {
     /// Discovery `SubnGet` SMPs (0 when re-running on a known fabric).
     pub discovery_smps: usize,

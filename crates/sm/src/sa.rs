@@ -16,15 +16,13 @@
 //! and [`PathRecordCache`], the client-side cache whose hit rate collapses
 //! to zero only when addresses actually change (the Shared Port baseline).
 
-use serde::{Deserialize, Serialize};
-
 use ib_subnet::Subnet;
 use ib_types::{Gid, IbError, IbResult, Lid};
 use rustc_hash::FxHashMap;
 
 /// A resolved path record: the addressing a consumer needs to open a
 /// connection to a peer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PathRecord {
     /// Destination GID the record answers for.
     pub dgid: Gid,
@@ -249,13 +247,19 @@ mod tests {
         sm.full_reconfiguration(&mut t.subnet).unwrap();
         sa.register(dgid, Lid::from_raw(40));
 
-        assert!(cache.is_stale(&t.subnet, dgid), "cached LID no longer answers");
+        assert!(
+            cache.is_stale(&t.subnet, dgid),
+            "cached LID no longer answers"
+        );
         cache.invalidate(dgid);
         let rec = cache
             .resolve(&mut sa, &t.subnet, lid_of(&t, 0), dgid)
             .unwrap();
         assert_eq!(rec.dlid, Lid::from_raw(40));
-        assert_eq!(sa.queries_served, 2, "the re-query the paper wants to avoid");
+        assert_eq!(
+            sa.queries_served, 2,
+            "the re-query the paper wants to avoid"
+        );
     }
 
     #[test]

@@ -199,10 +199,7 @@ mod tests {
         let mut t = two_level(2, 2, 2);
         let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
         let report = sm.bring_up(&mut t.subnet).unwrap();
-        assert_eq!(
-            sm.ledger.phase_total("discovery"),
-            report.discovery_smps
-        );
+        assert_eq!(sm.ledger.phase_total("discovery"), report.discovery_smps);
         assert_eq!(sm.ledger.phase_total("lid-assignment"), report.lid_smps);
         assert_eq!(
             sm.ledger.phase_total("lft-distribution"),

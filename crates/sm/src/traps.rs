@@ -1,0 +1,399 @@
+//! Trap-driven re-sweeps: the SM's reaction to fabric faults.
+//!
+//! IBA switches report port-state changes to the SM with unsolicited trap
+//! MADs (traps 128/129-131). OpenSM reacts with a *light sweep* — reroute
+//! and redistribute over the topology it already knows — and escalates to a
+//! *heavy sweep* (full rediscovery) when the light sweep finds the
+//! topology itself changed underneath it.
+//!
+//! The implementation here keeps the paper's central invariant: a re-sweep
+//! **adopts** the surviving LID and LFT state rather than renumbering. LIDs
+//! of nodes that fell off the fabric are pruned and released; every
+//! surviving node keeps its LID, so live connections (§II-C: "the LID is
+//! part of the connection state") are undisturbed. Distribution is
+//! resumable: blocks whose `Set` SMPs exhaust their retries are retried in
+//! follow-up passes without resending what already landed.
+//!
+//! Discovery `Get`s are modeled fault-free: the SM retries discovery
+//! indefinitely in practice, and the interesting accounting — extra `Set`
+//! SMPs, retries, rollbacks — is all on the configuration side.
+
+use ib_mad::fault::{SmpChannel, SmpTransport};
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, Lid, PortNum};
+
+use crate::discovery;
+use crate::distribution::{self, FailedBlock};
+use crate::report::DistributionReport;
+use crate::sm::SubnetManager;
+
+/// Maximum resume passes over failed blocks before a sweep gives up. With
+/// the default 4-attempt retry policy this bounds the per-block attempt
+/// budget at 68 sends — plenty for any loss rate the harness sweeps, while
+/// still terminating against a structurally unreachable switch.
+const MAX_RETRY_PASSES: usize = 16;
+
+/// An unsolicited event notice delivered to the SM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// A port changed state (IBA trap 128): link went down or came up.
+    LinkStateChange {
+        /// Reporting node.
+        node: NodeId,
+        /// Port whose state changed.
+        port: PortNum,
+    },
+    /// A switch stopped responding entirely (modeled as the neighbor traps
+    /// OpenSM aggregates when a crossbar dies).
+    SwitchDeath {
+        /// The dead switch.
+        node: NodeId,
+    },
+}
+
+/// How deep a re-sweep went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Reroute + redistribute over the known topology.
+    Light,
+    /// Full rediscovery, pruning of vanished nodes, then reroute.
+    Heavy,
+}
+
+/// What a trap-driven re-sweep did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResweepReport {
+    /// Light or heavy.
+    pub kind: SweepKind,
+    /// True if a light sweep found stale topology and escalated to heavy.
+    pub escalated: bool,
+    /// LIDs pruned (cleared and released) because their owners fell off
+    /// the fabric. Always empty for a pure light sweep — surviving LIDs
+    /// are never renumbered.
+    pub pruned_lids: Vec<Lid>,
+    /// Nodes dropped from the active fabric.
+    pub removed_nodes: usize,
+    /// Accumulated distribution accounting across all resume passes.
+    pub distribution: DistributionReport,
+    /// Resume passes over failed blocks (0 = everything landed first try).
+    pub retry_passes: usize,
+    /// Blocks still undelivered when the sweep gave up (empty on success).
+    pub failed_blocks: Vec<FailedBlock>,
+}
+
+impl SubnetManager {
+    /// Reacts to a trap: link-state changes get a light sweep (escalating
+    /// if the known topology no longer routes), a switch death goes
+    /// straight to a heavy sweep.
+    pub fn handle_trap<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        trap: Trap,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResweepReport> {
+        match trap {
+            Trap::LinkStateChange { .. } => self.light_sweep(subnet, transport),
+            Trap::SwitchDeath { node } => {
+                if subnet.is_alive(node) {
+                    subnet.remove_node(node)?;
+                }
+                self.heavy_sweep(subnet, transport)
+            }
+        }
+    }
+
+    /// Light sweep: recompute routes over the currently known topology and
+    /// push the dirty blocks. LIDs are not touched. If path computation
+    /// fails — some destination became unreachable, meaning the topology
+    /// the SM believes in is stale — escalates to a heavy sweep.
+    pub fn light_sweep<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResweepReport> {
+        let engine = self.config().engine.build();
+        match engine.compute(subnet) {
+            Ok(tables) => {
+                let (distribution, retry_passes, failed_blocks) =
+                    self.distribute_resumably(subnet, &tables, transport)?;
+                Ok(ResweepReport {
+                    kind: SweepKind::Light,
+                    escalated: false,
+                    pruned_lids: Vec::new(),
+                    removed_nodes: 0,
+                    distribution,
+                    retry_passes,
+                    failed_blocks,
+                })
+            }
+            Err(_) => {
+                let mut report = self.heavy_sweep(subnet, transport)?;
+                report.escalated = true;
+                Ok(report)
+            }
+        }
+    }
+
+    /// Heavy sweep: rediscover the fabric from the SM node, drop every
+    /// previously active node the sweep no longer reaches (pruning and
+    /// releasing its LIDs — *without* renumbering any survivor), then
+    /// recompute and redistribute routes.
+    pub fn heavy_sweep<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResweepReport> {
+        let disc = discovery::sweep(subnet, self.sm_node, &mut self.ledger)?;
+        let mut reached = vec![false; subnet.num_nodes()];
+        for &n in &disc.nodes {
+            reached[n.index()] = true;
+        }
+
+        // Prune what the sweep lost: unreached nodes that were part of the
+        // active fabric (they hold LIDs, or are alive with cabling). Nodes
+        // that never joined — e.g. dormant dynamic-mode VFs with no cable
+        // and no LID — are left alone, as are nodes already processed by an
+        // earlier sweep.
+        let mut pruned_lids = Vec::new();
+        let mut removed_nodes = 0;
+        let lost: Vec<NodeId> = subnet
+            .nodes()
+            .filter(|n| !reached[n.id.index()])
+            .filter(|n| {
+                n.lids().next().is_some() || (n.is_alive() && n.cabled_ports().next().is_some())
+            })
+            .map(|n| n.id)
+            .collect();
+        for id in lost {
+            let lids: Vec<Lid> = subnet.node(id).lids().collect();
+            for lid in lids {
+                subnet.clear_lid(lid)?;
+                let _ = self.lid_space.release(lid);
+                pruned_lids.push(lid);
+            }
+            if subnet.is_alive(id) {
+                subnet.remove_node(id)?;
+            }
+            removed_nodes += 1;
+        }
+
+        let engine = self.config().engine.build();
+        let tables = engine.compute(subnet)?;
+        let (distribution, retry_passes, failed_blocks) =
+            self.distribute_resumably(subnet, &tables, transport)?;
+        Ok(ResweepReport {
+            kind: SweepKind::Heavy,
+            escalated: false,
+            pruned_lids,
+            removed_nodes,
+            distribution,
+            retry_passes,
+            failed_blocks,
+        })
+    }
+
+    /// Distribution with bounded resume passes: failed blocks are retried
+    /// until they land, progress stops, or the pass budget runs out.
+    fn distribute_resumably<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        tables: &ib_routing::RoutingTables,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<(DistributionReport, usize, Vec<FailedBlock>)> {
+        let mode = self.config().smp_mode;
+        let (mut report, mut failed) = distribution::distribute_with(
+            subnet,
+            self.sm_node,
+            tables,
+            mode,
+            transport,
+            &mut self.ledger,
+        )?;
+        let mut passes = 0;
+        while !failed.is_empty() && passes < MAX_RETRY_PASSES {
+            let (more, still_failed) = distribution::retry_failed_blocks(
+                subnet,
+                self.sm_node,
+                tables,
+                mode,
+                transport,
+                &mut self.ledger,
+                &failed,
+            )?;
+            report.lft_smps += more.lft_smps;
+            report.switches_updated += more.switches_updated;
+            report.max_blocks_per_switch =
+                report.max_blocks_per_switch.max(more.max_blocks_per_switch);
+            passes += 1;
+            failed = still_failed;
+        }
+        Ok((report, passes, failed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sm::SmConfig;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_types::Lid;
+
+    /// Bring up a 2-level fat tree (3 leaves, 2 spines) with a perfect SM.
+    fn bring_up() -> (ib_subnet::topology::BuiltTopology, SubnetManager) {
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
+        sm.bring_up(&mut t.subnet).unwrap();
+        (t, sm)
+    }
+
+    fn all_lids(subnet: &Subnet) -> Vec<Lid> {
+        subnet.lids()
+    }
+
+    fn assert_all_pairs_connected(t: &ib_subnet::topology::BuiltTopology, skip: &[NodeId]) {
+        for &a in &t.hosts {
+            if skip.contains(&a) {
+                continue;
+            }
+            for &b in &t.hosts {
+                if skip.contains(&b) || a == b {
+                    continue;
+                }
+                let lid = t.subnet.node(b).ports[1].lid.unwrap();
+                let path = t.subnet.trace_route(a, lid, 32).unwrap();
+                assert_eq!(*path.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_trap_triggers_light_sweep_without_renumbering() {
+        let (mut t, mut sm) = bring_up();
+        let lids_before = all_lids(&t.subnet);
+
+        // Down one of the two uplinks of leaf 0 (leaf -> spine 0). The
+        // fat tree has a redundant spine, so a light sweep suffices.
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (port, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        t.subnet.set_link_down(leaf0, port).unwrap();
+
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let report = sm
+            .handle_trap(
+                &mut t.subnet,
+                Trap::LinkStateChange { node: leaf0, port },
+                &mut transport,
+            )
+            .unwrap();
+        assert_eq!(report.kind, SweepKind::Light);
+        assert!(!report.escalated);
+        assert!(report.pruned_lids.is_empty());
+        assert!(report.failed_blocks.is_empty());
+        assert!(report.distribution.lft_smps > 0);
+        // No LID moved.
+        assert_eq!(all_lids(&t.subnet), lids_before);
+        assert_all_pairs_connected(&t, &[]);
+        t.subnet.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn switch_death_heavy_sweep_prunes_only_the_dead() {
+        let (mut t, mut sm) = bring_up();
+        let spine1 = t.switch_levels[1][1];
+        let spine_lid = match &t.subnet.node(spine1).kind {
+            ib_subnet::NodeKind::Switch { lid, .. } => lid.unwrap(),
+            ib_subnet::NodeKind::Hca => unreachable!(),
+        };
+        let lids_before = all_lids(&t.subnet);
+
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let report = sm
+            .handle_trap(
+                &mut t.subnet,
+                Trap::SwitchDeath { node: spine1 },
+                &mut transport,
+            )
+            .unwrap();
+        assert_eq!(report.kind, SweepKind::Heavy);
+        assert_eq!(report.pruned_lids, vec![spine_lid]);
+        assert_eq!(report.removed_nodes, 1);
+        assert!(report.failed_blocks.is_empty());
+        // Exactly one LID gone; every survivor kept its number.
+        let lids_after = all_lids(&t.subnet);
+        assert_eq!(
+            lids_after,
+            lids_before
+                .iter()
+                .copied()
+                .filter(|&l| l != spine_lid)
+                .collect::<Vec<_>>()
+        );
+        // The freed LID is reusable.
+        assert!(!sm.lid_space.is_allocated(spine_lid));
+        assert_all_pairs_connected(&t, &[]);
+        t.subnet.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn isolating_a_leaf_escalates_and_prunes_its_hosts() {
+        let (mut t, mut sm) = bring_up();
+        // Kill every uplink of leaf 2 (the SM host is on leaf 0): its two
+        // hosts drop off the fabric.
+        let leaf2 = t.switch_levels[0][2];
+        let uplinks: Vec<PortNum> = t
+            .subnet
+            .node(leaf2)
+            .connected_ports()
+            .filter(|(_, r)| t.subnet.node(r.node).is_physical_switch())
+            .map(|(p, _)| p)
+            .collect();
+        for p in &uplinks {
+            t.subnet.set_link_down(leaf2, *p).unwrap();
+        }
+
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let report = sm.light_sweep(&mut t.subnet, &mut transport).unwrap();
+        // Light sweep cannot route to the isolated leaf: escalation.
+        assert!(report.escalated);
+        assert_eq!(report.kind, SweepKind::Heavy);
+        // Leaf 2 + its 2 hosts: 3 pruned LIDs, 3 removed nodes.
+        assert_eq!(report.removed_nodes, 3);
+        assert_eq!(report.pruned_lids.len(), 3);
+        let survivors: Vec<NodeId> = t.hosts[4..6].to_vec();
+        assert_all_pairs_connected(&t, &survivors);
+        t.subnet.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn lossy_transport_still_converges() {
+        let (mut t, mut sm) = bring_up();
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (port, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        t.subnet.set_link_down(leaf0, port).unwrap();
+
+        let mut transport = SmpTransport::lossy(sm.sm_node, 0x5EED, 0.2, 500);
+        let baseline = sm.ledger.total();
+        let report = sm
+            .handle_trap(
+                &mut t.subnet,
+                Trap::LinkStateChange { node: leaf0, port },
+                &mut transport,
+            )
+            .unwrap();
+        assert!(report.failed_blocks.is_empty(), "did not converge");
+        assert!(sm.ledger.total() > baseline);
+        assert_all_pairs_connected(&t, &[]);
+    }
+}

@@ -8,8 +8,6 @@
 //! observation at the heart of the paper's one-or-two-SMPs-per-switch
 //! live-migration reconfiguration.
 
-use serde::{Deserialize, Serialize};
-
 use ib_types::{Lid, PortNum, LFT_BLOCK_SIZE};
 
 /// A switch's Linear Forwarding Table.
@@ -18,7 +16,7 @@ use ib_types::{Lid, PortNum, LFT_BLOCK_SIZE};
 /// size. Entries are `None` when the LID is unreachable from this switch
 /// (the wire encoding would be port 255 or an uninitialized entry; we keep
 /// "drop deliberately" — [`PortNum::DROP`] — distinct from "never set").
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Lft {
     entries: Vec<Option<PortNum>>,
 }
@@ -183,7 +181,7 @@ impl Lft {
 
 /// A recorded difference between two LFT states of one switch, expressed in
 /// blocks — exactly the payloads the SM must push to materialize the change.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LftDelta {
     /// Dirty block indices in ascending order.
     pub blocks: Vec<usize>,

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use ib_types::{Guid, Lid, PortNum};
 
 use crate::lft::Lft;
 
 /// Dense, copyable handle to a node within one [`crate::Subnet`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -36,7 +34,7 @@ impl fmt::Debug for NodeId {
 
 /// A `(node, port)` pair — one side of a link, or the attachment point of a
 /// LID.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// The node.
     pub node: NodeId,
@@ -53,10 +51,14 @@ impl Endpoint {
 }
 
 /// Per-port state: cabling and (for HCA ports) the port LID(s).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PortState {
     /// The far end of the cable plugged into this port, if any.
     pub remote: Option<Endpoint>,
+    /// Whether the physical link is down (cable present but not passing
+    /// traffic). Down links keep their cabling information so a later
+    /// link-up restores the original topology.
+    pub down: bool,
     /// The base LID assigned to this port.
     ///
     /// Only HCA ports carry per-port LIDs; a switch's single LID lives on
@@ -70,7 +72,7 @@ pub struct PortState {
 }
 
 /// What a node is.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// A crossbar switch with a Linear Forwarding Table.
     Switch {
@@ -90,7 +92,7 @@ pub enum NodeKind {
 }
 
 /// A node in the subnet.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Node {
     /// Handle of this node in its subnet.
     pub id: NodeId,
@@ -103,6 +105,10 @@ pub struct Node {
     /// Port array. Index 0 is the management port; external ports start
     /// at index 1. HCAs conventionally use port 1.
     pub ports: Vec<PortState>,
+    /// Whether the node is dead (crashed switch, removed HCA). Dead nodes
+    /// stay in the arena so `NodeId`s remain stable, but are excluded from
+    /// the switch/HCA iterators the SM and routing engines use.
+    pub dead: bool,
 }
 
 impl Node {
@@ -115,13 +121,25 @@ impl Node {
     /// Whether the node is a *physical* switch (excluding vSwitches).
     #[must_use]
     pub fn is_physical_switch(&self) -> bool {
-        matches!(self.kind, NodeKind::Switch { is_vswitch: false, .. })
+        matches!(
+            self.kind,
+            NodeKind::Switch {
+                is_vswitch: false,
+                ..
+            }
+        )
     }
 
     /// Whether the node is an SR-IOV vSwitch.
     #[must_use]
     pub fn is_vswitch(&self) -> bool {
-        matches!(self.kind, NodeKind::Switch { is_vswitch: true, .. })
+        matches!(
+            self.kind,
+            NodeKind::Switch {
+                is_vswitch: true,
+                ..
+            }
+        )
     }
 
     /// Whether the node is an HCA.
@@ -166,11 +184,32 @@ impl Node {
         self.ports.len().saturating_sub(1)
     }
 
-    /// External ports currently cabled to a neighbor.
+    /// External ports currently cabled to a neighbor over a *live* link.
+    /// Ports whose link is administratively or physically down are skipped,
+    /// so discovery, routing, and tracing all see the degraded fabric.
     pub fn connected_ports(&self) -> impl Iterator<Item = (PortNum, Endpoint)> + '_ {
         self.ports.iter().enumerate().skip(1).filter_map(|(i, p)| {
+            if p.down {
+                return None;
+            }
             p.remote.map(|r| (PortNum::new(i as u8), r))
         })
+    }
+
+    /// External ports with a cable plugged in, live or down — the physical
+    /// cabling view (used by structural validation and link-state toggles).
+    pub fn cabled_ports(&self) -> impl Iterator<Item = (PortNum, Endpoint)> + '_ {
+        self.ports
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, p)| p.remote.map(|r| (PortNum::new(i as u8), r)))
+    }
+
+    /// Whether the node is alive (not crashed/removed).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        !self.dead
     }
 }
 
@@ -189,6 +228,7 @@ mod tests {
                 is_vswitch: false,
             },
             ports: vec![PortState::default(); 37],
+            dead: false,
         }
     }
 
@@ -226,6 +266,7 @@ mod tests {
             name: "hca".into(),
             kind: NodeKind::Hca,
             ports,
+            dead: false,
         };
         assert!(n.is_hca());
         assert!(n.lft().is_none());

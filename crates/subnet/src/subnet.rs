@@ -1,8 +1,6 @@
 //! The subnet graph: node arena, cabling, LID registry, validation, and
 //! packet tracing.
 
-use serde::{Deserialize, Serialize};
-
 use ib_types::{
     guid::{GuidFactory, NAMESPACE_HCA, NAMESPACE_SWITCH, NAMESPACE_VGUID},
     Guid, IbError, IbResult, Lid, PortNum,
@@ -35,7 +33,7 @@ use crate::node::{Endpoint, Node, NodeId, NodeKind, PortState};
 /// let path = s.trace_route(a, Lid::from_raw(7), 8).unwrap();
 /// assert_eq!(path, vec![a, sw, b]);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Subnet {
     nodes: Vec<Node>,
     lid_map: FxHashMap<u16, Endpoint>,
@@ -125,6 +123,7 @@ impl Subnet {
             name,
             kind,
             ports: vec![PortState::default(); usize::from(num_external_ports) + 1],
+            dead: false,
         });
         self.guid_map.insert(guid.raw(), id);
         id
@@ -152,9 +151,10 @@ impl Subnet {
                 .nodes
                 .get(n.index())
                 .ok_or_else(|| IbError::Topology(format!("node {n:?} does not exist")))?;
-            let state = node.ports.get(p.raw() as usize).ok_or_else(|| {
-                IbError::Topology(format!("{} has no port {p}", node.name))
-            })?;
+            let state = node
+                .ports
+                .get(p.raw() as usize)
+                .ok_or_else(|| IbError::Topology(format!("{} has no port {p}", node.name)))?;
             if state.remote.is_some() {
                 return Err(IbError::Topology(format!(
                     "{} port {p} is already cabled",
@@ -162,10 +162,8 @@ impl Subnet {
                 )));
             }
         }
-        self.nodes[a.index()].ports[a_port.raw() as usize].remote =
-            Some(Endpoint::new(b, b_port));
-        self.nodes[b.index()].ports[b_port.raw() as usize].remote =
-            Some(Endpoint::new(a, a_port));
+        self.nodes[a.index()].ports[a_port.raw() as usize].remote = Some(Endpoint::new(b, b_port));
+        self.nodes[b.index()].ports[b_port.raw() as usize].remote = Some(Endpoint::new(a, a_port));
         Ok(())
     }
 
@@ -182,32 +180,116 @@ impl Subnet {
     }
 
     /// Removes the cable plugged into `(node, port)`, clearing both ends.
+    /// Pulling the cable also clears any down flag — a fresh cable plugged
+    /// into the port later starts in the up state.
     pub fn disconnect(&mut self, node: NodeId, port: PortNum) -> IbResult<()> {
-        let remote = self.nodes[node.index()]
-            .ports
-            .get(port.raw() as usize)
+        let remote = self
+            .nodes
+            .get(node.index())
+            .and_then(|n| n.ports.get(port.raw() as usize))
             .and_then(|p| p.remote)
             .ok_or_else(|| {
-                IbError::Topology(format!(
-                    "{} port {port} is not cabled",
-                    self.nodes[node.index()].name
-                ))
+                IbError::Topology(format!("{} port {port} is not cabled", self.name_of(node)))
             })?;
-        self.nodes[node.index()].ports[port.raw() as usize].remote = None;
-        self.nodes[remote.node.index()].ports[remote.port.raw() as usize].remote = None;
+        let near = &mut self.nodes[node.index()].ports[port.raw() as usize];
+        near.remote = None;
+        near.down = false;
+        let far = &mut self.nodes[remote.node.index()].ports[remote.port.raw() as usize];
+        far.remote = None;
+        far.down = false;
         Ok(())
     }
 
-    /// Lowest-numbered free external port on `node`.
+    /// Lowest-numbered free external port on `node`. Returns `None` for a
+    /// node that does not exist (degraded-subnet callers may hold stale
+    /// handles).
     #[must_use]
     pub fn first_free_port(&self, node: NodeId) -> Option<PortNum> {
-        self.nodes[node.index()]
+        self.nodes
+            .get(node.index())?
             .ports
             .iter()
             .enumerate()
             .skip(1)
             .find(|(_, p)| p.remote.is_none())
             .map(|(i, _)| PortNum::new(i as u8))
+    }
+
+    // ------------------------------------------------------------------
+    // Fault state: link and node failures
+    // ------------------------------------------------------------------
+
+    /// Takes the link plugged into `(node, port)` down on **both** ends.
+    /// The cabling is remembered, so [`Subnet::set_link_up`] restores the
+    /// original topology. Discovery, routing, and packet tracing all stop
+    /// seeing the link immediately.
+    pub fn set_link_down(&mut self, node: NodeId, port: PortNum) -> IbResult<()> {
+        let remote = self.cabled_neighbor(node, port).ok_or_else(|| {
+            IbError::Topology(format!("{} port {port} is not cabled", self.name_of(node)))
+        })?;
+        self.nodes[node.index()].ports[port.raw() as usize].down = true;
+        self.nodes[remote.node.index()].ports[remote.port.raw() as usize].down = true;
+        Ok(())
+    }
+
+    /// Brings a downed link back up on both ends.
+    pub fn set_link_up(&mut self, node: NodeId, port: PortNum) -> IbResult<()> {
+        let remote = self.cabled_neighbor(node, port).ok_or_else(|| {
+            IbError::Topology(format!("{} port {port} is not cabled", self.name_of(node)))
+        })?;
+        self.nodes[node.index()].ports[port.raw() as usize].down = false;
+        self.nodes[remote.node.index()].ports[remote.port.raw() as usize].down = false;
+        Ok(())
+    }
+
+    /// Whether `(node, port)` is cabled and the link is passing traffic.
+    #[must_use]
+    pub fn is_link_up(&self, node: NodeId, port: PortNum) -> bool {
+        self.nodes
+            .get(node.index())
+            .and_then(|n| n.ports.get(port.raw() as usize))
+            .is_some_and(|p| p.remote.is_some() && !p.down)
+    }
+
+    /// The far end of the cable at `(node, port)`, whether or not the link
+    /// is up — the physical-cabling view behind the fault toggles.
+    #[must_use]
+    pub fn cabled_neighbor(&self, node: NodeId, port: PortNum) -> Option<Endpoint> {
+        self.nodes
+            .get(node.index())?
+            .ports
+            .get(port.raw() as usize)
+            .and_then(|p| p.remote)
+    }
+
+    /// Kills a node (switch crash, HCA removal): marks it dead and takes
+    /// every one of its links down. The node stays in the arena so
+    /// `NodeId`s remain stable, but it disappears from the switch/HCA
+    /// iterators, from discovery, and from routing. Its LID registrations
+    /// are left for the subnet manager to prune during its re-sweep (the
+    /// SM, not the fabric, owns the LID space).
+    ///
+    /// Returns the number of links taken down.
+    pub fn remove_node(&mut self, node: NodeId) -> IbResult<usize> {
+        if node.index() >= self.nodes.len() {
+            return Err(IbError::Topology(format!("node {node:?} does not exist")));
+        }
+        let links: Vec<PortNum> = self.nodes[node.index()]
+            .cabled_ports()
+            .filter(|(p, _)| self.is_link_up(node, *p))
+            .map(|(p, _)| p)
+            .collect();
+        for &port in &links {
+            self.set_link_down(node, port)?;
+        }
+        self.nodes[node.index()].dead = true;
+        Ok(links.len())
+    }
+
+    /// Whether a node exists and is alive.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(node.index()).is_some_and(Node::is_alive)
     }
 
     // ------------------------------------------------------------------
@@ -371,13 +453,17 @@ impl Subnet {
         &self.nodes[id.index()].name
     }
 
-    /// The far end of a cable.
+    /// The far end of a *live* link. Returns `None` when the port is
+    /// uncabled or the link is down, so packet tracing over a degraded
+    /// fabric fails exactly where a real packet would be lost. Use
+    /// [`Subnet::cabled_neighbor`] for the physical-cabling view.
     #[must_use]
     pub fn neighbor(&self, node: NodeId, port: PortNum) -> Option<Endpoint> {
-        self.nodes[node.index()]
+        self.nodes
+            .get(node.index())?
             .ports
             .get(port.raw() as usize)
-            .and_then(|p| p.remote)
+            .and_then(|p| if p.down { None } else { p.remote })
     }
 
     /// All nodes.
@@ -390,19 +476,23 @@ impl Subnet {
         (0..self.nodes.len()).map(NodeId::from_index)
     }
 
-    /// All switches, physical and virtual.
+    /// All *live* switches, physical and virtual. Dead switches stay in the
+    /// arena but are invisible here, so routing engines compute over the
+    /// surviving fabric.
     pub fn switches(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(|n| n.is_switch())
+        self.nodes.iter().filter(|n| n.is_alive() && n.is_switch())
     }
 
-    /// Physical switches only — the set Algorithm 1 iterates over.
+    /// Live physical switches only — the set Algorithm 1 iterates over.
     pub fn physical_switches(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(|n| n.is_physical_switch())
+        self.nodes
+            .iter()
+            .filter(|n| n.is_alive() && n.is_physical_switch())
     }
 
-    /// All HCA nodes (physical PFs and virtual vHCAs).
+    /// All live HCA nodes (physical PFs and virtual vHCAs).
     pub fn hcas(&self) -> impl Iterator<Item = &Node> {
-        self.nodes.iter().filter(|n| n.is_hca())
+        self.nodes.iter().filter(|n| n.is_alive() && n.is_hca())
     }
 
     /// Number of nodes.
@@ -466,7 +556,7 @@ impl Subnet {
     pub fn leaf_switches(&self) -> Vec<NodeId> {
         self.nodes
             .iter()
-            .filter(|n| n.is_physical_switch())
+            .filter(|n| n.is_alive() && n.is_physical_switch())
             .filter(|n| {
                 n.connected_ports()
                     .any(|(_, r)| !self.nodes[r.node.index()].is_physical_switch())
@@ -484,10 +574,9 @@ impl Subnet {
     pub fn validate(&self, require_connected: bool) -> IbResult<()> {
         for node in &self.nodes {
             for (port, remote) in node.connected_ports() {
-                let far = self
-                    .nodes
-                    .get(remote.node.index())
-                    .ok_or_else(|| IbError::Topology(format!("dangling link from {}", node.name)))?;
+                let far = self.nodes.get(remote.node.index()).ok_or_else(|| {
+                    IbError::Topology(format!("dangling link from {}", node.name))
+                })?;
                 let back = far
                     .ports
                     .get(remote.port.raw() as usize)
@@ -531,6 +620,98 @@ impl Subnet {
         Ok(())
     }
 
+    /// Checks the invariants of a *degraded* subnet — one with down links
+    /// and/or dead nodes. Where [`Subnet::validate`] demands that every node
+    /// be reachable, this only demands that the surviving fabric is sane:
+    ///
+    /// 1. cabling is symmetric (including down flags — a link must be down
+    ///    on both ends or neither);
+    /// 2. dead nodes have no live links;
+    /// 3. every registered LID belongs to a node that actually carries it;
+    /// 4. every registered LID is owned by an *alive* node reachable from
+    ///    the first alive node over live links (i.e. the SM pruned the LIDs
+    ///    of everything that fell off the fabric).
+    pub fn validate_degraded(&self) -> IbResult<()> {
+        for node in &self.nodes {
+            for (port, remote) in node.cabled_ports() {
+                let far = self.nodes.get(remote.node.index()).ok_or_else(|| {
+                    IbError::Topology(format!("dangling link from {}", node.name))
+                })?;
+                let far_state = far.ports.get(remote.port.raw() as usize).ok_or_else(|| {
+                    IbError::Topology(format!(
+                        "{}:{port} -> {}:{} has no return port",
+                        node.name, far.name, remote.port
+                    ))
+                })?;
+                if far_state.remote != Some(Endpoint::new(node.id, port)) {
+                    return Err(IbError::Topology(format!(
+                        "asymmetric cable at {}:{port}",
+                        node.name
+                    )));
+                }
+                let near_down = node.ports[port.raw() as usize].down;
+                if near_down != far_state.down {
+                    return Err(IbError::Topology(format!(
+                        "link {}:{port} <-> {}:{} is down on only one end",
+                        node.name, far.name, remote.port
+                    )));
+                }
+                if node.dead && !near_down {
+                    return Err(IbError::Topology(format!(
+                        "dead node {} still has live link on port {port}",
+                        node.name
+                    )));
+                }
+            }
+        }
+        let reachable = self.live_reachable();
+        for (&raw, ep) in &self.lid_map {
+            let node = self
+                .nodes
+                .get(ep.node.index())
+                .ok_or_else(|| IbError::Management(format!("LID {raw} maps to missing node")))?;
+            if !node.lids().any(|l| l.raw() == raw) {
+                return Err(IbError::Management(format!(
+                    "LID {raw} maps to {} which does not carry it",
+                    node.name
+                )));
+            }
+            if node.dead {
+                return Err(IbError::Management(format!(
+                    "LID {raw} still registered on dead node {}",
+                    node.name
+                )));
+            }
+            if !reachable.get(ep.node.index()).copied().unwrap_or(false) {
+                return Err(IbError::Management(format!(
+                    "LID {raw} owned by {} which is unreachable on the degraded fabric",
+                    node.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Which nodes the first alive node can reach over live links.
+    fn live_reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let Some(start) = self.nodes.iter().find(|n| n.is_alive()) else {
+            return seen;
+        };
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.id.index()] = true;
+        queue.push_back(start.id);
+        while let Some(id) = queue.pop_front() {
+            for (_, remote) in self.nodes[id.index()].connected_ports() {
+                if !seen[remote.node.index()] {
+                    seen[remote.node.index()] = true;
+                    queue.push_back(remote.node);
+                }
+            }
+        }
+        seen
+    }
+
     fn bfs_reach(&self, start: NodeId) -> usize {
         let mut seen = vec![false; self.nodes.len()];
         let mut queue = std::collections::VecDeque::new();
@@ -567,7 +748,9 @@ impl Subnet {
             let (_, remote) = self.nodes[current.index()]
                 .connected_ports()
                 .next()
-                .ok_or_else(|| IbError::Topology(format!("{} is not cabled", self.name_of(from))))?;
+                .ok_or_else(|| {
+                    IbError::Topology(format!("{} is not cabled", self.name_of(from)))
+                })?;
             current = remote.node;
             path.push(current);
         }
@@ -625,9 +808,12 @@ mod tests {
         let sw1 = s.add_switch("sw1", 4);
         let h0 = s.add_hca("h0");
         let h1 = s.add_hca("h1");
-        s.connect(sw0, PortNum::new(1), sw1, PortNum::new(1)).unwrap();
-        s.connect(sw0, PortNum::new(2), h0, PortNum::new(1)).unwrap();
-        s.connect(sw1, PortNum::new(2), h1, PortNum::new(1)).unwrap();
+        s.connect(sw0, PortNum::new(1), sw1, PortNum::new(1))
+            .unwrap();
+        s.connect(sw0, PortNum::new(2), h0, PortNum::new(1))
+            .unwrap();
+        s.connect(sw1, PortNum::new(2), h1, PortNum::new(1))
+            .unwrap();
         (s, sw0, sw1, h0, h1)
     }
 
@@ -661,7 +847,8 @@ mod tests {
         assert_eq!(s.neighbor(sw1, PortNum::new(1)), None);
         assert!(s.disconnect(sw0, PortNum::new(1)).is_err());
         // The port is reusable afterwards.
-        s.connect(sw0, PortNum::new(1), sw1, PortNum::new(1)).unwrap();
+        s.connect(sw0, PortNum::new(1), sw1, PortNum::new(1))
+            .unwrap();
         s.validate(true).unwrap();
     }
 
@@ -676,7 +863,8 @@ mod tests {
     fn lid_registry_roundtrip() {
         let (mut s, sw0, _, h0, _) = two_switch_subnet();
         s.assign_switch_lid(sw0, Lid::from_raw(10)).unwrap();
-        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(11)).unwrap();
+        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(11))
+            .unwrap();
         assert_eq!(
             s.endpoint_of(Lid::from_raw(10)),
             Some(Endpoint::new(sw0, PortNum::MANAGEMENT))
@@ -696,7 +884,7 @@ mod tests {
     fn lmc_range_assignment_and_teardown() {
         let (mut s, _, _, h0, _) = two_switch_subnet();
         let lmc = ib_types::Lmc::new(2).unwrap(); // 4 LIDs
-        // Misaligned base refused.
+                                                  // Misaligned base refused.
         assert!(s
             .assign_lmc_range(h0, PortNum::new(1), Lid::from_raw(6), lmc)
             .is_err());
@@ -725,7 +913,8 @@ mod tests {
     #[test]
     fn lmc_range_is_all_or_nothing() {
         let (mut s, _, _, h0, h1) = two_switch_subnet();
-        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(10)).unwrap();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(10))
+            .unwrap();
         let lmc = ib_types::Lmc::new(2).unwrap();
         // 8..12 collides with 10: nothing may be registered.
         assert!(s
@@ -765,11 +954,17 @@ mod tests {
     #[test]
     fn trace_route_delivers_cross_switch() {
         let (mut s, sw0, sw1, h0, h1) = two_switch_subnet();
-        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(1)).unwrap();
-        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2)).unwrap();
+        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(1))
+            .unwrap();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
+            .unwrap();
         // Route LID 2: sw0 forwards out port 1 (to sw1), sw1 out port 2.
-        s.lft_mut(sw0).unwrap().set(Lid::from_raw(2), PortNum::new(1));
-        s.lft_mut(sw1).unwrap().set(Lid::from_raw(2), PortNum::new(2));
+        s.lft_mut(sw0)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(1));
+        s.lft_mut(sw1)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(2));
         let path = s.trace_route(h0, Lid::from_raw(2), 16).unwrap();
         assert_eq!(path, vec![h0, sw0, sw1, h1]);
     }
@@ -777,7 +972,8 @@ mod tests {
     #[test]
     fn trace_route_detects_missing_entry_and_drop() {
         let (mut s, sw0, _, h0, h1) = two_switch_subnet();
-        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2)).unwrap();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
+            .unwrap();
         assert!(s.trace_route(h0, Lid::from_raw(2), 16).is_err());
         s.lft_mut(sw0).unwrap().set(Lid::from_raw(2), PortNum::DROP);
         let err = s.trace_route(h0, Lid::from_raw(2), 16).unwrap_err();
@@ -787,11 +983,16 @@ mod tests {
     #[test]
     fn trace_route_detects_loop() {
         let (mut s, sw0, sw1, h0, h1) = two_switch_subnet();
-        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2)).unwrap();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
+            .unwrap();
         // Both switches bounce LID 2 back and forth over the trunk; the
         // packet never reaches h1 on sw1 port 2.
-        s.lft_mut(sw0).unwrap().set(Lid::from_raw(2), PortNum::new(1));
-        s.lft_mut(sw1).unwrap().set(Lid::from_raw(2), PortNum::new(1));
+        s.lft_mut(sw0)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(1));
+        s.lft_mut(sw1)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(1));
         let err = s.trace_route(h0, Lid::from_raw(2), 16).unwrap_err();
         assert!(err.to_string().contains("exceeded"));
         let _ = (sw0, sw1);
@@ -801,8 +1002,12 @@ mod tests {
     fn trace_to_switch_lid_terminates_at_port0() {
         let (mut s, sw0, sw1, h0, _) = two_switch_subnet();
         s.assign_switch_lid(sw1, Lid::from_raw(7)).unwrap();
-        s.lft_mut(sw0).unwrap().set(Lid::from_raw(7), PortNum::new(1));
-        s.lft_mut(sw1).unwrap().set(Lid::from_raw(7), PortNum::MANAGEMENT);
+        s.lft_mut(sw0)
+            .unwrap()
+            .set(Lid::from_raw(7), PortNum::new(1));
+        s.lft_mut(sw1)
+            .unwrap()
+            .set(Lid::from_raw(7), PortNum::MANAGEMENT);
         let path = s.trace_route(h0, Lid::from_raw(7), 16).unwrap();
         assert_eq!(path, vec![h0, sw0, sw1]);
     }
@@ -836,13 +1041,111 @@ mod tests {
     }
 
     #[test]
-    fn serde_snapshot_roundtrip() {
+    fn link_down_up_roundtrip() {
+        let (mut s, sw0, sw1, _, _) = two_switch_subnet();
+        assert!(s.is_link_up(sw0, PortNum::new(1)));
+        s.set_link_down(sw0, PortNum::new(1)).unwrap();
+        // Both ends see the link as down; cabling is remembered.
+        assert!(!s.is_link_up(sw0, PortNum::new(1)));
+        assert!(!s.is_link_up(sw1, PortNum::new(1)));
+        assert_eq!(s.neighbor(sw0, PortNum::new(1)), None);
+        assert_eq!(
+            s.cabled_neighbor(sw0, PortNum::new(1)),
+            Some(Endpoint::new(sw1, PortNum::new(1)))
+        );
+        assert_eq!(s.num_links(), 2);
+        s.validate_degraded().unwrap();
+        // Full validation fails: the fabric is split.
+        assert!(s.validate(true).is_err());
+        s.set_link_up(sw0, PortNum::new(1)).unwrap();
+        assert!(s.is_link_up(sw1, PortNum::new(1)));
+        assert_eq!(s.num_links(), 3);
+        s.validate(true).unwrap();
+    }
+
+    #[test]
+    fn link_down_on_uncabled_port_refused() {
+        let (mut s, sw0, _, _, _) = two_switch_subnet();
+        assert!(s.set_link_down(sw0, PortNum::new(4)).is_err());
+        assert!(s.set_link_up(sw0, PortNum::new(4)).is_err());
+    }
+
+    #[test]
+    fn trace_route_fails_over_down_link() {
+        let (mut s, sw0, sw1, h0, h1) = two_switch_subnet();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
+            .unwrap();
+        s.lft_mut(sw0)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(1));
+        s.lft_mut(sw1)
+            .unwrap()
+            .set(Lid::from_raw(2), PortNum::new(2));
+        s.trace_route(h0, Lid::from_raw(2), 16).unwrap();
+        s.set_link_down(sw0, PortNum::new(1)).unwrap();
+        let err = s.trace_route(h0, Lid::from_raw(2), 16).unwrap_err();
+        assert!(err.to_string().contains("uncabled"), "{err}");
+    }
+
+    #[test]
+    fn remove_node_kills_links_and_iterators() {
+        let (mut s, sw0, sw1, h0, h1) = two_switch_subnet();
+        assert_eq!(s.num_physical_switches(), 2);
+        let downed = s.remove_node(sw1).unwrap();
+        assert_eq!(downed, 2); // trunk + h1 uplink
+        assert!(!s.is_alive(sw1));
+        assert!(s.is_alive(sw0));
+        assert_eq!(s.num_physical_switches(), 1);
+        // h1 is alive but unreachable; h0 still is reachable.
+        assert_eq!(s.hcas().count(), 2);
+        assert_eq!(s.num_links(), 1);
+        s.validate_degraded().unwrap();
+        let _ = (h0, h1);
+    }
+
+    #[test]
+    fn degraded_validation_rejects_lid_on_dead_node() {
+        let (mut s, _, sw1, _, _) = two_switch_subnet();
+        s.assign_switch_lid(sw1, Lid::from_raw(9)).unwrap();
+        s.remove_node(sw1).unwrap();
+        let err = s.validate_degraded().unwrap_err();
+        assert!(err.to_string().contains("dead node"), "{err}");
+        // Pruning the LID (what the SM's heavy sweep does) fixes it.
+        s.clear_lid(Lid::from_raw(9)).unwrap();
+        s.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn degraded_validation_rejects_unreachable_lid_owner() {
+        let (mut s, sw0, _, _, h1) = two_switch_subnet();
+        s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
+            .unwrap();
+        s.set_link_down(sw0, PortNum::new(1)).unwrap();
+        let err = s.validate_degraded().unwrap_err();
+        assert!(err.to_string().contains("unreachable"), "{err}");
+    }
+
+    #[test]
+    fn disconnect_clears_down_flag() {
+        let (mut s, sw0, sw1, _, _) = two_switch_subnet();
+        s.set_link_down(sw0, PortNum::new(1)).unwrap();
+        s.disconnect(sw0, PortNum::new(1)).unwrap();
+        s.connect(sw0, PortNum::new(1), sw1, PortNum::new(1))
+            .unwrap();
+        assert!(s.is_link_up(sw0, PortNum::new(1)));
+        s.validate(true).unwrap();
+    }
+
+    #[test]
+    fn clone_snapshot_roundtrip() {
         let (mut s, sw0, _, h0, _) = two_switch_subnet();
         s.assign_switch_lid(sw0, Lid::from_raw(3)).unwrap();
-        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(4)).unwrap();
-        s.lft_mut(sw0).unwrap().set(Lid::from_raw(4), PortNum::new(2));
-        let json = serde_json::to_string(&s).unwrap();
-        let back: Subnet = serde_json::from_str(&json).unwrap();
+        s.assign_port_lid(h0, PortNum::new(1), Lid::from_raw(4))
+            .unwrap();
+        s.lft_mut(sw0)
+            .unwrap()
+            .set(Lid::from_raw(4), PortNum::new(2));
+        let back = s.clone();
         back.validate(true).unwrap();
         assert_eq!(back.num_lids(), 2);
         assert_eq!(

@@ -150,7 +150,9 @@ pub fn fig6_fabric() -> BuiltTopology {
     ] {
         let h = subnet.add_hca(name);
         let p = subnet.first_free_port(leaf).expect("fig6 host port");
-        subnet.connect(leaf, p, h, PortNum::new(1)).expect("fig6 host");
+        subnet
+            .connect(leaf, p, h, PortNum::new(1))
+            .expect("fig6 host");
         hosts.push(h);
     }
     let built = BuiltTopology {
@@ -193,7 +195,10 @@ mod tests {
         let leaf0 = t.switch_levels[0][0];
         let hyp1 = t.hosts[0];
         assert_eq!(
-            t.subnet.neighbor(leaf0, ib_types::PortNum::new(2)).unwrap().node,
+            t.subnet
+                .neighbor(leaf0, ib_types::PortNum::new(2))
+                .unwrap()
+                .node,
             hyp1
         );
     }
@@ -205,11 +210,23 @@ mod tests {
         assert_eq!(t.num_switches(), 12);
         t.subnet.validate(true).unwrap();
         // Hypervisors 1 and 2 share a leaf.
-        let h1_leaf = t.subnet.neighbor(t.hosts[0], ib_types::PortNum::new(1)).unwrap().node;
-        let h2_leaf = t.subnet.neighbor(t.hosts[1], ib_types::PortNum::new(1)).unwrap().node;
+        let h1_leaf = t
+            .subnet
+            .neighbor(t.hosts[0], ib_types::PortNum::new(1))
+            .unwrap()
+            .node;
+        let h2_leaf = t
+            .subnet
+            .neighbor(t.hosts[1], ib_types::PortNum::new(1))
+            .unwrap()
+            .node;
         assert_eq!(h1_leaf, h2_leaf);
         // Hypervisor 4 does not.
-        let h4_leaf = t.subnet.neighbor(t.hosts[3], ib_types::PortNum::new(1)).unwrap().node;
+        let h4_leaf = t
+            .subnet
+            .neighbor(t.hosts[3], ib_types::PortNum::new(1))
+            .unwrap()
+            .node;
         assert_ne!(h1_leaf, h4_leaf);
     }
 }

@@ -93,9 +93,7 @@ pub fn dragonfly(spec: DragonflySpec) -> BuiltTopology {
     for (i, &sw) in switches.iter().enumerate() {
         for h in 0..hosts_per_switch {
             let host = subnet.add_hca(format!("host-{}", i * hosts_per_switch + h));
-            let hp = subnet
-                .first_free_port(sw)
-                .expect("dragonfly host port");
+            let hp = subnet.first_free_port(sw).expect("dragonfly host port");
             subnet
                 .connect(sw, hp, host, PortNum::new(1))
                 .expect("dragonfly host wiring");

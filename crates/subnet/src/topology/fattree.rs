@@ -151,10 +151,7 @@ pub fn three_level(
         subnet,
         hosts,
         switch_levels: vec![leaves, mids, cores],
-        name: format!(
-            "fat-tree-3L-{}",
-            num_pods * leaves_per_pod * hosts_per_leaf
-        ),
+        name: format!("fat-tree-3L-{}", num_pods * leaves_per_pod * hosts_per_leaf),
     };
     debug_assert!(built.subnet.validate(true).is_ok());
     built

@@ -13,14 +13,12 @@ pub mod hypercube;
 pub mod irregular;
 pub mod torus;
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::NodeId;
 use crate::subnet::Subnet;
 
 /// A constructed topology: the subnet plus role annotations that builders
 /// know but the raw graph does not express.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BuiltTopology {
     /// The cabled subnet.
     pub subnet: Subnet,

@@ -82,10 +82,7 @@ pub fn torus_2d(rows: usize, cols: usize, hosts_per_switch: usize, wrap: bool) -
         subnet,
         hosts,
         switch_levels: vec![switches],
-        name: format!(
-            "{}-{rows}x{cols}",
-            if wrap { "torus" } else { "mesh" }
-        ),
+        name: format!("{}-{rows}x{cols}", if wrap { "torus" } else { "mesh" }),
     };
     debug_assert!(built.subnet.validate(true).is_ok());
     built

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Result alias over [`IbError`].
 pub type IbResult<T> = Result<T, IbError>;
 
 /// Errors arising from address construction and allocation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AddressError {
     /// LID 0 is reserved.
     ReservedLid,
@@ -52,7 +50,7 @@ impl std::error::Error for AddressError {}
 
 /// Top-level error type for subnet, management, and virtualization
 /// operations.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum IbError {
     /// An addressing failure.
     Address(AddressError),
@@ -64,6 +62,9 @@ pub enum IbError {
     Virtualization(String),
     /// The operation would violate a capacity limit.
     Capacity(String),
+    /// A management packet could not be delivered despite retries (link
+    /// failure, switch death, or persistent loss).
+    Transport(String),
 }
 
 impl fmt::Display for IbError {
@@ -74,6 +75,7 @@ impl fmt::Display for IbError {
             Self::Management(msg) => write!(f, "management error: {msg}"),
             Self::Virtualization(msg) => write!(f, "virtualization error: {msg}"),
             Self::Capacity(msg) => write!(f, "capacity error: {msg}"),
+            Self::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }

@@ -4,8 +4,6 @@
 use std::fmt;
 use std::net::Ipv6Addr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::guid::Guid;
 
 /// Default subnet prefix used by IB fabrics that have not been assigned a
@@ -18,7 +16,7 @@ pub const DEFAULT_SUBNET_PREFIX: u64 = 0xfe80_0000_0000_0000;
 /// function is derived from its vGUID, so when a VM migrates with its vGUID
 /// the GID follows automatically — the paper's §V-C notes this is why GID
 /// migration "does not pose a significant burden".
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Gid {
     prefix: u64,
     guid: Guid,
@@ -84,10 +82,7 @@ mod tests {
         let gid = Gid::link_local(guid);
         assert_eq!(gid.prefix(), DEFAULT_SUBNET_PREFIX);
         assert_eq!(gid.guid(), guid);
-        assert_eq!(
-            gid.as_u128(),
-            0xfe80_0000_0000_0000_0002_c903_00a1_b2c3u128
-        );
+        assert_eq!(gid.as_u128(), 0xfe80_0000_0000_0000_0002_c903_00a1_b2c3u128);
     }
 
     #[test]

@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::AddressError;
 
 /// A 64-bit InfiniBand Global Unique Identifier.
@@ -13,8 +11,7 @@ use crate::error::AddressError;
 /// port; *virtual* GUIDs (vGUIDs) are assigned by the subnet manager to
 /// SR-IOV virtual functions and — crucially for the paper — migrate together
 /// with the VM that owns them.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Guid(u64);
 
 impl Guid {
@@ -69,7 +66,7 @@ impl fmt::Display for Guid {
 /// derives them from a namespace byte plus a counter so that tests and
 /// benchmarks are reproducible. Separate namespaces keep switch GUIDs, HCA
 /// GUIDs, and vGUIDs visually and numerically disjoint.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GuidFactory {
     namespace: u8,
     next: u64,

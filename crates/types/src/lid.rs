@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::AddressError;
 
 /// Highest LID usable as a unicast destination (`0xBFFF` = 49151).
@@ -23,8 +21,7 @@ pub const MULTICAST_LID_BASE: u16 = 0xC000;
 /// (`1..=0xBFFF`); multicast and reserved values are rejected at
 /// construction. LIDs order and hash as their integer value, so they can be
 /// used directly as dense table indices via [`Lid::index`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Lid(u16);
 
 impl Lid {
@@ -120,7 +117,7 @@ impl From<Lid> for u16 {
 /// §V-A notes that prepopulated vSwitch LIDs *imitate* LMC — multiple paths
 /// to one physical machine — without LMC's requirement that the LIDs be
 /// sequential.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Lmc(u8);
 
 impl Lmc {
@@ -165,7 +162,7 @@ impl Lmc {
 /// ascending order, matching the paper's "next available LID" policy for the
 /// dynamic-LID-assignment vSwitch (§V-B), which naturally produces the
 /// *spread* (non-sequential) VM LIDs of Fig. 4 once VMs churn.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LidSpace {
     /// Bitmap of allocated LIDs, indexed by `Lid::index()`.
     allocated: Vec<bool>,

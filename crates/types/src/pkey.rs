@@ -9,13 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::AddressError;
 
 /// A partition key: 15-bit partition number plus the membership bit.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PKey(u16);
 
 /// The default partition every port implicitly belongs to.

@@ -2,16 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A port number on a switch or HCA.
 ///
 /// Switch port 0 is the management port (the switch's own endpoint — it is
 /// where the switch's LID terminates); external ports are numbered from 1.
 /// Port 255 is the IBA "drop" value used by the paper's partially-static
 /// reconfiguration variant (§VI-C).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortNum(u8);
 
 impl PortNum {

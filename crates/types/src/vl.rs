@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::AddressError;
 
 /// Maximum number of data virtual lanes supported by IBA (VL0–VL14; VL15 is
@@ -17,8 +15,7 @@ pub const MAX_DATA_VLS: u8 = 15;
 /// Scheme reconfiguration separates old and new routing functions the same
 /// way. We model VL0–VL14 as data lanes and keep VL15 implicit (SMPs always
 /// travel on VL15 and can never deadlock against data traffic).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualLane(u8);
 
 impl VirtualLane {

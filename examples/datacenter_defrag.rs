@@ -43,13 +43,21 @@ fn main() {
         let hyp = i % dc.hypervisors.len();
         ids.push(dc.create_vm(format!("vm-{i}"), hyp).expect("create"));
     }
-    println!("after boot storm:   [{}] ({} LIDs)", occupancy(&dc), dc.subnet.num_lids());
+    println!(
+        "after boot storm:   [{}] ({} LIDs)",
+        occupancy(&dc),
+        dc.subnet.num_lids()
+    );
     for (i, id) in ids.iter().enumerate() {
         if i % 3 == 0 {
             dc.destroy_vm(*id).expect("destroy");
         }
     }
-    println!("after churn:        [{}] ({} LIDs)", occupancy(&dc), dc.subnet.num_lids());
+    println!(
+        "after churn:        [{}] ({} LIDs)",
+        occupancy(&dc),
+        dc.subnet.num_lids()
+    );
 
     // Defragment: pack VMs onto as few hypervisors as possible.
     let before = dc.sm.ledger.total();
@@ -88,6 +96,10 @@ fn main() {
         reports.len()
     );
 
-    dc.verify_connectivity().expect("fabric consistent after fleet ops");
-    println!("connectivity verified after {} ledger SMPs", dc.sm.ledger.total());
+    dc.verify_connectivity()
+        .expect("fabric consistent after fleet ops");
+    println!(
+        "connectivity verified after {} ledger SMPs",
+        dc.sm.ledger.total()
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
 
     // The CDG says: cycle.
     let g = SwitchGraph::build(&t.subnet).expect("graph");
-    let tables = EngineKind::MinHop.build().compute(&t.subnet).expect("routing");
+    let tables = EngineKind::MinHop
+        .build()
+        .compute(&t.subnet)
+        .expect("routing");
     let cdg = Cdg::from_tables(&g, &tables, |_| true);
     println!(
         "min-hop on 4x4 torus: CDG has {} channels, {} dependencies, cycle: {}",
@@ -83,7 +86,10 @@ fn main() {
         },
     );
     sm2.bring_up(&mut t2.subnet).expect("bring-up");
-    let tables2 = EngineKind::Dfsssp.build().compute(&t2.subnet).expect("routing");
+    let tables2 = EngineKind::Dfsssp
+        .build()
+        .compute(&t2.subnet)
+        .expect("routing");
     let mut flows2 = Vec::new();
     for &a in &t2.hosts {
         for &b in &t2.hosts {

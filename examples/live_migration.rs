@@ -72,7 +72,8 @@ fn run(arch: VirtArch) {
         }
     }
 
-    dc.verify_connectivity().expect("post-migration fabric consistent");
+    dc.verify_connectivity()
+        .expect("post-migration fabric consistent");
     println!("connectivity verified");
 }
 

@@ -25,7 +25,10 @@ fn main() {
 
     println!("== fabric ==");
     println!("  hypervisors        : {}", dc.hypervisors.len());
-    println!("  physical switches  : {}", dc.subnet.num_physical_switches());
+    println!(
+        "  physical switches  : {}",
+        dc.subnet.num_physical_switches()
+    );
     println!("  LIDs consumed      : {}", dc.subnet.num_lids());
     println!(
         "  bring-up           : {} SMPs total ({} LFT blocks), PCt = {:?} ({})",
@@ -43,7 +46,11 @@ fn main() {
     for rec in dc.vms() {
         println!(
             "  {:>6} on hypervisor {:>2} slot {} | LID {:>3} GID {}",
-            rec.name, rec.hypervisor, rec.vf_slot, rec.lid, rec.gid()
+            rec.name,
+            rec.hypervisor,
+            rec.vf_slot,
+            rec.lid,
+            rec.gid()
         );
     }
 

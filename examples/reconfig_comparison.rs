@@ -37,7 +37,9 @@ fn main() {
 
     // --- The vSwitch way: swap two LFT rows. ---
     let ledger_before = dc.sm.ledger.total();
-    let report = dc.migrate_vm(vm, dc.hypervisors.len() - 1).expect("migrate");
+    let report = dc
+        .migrate_vm(vm, dc.hypervisors.len() - 1)
+        .expect("migrate");
     let vswitch_smps = dc.sm.ledger.total() - ledger_before;
     println!("\n== vSwitch reconfiguration (LID swap) ==");
     println!(

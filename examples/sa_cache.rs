@@ -42,7 +42,10 @@ fn main() {
             .resolve(&mut sa, &dc.subnet, slid, server_gid)
             .expect("resolve");
     }
-    println!("before migration: {} SA queries (one per peer, cold caches)", sa.queries_served);
+    println!(
+        "before migration: {} SA queries (one per peer, cold caches)",
+        sa.queries_served
+    );
 
     // Live-migrate the server across the fabric. Under the vSwitch
     // architecture all three addresses follow it.

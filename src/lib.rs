@@ -47,8 +47,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use ib_core as core;
 pub use ib_cloud as cloud;
+pub use ib_core as core;
 pub use ib_mad as mad;
 pub use ib_routing as routing;
 pub use ib_sim as sim;
@@ -68,7 +68,7 @@ pub mod prelude {
     pub use ib_mad::{CostModel, SmpLedger};
     pub use ib_routing::{EngineKind, RoutingEngine};
     pub use ib_sm::{SmConfig, SmpMode, SubnetManager};
-    pub use ib_subnet::{Subnet, topology::BuiltTopology};
+    pub use ib_subnet::{topology::BuiltTopology, Subnet};
     pub use ib_types::{Gid, Guid, Lid, PortNum};
 }
 

@@ -59,7 +59,9 @@ fn dynamic_stacks_vm_rows_onto_one_uplink() {
             .vms()
             .iter()
             .map(|r| r.lid)
-            .chain(std::iter::once(dcx.hypervisors[0].pf_lid(&dcx.subnet).unwrap()))
+            .chain(std::iter::once(
+                dcx.hypervisors[0].pf_lid(&dcx.subnet).unwrap(),
+            ))
             .collect();
         // Remote leaf: the leaf of hypervisor 3 (second leaf).
         let remote_leaf = dcx.hypervisors[3].leaf;
@@ -148,7 +150,9 @@ fn prepopulated_doubles_throughput_under_spine_collision() {
 #[test]
 fn migration_storm_preserves_prepopulated_balance_but_not_dynamic() {
     let mut prepop = dc(VirtArch::VSwitchPrepopulated);
-    let before = LinkLoad::from_subnet(&prepop.subnet).unwrap().load_multiset();
+    let before = LinkLoad::from_subnet(&prepop.subnet)
+        .unwrap()
+        .load_multiset();
     // Shuffle three VMs across the fabric and back.
     let ids: Vec<_> = prepop.vms().iter().map(|r| r.id).take(3).collect();
     for (i, &vm) in ids.iter().enumerate() {
@@ -158,7 +162,9 @@ fn migration_storm_preserves_prepopulated_balance_but_not_dynamic() {
     for &vm in &ids {
         prepop.migrate_vm(vm, 0).unwrap();
     }
-    let after = LinkLoad::from_subnet(&prepop.subnet).unwrap().load_multiset();
+    let after = LinkLoad::from_subnet(&prepop.subnet)
+        .unwrap()
+        .load_multiset();
     assert_eq!(before, after, "swap round-trips preserve the load multiset");
     prepop.verify_connectivity().unwrap();
 }

@@ -2,7 +2,9 @@
 //! steps, the Shared Port restrictions, and address preservation.
 
 use ib_cloud::scenarios::{paper_testbed, testbed_datacenter};
-use ib_cloud::{Inventory, LiveMigrationWorkflow, NodeResources, PlacementPolicy, SpreadPolicy, VmFlavor};
+use ib_cloud::{
+    Inventory, LiveMigrationWorkflow, NodeResources, PlacementPolicy, SpreadPolicy, VmFlavor,
+};
 use ib_core::{DataCenterConfig, VirtArch};
 use ib_sim::SimTime;
 
@@ -81,8 +83,7 @@ fn shared_port_vm_count_is_lid_bound_vswitch_is_not() {
     assert_eq!(shared.subnet.num_lids(), 11);
     // Prepopulated: every VM owns a LID.
     assert_eq!(prepop.subnet.num_lids(), 35);
-    let lids: std::collections::HashSet<u16> =
-        prepop.vms().iter().map(|r| r.lid.raw()).collect();
+    let lids: std::collections::HashSet<u16> = prepop.vms().iter().map(|r| r.lid.raw()).collect();
     assert_eq!(lids.len(), 24, "24 distinct VM LIDs");
     let shared_lids: std::collections::HashSet<u16> =
         shared.vms().iter().map(|r| r.lid.raw()).collect();
@@ -95,12 +96,30 @@ fn scheduler_places_and_workflow_moves() {
     // workflow — the OpenStack-like control loop.
     let mut dc = testbed_datacenter(config(VirtArch::VSwitchPrepopulated)).unwrap();
     let mut inv = Inventory::from_nodes(vec![
-        NodeResources { cores: 8, ram_gb: 32 },
-        NodeResources { cores: 8, ram_gb: 32 },
-        NodeResources { cores: 8, ram_gb: 32 },
-        NodeResources { cores: 8, ram_gb: 32 },
-        NodeResources { cores: 4, ram_gb: 32 },
-        NodeResources { cores: 4, ram_gb: 32 },
+        NodeResources {
+            cores: 8,
+            ram_gb: 32,
+        },
+        NodeResources {
+            cores: 8,
+            ram_gb: 32,
+        },
+        NodeResources {
+            cores: 8,
+            ram_gb: 32,
+        },
+        NodeResources {
+            cores: 8,
+            ram_gb: 32,
+        },
+        NodeResources {
+            cores: 4,
+            ram_gb: 32,
+        },
+        NodeResources {
+            cores: 4,
+            ram_gb: 32,
+        },
     ]);
     let mut policy = SpreadPolicy;
     let flavor = VmFlavor::medium();

@@ -28,10 +28,7 @@ fn failover_mid_datacenter_keeps_every_vm_reachable() {
     // SM is the implicit master; hosts 1 and 2's PFs run standbys).
     let mut group = SmGroup::new(
         SmConfig::default(),
-        vec![
-            (dc.hypervisors[1].pf, 8),
-            (dc.hypervisors[2].pf, 4),
-        ],
+        vec![(dc.hypervisors[1].pf, 8), (dc.hypervisors[2].pf, 4)],
     );
     group.elect(&dc.subnet).unwrap();
     assert_eq!(group.master().unwrap().node, dc.hypervisors[1].pf);
@@ -54,7 +51,10 @@ fn failover_mid_datacenter_keeps_every_vm_reachable() {
     // consistent afterwards, with the VM still at its migrated home.
     let inst = group.master_mut().unwrap();
     let rep = inst.manager.full_reconfiguration(&mut dc.subnet).unwrap();
-    assert!(rep.distribution.lft_smps <= rep.distribution.switches_updated * rep.min_blocks_per_switch.max(1));
+    assert!(
+        rep.distribution.lft_smps
+            <= rep.distribution.switches_updated * rep.min_blocks_per_switch.max(1)
+    );
     dc.verify_connectivity().unwrap();
 }
 
@@ -65,10 +65,7 @@ fn not_active_members_never_win() {
     let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
     sm.bring_up(&mut subnet).unwrap();
 
-    let mut group = SmGroup::new(
-        SmConfig::default(),
-        vec![(t.hosts[0], 1), (t.hosts[1], 9)],
-    );
+    let mut group = SmGroup::new(SmConfig::default(), vec![(t.hosts[0], 1), (t.hosts[1], 9)]);
     group.elect(&subnet).unwrap();
     // Kill both; third election must fail.
     group.fail_over(&mut subnet).unwrap();

@@ -1,0 +1,150 @@
+//! The fault layer's zero-cost property: running any pipeline under an
+//! empty [`FaultPlan`] is byte-identical to running without the fault
+//! layer at all — same ledger records (per-attempt accounting included),
+//! same LFT contents, same replayed timings — for any plan seed.
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_mad::SmpTransport;
+use ib_sim::{FaultPlan, SmpLatencyModel, SmpReplay};
+use ib_sm::Trap;
+use ib_subnet::topology::fattree::two_level;
+
+fn dc(arch: VirtArch) -> DataCenter {
+    DataCenter::from_topology(
+        two_level(2, 3, 2),
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 2,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("bring-up")
+}
+
+#[test]
+fn empty_plan_migration_is_byte_identical_for_any_seed() {
+    for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+        // The reference: the classic, fault-layer-free migration.
+        let mut classic = dc(arch);
+        let vm_c = classic.create_vm("vm", 0).expect("create");
+        classic.migrate_vm(vm_c, 4).expect("classic migration");
+        let phase = format!("migrate-{vm_c}");
+        let reference = classic.sm.ledger.phase_records(&phase).to_vec();
+        assert!(!reference.is_empty());
+
+        // The seed must not matter when the drop probability is zero.
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let plan = FaultPlan::lossy(seed, 0.0);
+            assert!(plan.is_fault_free());
+            let mut faulty = dc(arch);
+            let vm = faulty.create_vm("vm", 0).expect("create");
+            let mut transport = plan.transport(faulty.sm.sm_node);
+            let report = faulty
+                .migrate_vm_resilient(vm, 4, &mut transport)
+                .expect("resilient migration");
+
+            assert!(report.committed, "{arch}");
+            assert_eq!(report.tx.retries, 0);
+            assert_eq!(report.tx.rollback_smps, 0);
+            // Ledger: identical records, attempt numbers and statuses included.
+            assert_eq!(
+                faulty.sm.ledger.phase_records(&phase),
+                reference.as_slice(),
+                "{arch} seed {seed}: ledger must be byte-identical"
+            );
+            // Fabric: identical installed LFTs.
+            for sw in classic.subnet.physical_switches() {
+                assert_eq!(
+                    faulty.subnet.lft(sw.id).unwrap(),
+                    sw.lft().unwrap(),
+                    "{arch} seed {seed}: LFTs must be byte-identical"
+                );
+            }
+            // Timings: the outcome-aware replay degenerates to the plain
+            // replay, and the transport's virtual clock equals the serial
+            // replay makespan (no jitter, no timeouts).
+            let model = SmpLatencyModel::default();
+            let plain = SmpReplay::run(&faulty.sm.ledger, Some(&phase), &model);
+            let outcome_aware = SmpReplay::run_with_faults(
+                &faulty.sm.ledger,
+                Some(&phase),
+                &model,
+                &transport.retry,
+            );
+            assert_eq!(plain, outcome_aware);
+            assert_eq!(transport.clock_ns(), plain.makespan.as_ns());
+        }
+    }
+}
+
+#[test]
+fn empty_plan_resweep_matches_perfect_transport() {
+    let (mut a, mut b) = (
+        dc(VirtArch::VSwitchPrepopulated),
+        dc(VirtArch::VSwitchPrepopulated),
+    );
+    // Same link failure on both fabrics.
+    let cut = |dc: &DataCenter| {
+        let leaf = dc.hypervisors[0].leaf;
+        dc.subnet
+            .node(leaf)
+            .connected_ports()
+            .find(|(_, ep)| dc.subnet.node(ep.node).is_switch())
+            .map(|(port, _)| port)
+            .expect("leaf uplink")
+    };
+    let (pa, pb) = (cut(&a), cut(&b));
+    assert_eq!(pa, pb);
+    let (la, lb) = (a.hypervisors[0].leaf, b.hypervisors[0].leaf);
+    a.subnet.set_link_down(la, pa).expect("cut");
+    b.subnet.set_link_down(lb, pb).expect("cut");
+
+    let mut perfect = SmpTransport::perfect(a.sm.sm_node);
+    let ra =
+        a.sm.handle_trap(
+            &mut a.subnet,
+            Trap::LinkStateChange { node: la, port: pa },
+            &mut perfect,
+        )
+        .expect("re-sweep");
+    let mut planned = FaultPlan::none().transport(b.sm.sm_node);
+    let rb =
+        b.sm.handle_trap(
+            &mut b.subnet,
+            Trap::LinkStateChange { node: lb, port: pb },
+            &mut planned,
+        )
+        .expect("re-sweep");
+
+    assert_eq!(ra, rb, "re-sweep reports must match");
+    assert_eq!(a.sm.ledger.records(), b.sm.ledger.records());
+    for sw in a.subnet.physical_switches() {
+        assert_eq!(b.subnet.lft(sw.id).unwrap(), sw.lft().unwrap());
+    }
+}
+
+#[test]
+fn empty_plan_driver_never_touches_the_subnet() {
+    let mut dcx = dc(VirtArch::VSwitchDynamic);
+    let before: Vec<_> = dcx
+        .subnet
+        .physical_switches()
+        .map(|n| (n.id, n.lft().unwrap().clone()))
+        .collect();
+    let plan = FaultPlan::none();
+    let mut driver = plan.driver();
+    assert!(driver.is_done());
+    assert_eq!(driver.next_fault_at(), None);
+    let fired = driver
+        .advance(&mut dcx.subnet, ib_sim::SimTime(u64::MAX))
+        .expect("advance");
+    assert!(fired.is_empty());
+    for (id, lft) in before {
+        assert_eq!(dcx.subnet.lft(id).unwrap(), &lft);
+    }
+    // (`validate(true)` would reject the dormant, uncabled VFs of dynamic
+    // mode — the degraded validator checks exactly what matters here.)
+    dcx.subnet
+        .validate_degraded()
+        .expect("untouched fabric still validates");
+}

@@ -1,0 +1,246 @@
+//! End-to-end fault injection on a 3-level fat tree: spine-link failure,
+//! SMP loss during live migration, forced rollback, and switch death —
+//! the resilient SM pipeline and the transactional migration working
+//! together on one fabric.
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_mad::SmpTransport;
+use ib_sm::{SweepKind, Trap};
+use ib_subnet::topology::fattree;
+use ib_subnet::{NodeId, Subnet};
+use ib_types::Lid;
+
+/// A 3-level fat tree (2 pods x 2 leaves x 2 hosts, 4 mids, 4 cores)
+/// virtualized under `arch`, plus its switch levels.
+fn build(arch: VirtArch) -> (DataCenter, Vec<Vec<NodeId>>) {
+    let built = fattree::three_level(2, 2, 2, 2);
+    let levels = built.switch_levels.clone();
+    let dc = DataCenter::from_topology(
+        built,
+        DataCenterConfig {
+            arch,
+            vfs_per_hypervisor: 2,
+            ..DataCenterConfig::default()
+        },
+    )
+    .expect("3-level bring-up");
+    (dc, levels)
+}
+
+/// Every (node, port, LID) assignment in the fabric, sorted.
+fn lid_map(subnet: &Subnet) -> Vec<(usize, u8, Lid)> {
+    let mut v = Vec::new();
+    for node in subnet.nodes() {
+        for (i, port) in node.ports.iter().enumerate() {
+            if let Some(lid) = port.lid {
+                v.push((node.id.index(), i as u8, lid));
+            }
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+/// The first live link from `node` leading into `level`.
+fn link_towards(subnet: &Subnet, node: NodeId, level: &[NodeId]) -> ib_types::PortNum {
+    subnet
+        .node(node)
+        .connected_ports()
+        .find(|(_, ep)| level.contains(&ep.node))
+        .map(|(port, _)| port)
+        .expect("fat-tree wiring has an uplink")
+}
+
+#[test]
+fn spine_link_failure_resweeps_without_renumbering() {
+    let (mut dc, levels) = build(VirtArch::VSwitchPrepopulated);
+    let vm = dc.create_vm("vm", 0).expect("create");
+    let before = lid_map(&dc.subnet);
+
+    // Cut a mid-to-core (spine) link, then deliver the trap over a lossy
+    // transport — the re-sweep itself must survive 5% SMP drop.
+    let mid = levels[1][0];
+    let port = link_towards(&dc.subnet, mid, &levels[2]);
+    dc.subnet.set_link_down(mid, port).expect("cut spine link");
+
+    let mut transport = SmpTransport::lossy(dc.sm.sm_node, 3, 0.05, 0);
+    transport.retry.max_attempts = 8;
+    let report = dc
+        .sm
+        .handle_trap(
+            &mut dc.subnet,
+            Trap::LinkStateChange { node: mid, port },
+            &mut transport,
+        )
+        .expect("re-sweep");
+
+    assert_eq!(
+        report.kind,
+        SweepKind::Light,
+        "one lost spine link needs no discovery"
+    );
+    assert!(!report.escalated);
+    assert!(report.pruned_lids.is_empty());
+    assert!(
+        report.failed_blocks.is_empty(),
+        "distribution must converge"
+    );
+    assert_eq!(lid_map(&dc.subnet), before, "no endpoint may be renumbered");
+    dc.subnet
+        .validate_degraded()
+        .expect("degraded fabric is consistent");
+    dc.verify_connectivity()
+        .expect("all pairs reconnect around the failure");
+    assert_eq!(dc.vm(vm).unwrap().hypervisor, 0);
+}
+
+#[test]
+fn migration_under_loss_converges_or_rolls_back_cleanly() {
+    for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+        // Two identical degraded fabrics: one heals and migrates fault-free,
+        // the other does the same under 5% SMP drop.
+        let (mut reference, levels) = build(arch);
+        let (mut lossy, _) = build(arch);
+        let vm_ref = reference.create_vm("vm", 0).expect("create");
+        let vm = lossy.create_vm("vm", 0).expect("create");
+
+        for dc in [&mut reference, &mut lossy] {
+            let mid = levels[1][0];
+            let port = link_towards(&dc.subnet, mid, &levels[2]);
+            dc.subnet.set_link_down(mid, port).expect("cut spine link");
+            let mut perfect = SmpTransport::perfect(dc.sm.sm_node);
+            dc.sm
+                .handle_trap(
+                    &mut dc.subnet,
+                    Trap::LinkStateChange { node: mid, port },
+                    &mut perfect,
+                )
+                .expect("re-sweep");
+        }
+
+        let mut perfect = SmpTransport::perfect(reference.sm.sm_node);
+        let ref_report = reference
+            .migrate_vm_resilient(vm_ref, 5, &mut perfect)
+            .expect("fault-free migration");
+        assert!(ref_report.committed);
+        let fault_free_smps = reference
+            .sm
+            .ledger
+            .phase_records(&format!("migrate-{vm_ref}"))
+            .len();
+
+        let pre_migration = lid_map(&lossy.subnet);
+        let mut transport = SmpTransport::lossy(lossy.sm.sm_node, 17, 0.05, 0);
+        transport.retry.max_attempts = 8;
+        let report = lossy
+            .migrate_vm_resilient(vm, 5, &mut transport)
+            .expect("resilient migration");
+        let attempts = lossy
+            .sm
+            .ledger
+            .phase_records(&format!("migrate-{vm}"))
+            .len();
+
+        if report.committed {
+            // Convergence: the lossy run lands on the exact fault-free LFTs,
+            // paying only a bounded number of extra SMPs.
+            for sw in reference.subnet.physical_switches() {
+                assert_eq!(
+                    lossy.subnet.lft(sw.id).unwrap(),
+                    sw.lft().unwrap(),
+                    "{arch}: committed LFTs must equal the fault-free result"
+                );
+            }
+            assert!(
+                attempts
+                    <= fault_free_smps * usize::try_from(transport.retry.max_attempts).unwrap(),
+                "{arch}: extra SMPs bounded by the retry policy"
+            );
+            assert_eq!(lossy.vm(vm).unwrap().hypervisor, 5);
+        } else {
+            assert_eq!(
+                lid_map(&lossy.subnet),
+                pre_migration,
+                "{arch}: rollback must leave addressing untouched"
+            );
+            assert_eq!(lossy.vm(vm).unwrap().hypervisor, 0);
+        }
+        lossy
+            .verify_connectivity()
+            .expect("all pairs connected either way");
+    }
+}
+
+#[test]
+fn black_hole_migration_rolls_back_and_routing_survives() {
+    let (mut dc, _) = build(VirtArch::VSwitchDynamic);
+    let vm = dc.create_vm("vm", 0).expect("create");
+    let before_lfts: Vec<_> = dc
+        .subnet
+        .physical_switches()
+        .map(|n| (n.id, n.lft().unwrap().clone()))
+        .collect();
+
+    let mut transport =
+        SmpTransport::with_channel(dc.sm.sm_node, ib_mad::LossyChannel::black_hole());
+    let report = dc
+        .migrate_vm_resilient(vm, 6, &mut transport)
+        .expect("tx migration");
+
+    assert!(!report.committed);
+    // The very first hypervisor signal already fails persistently, so
+    // nothing was delivered and no compensating SMP is owed.
+    assert_eq!(report.hypervisor_smps, 0);
+    for (id, before) in before_lfts {
+        assert_eq!(
+            dc.subnet.lft(id).unwrap(),
+            &before,
+            "pre-migration routing intact"
+        );
+    }
+    assert_eq!(dc.vm(vm).unwrap().hypervisor, 0, "VM still at the source");
+    dc.verify_connectivity().expect("all pairs still connected");
+}
+
+#[test]
+fn switch_death_heavy_sweep_prunes_only_the_dead_switch() {
+    let (mut dc, levels) = build(VirtArch::VSwitchPrepopulated);
+    let vm = dc.create_vm("vm", 0).expect("create");
+    let core = levels[2][0];
+    let core_lids: Vec<Lid> = dc.subnet.node(core).lids().collect();
+    let survivors: Vec<(usize, u8, Lid)> = lid_map(&dc.subnet)
+        .into_iter()
+        .filter(|&(n, _, _)| n != core.index())
+        .collect();
+
+    let mut transport = SmpTransport::lossy(dc.sm.sm_node, 9, 0.05, 0);
+    transport.retry.max_attempts = 8;
+    let report = dc
+        .sm
+        .handle_trap(
+            &mut dc.subnet,
+            Trap::SwitchDeath { node: core },
+            &mut transport,
+        )
+        .expect("heavy sweep");
+
+    assert_eq!(report.kind, SweepKind::Heavy);
+    assert_eq!(
+        report.pruned_lids, core_lids,
+        "only the dead switch loses its LID"
+    );
+    assert_eq!(report.removed_nodes, 1);
+    assert!(report.failed_blocks.is_empty());
+    assert!(!dc.subnet.is_alive(core));
+    assert_eq!(
+        lid_map(&dc.subnet),
+        survivors,
+        "survivors keep their LIDs verbatim"
+    );
+    dc.subnet
+        .validate_degraded()
+        .expect("degraded fabric is consistent");
+    dc.verify_connectivity()
+        .expect("all pairs route around the dead core");
+    assert_eq!(dc.vm(vm).unwrap().hypervisor, 0);
+}

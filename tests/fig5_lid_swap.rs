@@ -44,7 +44,8 @@ fn fig3_subnet() -> (
             // rest through the LFTs only (the LFT mechanics are what Fig. 5
             // exercises).
             if raw == lids[0] {
-                s.assign_port_lid(hyps[h], PortNum::new(1), lid(raw)).unwrap();
+                s.assign_port_lid(hyps[h], PortNum::new(1), lid(raw))
+                    .unwrap();
             }
         }
     }

@@ -173,10 +173,7 @@ fn dynamic_vm_rides_the_pf_path_by_construction() {
 
 #[test]
 fn migration_storm_under_every_architecture() {
-    for arch in [
-        VirtArch::VSwitchPrepopulated,
-        VirtArch::VSwitchDynamic,
-    ] {
+    for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
         let mut dc = DataCenter::from_topology(
             fattree::two_level(3, 2, 2),
             DataCenterConfig {

@@ -4,7 +4,7 @@
 //! exactly what makes per-VM migration possible.
 
 use ib_core::{DataCenter, DataCenterConfig, VirtArch};
-use ib_routing::{EngineKind, RoutingEngine};
+use ib_routing::EngineKind;
 use ib_sm::{SmConfig, SubnetManager};
 use ib_subnet::topology::fattree::two_level;
 use ib_types::{Lid, Lmc, PortNum};

@@ -1,31 +1,42 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants.
+//!
+//! Originally written with `proptest`; the offline build environment cannot
+//! fetch it, so these are seeded randomized tests driven by the vendored
+//! `rand` stub. Every case derives from a fixed seed, so failures are
+//! reproducible by construction.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use ib_core::{DataCenter, DataCenterConfig, VirtArch, VmId};
 use ib_subnet::topology::fattree;
 use ib_subnet::Lft;
 use ib_types::{Lid, LidSpace, PortNum};
 
+fn rand_lid(rng: &mut StdRng) -> Lid {
+    Lid::from_raw(rng.gen_range(1u16..400))
+}
+
+fn rand_port(rng: &mut StdRng) -> PortNum {
+    PortNum::new(rng.gen_range(0u8..37))
+}
+
+fn rand_entries(rng: &mut StdRng, min: usize, max: usize) -> Vec<(Lid, PortNum)> {
+    let n = rng.gen_range(min..max);
+    (0..n).map(|_| (rand_lid(rng), rand_port(rng))).collect()
+}
+
 // ---------------------------------------------------------------------
 // LFT primitives
 // ---------------------------------------------------------------------
 
-fn arb_lid() -> impl Strategy<Value = Lid> {
-    (1u16..400).prop_map(Lid::from_raw)
-}
-
-fn arb_port() -> impl Strategy<Value = PortNum> {
-    (0u8..37).prop_map(PortNum::new)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Swapping twice restores the original LFT, regardless of contents.
-    #[test]
-    fn lft_swap_is_involution(entries in proptest::collection::vec((arb_lid(), arb_port()), 0..40),
-                              a in arb_lid(), b in arb_lid()) {
+/// Swapping twice restores the original LFT, regardless of contents.
+#[test]
+fn lft_swap_is_involution() {
+    let mut rng = StdRng::seed_from_u64(0x51_01);
+    for _ in 0..64 {
+        let entries = rand_entries(&mut rng, 0, 40);
+        let (a, b) = (rand_lid(&mut rng), rand_lid(&mut rng));
         let mut lft = Lft::new();
         for (lid, port) in &entries {
             lft.set(*lid, *port);
@@ -33,14 +44,18 @@ proptest! {
         let before = lft.clone();
         lft.swap(a, b);
         lft.swap(a, b);
-        prop_assert_eq!(lft, before);
+        assert_eq!(lft, before);
     }
+}
 
-    /// A swap preserves the multiset of set entries (it only permutes two
-    /// rows) — the §V-A balance argument in miniature.
-    #[test]
-    fn lft_swap_preserves_entry_multiset(entries in proptest::collection::vec((arb_lid(), arb_port()), 0..40),
-                                         a in arb_lid(), b in arb_lid()) {
+/// A swap preserves the multiset of set entries (it only permutes two
+/// rows) — the §V-A balance argument in miniature.
+#[test]
+fn lft_swap_preserves_entry_multiset() {
+    let mut rng = StdRng::seed_from_u64(0x51_02);
+    for _ in 0..64 {
+        let entries = rand_entries(&mut rng, 0, 40);
+        let (a, b) = (rand_lid(&mut rng), rand_lid(&mut rng));
         let mut lft = Lft::new();
         for (lid, port) in &entries {
             lft.set(*lid, *port);
@@ -50,42 +65,56 @@ proptest! {
         lft.swap(a, b);
         let mut after: Vec<u8> = lft.iter().map(|(_, p)| p.raw()).collect();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after);
     }
+}
 
-    /// Copy makes the destination row equal the source row, and dirty
-    /// blocks against the original are at most one block.
-    #[test]
-    fn lft_copy_dirties_at_most_one_block(entries in proptest::collection::vec((arb_lid(), arb_port()), 1..40),
-                                          dst in arb_lid()) {
+/// Copy makes the destination row equal the source row, and dirty
+/// blocks against the original are at most one block.
+#[test]
+fn lft_copy_dirties_at_most_one_block() {
+    let mut rng = StdRng::seed_from_u64(0x51_03);
+    for _ in 0..64 {
+        let entries = rand_entries(&mut rng, 1, 40);
+        let dst = rand_lid(&mut rng);
+        let src = entries[0].0;
+        if src == dst {
+            continue;
+        }
         let mut lft = Lft::new();
         for (lid, port) in &entries {
             lft.set(*lid, *port);
         }
-        let src = entries[0].0;
-        prop_assume!(src != dst);
         let before = lft.clone();
         lft.copy(src, dst);
-        prop_assert_eq!(lft.get(dst), lft.get(src));
+        assert_eq!(lft.get(dst), lft.get(src));
         let dirty = before.dirty_blocks(&lft);
-        prop_assert!(dirty.len() <= 1);
+        assert!(dirty.len() <= 1);
         if let Some(&blk) = dirty.first() {
-            prop_assert_eq!(blk, dst.lft_block());
+            assert_eq!(blk, dst.lft_block());
         }
     }
+}
 
-    /// Same-block math matches the m' rule.
-    #[test]
-    fn same_block_iff_same_64_range(a in arb_lid(), b in arb_lid()) {
-        prop_assert_eq!(a.same_block(b), a.raw() / 64 == b.raw() / 64);
+/// Same-block math matches the m' rule.
+#[test]
+fn same_block_iff_same_64_range() {
+    let mut rng = StdRng::seed_from_u64(0x51_04);
+    for _ in 0..256 {
+        let (a, b) = (rand_lid(&mut rng), rand_lid(&mut rng));
+        assert_eq!(a.same_block(b), a.raw() / 64 == b.raw() / 64);
     }
+}
 
-    /// Padding covers exactly the blocks up to the topmost LID.
-    #[test]
-    fn padded_blocks_match_min_blocks(top in arb_lid()) {
+/// Padding covers exactly the blocks up to the topmost LID.
+#[test]
+fn padded_blocks_match_min_blocks() {
+    let mut rng = StdRng::seed_from_u64(0x51_05);
+    for _ in 0..64 {
+        let top = rand_lid(&mut rng);
         let lft = Lft::new().padded(top);
-        prop_assert_eq!(lft.num_blocks(), ib_subnet::lft::min_blocks_for(top));
-        prop_assert_eq!(lft.get(top), Some(PortNum::DROP));
+        assert_eq!(lft.num_blocks(), ib_subnet::lft::min_blocks_for(top));
+        assert_eq!(lft.get(top), Some(PortNum::DROP));
     }
 }
 
@@ -93,28 +122,29 @@ proptest! {
 // LID space
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any interleaving of allocations and releases keeps the accounting
-    /// consistent, and the allocator always returns the lowest free LID.
-    #[test]
-    fn lid_space_accounting(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+/// Any interleaving of allocations and releases keeps the accounting
+/// consistent, and the allocator always returns the lowest free LID.
+#[test]
+fn lid_space_accounting() {
+    let mut rng = StdRng::seed_from_u64(0x51_06);
+    for _ in 0..32 {
+        let num_ops = rng.gen_range(1usize..200);
         let mut space = LidSpace::new();
         let mut held: Vec<Lid> = Vec::new();
-        for alloc in ops {
+        for _ in 0..num_ops {
+            let alloc = rng.gen_bool(0.5);
             if alloc || held.is_empty() {
                 let lid = space.allocate().unwrap();
                 // Lowest-free invariant: nothing below it is free.
                 for raw in 1..lid.raw() {
-                    prop_assert!(space.is_allocated(Lid::from_raw(raw)));
+                    assert!(space.is_allocated(Lid::from_raw(raw)));
                 }
                 held.push(lid);
             } else {
                 let lid = held.swap_remove(held.len() / 2);
                 space.release(lid).unwrap();
             }
-            prop_assert_eq!(space.in_use(), held.len());
+            assert_eq!(space.in_use(), held.len());
         }
     }
 }
@@ -130,12 +160,12 @@ enum Op {
     Migrate(usize, usize),
 }
 
-fn arb_op(hyps: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..hyps).prop_map(Op::Create),
-        (0usize..64).prop_map(Op::Destroy),
-        ((0usize..64), (0..hyps)).prop_map(|(v, h)| Op::Migrate(v, h)),
-    ]
+fn rand_op(rng: &mut StdRng, hyps: usize) -> Op {
+    match rng.gen_range(0u32..3) {
+        0 => Op::Create(rng.gen_range(0..hyps)),
+        1 => Op::Destroy(rng.gen_range(0usize..64)),
+        _ => Op::Migrate(rng.gen_range(0usize..64), rng.gen_range(0..hyps)),
+    }
 }
 
 fn check_invariants(dc: &DataCenter) {
@@ -189,8 +219,7 @@ fn run_ops(arch: VirtArch, ops: &[Op]) {
                         if let Ok(report) = dc.migrate_vm(vm, dest) {
                             assert!(report.lft.max_blocks_per_switch <= 2, "m' bound");
                             assert!(
-                                report.lft.switches_updated
-                                    <= dc.subnet.num_physical_switches(),
+                                report.lft.switches_updated <= dc.subnet.num_physical_switches(),
                                 "n' bound"
                             );
                         }
@@ -202,42 +231,59 @@ fn run_ops(arch: VirtArch, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Arbitrary create/destroy/migrate interleavings keep the fabric
-    /// consistent under the prepopulated-LID architecture.
-    #[test]
-    fn prepopulated_lifecycle_fuzz(ops in proptest::collection::vec(arb_op(6), 1..25)) {
-        run_ops(VirtArch::VSwitchPrepopulated, &ops);
+fn lifecycle_fuzz(arch: VirtArch, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..12 {
+        let n = rng.gen_range(1usize..25);
+        let ops: Vec<Op> = (0..n).map(|_| rand_op(&mut rng, 6)).collect();
+        run_ops(arch, &ops);
     }
+}
 
-    /// ... and under dynamic LID assignment.
-    #[test]
-    fn dynamic_lifecycle_fuzz(ops in proptest::collection::vec(arb_op(6), 1..25)) {
-        run_ops(VirtArch::VSwitchDynamic, &ops);
-    }
+/// Arbitrary create/destroy/migrate interleavings keep the fabric
+/// consistent under the prepopulated-LID architecture.
+#[test]
+fn prepopulated_lifecycle_fuzz() {
+    lifecycle_fuzz(VirtArch::VSwitchPrepopulated, 0x51_07);
+}
+
+/// ... and under dynamic LID assignment.
+#[test]
+fn dynamic_lifecycle_fuzz() {
+    lifecycle_fuzz(VirtArch::VSwitchDynamic, 0x51_08);
 }
 
 // ---------------------------------------------------------------------
 // Credit simulator conservation
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Packets are conserved: on a drained run every injected packet was
+/// either delivered or dropped, never duplicated or lost — for any
+/// flow matrix, credit budget, and timeout setting.
+#[test]
+fn credit_sim_conserves_packets() {
+    use ib_routing::tables::VlAssignment;
+    use ib_sim::credit::{run, CreditSimConfig, Flow};
+    use ib_sm::{SmConfig, SubnetManager};
 
-    /// Packets are conserved: on a drained run every injected packet was
-    /// either delivered or dropped, never duplicated or lost — for any
-    /// flow matrix, credit budget, and timeout setting.
-    #[test]
-    fn credit_sim_conserves_packets(
-        pairs in proptest::collection::vec((0usize..6, 0usize..6, 1u64..6), 1..12),
-        credits in 1usize..4,
-        timeout in proptest::option::of(16u32..64),
-    ) {
-        use ib_sim::credit::{run, CreditSimConfig, Flow};
-        use ib_routing::tables::VlAssignment;
-        use ib_sm::{SmConfig, SubnetManager};
+    let mut rng = StdRng::seed_from_u64(0x51_09);
+    for _ in 0..16 {
+        let num_pairs = rng.gen_range(1usize..12);
+        let pairs: Vec<(usize, usize, u64)> = (0..num_pairs)
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..6),
+                    rng.gen_range(0usize..6),
+                    rng.gen_range(1u64..6),
+                )
+            })
+            .collect();
+        let credits = rng.gen_range(1usize..4);
+        let timeout = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(16u32..64))
+        } else {
+            None
+        };
 
         let mut t = fattree::two_level(2, 3, 2);
         let mut sm = SubnetManager::new(t.hosts[0], SmConfig::default());
@@ -256,7 +302,9 @@ proptest! {
                 }
             })
             .collect();
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
 
         let report = run(
             &t.subnet,
@@ -270,8 +318,8 @@ proptest! {
         )
         .unwrap();
         // Fat-tree shortest paths cannot deadlock, so the run drains.
-        prop_assert!(report.drained, "{report:?}");
-        prop_assert!(!report.deadlocked);
-        prop_assert_eq!(report.delivered + report.dropped, total);
+        assert!(report.drained, "{report:?}");
+        assert!(!report.deadlocked);
+        assert_eq!(report.delivered + report.dropped, total);
     }
 }

@@ -1,8 +1,13 @@
-//! Property tests over the routing engines: on randomized topologies,
+//! Property-style tests over the routing engines: on randomized topologies,
 //! every engine must produce fully-reachable tables, and the
 //! deadlock-free engines must honor their acyclicity contracts.
+//!
+//! Originally written with `proptest`; the offline build environment cannot
+//! fetch it, so these are seeded randomized tests driven by the vendored
+//! `rand` stub.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use ib_routing::cdg::Cdg;
 use ib_routing::dfsssp::verify_layers_acyclic;
@@ -18,16 +23,14 @@ fn engines_for_all_topologies() -> Vec<EngineKind> {
     vec![EngineKind::UpDown, EngineKind::Dfsssp, EngineKind::Lash]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Every engine routes every random small fat tree completely.
-    #[test]
-    fn engines_route_random_fat_trees(
-        leaves in 2usize..5,
-        hosts in 1usize..4,
-        spines in 1usize..4,
-    ) {
+/// Every engine routes every random small fat tree completely.
+#[test]
+fn engines_route_random_fat_trees() {
+    let mut rng = StdRng::seed_from_u64(0xF7_01);
+    for _ in 0..16 {
+        let leaves = rng.gen_range(2usize..5);
+        let hosts = rng.gen_range(1usize..4);
+        let spines = rng.gen_range(1usize..4);
         for engine in EngineKind::all() {
             let mut t = two_level(leaves, hosts, spines);
             assign_lids(&mut t);
@@ -35,11 +38,15 @@ proptest! {
             assert_full_reachability(&t.subnet, &tables);
         }
     }
+}
 
-    /// Deadlock-free engines stay deadlock-free on random irregular
-    /// fabrics, verified by re-deriving the CDGs per lane.
-    #[test]
-    fn deadlock_free_engines_on_random_irregular(seed in 0u64..1000) {
+/// Deadlock-free engines stay deadlock-free on random irregular
+/// fabrics, verified by re-deriving the CDGs per lane.
+#[test]
+fn deadlock_free_engines_on_random_irregular() {
+    let mut rng = StdRng::seed_from_u64(0xF7_02);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..1000);
         let spec = IrregularSpec {
             num_switches: 7,
             num_hosts: 10,
@@ -55,7 +62,7 @@ proptest! {
                 EngineKind::UpDown => {
                     let g = SwitchGraph::build(&t.subnet).unwrap();
                     let cdg = Cdg::from_tables(&g, &tables, |_| true);
-                    prop_assert!(cdg.find_cycle().is_none(), "seed {seed}");
+                    assert!(cdg.find_cycle().is_none(), "seed {seed}");
                 }
                 EngineKind::Dfsssp => {
                     verify_layers_acyclic(&t.subnet, &tables).unwrap();
@@ -67,11 +74,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// Tori of random shape: reachability for all engines that accept
-    /// them, layer-acyclicity for dfsssp.
-    #[test]
-    fn engines_route_random_tori(rows in 2usize..5, cols in 2usize..5) {
+/// Tori of random shape: reachability for all engines that accept
+/// them, layer-acyclicity for dfsssp.
+#[test]
+fn engines_route_random_tori() {
+    let mut rng = StdRng::seed_from_u64(0xF7_03);
+    for _ in 0..8 {
+        let rows = rng.gen_range(2usize..5);
+        let cols = rng.gen_range(2usize..5);
         for engine in engines_for_all_topologies() {
             let mut t = torus_2d(rows, cols, 1, true);
             assign_lids(&mut t);
@@ -82,13 +94,17 @@ proptest! {
         // wrong tables.
         let mut t = torus_2d(rows, cols, 1, true);
         assign_lids(&mut t);
-        prop_assert!(EngineKind::FatTree.build().compute(&t.subnet).is_err());
+        assert!(EngineKind::FatTree.build().compute(&t.subnet).is_err());
     }
+}
 
-    /// Table outputs are deterministic: computing twice yields identical
-    /// LFTs (no hidden RNG, no iteration-order leakage).
-    #[test]
-    fn engines_are_deterministic(seed in 0u64..200) {
+/// Table outputs are deterministic: computing twice yields identical
+/// LFTs (no hidden RNG, no iteration-order leakage).
+#[test]
+fn engines_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xF7_04);
+    for _ in 0..16 {
+        let seed = rng.gen_range(0u64..200);
         let spec = IrregularSpec {
             num_switches: 6,
             num_hosts: 8,
@@ -101,7 +117,7 @@ proptest! {
             let a = engine.build().compute(&t.subnet).unwrap();
             let b = engine.build().compute(&t.subnet).unwrap();
             for (sw, lft) in &a.lfts {
-                prop_assert_eq!(&b.lfts[sw], lft, "{} differs", engine.name());
+                assert_eq!(&b.lfts[sw], lft, "{} differs", engine.name());
             }
         }
     }

@@ -1,0 +1,142 @@
+//! Vendored stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses (the build environment has no network access to crates.io).
+//!
+//! `StdRng` here is SplitMix64 — deterministic, seedable, and fast, with
+//! the same `seed_from_u64` entry point the real crate offers. It makes no
+//! attempt to be statistically equivalent to upstream `StdRng`; everything
+//! in this repo that consumes randomness treats the stream as an opaque
+//! deterministic function of the seed.
+
+/// Core RNG trait: the subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open, `start..end`).
+    ///
+    /// Panics if the range is empty, matching upstream.
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`, matching upstream.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Seeding trait: the subset of `rand::SeedableRng` used by this workspace.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleRange: Copy + PartialOrd {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                // Debiased multiply-shift (Lemire); span is < 2^64 here so a
+                // simple widening reduction is fine for simulation purposes.
+                let v = (rng.next_u64() as u128 * span) >> 64;
+                range.start + v as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_roughly_calibrated() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.05)).count();
+        assert!((4_000..6_000).contains(&hits), "5% drew {hits}/100000");
+    }
+}
