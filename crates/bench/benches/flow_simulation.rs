@@ -24,6 +24,7 @@ fn sim(c: &mut Criterion) {
             SmConfig {
                 engine: EngineKind::FatTree,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         sm.bring_up(&mut t.subnet).expect("bring-up");
@@ -61,6 +62,7 @@ fn sim(c: &mut Criterion) {
             SmConfig {
                 engine: EngineKind::MinHop,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         sm.bring_up(&mut t.subnet).expect("bring-up");
@@ -108,6 +110,7 @@ fn sim(c: &mut Criterion) {
             SmConfig {
                 engine: EngineKind::FatTree,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         sm.bring_up(&mut t.subnet).expect("bring-up");

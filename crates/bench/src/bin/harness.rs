@@ -2,16 +2,25 @@
 //!
 //! ```sh
 //! cargo run --release -p ib-bench --bin harness -- all
-//! cargo run --release -p ib-bench --bin harness -- fig7 --level 1
+//! cargo run --release -p ib-bench --bin harness -- fig7 --level 1 --workers 4
+//! cargo run --release -p ib-bench --bin harness -- fig7 --json bench-out
 //! ```
 //!
 //! Subcommands: `table1`, `fig7 [--level N] [--lash]`, `fig5`, `fig6`,
 //! `cost-model`, `capacity`, `emulation`, `deadlock`, `sa-cache`,
 //! `balance`, `faults`, `all`.
+//!
+//! `--workers N` spreads the Fig. 7 `(topology, engine)` grid over N
+//! threads (default: the machine's available parallelism); `--json <dir>`
+//! makes `table1`, `fig7`, and `faults` additionally write
+//! `BENCH_table1.json`, `BENCH_fig7.json`, and `BENCH_faults.json` — the
+//! machine-readable perf-trajectory files EXPERIMENTS.md documents.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ib_bench::{fig7_engines, fig7_topologies, manage, time_engine};
+use ib_bench::json::Json;
+use ib_bench::{fig7_grid, manage};
 use ib_cloud::scenarios::testbed_datacenter;
 use ib_cloud::LiveMigrationWorkflow;
 use ib_core::capacity::{dynamic_lids_consumed, prepopulated_lids_consumed, prepopulated_limits};
@@ -21,20 +30,30 @@ use ib_mad::CostModel;
 use ib_subnet::topology::basic::{fig5_fabric, fig6_fabric};
 use ib_subnet::topology::fattree;
 
+/// How many timed repetitions back each Fig. 7 cell (min/median reported).
+const FIG7_RUNS: usize = 3;
+
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let level: u8 = args
-        .iter()
-        .position(|a| a == "--level")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(ib_bench::bench_level);
+    let level: u8 = flag_value(&args, "--level").unwrap_or_else(ib_bench::bench_level);
     let force_lash = args.iter().any(|a| a == "--lash" || a == "--force-engines");
+    let workers: usize = flag_value(&args, "--workers").unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let json_dir: Option<PathBuf> = flag_value(&args, "--json");
+    let json = json_dir.as_deref();
 
     match cmd {
-        "table1" => table1(),
-        "fig7" => fig7(level, force_lash),
+        "table1" => table1(json),
+        "fig7" => fig7(level, force_lash, workers, json),
         "fig5" => fig5(),
         "fig6" => fig6(),
         "cost-model" => cost_model(),
@@ -43,11 +62,11 @@ fn main() {
         "deadlock" => deadlock(),
         "sa-cache" => sa_cache(),
         "balance" => balance(),
-        "faults" => faults(),
+        "faults" => faults(json),
         "dot" => dot(),
         "all" => {
-            table1();
-            fig7(level, force_lash);
+            table1(json);
+            fig7(level, force_lash, workers, json);
             fig5();
             fig6();
             cost_model();
@@ -56,18 +75,26 @@ fn main() {
             deadlock();
             sa_cache();
             balance();
-            faults();
+            faults(json);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--json DIR]");
             std::process::exit(2);
         }
     }
 }
 
+/// Writes one `BENCH_*.json` file under `dir`, creating the directory.
+fn write_json(dir: &Path, file: &str, value: &Json) {
+    std::fs::create_dir_all(dir).expect("create --json dir");
+    let path = dir.join(file);
+    std::fs::write(&path, value.pretty()).expect("write BENCH json");
+    println!("wrote {}", path.display());
+}
+
 /// Table I: SMP counts for full vs vSwitch reconfiguration.
-fn table1() {
+fn table1(json: Option<&Path>) {
     println!("\n===== TABLE I: reconfiguration SMPs (derived from real topologies) =====");
     println!(
         "{:>7} {:>9} {:>7} {:>14} {:>16} {:>13} {:>13}",
@@ -85,6 +112,7 @@ fn table1() {
         fattree::paper_5832,
         fattree::paper_11664,
     ];
+    let mut json_rows = Vec::new();
     for (i, build) in builders.iter().enumerate() {
         let fabric = manage(build());
         let row = Table1Row::for_subnet(&fabric.subnet);
@@ -113,36 +141,93 @@ fn table1() {
             paper,
             "derived row must match the published Table I"
         );
+        json_rows.push(Json::obj(vec![
+            ("topology", Json::from(fabric.name.as_str())),
+            ("nodes", Json::from(row.nodes)),
+            ("switches", Json::from(row.switches)),
+            ("lids", Json::from(row.lids)),
+            (
+                "min_lft_blocks_per_switch",
+                Json::from(row.min_lft_blocks_per_switch),
+            ),
+            ("min_smps_full_rc", Json::from(row.min_smps_full_rc)),
+            ("min_smps_vswitch", Json::from(row.min_smps_vswitch)),
+            ("max_smps_vswitch", Json::from(row.max_smps_vswitch)),
+            (
+                "improvement_pct",
+                Json::from((1.0 - row.worst_case_ratio()) * 100.0),
+            ),
+        ]));
     }
     println!("(all four rows match the published Table I exactly)");
+    if let Some(dir) = json {
+        let doc = Json::obj(vec![
+            ("schema", Json::from("ib-vswitch/bench-table1/v1")),
+            ("rows", Json::Array(json_rows)),
+        ]);
+        write_json(dir, "BENCH_table1.json", &doc);
+    }
 }
 
-/// Fig. 7: path-computation time per routing engine per topology.
-fn fig7(level: u8, force_lash: bool) {
+/// Fig. 7: path-computation time per routing engine per topology. The
+/// `(topology, engine)` grid runs across `workers` threads; each cell is
+/// timed [`FIG7_RUNS`] times and reports min and median.
+fn fig7(level: u8, force_lash: bool, workers: usize, json: Option<&Path>) {
     println!("\n===== FIG. 7: path computation time (this machine; paper shape: ftree < minhop << dfsssp << lash) =====");
     println!("level {level}: 324/648 always; 5832 at --level 1; 11664 at --level 2; LASH/DFSSSP capped at scale unless --force-engines");
     println!(
-        "{:>18} {:>10} {:>12} {:>14} {:>14}",
-        "topology", "engine", "seconds", "decisions", "LID swap/copy"
+        "{workers} worker(s), min/median of {FIG7_RUNS} runs per cell; fabric construction untimed"
     );
-    for fabric in fig7_topologies(level) {
-        for engine in fig7_engines(fabric.switches, force_lash) {
-            let (elapsed, decisions) = time_engine(&fabric, engine);
+    println!(
+        "{:>18} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "topology", "engine", "sec (min)", "sec (med)", "decisions", "LID swap/copy"
+    );
+    let cells = fig7_grid(level, force_lash, workers, FIG7_RUNS);
+    let mut json_cells = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        println!(
+            "{:>18} {:>10} {:>12.4} {:>12.4} {:>14} {:>14}",
+            cell.topology,
+            cell.engine,
+            cell.timing.min.as_secs_f64(),
+            cell.timing.median.as_secs_f64(),
+            cell.timing.decisions,
+            "0 (none)"
+        );
+        // The vSwitch reconfiguration's path-computation time is zero by
+        // construction — there is nothing to run. One line per topology,
+        // after its last engine.
+        if cells
+            .get(i + 1)
+            .is_none_or(|next| next.topology != cell.topology)
+        {
             println!(
-                "{:>18} {:>10} {:>12.4} {:>14} {:>14}",
-                fabric.name,
-                engine.name(),
-                elapsed.as_secs_f64(),
-                decisions,
-                "0 (none)"
+                "{:>18} {:>10} {:>12.4} {:>12.4} {:>14} {:>14}",
+                cell.topology, "lid-swap", 0.0, 0.0, 0, "-"
             );
         }
-        // The vSwitch reconfiguration's path-computation time is zero by
-        // construction — there is nothing to run.
-        println!(
-            "{:>18} {:>10} {:>12.4} {:>14} {:>14}",
-            fabric.name, "lid-swap", 0.0, 0, "-"
-        );
+        json_cells.push(Json::obj(vec![
+            ("topology", Json::from(cell.topology.as_str())),
+            ("switches", Json::from(cell.switches)),
+            ("engine", Json::from(cell.engine.as_str())),
+            ("seconds_min", Json::from(cell.timing.min.as_secs_f64())),
+            (
+                "seconds_median",
+                Json::from(cell.timing.median.as_secs_f64()),
+            ),
+            ("decisions", Json::from(cell.timing.decisions)),
+            ("min_smps_full_rc", Json::from(cell.min_smps_full_rc)),
+        ]));
+    }
+    if let Some(dir) = json {
+        let doc = Json::obj(vec![
+            ("schema", Json::from("ib-vswitch/bench-fig7/v1")),
+            ("level", Json::from(u64::from(level))),
+            ("workers", Json::from(workers)),
+            ("runs", Json::from(FIG7_RUNS)),
+            ("cells", Json::Array(json_cells)),
+        ]);
+        write_json(dir, "BENCH_fig7.json", &doc);
     }
 }
 
@@ -327,6 +412,7 @@ fn deadlock() {
         SmConfig {
             engine: EngineKind::MinHop,
             smp_mode: SmpMode::Directed,
+            ..SmConfig::default()
         },
     );
     sm.bring_up(&mut t.subnet).expect("bring-up");
@@ -379,6 +465,7 @@ fn deadlock() {
         SmConfig {
             engine: EngineKind::Dfsssp,
             smp_mode: SmpMode::Directed,
+            ..SmConfig::default()
         },
     );
     sm2.bring_up(&mut t2.subnet).expect("bring-up");
@@ -533,7 +620,7 @@ fn balance() {
 /// Robustness sweep: the Algorithm-1 migration under SMP loss, with the
 /// transactional transport (retry + rollback). One row per architecture
 /// and per-hop drop probability, averaged over seeded trials.
-fn faults() {
+fn faults(json: Option<&Path>) {
     use ib_mad::SmpTransport;
     use ib_subnet::topology::fattree::two_level;
 
@@ -543,6 +630,7 @@ fn faults() {
         "{:>22} {:>8} {:>10} {:>10} {:>9} {:>10} {:>10}",
         "architecture", "drop %", "attempts", "extra", "retries", "rollbacks", "committed"
     );
+    let mut json_rows = Vec::new();
     for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
         let mut baseline = 0.0f64;
         for pct in [0u32, 5, 10, 15, 20] {
@@ -592,9 +680,26 @@ fn faults() {
                 committed,
                 TRIALS,
             );
+            json_rows.push(Json::obj(vec![
+                ("architecture", Json::from(arch.to_string())),
+                ("drop_pct", Json::from(u64::from(pct))),
+                ("avg_attempts", Json::from(avg_attempts)),
+                ("extra_attempts", Json::from(avg_attempts - baseline)),
+                ("avg_retries", Json::from(retries as f64 / TRIALS as f64)),
+                ("rollbacks", Json::from(rollbacks)),
+                ("committed", Json::from(committed)),
+            ]));
         }
     }
     println!("(attempts = SMPs on the wire incl. retries; extra = vs the fault-free run; every non-committed trial rolled back cleanly)");
+    if let Some(dir) = json {
+        let doc = Json::obj(vec![
+            ("schema", Json::from("ib-vswitch/bench-faults/v1")),
+            ("trials", Json::from(TRIALS)),
+            ("rows", Json::Array(json_rows)),
+        ]);
+        write_json(dir, "BENCH_faults.json", &doc);
+    }
 }
 
 /// Prints the Fig. 5 fabric (virtualized, one VM) as GraphViz dot.

@@ -1,0 +1,251 @@
+//! A tiny hand-rolled JSON emitter for the `BENCH_*.json` pipeline.
+//!
+//! The workspace vendors its dependency tree, so instead of pulling in a
+//! serializer the harness builds values from this minimal enum. Objects
+//! keep insertion order, which is what makes the emitted schemas stable
+//! byte for byte across runs and releases — the perf-trajectory files are
+//! diffed by tooling, not just read by humans.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`] /
+/// [`Json::array`]; render with `to_string()` (compact) or
+/// [`Json::pretty`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (covers every count the harness emits).
+    UInt(u64),
+    /// A finite float; non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object with stable (insertion) key order.
+    Object(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Self::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Self::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Self::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Self::Array(v)
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>, V: Into<Json>>(pairs: Vec<(K, V)>) -> Self {
+        Self::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// An array from anything convertible to values.
+    #[must_use]
+    pub fn array<V: Into<Json>>(items: Vec<V>) -> Self {
+        Self::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline —
+    /// the on-disk format of every `BENCH_*.json`.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Self::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Self::Object(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => {
+                let _ = write!(out, "{other}");
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => f.write_str("null"),
+            Self::Bool(b) => write!(f, "{b}"),
+            Self::UInt(v) => write!(f, "{v}"),
+            Self::Float(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // Keep integral floats readable and schema-stable.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Self::Float(_) => f.write_str("null"),
+            Self::Str(s) => {
+                let mut buf = String::new();
+                write_escaped(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Self::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Self::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut buf = String::new();
+                    write_escaped(&mut buf, key);
+                    write!(f, "{buf}:{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj(vec![
+            ("name", Json::from("ft-324")),
+            ("seconds", Json::from(0.25_f64)),
+            ("smps", Json::from(216_usize)),
+            ("ok", Json::from(true)),
+            ("tags", Json::array(vec!["a", "b"])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"ft-324","seconds":0.25,"smps":216,"ok":true,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj(vec![("z", 1_u64), ("a", 2_u64)]);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Json::from("a\"b\\c\nd");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal() {
+        assert_eq!(Json::from(2.0_f64).to_string(), "2.0");
+    }
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let v = Json::obj(vec![
+            ("rows", Json::Array(vec![Json::obj(vec![("n", 1_u64)])])),
+            ("empty", Json::Array(vec![])),
+        ]);
+        let pretty = v.pretty();
+        assert!(pretty.starts_with("{\n  \"rows\": [\n    {\n      \"n\": 1\n    }\n  ],"));
+        assert!(pretty.ends_with("\"empty\": []\n}\n"));
+    }
+}

@@ -3,11 +3,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use ib_mad::SmpLedger;
 use ib_routing::EngineKind;
 use ib_sm::{discovery, lids};
+use ib_subnet::lft::min_blocks_for;
 use ib_subnet::topology::{fattree, BuiltTopology};
 use ib_subnet::Subnet;
 use ib_types::LidSpace;
@@ -43,26 +47,89 @@ pub fn manage(built: BuiltTopology) -> ManagedFabric {
     }
 }
 
+/// Timing statistics for repeated runs of one routing engine on one
+/// fabric. Only `engine.compute` is inside the timed region — engine
+/// construction, fabric construction, and any clones happen outside it.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineTiming {
+    /// Fastest run — the figure-of-merit (least scheduler noise).
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// How many timed runs the stats summarize.
+    pub runs: usize,
+    /// Routing decisions taken (identical across runs).
+    pub decisions: u64,
+}
+
+/// Times `runs` engine runs on a fabric (at least one), reporting the min
+/// and median. The engine is built once, outside the timed region.
+#[must_use]
+pub fn time_engine_stats(fabric: &ManagedFabric, engine: EngineKind, runs: usize) -> EngineTiming {
+    let e = engine.build();
+    let runs = runs.max(1);
+    let mut samples = Vec::with_capacity(runs);
+    let mut decisions = 0;
+    for _ in 0..runs {
+        let started = Instant::now();
+        let tables = e.compute(&fabric.subnet).expect("engine");
+        samples.push(started.elapsed());
+        decisions = tables.decisions;
+    }
+    samples.sort_unstable();
+    EngineTiming {
+        min: samples[0],
+        median: samples[runs / 2],
+        runs,
+        decisions,
+    }
+}
+
 /// Times one engine run on a fabric, returning `(elapsed, decisions)`.
 pub fn time_engine(fabric: &ManagedFabric, engine: EngineKind) -> (Duration, u64) {
-    let e = engine.build();
-    let started = Instant::now();
-    let tables = e.compute(&fabric.subnet).expect("engine");
-    (started.elapsed(), tables.decisions)
+    let stats = time_engine_stats(fabric, engine, 1);
+    (stats.min, stats.decisions)
+}
+
+/// One cell of the Fig. 7 grid: a `(topology, engine)` pair with its
+/// timing stats and the topology's full-reconfiguration SMP floor for
+/// context.
+#[derive(Clone, Debug)]
+pub struct Fig7Cell {
+    /// Topology name (e.g. `fat-tree-2L-324`).
+    pub topology: String,
+    /// Physical switch count.
+    pub switches: usize,
+    /// Engine name (e.g. `minhop`).
+    pub engine: String,
+    /// Path-computation timing stats.
+    pub timing: EngineTiming,
+    /// `n · m`: the minimum SMPs a full reconfiguration would then send.
+    pub min_smps_full_rc: usize,
+}
+
+/// The topology constructors behind [`fig7_topologies`], so callers can
+/// build the fabrics themselves (e.g. in parallel).
+#[must_use]
+pub fn fig7_builders(level: u8) -> Vec<fn() -> BuiltTopology> {
+    let mut out: Vec<fn() -> BuiltTopology> = vec![fattree::paper_324, fattree::paper_648];
+    if level >= 1 {
+        out.push(fattree::paper_5832);
+    }
+    if level >= 2 {
+        out.push(fattree::paper_11664);
+    }
+    out
 }
 
 /// The Fig. 7 topology set, gated by size so debug/CI runs stay fast:
 /// level 0 = the two 2-level trees; level 1 adds 5832; level 2 adds 11664.
 #[must_use]
 pub fn fig7_topologies(level: u8) -> Vec<ManagedFabric> {
-    let mut out = vec![manage(fattree::paper_324()), manage(fattree::paper_648())];
-    if level >= 1 {
-        out.push(manage(fattree::paper_5832()));
-    }
-    if level >= 2 {
-        out.push(manage(fattree::paper_11664()));
-    }
-    out
+    fig7_builders(level)
+        .into_iter()
+        .map(|b| manage(b()))
+        .collect()
 }
 
 /// Which engines Fig. 7 runs at a given subnet size. The expensive
@@ -83,6 +150,80 @@ pub fn fig7_engines(switches: usize, force: bool) -> Vec<EngineKind> {
     engines
 }
 
+/// Runs the whole Fig. 7 grid — every `(topology, engine)` cell — across
+/// `workers` threads, `runs` timed repetitions per cell.
+///
+/// Fabric construction is parallelized first (one job per topology), then
+/// the cells are pulled off a shared work queue. Each cell's timing runs
+/// alone on its thread; cells on the same machine still contend for memory
+/// bandwidth, which is why the per-cell *min* of several runs is the
+/// number to trust. The returned vector is always in deterministic
+/// `fig7_topologies` × `fig7_engines` order regardless of `workers`.
+#[must_use]
+pub fn fig7_grid(level: u8, force: bool, workers: usize, runs: usize) -> Vec<Fig7Cell> {
+    let builders = fig7_builders(level);
+    let fabrics = parallel_map(builders.len(), workers, |i| manage(builders[i]()));
+
+    let mut cells: Vec<(usize, EngineKind)> = Vec::new();
+    for (fi, fabric) in fabrics.iter().enumerate() {
+        for engine in fig7_engines(fabric.switches, force) {
+            cells.push((fi, engine));
+        }
+    }
+
+    parallel_map(cells.len(), workers, |ci| {
+        let (fi, engine) = cells[ci];
+        let fabric = &fabrics[fi];
+        Fig7Cell {
+            topology: fabric.name.clone(),
+            switches: fabric.switches,
+            engine: engine.name().to_string(),
+            timing: time_engine_stats(fabric, engine, runs),
+            min_smps_full_rc: fabric.switches
+                * fabric.subnet.topmost_lid().map_or(0, min_blocks_for),
+        }
+    })
+}
+
+/// Maps `run` over `0..jobs` on up to `workers` scoped threads, pulling
+/// indices off a shared atomic queue. Results come back in index order, so
+/// output is deterministic for any worker count.
+fn parallel_map<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(jobs).max(1);
+    if workers <= 1 {
+        return (0..jobs).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        out.push((i, run(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, T)> = parts.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, v)| v).collect()
+}
+
 /// Reads a benchmark scale level from `IB_BENCH_LEVEL` (default 0).
 #[must_use]
 pub fn bench_level() -> u8 {
@@ -90,4 +231,47 @@ pub fn bench_level() -> u8 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for workers in [1, 2, 8] {
+            let out = parallel_map(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn time_engine_stats_clamps_runs_and_orders_quantiles() {
+        let fabric = manage(fattree::two_level(2, 2, 2));
+        let stats = time_engine_stats(&fabric, EngineKind::MinHop, 0);
+        assert_eq!(stats.runs, 1);
+        let stats = time_engine_stats(&fabric, EngineKind::MinHop, 3);
+        assert_eq!(stats.runs, 3);
+        assert!(stats.min <= stats.median);
+        assert!(stats.decisions > 0);
+    }
+
+    #[test]
+    fn fig7_grid_order_is_worker_independent() {
+        // The grid on the small topologies: same cells, same order, same
+        // decision counts for any worker count.
+        let seq = fig7_grid(0, false, 1, 1);
+        let par = fig7_grid(0, false, 4, 1);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.topology, b.topology);
+            assert_eq!(a.engine, b.engine);
+            assert_eq!(a.timing.decisions, b.timing.decisions);
+            assert_eq!(a.min_smps_full_rc, b.min_smps_full_rc);
+        }
+        // Table I cross-check: 36 switches x 6 blocks, 54 x 11.
+        assert_eq!(seq[0].min_smps_full_rc, 216);
+        let ft648 = seq.iter().find(|c| c.switches == 54).unwrap();
+        assert_eq!(ft648.min_smps_full_rc, 594);
+    }
 }

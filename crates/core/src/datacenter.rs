@@ -83,6 +83,7 @@ impl DataCenter {
             SmConfig {
                 engine: config.engine,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         let bring_up = sm.bring_up(&mut subnet)?;

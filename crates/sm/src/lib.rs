@@ -28,9 +28,9 @@ pub mod sa;
 pub mod sm;
 pub mod traps;
 
-pub use distribution::FailedBlock;
+pub use distribution::{FailedBlock, ResumeAccounting};
 pub use failover::{SmGroup, SmInstance, SmState};
 pub use report::{BringUpReport, DistributionReport};
 pub use sa::{PathRecord, PathRecordCache, SaService};
-pub use sm::{SmConfig, SmpMode, SubnetManager};
+pub use sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};
 pub use traps::{ResweepReport, SweepKind, Trap};

@@ -26,6 +26,48 @@ pub enum SmpMode {
     Destination,
 }
 
+/// Parallelism knobs for the SM's heavy sweep.
+///
+/// The sweep's per-switch work — diffing the installed LFT against the
+/// padded target and materializing dirty-block payloads — is read-only over
+/// the subnet, so it fans out across scoped worker threads. The SMP
+/// *stream* stays serialized in ascending switch order afterwards, so the
+/// ledger and the installed tables are byte-identical whatever `workers`
+/// is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Planning worker threads. `1` (the default) plans inline on the
+    /// calling thread; `0` means "use the machine's available parallelism".
+    pub workers: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self { workers: 1 }
+    }
+}
+
+impl SweepOptions {
+    /// A sweep fanned out over `workers` planning threads.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    /// The thread count to actually spawn for `jobs` independent units:
+    /// resolves `0` to the available parallelism and never exceeds the job
+    /// count.
+    #[must_use]
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
 /// Subnet manager configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SmConfig {
@@ -33,6 +75,8 @@ pub struct SmConfig {
     pub engine: EngineKind,
     /// How configuration SMPs are addressed.
     pub smp_mode: SmpMode,
+    /// How the heavy sweep parallelizes its planning work.
+    pub sweep: SweepOptions,
 }
 
 impl Default for SmConfig {
@@ -40,6 +84,7 @@ impl Default for SmConfig {
         Self {
             engine: EngineKind::MinHop,
             smp_mode: SmpMode::Directed,
+            sweep: SweepOptions::default(),
         }
     }
 }
@@ -117,12 +162,13 @@ impl SubnetManager {
         let tables = engine.compute(subnet)?;
         let path_computation = started.elapsed();
 
-        let dist = distribution::distribute(
+        let dist = distribution::distribute_opts(
             subnet,
             self.sm_node,
             &tables,
             self.config.smp_mode,
             &mut self.ledger,
+            self.config.sweep,
         )?;
 
         Ok(BringUpReport {
@@ -183,6 +229,7 @@ mod tests {
             SmConfig {
                 engine: EngineKind::Dfsssp,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         let report = sm.bring_up(&mut t.subnet).unwrap();
@@ -229,6 +276,7 @@ mod tests {
             SmConfig {
                 engine: EngineKind::MinHop,
                 smp_mode: SmpMode::Destination,
+                ..SmConfig::default()
             },
         );
         let report = sm2.full_reconfiguration(&mut t.subnet).unwrap();

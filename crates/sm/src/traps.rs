@@ -23,7 +23,7 @@ use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbResult, Lid, PortNum};
 
 use crate::discovery;
-use crate::distribution::{self, FailedBlock};
+use crate::distribution::{self, FailedBlock, ResumeAccounting};
 use crate::report::DistributionReport;
 use crate::sm::SubnetManager;
 
@@ -194,6 +194,11 @@ impl SubnetManager {
 
     /// Distribution with bounded resume passes: failed blocks are retried
     /// until they land, progress stops, or the pass budget runs out.
+    ///
+    /// Accounting merges per-switch across passes ([`ResumeAccounting`]),
+    /// so the returned report equals the fault-free report once every block
+    /// has landed — a switch split across passes is counted once in
+    /// `switches_updated` and its blocks sum in `max_blocks_per_switch`.
     fn distribute_resumably<C: SmpChannel>(
         &mut self,
         subnet: &mut Subnet,
@@ -201,33 +206,38 @@ impl SubnetManager {
         transport: &mut SmpTransport<C>,
     ) -> IbResult<(DistributionReport, usize, Vec<FailedBlock>)> {
         let mode = self.config().smp_mode;
-        let (mut report, mut failed) = distribution::distribute_with(
+        let sweep = self.config().sweep;
+        let mut acct = ResumeAccounting::new();
+        self.ledger.begin_phase("lft-distribution");
+        let (first, mut failed) = distribution::push_blocks(
             subnet,
             self.sm_node,
             tables,
             mode,
             transport,
             &mut self.ledger,
+            None,
+            sweep,
         )?;
+        acct.merge(first);
         let mut passes = 0;
         while !failed.is_empty() && passes < MAX_RETRY_PASSES {
-            let (more, still_failed) = distribution::retry_failed_blocks(
+            self.ledger.begin_phase("lft-distribution-retry");
+            let (more, still_failed) = distribution::push_blocks(
                 subnet,
                 self.sm_node,
                 tables,
                 mode,
                 transport,
                 &mut self.ledger,
-                &failed,
+                Some(&failed),
+                sweep,
             )?;
-            report.lft_smps += more.lft_smps;
-            report.switches_updated += more.switches_updated;
-            report.max_blocks_per_switch =
-                report.max_blocks_per_switch.max(more.max_blocks_per_switch);
+            acct.merge(more);
             passes += 1;
             failed = still_failed;
         }
-        Ok((report, passes, failed))
+        Ok((acct.report(), passes, failed))
     }
 }
 

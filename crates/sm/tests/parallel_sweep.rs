@@ -1,0 +1,80 @@
+//! The parallel sweep must be invisible in the output: for any worker
+//! count, a full bring-up on the paper's fat trees installs byte-identical
+//! LFTs and logs an identical SMP ledger. Planning fans out across scoped
+//! threads, but the SMP stream is serialized in ascending switch order —
+//! these tests pin that contract on real Fig. 7 topologies (324 = 36
+//! switches × 6 blocks, 648 = 54 × 11).
+
+use ib_mad::SmpLedger;
+use ib_routing::EngineKind;
+use ib_sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};
+use ib_subnet::topology::{fattree, BuiltTopology};
+use ib_subnet::{Lft, NodeId};
+
+/// Brings the fabric up with the fat-tree engine (the cheap one — these
+/// run in debug) at the given worker count, returning the full ledger and
+/// every installed switch LFT.
+fn sweep(build: fn() -> BuiltTopology, workers: usize) -> (SmpLedger, Vec<(NodeId, Lft)>) {
+    let mut t = build();
+    let mut sm = SubnetManager::new(
+        t.hosts[0],
+        SmConfig {
+            engine: EngineKind::FatTree,
+            smp_mode: SmpMode::Directed,
+            sweep: SweepOptions::with_workers(workers),
+        },
+    );
+    let report = sm.bring_up(&mut t.subnet).expect("bring-up");
+    assert!(report.distribution.lft_smps > 0);
+    let lfts = t
+        .subnet
+        .physical_switches()
+        .map(|s| (s.id, s.lft().expect("installed LFT").clone()))
+        .collect();
+    (sm.ledger, lfts)
+}
+
+fn assert_worker_count_invisible(build: fn() -> BuiltTopology, expect_lft_smps: usize) {
+    let (ref_ledger, ref_lfts) = sweep(build, 1);
+    assert_eq!(
+        ref_ledger.phase_total("lft-distribution"),
+        expect_lft_smps,
+        "virgin fabric pays n x m SMPs"
+    );
+    for workers in [2usize, 8] {
+        let (ledger, lfts) = sweep(build, workers);
+        assert_eq!(
+            ref_ledger.records(),
+            ledger.records(),
+            "ledger differs at workers={workers}"
+        );
+        assert_eq!(
+            ref_ledger.phase_total("lft-distribution"),
+            ledger.phase_total("lft-distribution"),
+            "SMP count differs at workers={workers}"
+        );
+        assert_eq!(ref_lfts, lfts, "LFTs differ at workers={workers}");
+    }
+}
+
+#[test]
+fn fat_tree_324_sweep_is_worker_count_invariant() {
+    // Table I row 1: 36 switches x 6 blocks.
+    assert_worker_count_invisible(fattree::paper_324, 36 * 6);
+}
+
+#[test]
+fn fat_tree_648_sweep_is_worker_count_invariant() {
+    // Table I row 2: 54 switches x 11 blocks.
+    assert_worker_count_invisible(fattree::paper_648, 54 * 11);
+}
+
+#[test]
+fn workers_zero_resolves_to_machine_parallelism() {
+    // `workers: 0` means "ask the OS" — it must behave like any other
+    // worker count, not panic or serialize the stream differently.
+    let (ref_ledger, ref_lfts) = sweep(fattree::paper_324, 1);
+    let (ledger, lfts) = sweep(fattree::paper_324, 0);
+    assert_eq!(ref_ledger.records(), ledger.records());
+    assert_eq!(ref_lfts, lfts);
+}

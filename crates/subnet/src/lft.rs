@@ -171,11 +171,80 @@ impl Lft {
         out
     }
 
+    /// A borrowed, lazily padded view of this LFT (see [`Lft::padded`]):
+    /// entries `1..=topmost` read as [`PortNum::DROP`] when unset, without
+    /// materializing a padded clone. With `topmost == None` the view reads
+    /// exactly like the underlying table.
+    ///
+    /// This is the allocation-free form the SM's sweep uses: one padded
+    /// clone per switch per sweep is the dominant cost of diffing a target
+    /// LFT at fat-tree scale.
+    #[must_use]
+    pub fn padded_view(&self, topmost: Option<Lid>) -> PaddedLftView<'_> {
+        PaddedLftView { lft: self, topmost }
+    }
+
     fn ensure_block(&mut self, block: usize) {
         let needed = (block + 1) * LFT_BLOCK_SIZE;
         if self.entries.len() < needed {
             self.entries.resize(needed, None);
         }
+    }
+}
+
+/// A read-only view of an [`Lft`] padded to a topmost LID, equivalent to
+/// [`Lft::padded`] block for block but borrowing instead of cloning.
+#[derive(Clone, Copy, Debug)]
+pub struct PaddedLftView<'a> {
+    lft: &'a Lft,
+    topmost: Option<Lid>,
+}
+
+impl PaddedLftView<'_> {
+    /// Number of 64-entry blocks the view covers: every allocated block of
+    /// the underlying table, extended to cover `topmost`.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        let from_top = self.topmost.map_or(0, |t| t.lft_block() + 1);
+        self.lft.num_blocks().max(from_top)
+    }
+
+    /// Materializes one 64-entry block into `out`, applying the padding
+    /// rule: unset entries in `1..=topmost` become [`PortNum::DROP`],
+    /// entries beyond stay unset.
+    pub fn copy_block_into(&self, block: usize, out: &mut [Option<PortNum>; LFT_BLOCK_SIZE]) {
+        match self.lft.block(block) {
+            Some(src) => out.copy_from_slice(src),
+            None => out.fill(None),
+        }
+        if let Some(top) = self.topmost {
+            let start = block * LFT_BLOCK_SIZE;
+            let top = top.raw() as usize;
+            for (i, entry) in out.iter_mut().enumerate() {
+                let raw = start + i;
+                if raw >= 1 && raw <= top && entry.is_none() {
+                    *entry = Some(PortNum::DROP);
+                }
+            }
+        }
+    }
+
+    /// Block indices where `installed` differs from this (padded) view —
+    /// identical to `installed.dirty_blocks(&lft.padded(topmost))` without
+    /// building the padded copy.
+    #[must_use]
+    pub fn dirty_blocks_against(&self, installed: &Lft) -> Vec<usize> {
+        let max_blocks = installed.num_blocks().max(self.num_blocks());
+        let empty = [None; LFT_BLOCK_SIZE];
+        let mut buf = [None; LFT_BLOCK_SIZE];
+        let mut dirty = Vec::new();
+        for b in 0..max_blocks {
+            self.copy_block_into(b, &mut buf);
+            if installed.block(b).unwrap_or(&empty) != buf.as_slice() {
+                dirty.push(b);
+            }
+        }
+        dirty
     }
 }
 
@@ -378,6 +447,49 @@ mod tests {
         assert_eq!(padded.get(lid(131)), None, "beyond topmost stays unset");
         // Against an empty LFT, every covered block is dirty: the n*m term.
         assert_eq!(Lft::new().dirty_blocks(&padded), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn padded_view_matches_padded_clone() {
+        let mut lft = Lft::new();
+        lft.set(lid(2), port(2));
+        lft.set(lid(70), port(4));
+        for topmost in [None, Some(lid(2)), Some(lid(130)), Some(lid(70))] {
+            let view = lft.padded_view(topmost);
+            let clone = match topmost {
+                Some(t) => lft.padded(t),
+                None => lft.clone(),
+            };
+            assert_eq!(view.num_blocks(), clone.num_blocks(), "{topmost:?}");
+            let mut buf = [None; LFT_BLOCK_SIZE];
+            for b in 0..view.num_blocks() + 1 {
+                view.copy_block_into(b, &mut buf);
+                let expect = clone.block(b).unwrap_or(&[None; LFT_BLOCK_SIZE]);
+                assert_eq!(&buf[..], expect, "block {b} under {topmost:?}");
+            }
+            // Dirty sets against assorted installed tables agree too.
+            for installed in [Lft::new(), lft.clone(), clone.clone()] {
+                assert_eq!(
+                    view.dirty_blocks_against(&installed),
+                    installed.dirty_blocks(&clone),
+                    "{topmost:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_view_sees_blocks_beyond_topmost() {
+        // The installed table is longer than the padded target: the extra
+        // installed blocks must still show up dirty.
+        let target = Lft::new();
+        let mut installed = Lft::new();
+        installed.set(lid(200), port(3));
+        let view = target.padded_view(Some(lid(64)));
+        assert_eq!(
+            view.dirty_blocks_against(&installed),
+            installed.dirty_blocks(&target.padded(lid(64)))
+        );
     }
 
     #[test]

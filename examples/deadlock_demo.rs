@@ -21,6 +21,7 @@ fn main() {
         SmConfig {
             engine: EngineKind::MinHop,
             smp_mode: SmpMode::Directed,
+            ..SmConfig::default()
         },
     );
     sm.bring_up(&mut t.subnet).expect("bring-up");
@@ -83,6 +84,7 @@ fn main() {
         SmConfig {
             engine: EngineKind::Dfsssp,
             smp_mode: SmpMode::Directed,
+            ..SmConfig::default()
         },
     );
     sm2.bring_up(&mut t2.subnet).expect("bring-up");

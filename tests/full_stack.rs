@@ -34,6 +34,7 @@ fn every_engine_brings_up_a_fat_tree() {
             SmConfig {
                 engine,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         let report = sm.bring_up(&mut t.subnet).unwrap();
@@ -51,6 +52,7 @@ fn deadlock_free_engines_bring_up_a_torus() {
             SmConfig {
                 engine,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         sm.bring_up(&mut t.subnet).unwrap();
@@ -78,6 +80,7 @@ fn deadlock_free_engines_handle_exotic_topologies() {
                 SmConfig {
                     engine,
                     smp_mode: SmpMode::Directed,
+                    ..SmConfig::default()
                 },
             );
             sm.bring_up(&mut t.subnet).unwrap();
@@ -109,6 +112,7 @@ fn engines_handle_irregular_fabrics() {
             SmConfig {
                 engine,
                 smp_mode: SmpMode::Directed,
+                ..SmConfig::default()
             },
         );
         sm.bring_up(&mut t.subnet).unwrap();

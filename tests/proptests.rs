@@ -323,3 +323,91 @@ fn credit_sim_conserves_packets() {
         assert_eq!(report.delivered + report.dropped, total);
     }
 }
+
+// ---------------------------------------------------------------------
+// LFT dirty-block / equality coherence and sweep idempotence
+// ---------------------------------------------------------------------
+
+/// `dirty_blocks` and semantic equality must agree: two LFTs compare
+/// equal exactly when no block differs — including when one side carries
+/// trailing blocks that are allocated but entirely unset (growing a table
+/// without setting anything is not a difference, so it must cost no SMPs).
+#[test]
+fn lft_equality_iff_no_dirty_blocks() {
+    let mut rng = StdRng::seed_from_u64(0x51_07);
+    for case in 0..200 {
+        let entries = rand_entries(&mut rng, 0, 60);
+        let mut a = Lft::new();
+        for (lid, port) in &entries {
+            a.set(*lid, *port);
+        }
+        let mut b = a.clone();
+
+        // Half the cases: grow one side with trailing all-None blocks
+        // (allocate via set + clear so no entry survives).
+        if rng.gen_range(0u8..2) == 0 {
+            let grow = Lid::from_raw(rng.gen_range(400u16..600));
+            b.set(grow, PortNum::new(1));
+            b.clear(grow);
+        }
+        assert_eq!(a, b, "case {case}: trailing unset blocks are not a diff");
+        assert!(
+            a.dirty_blocks(&b).is_empty(),
+            "case {case}: equal tables must have no dirty blocks"
+        );
+
+        // Now perturb one entry; equality and dirty_blocks must both flip.
+        let (lid, port) = (rand_lid(&mut rng), rand_port(&mut rng));
+        if b.get(lid) == Some(port) {
+            b.clear(lid);
+        } else {
+            b.set(lid, port);
+        }
+        assert_ne!(a, b, "case {case}: a one-entry diff must break equality");
+        let dirty = a.dirty_blocks(&b);
+        assert_eq!(
+            dirty,
+            vec![lid.lft_block()],
+            "case {case}: exactly the touched block is dirty"
+        );
+    }
+}
+
+/// After any bring-up, an immediate second sweep with the same engine
+/// finds every block clean and sends exactly zero LFT SMPs — on randomized
+/// fat-tree shapes and engines, for both serial and parallel planning.
+#[test]
+fn second_sweep_sends_no_smps() {
+    use ib_routing::EngineKind;
+    use ib_sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};
+
+    let mut rng = StdRng::seed_from_u64(0x51_08);
+    for _ in 0..12 {
+        let spines = rng.gen_range(2usize..4);
+        let leaves = rng.gen_range(2usize..5);
+        let hosts = rng.gen_range(1usize..4);
+        let engine = match rng.gen_range(0u8..3) {
+            0 => EngineKind::FatTree,
+            1 => EngineKind::MinHop,
+            _ => EngineKind::Dfsssp,
+        };
+        let workers = [1usize, 2, 8][rng.gen_range(0usize..3)];
+        let mut t = fattree::two_level(spines, leaves, hosts);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                engine,
+                smp_mode: SmpMode::Directed,
+                sweep: SweepOptions::with_workers(workers),
+            },
+        );
+        let first = sm.bring_up(&mut t.subnet).expect("bring-up");
+        assert!(first.distribution.lft_smps > 0);
+        let again = sm.full_reconfiguration(&mut t.subnet).expect("resweep");
+        assert_eq!(
+            again.distribution.lft_smps, 0,
+            "{spines}x{leaves}x{hosts} {engine:?} workers={workers}: idempotent sweep"
+        );
+        assert_eq!(again.distribution.switches_updated, 0);
+    }
+}
