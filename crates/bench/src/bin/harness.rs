@@ -15,11 +15,16 @@
 //! makes `table1`, `fig7`, and `faults` additionally write
 //! `BENCH_table1.json`, `BENCH_fig7.json`, and `BENCH_faults.json` — the
 //! machine-readable perf-trajectory files EXPERIMENTS.md documents.
+//! `--metrics <dir>` attaches an `ib-observe` metrics sink to the `faults`
+//! sweep and writes the accumulated counters/histograms/spans as
+//! `BENCH_metrics.json` (schema `ib-vswitch/bench-metrics/v1`), after
+//! asserting the counters reconcile with the SMP ledgers.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use ib_bench::json::Json;
+use ib_bench::metrics::metrics_doc;
 use ib_bench::{fig7_grid, manage};
 use ib_cloud::scenarios::testbed_datacenter;
 use ib_cloud::LiveMigrationWorkflow;
@@ -27,6 +32,7 @@ use ib_core::capacity::{dynamic_lids_consumed, prepopulated_lids_consumed, prepo
 use ib_core::cost::{Table1Row, PAPER_TABLE1};
 use ib_core::{DataCenter, DataCenterConfig, MigrationOptions, VirtArch};
 use ib_mad::CostModel;
+use ib_observe::Observer;
 use ib_subnet::topology::basic::{fig5_fabric, fig6_fabric};
 use ib_subnet::topology::fattree;
 
@@ -50,6 +56,8 @@ fn main() {
     });
     let json_dir: Option<PathBuf> = flag_value(&args, "--json");
     let json = json_dir.as_deref();
+    let metrics_dir: Option<PathBuf> = flag_value(&args, "--metrics");
+    let metrics = metrics_dir.as_deref();
 
     match cmd {
         "table1" => table1(json),
@@ -62,7 +70,7 @@ fn main() {
         "deadlock" => deadlock(),
         "sa-cache" => sa_cache(),
         "balance" => balance(),
-        "faults" => faults(json),
+        "faults" => faults(json, metrics),
         "dot" => dot(),
         "all" => {
             table1(json);
@@ -75,11 +83,11 @@ fn main() {
             deadlock();
             sa_cache();
             balance();
-            faults(json);
+            faults(json, metrics);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--json DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -619,8 +627,11 @@ fn balance() {
 
 /// Robustness sweep: the Algorithm-1 migration under SMP loss, with the
 /// transactional transport (retry + rollback). One row per architecture
-/// and per-hop drop probability, averaged over seeded trials.
-fn faults(json: Option<&Path>) {
+/// and per-hop drop probability, averaged over seeded trials. With
+/// `metrics` set, every trial reports into one shared `ib-observe` sink
+/// whose accumulated snapshot lands in `BENCH_metrics.json` — after the
+/// counters are asserted to reconcile with the per-trial SMP ledgers.
+fn faults(json: Option<&Path>, metrics: Option<&Path>) {
     use ib_mad::SmpTransport;
     use ib_subnet::topology::fattree::two_level;
 
@@ -630,6 +641,16 @@ fn faults(json: Option<&Path>) {
         "{:>22} {:>8} {:>10} {:>10} {:>9} {:>10} {:>10}",
         "architecture", "drop %", "attempts", "extra", "retries", "rollbacks", "committed"
     );
+    let observer = if metrics.is_some() {
+        Observer::metrics()
+    } else {
+        Observer::disabled()
+    };
+    // Ledger ground truth accumulated across every trial, to reconcile the
+    // observer's counters against at the end.
+    let mut ledger_attempts = 0usize;
+    let mut ledger_migration_smps = 0usize;
+    let mut migration_phase = String::new();
     let mut json_rows = Vec::new();
     for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
         let mut baseline = 0.0f64;
@@ -640,13 +661,14 @@ fn faults(json: Option<&Path>) {
             let mut rollbacks = 0usize;
             let mut committed = 0usize;
             for seed in 0..TRIALS {
-                let mut dc = DataCenter::from_topology(
+                let mut dc = DataCenter::from_topology_observed(
                     two_level(2, 3, 2),
                     DataCenterConfig {
                         arch,
                         vfs_per_hypervisor: 3,
                         ..DataCenterConfig::default()
                     },
+                    observer.clone(),
                 )
                 .expect("bring-up");
                 let vm = dc.create_vm("mover", 0).expect("create");
@@ -663,6 +685,9 @@ fn faults(json: Option<&Path>) {
                 } else {
                     rollbacks += 1;
                 }
+                ledger_attempts += dc.sm.ledger.total();
+                ledger_migration_smps += dc.sm.ledger.phase_total(&phase);
+                migration_phase = phase;
                 dc.verify_connectivity().expect("consistent either way");
             }
             let avg_attempts = attempts as f64 / TRIALS as f64;
@@ -699,6 +724,26 @@ fn faults(json: Option<&Path>) {
             ("rows", Json::Array(json_rows)),
         ]);
         write_json(dir, "BENCH_faults.json", &doc);
+    }
+    if let Some(dir) = metrics {
+        let snap = observer.snapshot().expect("metrics observer is enabled");
+        // The observer is a side channel over the ledgers; the two
+        // accountings must agree exactly before the file is trusted.
+        assert_eq!(
+            snap.counter("smp.attempts"),
+            ledger_attempts as u64,
+            "observer SMP attempts must reconcile with the ledgers"
+        );
+        assert_eq!(
+            snap.counter(&format!("phase.{migration_phase}.smps")),
+            ledger_migration_smps as u64,
+            "observer migration-phase SMPs must reconcile with the ledgers"
+        );
+        println!(
+            "metrics reconciled: {} SMP attempts, {} in the migration phase, across every trial",
+            ledger_attempts, ledger_migration_smps
+        );
+        write_json(dir, "BENCH_metrics.json", &metrics_doc(&snap));
     }
 }
 

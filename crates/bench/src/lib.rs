@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};

@@ -1,0 +1,106 @@
+//! Conversion of `ib-observe` snapshots into the `BENCH_*.json` pipeline.
+//!
+//! The registry's snapshot already sorts counters and histograms by name
+//! and keeps spans in completion order, so the emitted document is stable
+//! byte for byte for deterministic runs — the same property the other
+//! `BENCH_*.json` files rely on.
+
+use ib_observe::{HistogramSnapshot, MetricsSnapshot, SpanRecord};
+
+use crate::json::Json;
+
+/// Schema tag of the `BENCH_metrics.json` document.
+pub const METRICS_SCHEMA: &str = "ib-vswitch/bench-metrics/v1";
+
+/// The full `BENCH_metrics.json` document: schema tag, counters as one
+/// object (sorted keys), histograms and spans as arrays.
+#[must_use]
+pub fn metrics_doc(snapshot: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        ("schema", Json::from(METRICS_SCHEMA)),
+        ("counters", counters_json(snapshot)),
+        (
+            "histograms",
+            Json::Array(snapshot.histograms.iter().map(histogram_json).collect()),
+        ),
+        (
+            "spans",
+            Json::Array(snapshot.spans.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+fn counters_json(snapshot: &MetricsSnapshot) -> Json {
+    Json::Object(
+        snapshot
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Json::UInt(*value)))
+            .collect(),
+    )
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(h.name.as_str())),
+        ("count", Json::from(h.count)),
+        ("sum", Json::from(h.sum)),
+        ("max", Json::from(h.max)),
+        ("mean", Json::from(h.mean())),
+        (
+            "bounds",
+            Json::Array(h.bounds.iter().map(|&b| Json::UInt(b)).collect()),
+        ),
+        (
+            "bucket_counts",
+            Json::Array(h.counts.iter().map(|&c| Json::UInt(c)).collect()),
+        ),
+    ])
+}
+
+fn span_json(s: &SpanRecord) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(s.name.as_str())),
+        ("start_ns", Json::from(s.start_ns)),
+        ("duration_ns", Json::from(s.duration_ns)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_observe::{FakeClock, Observer};
+
+    #[test]
+    fn doc_carries_schema_counters_histograms_and_spans() {
+        let clock = FakeClock::new();
+        let observer = Observer::with_clock(Box::new(clock.clone()));
+        observer.incr("smp.attempts");
+        observer.incr("smp.attempts");
+        observer.record("smp.hops", 3);
+        {
+            let span = observer.span("sm.discovery");
+            clock.advance(42);
+            span.end();
+        }
+
+        let doc = metrics_doc(&observer.snapshot().unwrap());
+        let text = doc.to_string();
+        assert!(text.starts_with(&format!(r#"{{"schema":"{METRICS_SCHEMA}""#)));
+        assert!(text.contains(r#""smp.attempts":2"#));
+        assert!(text.contains(r#""name":"smp.hops","count":1,"sum":3"#));
+        assert!(text.contains(r#""name":"sm.discovery","start_ns":0,"duration_ns":42"#));
+    }
+
+    #[test]
+    fn doc_is_deterministic_for_identical_runs() {
+        let run = || {
+            let observer = Observer::with_clock(Box::new(FakeClock::new()));
+            observer.add("b.counter", 7);
+            observer.incr("a.counter");
+            observer.record("h", 100);
+            metrics_doc(&observer.snapshot().unwrap()).pretty()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -14,8 +14,8 @@ pub fn affected_by_swap(subnet: &Subnet, a: Lid, b: Lid) -> Vec<NodeId> {
     let mut v: Vec<NodeId> = subnet
         .physical_switches()
         .filter(|n| {
-            let lft = n.lft().expect("switch");
-            lft.get(a) != lft.get(b)
+            // A switch with no LFT yet has no rows to change.
+            n.lft().is_some_and(|lft| lft.get(a) != lft.get(b))
         })
         .map(|n| n.id)
         .collect();
@@ -30,11 +30,10 @@ pub fn affected_by_copy(subnet: &Subnet, pf: Lid, vm: Lid) -> Vec<NodeId> {
     let mut v: Vec<NodeId> = subnet
         .physical_switches()
         .filter(|n| {
-            let lft = n.lft().expect("switch");
-            match lft.get(pf) {
+            n.lft().is_some_and(|lft| match lft.get(pf) {
                 Some(target) => lft.get(vm) != Some(target),
                 None => false,
-            }
+            })
         })
         .map(|n| n.id)
         .collect();

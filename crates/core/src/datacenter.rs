@@ -3,6 +3,7 @@
 
 use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::Smp;
+use ib_observe::Observer;
 use ib_routing::EngineKind;
 use ib_sm::distribution::{hops_of, routing_for};
 use ib_sm::{BringUpReport, SmConfig, SmpMode, SubnetManager};
@@ -64,6 +65,17 @@ impl DataCenter {
     /// Virtualizes every host of `built` into a hypervisor and brings the
     /// fabric up. The SM runs on hypervisor 0's PF.
     pub fn from_topology(built: BuiltTopology, config: DataCenterConfig) -> IbResult<Self> {
+        Self::from_topology_observed(built, config, Observer::disabled())
+    }
+
+    /// Like [`Self::from_topology`], but the SM reports into `observer`
+    /// from the very first bring-up SMP — so discovery/assignment/routing
+    /// spans and all per-phase counters cover the whole lifetime.
+    pub fn from_topology_observed(
+        built: BuiltTopology,
+        config: DataCenterConfig,
+        observer: Observer,
+    ) -> IbResult<Self> {
         let mut subnet = built.subnet;
         if built.hosts.is_empty() {
             return Err(IbError::Virtualization("topology has no hosts".into()));
@@ -86,6 +98,7 @@ impl DataCenter {
                 ..SmConfig::default()
             },
         );
+        sm.set_observer(observer);
         let bring_up = sm.bring_up(&mut subnet)?;
         Ok(Self {
             subnet,
@@ -162,8 +175,8 @@ impl DataCenter {
             VirtArch::VSwitchDynamic => {
                 // Cable the dormant VF, hand it the next free LID, and let
                 // the fabric learn the LID by copying the PF's rows.
-                let vsw = self.hypervisors[hyp].vswitch.expect("vswitch mode");
-                let vf = self.hypervisors[hyp].vfs[slot].node.expect("vswitch mode");
+                let vsw = vswitch_of(&self.hypervisors[hyp], hyp)?;
+                let vf = vf_node_of(&self.hypervisors[hyp], hyp, slot)?;
                 self.subnet
                     .connect(vsw, vswitch_vf_port(slot), vf, PortNum::new(1))?;
                 let lid = self.sm.lid_space.allocate()?;
@@ -217,9 +230,7 @@ impl DataCenter {
         self.hypervisor_smp_vguid(pf, None)?;
 
         if self.config.arch == VirtArch::VSwitchDynamic {
-            let vf = self.hypervisors[hyp].vfs[vm.vf_slot]
-                .node
-                .expect("vswitch mode");
+            let vf = vf_node_of(&self.hypervisors[hyp], hyp, vm.vf_slot)?;
             self.hypervisor_smp_set_lid(pf, None)?;
             self.subnet.clear_lid(vm.lid)?;
             self.sm.lid_space.release(vm.lid)?;
@@ -279,7 +290,10 @@ impl DataCenter {
 
         // Bookkeeping.
         self.hypervisors[dest].vfs[dest_slot].attached = Some(id);
-        let rec = self.vms.get_mut(&id).expect("checked above");
+        let rec = self
+            .vms
+            .get_mut(&id)
+            .ok_or_else(|| IbError::Virtualization(format!("{id} vanished mid-migration")))?;
         rec.hypervisor = dest;
         rec.vf_slot = dest_slot;
         rec.lid = lid_after;
@@ -333,12 +347,8 @@ impl DataCenter {
         dest_vf_lid: Lid,
     ) -> IbResult<()> {
         let src = vm.hypervisor;
-        let src_vf = self.hypervisors[src].vfs[vm.vf_slot]
-            .node
-            .expect("vswitch mode");
-        let dest_vf = self.hypervisors[dest].vfs[dest_slot]
-            .node
-            .expect("vswitch mode");
+        let src_vf = vf_node_of(&self.hypervisors[src], src, vm.vf_slot)?;
+        let dest_vf = vf_node_of(&self.hypervisors[dest], dest, dest_slot)?;
         self.subnet.clear_lid(vm.lid)?;
         self.subnet.clear_lid(dest_vf_lid)?;
         self.subnet
@@ -384,13 +394,9 @@ impl DataCenter {
         dest_slot: usize,
     ) -> IbResult<()> {
         let src = vm.hypervisor;
-        let src_vf = self.hypervisors[src].vfs[vm.vf_slot]
-            .node
-            .expect("vswitch mode");
-        let dest_vf = self.hypervisors[dest].vfs[dest_slot]
-            .node
-            .expect("vswitch mode");
-        let vsw = self.hypervisors[dest].vswitch.expect("vswitch mode");
+        let src_vf = vf_node_of(&self.hypervisors[src], src, vm.vf_slot)?;
+        let dest_vf = vf_node_of(&self.hypervisors[dest], dest, dest_slot)?;
+        let vsw = vswitch_of(&self.hypervisors[dest], dest)?;
         self.subnet.clear_lid(vm.lid)?;
         self.subnet.disconnect(src_vf, PortNum::new(1))?;
         self.subnet
@@ -519,12 +525,13 @@ impl DataCenter {
         self.hypervisors[src].vfs[vm.vf_slot].attached = None;
         match self.hypervisor_smp_set_lid_tx(src_pf, None, transport) {
             Ok(attempt) => {
-                tx.retries += attempt as usize;
+                tx.count_delivery(attempt);
                 hypervisor_smps += 1;
             }
             Err(IbError::Transport(_)) => {
                 // Nothing was delivered anywhere: re-attach locally.
                 tx.committed = false;
+                self.sm.ledger.observer().incr("migration.abort.step_a");
                 self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
                 return Ok(aborted(tx, hypervisor_smps, LftUpdateStats::default()));
             }
@@ -538,11 +545,12 @@ impl DataCenter {
             };
             match sent {
                 Ok(attempt) => {
-                    tx.retries += attempt as usize;
+                    tx.count_delivery(attempt);
                     hypervisor_smps += 1;
                 }
                 Err(IbError::Transport(_)) => {
                     tx.committed = false;
+                    self.sm.ledger.observer().incr("migration.abort.step_a");
                     if dest_lid_is_set {
                         // The destination already holds the LID: take it back.
                         tx.rollback_smps += 1;
@@ -567,12 +575,14 @@ impl DataCenter {
         } else {
             None
         };
+        let missing_vf_lid =
+            || IbError::Virtualization("destination VF LID vanished mid-migration".into());
         let (lft, tx_b) = match self.config.arch {
             VirtArch::VSwitchPrepopulated => swap_on_fabric_tx(
                 &mut self.subnet,
                 self.sm.sm_node,
                 vm.lid,
-                dest_vf_lid.expect("computed above"),
+                dest_vf_lid.ok_or_else(missing_vf_lid)?,
                 &self.config.migration,
                 restrict.as_deref(),
                 transport,
@@ -594,6 +604,7 @@ impl DataCenter {
             VirtArch::SharedPort => unreachable!("rejected above"),
         };
         tx.retries += tx_b.retries;
+        tx.attempts += tx_b.attempts;
         tx.rolled_back_switches += tx_b.rolled_back_switches;
         tx.rollback_smps += tx_b.rollback_smps;
         if !tx_b.committed {
@@ -613,7 +624,7 @@ impl DataCenter {
                 &vm,
                 dest,
                 dest_slot,
-                dest_vf_lid.expect("computed above"),
+                dest_vf_lid.ok_or_else(missing_vf_lid)?,
             )?,
             VirtArch::VSwitchDynamic => {
                 self.commit_dynamic_registrations(&vm, dest, dest_slot)?;
@@ -621,7 +632,10 @@ impl DataCenter {
             VirtArch::SharedPort => unreachable!("rejected above"),
         }
         self.hypervisors[dest].vfs[dest_slot].attached = Some(id);
-        let rec = self.vms.get_mut(&id).expect("checked above");
+        let rec = self
+            .vms
+            .get_mut(&id)
+            .ok_or_else(|| IbError::Virtualization(format!("{id} vanished mid-migration")))?;
         rec.hypervisor = dest;
         rec.vf_slot = dest_slot;
 
@@ -752,7 +766,9 @@ impl DataCenter {
                     .endpoint_of(lid)
                     .ok_or_else(|| IbError::Management(format!("LID {lid} is unregistered")))?;
                 let path = self.subnet.trace_route(h.pf, lid, 64)?;
-                let arrived = *path.last().expect("non-empty path");
+                let arrived = *path
+                    .last()
+                    .ok_or_else(|| IbError::Topology(format!("empty route to LID {lid}")))?;
                 if arrived != target.node {
                     return Err(IbError::Topology(format!(
                         "LID {lid}: packet from hypervisor {} arrived at {} instead of {}",
@@ -765,6 +781,26 @@ impl DataCenter {
         }
         Ok(())
     }
+}
+
+/// The vSwitch node of a hypervisor, or a virtualization error for the
+/// Shared Port architecture (which has none).
+fn vswitch_of(h: &Hypervisor, hyp: usize) -> IbResult<NodeId> {
+    h.vswitch.ok_or_else(|| {
+        IbError::Virtualization(format!(
+            "hypervisor {hyp} has no vSwitch (shared-port mode)"
+        ))
+    })
+}
+
+/// The VF node behind a hypervisor slot, or a virtualization error for the
+/// Shared Port architecture (whose VFs have no fabric presence).
+fn vf_node_of(h: &Hypervisor, hyp: usize, slot: usize) -> IbResult<NodeId> {
+    h.vfs[slot].node.ok_or_else(|| {
+        IbError::Virtualization(format!(
+            "VF {slot} of hypervisor {hyp} has no node (shared-port mode)"
+        ))
+    })
 }
 
 fn first_lid_port(subnet: &Subnet, node: NodeId) -> PortNum {

@@ -32,7 +32,7 @@ impl LftSnapshot {
         Self {
             lfts: subnet
                 .switches()
-                .map(|n| (n.id, n.lft().expect("switch").clone()))
+                .filter_map(|n| n.lft().map(|lft| (n.id, lft.clone())))
                 .collect(),
         }
     }

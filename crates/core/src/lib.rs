@@ -26,6 +26,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A degraded fabric must degrade the report, not the process: production
+// paths return `IbError` instead of panicking (tests may still unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod affected;
 pub mod capacity;

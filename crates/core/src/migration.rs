@@ -19,7 +19,7 @@ use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::{Smp, SmpLedger};
 use ib_sm::distribution::{hops_of, routing_for};
 use ib_sm::SmpMode;
-use ib_subnet::{NodeId, Subnet};
+use ib_subnet::{Lft, NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid, PortNum};
 
 use crate::vm::VmId;
@@ -98,6 +98,16 @@ impl MigrationReport {
     }
 }
 
+/// The installed LFT of a switch the update pass already vetted, as an
+/// error instead of a panic: with a degraded subnet (a fault event landing
+/// mid-operation) the caller must get a chance to roll back.
+fn lft_mut_or_err(subnet: &mut Subnet, sw: NodeId) -> IbResult<&mut Lft> {
+    let name = subnet.name_of(sw).to_string();
+    subnet
+        .lft_mut(sw)
+        .ok_or(IbError::Management(format!("{name} has no LFT")))
+}
+
 /// The switches Algorithm 1 iterates for one update pass: every physical
 /// switch, or an explicit restriction (the §VI-D leaf-only case).
 fn targets(subnet: &Subnet, restrict: Option<&[NodeId]>) -> Vec<NodeId> {
@@ -150,11 +160,11 @@ pub fn swap_on_fabric(
         let hops = hops_of(subnet, sm_node, sw, &routing)?;
         if opts.invalidate_first {
             record_block_smp(subnet, sw, a.lft_block(), &routing, hops, ledger);
-            subnet.lft_mut(sw).expect("switch").set(a, PortNum::DROP);
+            lft_mut_or_err(subnet, sw)?.set(a, PortNum::DROP);
             stats.invalidation_smps += 1;
         }
         {
-            let lft = subnet.lft_mut(sw).expect("switch");
+            let lft = lft_mut_or_err(subnet, sw)?;
             match pb {
                 Some(p) => lft.set(a, p),
                 None => lft.clear(a),
@@ -209,13 +219,10 @@ pub fn copy_on_fabric(
         let hops = hops_of(subnet, sm_node, sw, &routing)?;
         if opts.invalidate_first {
             record_block_smp(subnet, sw, vm_lid.lft_block(), &routing, hops, ledger);
-            subnet
-                .lft_mut(sw)
-                .expect("switch")
-                .set(vm_lid, PortNum::DROP);
+            lft_mut_or_err(subnet, sw)?.set(vm_lid, PortNum::DROP);
             stats.invalidation_smps += 1;
         }
-        subnet.lft_mut(sw).expect("switch").set(vm_lid, target);
+        lft_mut_or_err(subnet, sw)?.set(vm_lid, target);
         record_block_smp(subnet, sw, vm_lid.lft_block(), &routing, hops, ledger);
         stats.lft_smps += 1;
         stats.switches_updated += 1;
@@ -229,18 +236,39 @@ pub fn copy_on_fabric(
 // ----------------------------------------------------------------------
 
 /// Accounting of one transactional LFT-update pass.
+///
+/// The attempts-versus-retries convention, pinned by regression tests and
+/// reconciled against the [`SmpLedger`]'s per-attempt records: for every
+/// *delivered* SMP, `attempts` counts all of its sends (first try
+/// included) and `retries` counts `attempts − 1` — the sends beyond the
+/// first. A fault-free pass therefore reports `retries == 0` and
+/// `attempts` equal to its delivered-SMP count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TxStats {
     /// Whether every LFT SMP was (eventually) delivered. `false` means the
     /// pass was rolled back and the installed LFTs match the pre-pass
     /// state.
     pub committed: bool,
-    /// Retry attempts beyond the first, summed over the delivered SMPs.
+    /// Retry attempts beyond each first try, summed over the delivered
+    /// SMPs. Zero for a fault-free run.
     pub retries: usize,
+    /// Total send attempts (first tries included) of the delivered SMPs.
+    /// Always `retries` plus the number of delivered SMPs.
+    pub attempts: usize,
     /// Switches whose rows were restored during rollback.
     pub rolled_back_switches: usize,
     /// Compensating SMPs attempted (best effort) during rollback.
     pub rollback_smps: usize,
+}
+
+impl TxStats {
+    /// Absorbs the 0-based successful-attempt number the transport returned
+    /// for one delivered SMP: `attempt` prior sends failed, so `attempt`
+    /// retries and `attempt + 1` total attempts.
+    pub(crate) fn count_delivery(&mut self, attempt: u32) {
+        self.retries += attempt as usize;
+        self.attempts += attempt as usize + 1;
+    }
 }
 
 /// Everything one resilient (transactional) migration did — the
@@ -299,6 +327,7 @@ pub fn swap_on_fabric_tx<C: SmpChannel>(
             "cannot swap a LID with itself".into(),
         ));
     }
+    let _span = ledger.observer().span("migration.step_b.swap");
     let mut stats = LftUpdateStats::default();
     let mut tx = TxStats {
         committed: true,
@@ -337,7 +366,12 @@ pub fn swap_on_fabric_tx<C: SmpChannel>(
             old: pb,
         });
         {
-            let lft = subnet.lft_mut(sw).expect("switch");
+            let Some(lft) = subnet.lft_mut(sw) else {
+                // The switch degraded between the read and the write: treat
+                // it as a delivery failure and roll the pass back.
+                rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+                return Ok((stats, tx));
+            };
             match pb {
                 Some(p) => lft.set(a, p),
                 None => lft.clear(a),
@@ -351,7 +385,7 @@ pub fn swap_on_fabric_tx<C: SmpChannel>(
         for &block in &blocks_for_swap {
             match send_block_smp(subnet, sw, block, &routing, hops, transport, ledger) {
                 Ok(attempt) => {
-                    tx.retries += attempt as usize;
+                    tx.count_delivery(attempt);
                     stats.lft_smps += 1;
                 }
                 Err(IbError::Transport(_)) => {
@@ -368,6 +402,7 @@ pub fn swap_on_fabric_tx<C: SmpChannel>(
         stats.switches_updated += 1;
         stats.max_blocks_per_switch = stats.max_blocks_per_switch.max(blocks_for_swap.len());
     }
+    observe_commit(ledger, &tx);
     Ok((stats, tx))
 }
 
@@ -390,6 +425,7 @@ pub fn copy_on_fabric_tx<C: SmpChannel>(
             "VM LID cannot equal the PF LID it copies".into(),
         ));
     }
+    let _span = ledger.observer().span("migration.step_b.copy");
     let mut stats = LftUpdateStats::default();
     let mut tx = TxStats {
         committed: true,
@@ -421,7 +457,11 @@ pub fn copy_on_fabric_tx<C: SmpChannel>(
             lid: vm_lid,
             old,
         });
-        subnet.lft_mut(sw).expect("switch").set(vm_lid, target);
+        let Some(lft) = subnet.lft_mut(sw) else {
+            rollback(subnet, sm_node, opts, &journal, transport, ledger, &mut tx);
+            return Ok((stats, tx));
+        };
+        lft.set(vm_lid, target);
         match send_block_smp(
             subnet,
             sw,
@@ -432,7 +472,7 @@ pub fn copy_on_fabric_tx<C: SmpChannel>(
             ledger,
         ) {
             Ok(attempt) => {
-                tx.retries += attempt as usize;
+                tx.count_delivery(attempt);
                 stats.lft_smps += 1;
                 stats.switches_updated += 1;
                 stats.max_blocks_per_switch = 1;
@@ -444,7 +484,18 @@ pub fn copy_on_fabric_tx<C: SmpChannel>(
             Err(e) => return Err(e),
         }
     }
+    observe_commit(ledger, &tx);
     Ok((stats, tx))
+}
+
+/// Mirrors a committed pass's transactional accounting into the observer.
+fn observe_commit(ledger: &SmpLedger, tx: &TxStats) {
+    let observer = ledger.observer();
+    if observer.is_enabled() {
+        observer.incr("migration.tx.committed");
+        observer.record("migration.tx.retries", tx.retries as u64);
+        observer.record("migration.tx.attempts", tx.attempts as u64);
+    }
 }
 
 /// Restores every journaled row (newest first) and pushes best-effort
@@ -490,6 +541,11 @@ fn rollback<C: SmpChannel>(
         let hops = hops_of(subnet, sm_node, sw, &routing).unwrap_or(0);
         tx.rollback_smps += 1;
         let _ = send_block_smp(subnet, sw, block, &routing, hops, transport, ledger);
+    }
+    let observer = ledger.observer();
+    if observer.is_enabled() {
+        observer.incr("migration.tx.rolled_back");
+        observer.record("migration.tx.rollback_smps", tx.rollback_smps as u64);
     }
 }
 

@@ -124,9 +124,11 @@ impl Tenancy {
     /// The P_Key a VM currently operates with.
     #[must_use]
     pub fn pkey_of(&self, vm: VmId) -> Option<PKey> {
-        self.enrollment.get(&vm).map(|&(num, m)| {
-            PKey::new(num, m == Membership::Full).expect("validated at enrollment")
-        })
+        // The number was validated at enrollment; if it somehow went bad,
+        // the VM reads as unenrolled rather than panicking.
+        self.enrollment
+            .get(&vm)
+            .and_then(|&(num, m)| PKey::new(num, m == Membership::Full).ok())
     }
 
     /// Whether two VMs may communicate under the partition rules.
@@ -173,7 +175,9 @@ impl Tenancy {
     }
 
     fn send_table(&mut self, dc: &mut DataCenter, vm: VmId, pf: ib_subnet::NodeId) -> IbResult<()> {
-        let key = self.pkey_of(vm).expect("enrolled");
+        let key = self
+            .pkey_of(vm)
+            .ok_or_else(|| IbError::Virtualization(format!("{vm} is not enrolled")))?;
         let routing = routing_for(&dc.subnet, dc.sm.sm_node, pf, SmpMode::Directed)?;
         let hops = hops_of(&dc.subnet, dc.sm.sm_node, pf, &routing)?;
         let smp = Smp::set_pkey_table(

@@ -312,14 +312,24 @@ impl<C: SmpChannel> SmpTransport<C> {
                     hops,
                     smp.routing.is_directed(),
                 );
-                self.clock_ns = self
-                    .clock_ns
-                    .saturating_add(rtt)
-                    .saturating_add(self.channel.jitter_ns());
+                let jitter = self.channel.jitter_ns();
+                self.clock_ns = self.clock_ns.saturating_add(rtt).saturating_add(jitter);
+                let observer = ledger.observer();
+                if observer.is_enabled() {
+                    observer.incr("transport.sends");
+                    observer.record("transport.rtt_ns", rtt.saturating_add(jitter));
+                }
                 return Ok(attempt);
             }
-            self.clock_ns = self.clock_ns.saturating_add(self.retry.timeout_ns(attempt));
+            let timeout = self.retry.timeout_ns(attempt);
+            self.clock_ns = self.clock_ns.saturating_add(timeout);
+            ledger.observer().add("transport.timeout_wait_ns", timeout);
             last = status;
+        }
+        let observer = ledger.observer();
+        if observer.is_enabled() {
+            observer.incr("transport.sends");
+            observer.incr("transport.exhausted");
         }
         Err(IbError::Transport(format!(
             "SMP to {} failed after {attempts} attempts (last outcome: {last:?})",

@@ -1,11 +1,34 @@
 //! The SMP ledger: ground-truth accounting of management traffic.
 
+use ib_observe::Observer;
 use ib_subnet::NodeId;
 use rustc_hash::FxHashMap;
 
 use crate::cost::CostModel;
 use crate::fault::SmpStatus;
 use crate::smp::{AttributeKind, Smp, SmpMethod};
+
+/// Stable lowercase label for an attribute kind, used in metric names
+/// (`smp.kind.<label>`).
+fn kind_label(kind: AttributeKind) -> &'static str {
+    match kind {
+        AttributeKind::NodeInfo => "node_info",
+        AttributeKind::SwitchInfo => "switch_info",
+        AttributeKind::PortInfo => "port_info",
+        AttributeKind::GuidInfo => "guid_info",
+        AttributeKind::LftBlock => "lft_block",
+        AttributeKind::PKeyTable => "pkey_table",
+    }
+}
+
+/// Stable label for a delivery outcome (`smp.outcome.<label>`).
+fn status_label(status: SmpStatus) -> &'static str {
+    match status {
+        SmpStatus::Delivered => "delivered",
+        SmpStatus::Dropped { .. } => "dropped",
+        SmpStatus::TimedOut => "timed_out",
+    }
+}
 
 /// One recorded SMP attempt.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,6 +57,10 @@ pub struct SmpLedger {
     records: Vec<SmpRecord>,
     /// (phase name, index of first record in that phase).
     phases: Vec<(String, usize)>,
+    /// Metrics sink. Disabled by default: the ledger stays the ground
+    /// truth, the observer is a side channel, and the recorded bytes are
+    /// identical either way.
+    observer: Observer,
 }
 
 impl SmpLedger {
@@ -41,6 +68,26 @@ impl SmpLedger {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty ledger that mirrors every record into `observer`.
+    #[must_use]
+    pub fn with_observer(observer: Observer) -> Self {
+        Self {
+            observer,
+            ..Self::default()
+        }
+    }
+
+    /// The metrics sink (disabled unless one was attached).
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// Attaches a metrics sink. Already-recorded SMPs are not replayed.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
     }
 
     /// Marks the start of a named phase; subsequent records belong to it.
@@ -60,15 +107,31 @@ impl SmpLedger {
     /// Records one SMP attempt with its ground-truth outcome. `hops` is the
     /// measured link-traversal count.
     pub fn record_attempt(&mut self, smp: &Smp, hops: usize, attempt: u32, status: SmpStatus) {
+        let kind = smp.attribute.kind();
         self.records.push(SmpRecord {
             target: smp.target,
             method: smp.method,
-            attribute: smp.attribute.kind(),
+            attribute: kind,
             directed: smp.routing.is_directed(),
             hops,
             attempt,
             status,
         });
+        if self.observer.is_enabled() {
+            self.observer.incr("smp.attempts");
+            self.observer
+                .incr(&format!("smp.outcome.{}", status_label(status)));
+            self.observer
+                .incr(&format!("smp.kind.{}", kind_label(kind)));
+            if attempt > 0 {
+                self.observer.incr("smp.retries");
+            }
+            self.observer.record("smp.attempt_no", u64::from(attempt));
+            self.observer.record("smp.hops", hops as u64);
+            if let Some((phase, _)) = self.phases.last() {
+                self.observer.incr(&format!("phase.{phase}.smps"));
+            }
+        }
     }
 
     /// Total SMP attempts recorded (including failed ones).
@@ -209,7 +272,8 @@ impl SmpLedger {
             .sum()
     }
 
-    /// Clears records and phases.
+    /// Clears records and phases. The attached observer (and its
+    /// accumulated metrics) is kept: metrics are cumulative across resets.
     pub fn reset(&mut self) {
         self.records.clear();
         self.phases.clear();
@@ -279,6 +343,47 @@ mod tests {
         assert!((ledger.paper_cost_us(&model) - 14.0).abs() < 1e-9);
         // Per-hop model: directed 2*(1+0.5), destination 2*1.
         assert!((ledger.per_hop_cost_us(1.0, 0.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_mirrors_ledger_counts() {
+        use ib_observe::{FakeClock, Observer};
+
+        let obs = Observer::with_clock(Box::new(FakeClock::new()));
+        let mut ledger = SmpLedger::with_observer(obs.clone());
+        ledger.begin_phase("bring-up");
+        ledger.record(&lft_smp(0, true, 0), 2);
+        ledger.record_attempt(&lft_smp(0, true, 1), 2, 0, SmpStatus::Dropped { hop: 1 });
+        ledger.record_attempt(&lft_smp(0, true, 1), 2, 1, SmpStatus::Delivered);
+
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("smp.attempts"), ledger.total() as u64);
+        assert_eq!(snap.counter("smp.retries"), ledger.retries() as u64);
+        assert_eq!(
+            snap.counter("smp.outcome.delivered"),
+            ledger.delivered() as u64
+        );
+        assert_eq!(snap.counter("smp.outcome.dropped"), ledger.dropped() as u64);
+        assert_eq!(snap.counter("smp.kind.lft_block"), 3);
+        assert_eq!(
+            snap.counter("phase.bring-up.smps"),
+            ledger.phase_total("bring-up") as u64
+        );
+        let hops = snap.histogram("smp.hops").unwrap();
+        assert_eq!(hops.count, 3);
+        assert_eq!(hops.sum, 6);
+    }
+
+    #[test]
+    fn disabled_observer_leaves_records_identical() {
+        let mut plain = SmpLedger::new();
+        let mut observed = SmpLedger::with_observer(ib_observe::Observer::disabled());
+        for ledger in [&mut plain, &mut observed] {
+            ledger.begin_phase("p");
+            ledger.record(&lft_smp(0, true, 0), 1);
+        }
+        assert_eq!(plain.records(), observed.records());
+        assert!(!observed.observer().is_enabled());
     }
 
     #[test]

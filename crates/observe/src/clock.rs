@@ -1,0 +1,105 @@
+//! Time sources for span measurement.
+//!
+//! Spans only ever subtract two readings of the same clock, so the absolute
+//! origin is arbitrary: the monotonic clock reports nanoseconds since its
+//! own construction, the fake clock reports whatever the test set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source. Implementations must be cheap and
+/// thread-safe — spans read the clock twice per scope, possibly from sweep
+/// worker threads.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary fixed origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time from [`Instant`], anchored at construction. The default
+/// clock in binaries.
+#[derive(Clone, Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // A u64 of nanoseconds spans ~584 years; saturate rather than wrap.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock for tests: time only moves when the test calls
+/// [`FakeClock::advance`]. Clones share the same underlying time, so a test
+/// can keep one handle and give another to an [`crate::Observer`].
+#[derive(Clone, Debug, Default)]
+pub struct FakeClock {
+    now: Arc<AtomicU64>,
+}
+
+impl FakeClock {
+    /// A clock starting at 0 ns.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Sets the absolute time in nanoseconds.
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for FakeClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_nondecreasing() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_moves_only_on_advance() {
+        let c = FakeClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 250);
+        let shared = c.clone();
+        shared.advance(50);
+        assert_eq!(c.now_ns(), 300);
+        c.set(7);
+        assert_eq!(shared.now_ns(), 7);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ib-observe
+//!
+//! Structured observability for the subnet-management pipeline: phase-scoped
+//! spans, atomic counters, and fixed-bucket histograms, collected into a
+//! [`MetricsRegistry`] and exported as a plain [`MetricsSnapshot`].
+//!
+//! The design constraints mirror the rest of the workspace:
+//!
+//! * **Zero dependencies.** The build is offline; everything here is `std`
+//!   (atomics, `Mutex`, `BTreeMap`), hand-rolled the way
+//!   `ib-bench`'s JSON emitter is.
+//! * **No-op when disabled.** The [`Observer`] handle every instrumented
+//!   component holds is an `Option<Arc<MetricsRegistry>>`; the disabled
+//!   default does no allocation and no atomic traffic, so an uninstrumented
+//!   run is byte-identical (ledgers, LFTs) to one before this crate existed.
+//! * **Deterministic in tests.** Time comes from a pluggable [`Clock`]:
+//!   binaries use the monotonic wall clock, tests use [`FakeClock`] and
+//!   advance it by hand, so span durations are exact and reproducible.
+//!
+//! The registry is shared by cheap cloning; all mutation goes through
+//! `&self` (atomics or short mutex sections), so one observer can be held by
+//! the SM, its transport, its ledger, and the parallel sweep workers at the
+//! same time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod observer;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SpanRecord,
+};
+pub use observer::{Observer, Span};

@@ -1,0 +1,370 @@
+//! Counters, histograms, spans, and the registry that owns them.
+//!
+//! Metric updates stay on the atomic fast path; the registry's mutexes are
+//! only taken to *resolve a name* to its metric (callers hold the returned
+//! `Arc` if they update in a loop) and to append finished spans.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::Clock;
+
+/// Bucket upper bounds shared by every histogram: powers of four from 1 to
+/// 4·10⁹ (plus an implicit overflow bucket). One fixed geometry covers the
+/// small-count metrics (retry numbers, dirty blocks) and the nanosecond
+/// durations (up to ~4.3 s) without per-metric configuration, and keeps the
+/// exported schema stable.
+pub const BUCKET_BOUNDS: [u64; 17] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+    4_294_967_296,
+];
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (counts or nanoseconds).
+/// Buckets use [`BUCKET_BOUNDS`]; a sample lands in the first bucket whose
+/// bound it does not exceed, or the overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    total: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..=BUCKET_BOUNDS.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            sum: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 if empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            bounds: BUCKET_BOUNDS.to_vec(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// One completed span: a named scope with start time and duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `sweep.plan` or `migration.step_a`.
+    pub name: String,
+    /// Clock reading when the span opened (ns).
+    pub start_ns: u64,
+    /// How long the span lasted (ns).
+    pub duration_ns: u64,
+}
+
+/// Point-in-time copy of one histogram, for export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every metric in a registry. Counters and
+/// histograms are sorted by name; spans are in completion order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Every histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Every completed span, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, or 0 if it was never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// A histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Completed spans with a given name.
+    #[must_use]
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+/// Owns every metric and the clock. Shared via `Arc` by all instrumented
+/// components; all mutation is through `&self`.
+pub struct MetricsRegistry {
+    clock: Box<dyn Clock>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry reading time from `clock`.
+    #[must_use]
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        Self {
+            clock,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current clock reading in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The counter with this name, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram with this name, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Records one sample into a named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// Appends a completed span.
+    pub fn push_span(&self, record: SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+
+    /// Copies every metric out.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        let spans = self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let reg = MetricsRegistry::new(Box::new(FakeClock::new()));
+        reg.add("z.second", 2);
+        reg.add("a.first", 1);
+        reg.add("z.second", 3);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_string(), 1), ("z.second".to_string(), 5)]
+        );
+        assert_eq!(snap.counter("z.second"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::default();
+        h.observe(0); // bucket 0 (<= 1)
+        h.observe(1); // bucket 0
+        h.observe(5); // bucket 2 (<= 16)
+        h.observe(u64::MAX); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+        let snap = h.snapshot("x");
+        assert_eq!(snap.counts[0], 2);
+        assert_eq!(snap.counts[2], 1);
+        assert_eq!(snap.counts[BUCKET_BOUNDS.len()], 1);
+        assert_eq!(snap.counts.len(), BUCKET_BOUNDS.len() + 1);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let reg = MetricsRegistry::new(Box::new(FakeClock::new()));
+        reg.observe("d", 10);
+        reg.observe("d", 30);
+        let snap = reg.snapshot();
+        let h = snap.histogram("d").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 40);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_keep_completion_order() {
+        let reg = MetricsRegistry::new(Box::new(FakeClock::new()));
+        reg.push_span(SpanRecord {
+            name: "b".into(),
+            start_ns: 0,
+            duration_ns: 5,
+        });
+        reg.push_span(SpanRecord {
+            name: "a".into(),
+            start_ns: 5,
+            duration_ns: 7,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans[0].name, "b");
+        assert_eq!(snap.spans[1].name, "a");
+        assert_eq!(snap.spans_named("a").len(), 1);
+    }
+}

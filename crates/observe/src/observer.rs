@@ -1,0 +1,196 @@
+//! The [`Observer`] handle instrumented components hold.
+//!
+//! An `Observer` is an `Option<Arc<MetricsRegistry>>` behind a unit-cost
+//! clone. The disabled default (what every constructor in the workspace
+//! produces unless observation is asked for) does *nothing*: no allocation,
+//! no atomics, no clock reads. That property is what lets the rest of the
+//! stack thread observers through `SmpLedger` and `SmpTransport` while
+//! guaranteeing uninstrumented runs stay byte-identical.
+//!
+//! Callers that build dynamic metric names (e.g. per-phase counters) should
+//! gate the `format!` behind [`Observer::is_enabled`] so the disabled path
+//! stays allocation-free.
+
+use std::sync::Arc;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, SpanRecord};
+
+/// A cheap-clone handle to a shared [`MetricsRegistry`], or a no-op.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<MetricsRegistry>>,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Observer(enabled)"
+        } else {
+            "Observer(disabled)"
+        })
+    }
+}
+
+impl Observer {
+    /// The no-op observer (same as `Default`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled observer timing spans with the monotonic wall clock —
+    /// what binaries use.
+    #[must_use]
+    pub fn metrics() -> Self {
+        Self::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// An enabled observer with an explicit clock — tests pass a
+    /// [`crate::FakeClock`] for deterministic span durations.
+    #[must_use]
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self {
+            inner: Some(Arc::new(MetricsRegistry::new(clock))),
+        }
+    }
+
+    /// Whether metrics are being collected.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The shared registry, if enabled.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.inner.as_ref()
+    }
+
+    /// Adds 1 to a named counter.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to a named counter.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(reg) = &self.inner {
+            reg.add(name, n);
+        }
+    }
+
+    /// Records one sample into a named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(reg) = &self.inner {
+            reg.observe(name, value);
+        }
+    }
+
+    /// Current clock reading in nanoseconds (0 when disabled).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |reg| reg.now_ns())
+    }
+
+    /// Opens a span; it closes (and records its duration) when the returned
+    /// guard drops. The name is only materialized when enabled.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            inner: self.inner.as_ref().map(|reg| {
+                let start_ns = reg.now_ns();
+                (Arc::clone(reg), name.to_string(), start_ns)
+            }),
+        }
+    }
+
+    /// Copies every metric out, or `None` when disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|reg| reg.snapshot())
+    }
+}
+
+/// Guard for an open span; records a [`SpanRecord`] on drop.
+#[must_use = "a span measures the scope it lives in — bind it to a variable"]
+pub struct Span {
+    inner: Option<(Arc<MetricsRegistry>, String, u64)>,
+}
+
+impl Span {
+    /// Closes the span now (sugar for dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((reg, name, start_ns)) = self.inner.take() {
+            let duration_ns = reg.now_ns().saturating_sub(start_ns);
+            reg.push_span(SpanRecord {
+                name,
+                start_ns,
+                duration_ns,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        obs.incr("c");
+        obs.record("h", 9);
+        let span = obs.span("s");
+        drop(span);
+        assert_eq!(obs.now_ns(), 0);
+        assert!(obs.snapshot().is_none());
+        assert_eq!(format!("{obs:?}"), "Observer(disabled)");
+    }
+
+    #[test]
+    fn span_durations_use_the_injected_clock() {
+        let clock = FakeClock::new();
+        let obs = Observer::with_clock(Box::new(clock.clone()));
+        clock.advance(100);
+        {
+            let _span = obs.span("phase");
+            clock.advance(250);
+        }
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(
+            snap.spans,
+            vec![SpanRecord {
+                name: "phase".into(),
+                start_ns: 100,
+                duration_ns: 250,
+            }]
+        );
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let obs = Observer::with_clock(Box::new(FakeClock::new()));
+        let other = obs.clone();
+        obs.incr("shared");
+        other.add("shared", 2);
+        assert_eq!(obs.snapshot().unwrap().counter("shared"), 3);
+        assert_eq!(format!("{obs:?}"), "Observer(enabled)");
+    }
+
+    #[test]
+    fn explicit_end_closes_a_span() {
+        let clock = FakeClock::new();
+        let obs = Observer::with_clock(Box::new(clock.clone()));
+        let span = obs.span("early");
+        clock.advance(40);
+        span.end();
+        clock.advance(1_000);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.spans[0].duration_ns, 40);
+    }
+}

@@ -13,6 +13,7 @@
 //! [`ib_sm::SubnetManager::handle_trap`].
 
 use ib_mad::fault::{LossyChannel, SmpTransport};
+use ib_observe::Observer;
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbResult, PortNum};
 
@@ -176,15 +177,41 @@ impl FaultDriver {
     /// the applied events in firing order (convert with
     /// [`FaultEvent::as_trap`] to feed the SM).
     pub fn advance(&mut self, subnet: &mut Subnet, now: SimTime) -> IbResult<Vec<FaultEvent>> {
+        self.advance_observed(subnet, now, &Observer::disabled())
+    }
+
+    /// Like [`Self::advance`], but counts each applied event into
+    /// `observer` as `fault.{link_down,link_up,switch_death}` (plus the
+    /// `fault.applied` total), so metrics dumps show what the fabric was
+    /// subjected to alongside how the SM coped.
+    pub fn advance_observed(
+        &mut self,
+        subnet: &mut Subnet,
+        now: SimTime,
+        observer: &Observer,
+    ) -> IbResult<Vec<FaultEvent>> {
         let mut fired = Vec::new();
         while self.queue.peek_time().is_some_and(|t| t <= now) {
-            let (_, event) = self.queue.pop().expect("peeked");
-            match event {
-                FaultEvent::LinkDown { node, port } => subnet.set_link_down(node, port)?,
-                FaultEvent::LinkUp { node, port } => subnet.set_link_up(node, port)?,
+            let Some((_, event)) = self.queue.pop() else {
+                break;
+            };
+            let label = match event {
+                FaultEvent::LinkDown { node, port } => {
+                    subnet.set_link_down(node, port)?;
+                    "fault.link_down"
+                }
+                FaultEvent::LinkUp { node, port } => {
+                    subnet.set_link_up(node, port)?;
+                    "fault.link_up"
+                }
                 FaultEvent::SwitchDeath { node } => {
                     subnet.remove_node(node)?;
+                    "fault.switch_death"
                 }
+            };
+            if observer.is_enabled() {
+                observer.incr(label);
+                observer.incr("fault.applied");
             }
             fired.push(event);
         }
@@ -229,6 +256,27 @@ mod tests {
         assert!(matches!(fired[0], FaultEvent::LinkDown { .. }));
         assert!(t.subnet.is_link_up(leaf, port));
         assert!(driver.is_done());
+    }
+
+    #[test]
+    fn observed_advance_counts_applied_events() {
+        let mut t = two_level(2, 2, 2);
+        let leaf = t.switch_levels[0][0];
+        let (port, _) = t.subnet.node(leaf).connected_ports().next().unwrap();
+        let plan = FaultPlan::none()
+            .with_event(SimTime(100), FaultEvent::LinkDown { node: leaf, port })
+            .with_event(SimTime(200), FaultEvent::LinkUp { node: leaf, port });
+        let mut driver = plan.driver();
+        let observer = Observer::with_clock(Box::new(ib_observe::FakeClock::new()));
+        let fired = driver
+            .advance_observed(&mut t.subnet, SimTime(500), &observer)
+            .unwrap();
+        assert_eq!(fired.len(), 2);
+        let snap = observer.snapshot().unwrap();
+        assert_eq!(snap.counter("fault.applied"), 2);
+        assert_eq!(snap.counter("fault.link_down"), 1);
+        assert_eq!(snap.counter("fault.link_up"), 1);
+        assert_eq!(snap.counter("fault.switch_death"), 0);
     }
 
     #[test]

@@ -46,7 +46,14 @@ pub fn sweep(
     let mut routes = Vec::new();
 
     while let Some(id) = queue.pop_front() {
-        let hops = route_to[id.index()].clone().expect("route recorded");
+        // Every enqueued node had its route recorded first; a miss would be
+        // a BFS bookkeeping bug, reported rather than panicked on.
+        let Some(hops) = route_to[id.index()].clone() else {
+            return Err(IbError::Management(format!(
+                "discovery queued {} without a route",
+                subnet.name_of(id)
+            )));
+        };
         let route = DirectedRoute::from_hops(hops.clone());
         let node = subnet.node(id);
 

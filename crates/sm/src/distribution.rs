@@ -19,6 +19,7 @@
 
 use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::{DirectedRoute, Smp, SmpAttribute, SmpLedger, SmpMethod, SmpRouting};
+use ib_observe::Observer;
 use ib_routing::RoutingTables;
 use ib_subnet::{Lft, NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid, PortNum, LFT_BLOCK_SIZE};
@@ -123,7 +124,9 @@ fn plan_all(
     mode: SmpMode,
     restrict: Option<&[FailedBlock]>,
     opts: SweepOptions,
+    observer: &Observer,
 ) -> IbResult<Vec<PlanOutcome>> {
+    let _span = observer.span("sweep.plan");
     let mut targets: Vec<(&NodeId, &Lft)> = tables.lfts.iter().collect();
     targets.sort_unstable_by_key(|(id, _)| id.index());
 
@@ -134,6 +137,10 @@ fn plan_all(
     let topmost = subnet.topmost_lid();
 
     let workers = opts.effective_workers(targets.len());
+    if observer.is_enabled() {
+        observer.add("planner.jobs", targets.len() as u64);
+        observer.record("planner.workers", workers as u64);
+    }
     if workers <= 1 {
         return targets
             .iter()
@@ -149,19 +156,34 @@ fn plan_all(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
+                let worker_obs = observer.clone();
                 scope.spawn(move || {
-                    chunk
+                    let started_ns = worker_obs.now_ns();
+                    let plans: IbResult<Vec<PlanOutcome>> = chunk
                         .iter()
                         .map(|&(&sw, target)| {
                             plan_switch(subnet, sm_node, sw, target, topmost, mode, restrict)
                         })
-                        .collect()
+                        .collect();
+                    if worker_obs.is_enabled() {
+                        worker_obs.record("planner.chunk_switches", chunk.len() as u64);
+                        worker_obs.record(
+                            "planner.worker_busy_ns",
+                            worker_obs.now_ns().saturating_sub(started_ns),
+                        );
+                    }
+                    plans
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep planner panicked"))
+            .map(|h| match h.join() {
+                Ok(plans) => plans,
+                // A worker panic is a bug in the planner itself, not a
+                // degraded-fabric condition; surface it on this thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
@@ -231,7 +253,9 @@ pub fn distribute_opts(
     opts: SweepOptions,
 ) -> IbResult<DistributionReport> {
     ledger.begin_phase("lft-distribution");
-    let plans = plan_all(subnet, sm_node, tables, mode, None, opts)?;
+    let observer = ledger.observer().clone();
+    let plans = plan_all(subnet, sm_node, tables, mode, None, opts, &observer)?;
+    let _apply_span = observer.span("sweep.apply");
     let mut report = DistributionReport::default();
     for outcome in plans {
         let plan = match outcome {
@@ -254,16 +278,27 @@ pub fn distribute_opts(
             ledger.record(&smp, plan.hops);
             // Apply the block to the installed LFT (the "switch firmware"
             // side of the Set).
-            subnet
-                .lft_mut(plan.switch)
-                .expect("planned switches have LFTs")
-                .write_block(*block, payload);
+            lft_mut_checked(subnet, plan.switch)?.write_block(*block, payload);
+        }
+        if observer.is_enabled() {
+            observer.add("sweep.dirty_blocks", plan.blocks.len() as u64);
+            observer.incr("sweep.switches_updated");
         }
         report.lft_smps += plan.blocks.len();
         report.switches_updated += 1;
         report.max_blocks_per_switch = report.max_blocks_per_switch.max(plan.blocks.len());
     }
     Ok(report)
+}
+
+/// The installed LFT of a planned switch. Planning only emits updates for
+/// nodes that had an LFT, so a miss here means the fabric degraded between
+/// plan and apply — an error, not a panic.
+fn lft_mut_checked(subnet: &mut Subnet, switch: NodeId) -> IbResult<&mut Lft> {
+    let name = subnet.name_of(switch).to_string();
+    subnet.lft_mut(switch).ok_or(IbError::Management(format!(
+        "{name} lost its LFT mid-sweep"
+    )))
 }
 
 /// Like [`distribute`], but every `Set` goes through a fault-aware
@@ -396,7 +431,9 @@ pub(crate) fn push_blocks<C: SmpChannel>(
     restrict: Option<&[FailedBlock]>,
     opts: SweepOptions,
 ) -> IbResult<(ResumeAccounting, Vec<FailedBlock>)> {
-    let plans = plan_all(subnet, sm_node, tables, mode, restrict, opts)?;
+    let observer = ledger.observer().clone();
+    let plans = plan_all(subnet, sm_node, tables, mode, restrict, opts, &observer)?;
+    let _apply_span = observer.span("sweep.apply");
     let mut acct = ResumeAccounting::new();
     let mut failed = Vec::new();
 
@@ -404,6 +441,9 @@ pub(crate) fn push_blocks<C: SmpChannel>(
         let plan = match outcome {
             PlanOutcome::Clean => continue,
             PlanOutcome::Unreachable { switch, blocks } => {
+                if observer.is_enabled() {
+                    observer.add("sweep.unreachable_blocks", blocks.len() as u64);
+                }
                 failed.extend(
                     blocks
                         .into_iter()
@@ -415,14 +455,14 @@ pub(crate) fn push_blocks<C: SmpChannel>(
         };
         let mut smp = lft_smp_for(&plan);
         let mut sent = 0;
+        if observer.is_enabled() {
+            observer.add("sweep.dirty_blocks", plan.blocks.len() as u64);
+        }
         for (block, payload) in &plan.blocks {
             retarget_lft_smp(&mut smp, *block, payload);
             match transport.send(subnet, &smp, plan.hops, ledger) {
                 Ok(_) => {
-                    subnet
-                        .lft_mut(plan.switch)
-                        .expect("planned switches have LFTs")
-                        .write_block(*block, payload);
+                    lft_mut_checked(subnet, plan.switch)?.write_block(*block, payload);
                     sent += 1;
                 }
                 Err(IbError::Transport(_)) => {
@@ -433,6 +473,9 @@ pub(crate) fn push_blocks<C: SmpChannel>(
                 }
                 Err(e) => return Err(e),
             }
+        }
+        if sent > 0 && observer.is_enabled() {
+            observer.incr("sweep.switches_updated");
         }
         acct.add_applied(plan.switch, sent);
     }

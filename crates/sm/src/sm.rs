@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use ib_mad::SmpLedger;
+use ib_observe::Observer;
 use ib_routing::EngineKind;
 use ib_subnet::{lft::min_blocks_for, NodeId, Subnet};
 use ib_types::{IbResult, LidSpace};
@@ -120,6 +121,18 @@ impl SubnetManager {
         self.config
     }
 
+    /// The metrics sink the SM (through its ledger) reports into.
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        self.ledger.observer()
+    }
+
+    /// Attaches a metrics sink: every SMP the ledger records and every
+    /// pipeline phase the SM runs is mirrored into it from here on.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.ledger.set_observer(observer);
+    }
+
     /// Full fabric bring-up: discovery sweep, LID assignment, path
     /// computation, LFT distribution.
     ///
@@ -135,10 +148,16 @@ impl SubnetManager {
     /// assert_eq!(sm.ledger.total(), report.total_smps());
     /// ```
     pub fn bring_up(&mut self, subnet: &mut Subnet) -> IbResult<BringUpReport> {
-        let disc = discovery::sweep(subnet, self.sm_node, &mut self.ledger)?;
+        let disc = {
+            let _span = self.ledger.observer().span("sm.discovery");
+            discovery::sweep(subnet, self.sm_node, &mut self.ledger)?
+        };
         let discovery_smps = self.ledger.phase_total("discovery");
 
-        let lid_smps = lids::assign_all(subnet, &disc, &mut self.lid_space, &mut self.ledger)?;
+        let lid_smps = {
+            let _span = self.ledger.observer().span("sm.lid_assignment");
+            lids::assign_all(subnet, &disc, &mut self.lid_space, &mut self.ledger)?
+        };
 
         let report = self.reroute_and_distribute(subnet)?;
         Ok(BringUpReport {
@@ -159,7 +178,10 @@ impl SubnetManager {
     fn reroute_and_distribute(&mut self, subnet: &mut Subnet) -> IbResult<BringUpReport> {
         let engine = self.config.engine.build();
         let started = Instant::now();
-        let tables = engine.compute(subnet)?;
+        let tables = {
+            let _span = self.ledger.observer().span("sm.routing");
+            engine.compute(subnet)?
+        };
         let path_computation = started.elapsed();
 
         let dist = distribution::distribute_opts(

@@ -91,6 +91,7 @@ impl SubnetManager {
         trap: Trap,
         transport: &mut SmpTransport<C>,
     ) -> IbResult<ResweepReport> {
+        self.ledger.observer().incr("trap.received");
         match trap {
             Trap::LinkStateChange { .. } => self.light_sweep(subnet, transport),
             Trap::SwitchDeath { node } => {
@@ -111,9 +112,11 @@ impl SubnetManager {
         subnet: &mut Subnet,
         transport: &mut SmpTransport<C>,
     ) -> IbResult<ResweepReport> {
+        let span = self.ledger.observer().span("resweep.light");
         let engine = self.config().engine.build();
         match engine.compute(subnet) {
             Ok(tables) => {
+                self.ledger.observer().incr("resweep.light");
                 let (distribution, retry_passes, failed_blocks) =
                     self.distribute_resumably(subnet, &tables, transport)?;
                 Ok(ResweepReport {
@@ -127,6 +130,8 @@ impl SubnetManager {
                 })
             }
             Err(_) => {
+                span.end();
+                self.ledger.observer().incr("resweep.escalated");
                 let mut report = self.heavy_sweep(subnet, transport)?;
                 report.escalated = true;
                 Ok(report)
@@ -143,6 +148,8 @@ impl SubnetManager {
         subnet: &mut Subnet,
         transport: &mut SmpTransport<C>,
     ) -> IbResult<ResweepReport> {
+        let _span = self.ledger.observer().span("resweep.heavy");
+        self.ledger.observer().incr("resweep.heavy");
         let disc = discovery::sweep(subnet, self.sm_node, &mut self.ledger)?;
         let mut reached = vec![false; subnet.num_nodes()];
         for &n in &disc.nodes {
@@ -175,6 +182,11 @@ impl SubnetManager {
                 subnet.remove_node(id)?;
             }
             removed_nodes += 1;
+        }
+        if !pruned_lids.is_empty() {
+            let observer = self.ledger.observer();
+            observer.add("resweep.pruned_lids", pruned_lids.len() as u64);
+            observer.add("resweep.removed_nodes", removed_nodes as u64);
         }
 
         let engine = self.config().engine.build();
@@ -236,6 +248,11 @@ impl SubnetManager {
             acct.merge(more);
             passes += 1;
             failed = still_failed;
+        }
+        let observer = self.ledger.observer();
+        if observer.is_enabled() {
+            observer.record("resweep.retry_passes", passes as u64);
+            observer.add("resweep.stranded_blocks", failed.len() as u64);
         }
         Ok((acct.report(), passes, failed))
     }

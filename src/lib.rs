@@ -38,6 +38,7 @@
 //! | [`types`] | `ib-types` | LID/GUID/GID newtypes, LID space |
 //! | [`subnet`] | `ib-subnet` | subnet graph, LFTs, topology builders |
 //! | [`mad`] | `ib-mad` | SMPs, directed routes, ledger, cost model |
+//! | [`observe`] | `ib-observe` | spans, counters, histograms, metrics export |
 //! | [`routing`] | `ib-routing` | Min-Hop, Fat-Tree, Up*/Down*, DFSSSP, LASH, CDG |
 //! | [`sm`] | `ib-sm` | discovery, LID assignment, LFT distribution |
 //! | [`core`] | `ib-core` | **the paper**: vSwitch architectures + reconfiguration |
@@ -50,6 +51,7 @@
 pub use ib_cloud as cloud;
 pub use ib_core as core;
 pub use ib_mad as mad;
+pub use ib_observe as observe;
 pub use ib_routing as routing;
 pub use ib_sim as sim;
 pub use ib_sm as sm;
@@ -66,6 +68,7 @@ pub mod prelude {
         DataCenter, DataCenterConfig, MigrationOptions, MigrationReport, VirtArch, VmId,
     };
     pub use ib_mad::{CostModel, SmpLedger};
+    pub use ib_observe::Observer;
     pub use ib_routing::{EngineKind, RoutingEngine};
     pub use ib_sm::{SmConfig, SmpMode, SubnetManager};
     pub use ib_subnet::{topology::BuiltTopology, Subnet};
