@@ -11,7 +11,9 @@
 //! `balance`, `faults`, `all`.
 //!
 //! `--workers N` spreads the Fig. 7 `(topology, engine)` grid over N
-//! threads (default: the machine's available parallelism); `--json <dir>`
+//! threads (default: the machine's available parallelism) and, unless
+//! overridden by `--routing-workers N`, also fans each routing engine's
+//! internal parallel phases over N threads; `--json <dir>`
 //! makes `table1`, `fig7`, and `faults` additionally write
 //! `BENCH_table1.json`, `BENCH_fig7.json`, and `BENCH_faults.json` — the
 //! machine-readable perf-trajectory files EXPERIMENTS.md documents.
@@ -33,6 +35,7 @@ use ib_core::cost::{Table1Row, PAPER_TABLE1};
 use ib_core::{DataCenter, DataCenterConfig, MigrationOptions, VirtArch};
 use ib_mad::CostModel;
 use ib_observe::Observer;
+use ib_routing::RoutingOptions;
 use ib_subnet::topology::basic::{fig5_fabric, fig6_fabric};
 use ib_subnet::topology::fattree;
 
@@ -54,6 +57,7 @@ fn main() {
     let workers: usize = flag_value(&args, "--workers").unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     });
+    let routing_workers: usize = flag_value(&args, "--routing-workers").unwrap_or(workers);
     let json_dir: Option<PathBuf> = flag_value(&args, "--json");
     let json = json_dir.as_deref();
     let metrics_dir: Option<PathBuf> = flag_value(&args, "--metrics");
@@ -61,7 +65,7 @@ fn main() {
 
     match cmd {
         "table1" => table1(json),
-        "fig7" => fig7(level, force_lash, workers, json),
+        "fig7" => fig7(level, force_lash, workers, routing_workers, json),
         "fig5" => fig5(),
         "fig6" => fig6(),
         "cost-model" => cost_model(),
@@ -74,7 +78,7 @@ fn main() {
         "dot" => dot(),
         "all" => {
             table1(json);
-            fig7(level, force_lash, workers, json);
+            fig7(level, force_lash, workers, routing_workers, json);
             fig5();
             fig6();
             cost_model();
@@ -87,7 +91,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--json DIR] [--metrics DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -178,19 +182,26 @@ fn table1(json: Option<&Path>) {
 }
 
 /// Fig. 7: path-computation time per routing engine per topology. The
-/// `(topology, engine)` grid runs across `workers` threads; each cell is
+/// `(topology, engine)` grid runs across `workers` threads; each engine
+/// computes on `routing_workers` threads internally; each cell is
 /// timed [`FIG7_RUNS`] times and reports min and median.
-fn fig7(level: u8, force_lash: bool, workers: usize, json: Option<&Path>) {
+fn fig7(level: u8, force_lash: bool, workers: usize, routing_workers: usize, json: Option<&Path>) {
     println!("\n===== FIG. 7: path computation time (this machine; paper shape: ftree < minhop << dfsssp << lash) =====");
     println!("level {level}: 324/648 always; 5832 at --level 1; 11664 at --level 2; LASH/DFSSSP capped at scale unless --force-engines");
     println!(
-        "{workers} worker(s), min/median of {FIG7_RUNS} runs per cell; fabric construction untimed"
+        "{workers} grid worker(s), {routing_workers} routing worker(s) per engine, min/median of {FIG7_RUNS} runs per cell; fabric construction untimed"
     );
     println!(
         "{:>18} {:>10} {:>12} {:>12} {:>14} {:>14}",
         "topology", "engine", "sec (min)", "sec (med)", "decisions", "LID swap/copy"
     );
-    let cells = fig7_grid(level, force_lash, workers, FIG7_RUNS);
+    let cells = fig7_grid(
+        level,
+        force_lash,
+        workers,
+        FIG7_RUNS,
+        RoutingOptions::default().with_workers(routing_workers),
+    );
     let mut json_cells = Vec::new();
     for (i, cell) in cells.iter().enumerate() {
         println!(
@@ -229,9 +240,10 @@ fn fig7(level: u8, force_lash: bool, workers: usize, json: Option<&Path>) {
     }
     if let Some(dir) = json {
         let doc = Json::obj(vec![
-            ("schema", Json::from("ib-vswitch/bench-fig7/v1")),
+            ("schema", Json::from("ib-vswitch/bench-fig7/v2")),
             ("level", Json::from(u64::from(level))),
             ("workers", Json::from(workers)),
+            ("routing_workers", Json::from(routing_workers)),
             ("runs", Json::from(FIG7_RUNS)),
             ("cells", Json::Array(json_cells)),
         ]);

@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use ib_mad::SmpLedger;
-use ib_routing::EngineKind;
+use ib_observe::Observer;
+use ib_routing::{EngineKind, RoutingOptions};
 use ib_sm::{discovery, lids};
 use ib_subnet::lft::min_blocks_for;
 use ib_subnet::topology::{fattree, BuiltTopology};
@@ -67,13 +68,29 @@ pub struct EngineTiming {
 /// and median. The engine is built once, outside the timed region.
 #[must_use]
 pub fn time_engine_stats(fabric: &ManagedFabric, engine: EngineKind, runs: usize) -> EngineTiming {
+    time_engine_stats_opts(fabric, engine, runs, RoutingOptions::default())
+}
+
+/// Like [`time_engine_stats`], but with explicit [`RoutingOptions`] — the
+/// knob for timing an engine's own internal parallelism (as opposed to
+/// [`fig7_grid`]'s `workers`, which runs whole cells concurrently).
+#[must_use]
+pub fn time_engine_stats_opts(
+    fabric: &ManagedFabric,
+    engine: EngineKind,
+    runs: usize,
+    routing: RoutingOptions,
+) -> EngineTiming {
     let e = engine.build();
+    let observer = Observer::disabled();
     let runs = runs.max(1);
     let mut samples = Vec::with_capacity(runs);
     let mut decisions = 0;
     for _ in 0..runs {
         let started = Instant::now();
-        let tables = e.compute(&fabric.subnet).expect("engine");
+        let tables = e
+            .compute_with(&fabric.subnet, routing, &observer)
+            .expect("engine");
         samples.push(started.elapsed());
         decisions = tables.decisions;
     }
@@ -152,16 +169,24 @@ pub fn fig7_engines(switches: usize, force: bool) -> Vec<EngineKind> {
 }
 
 /// Runs the whole Fig. 7 grid — every `(topology, engine)` cell — across
-/// `workers` threads, `runs` timed repetitions per cell.
+/// `workers` threads, `runs` timed repetitions per cell, with each engine
+/// itself computing on `routing.workers` threads.
 ///
 /// Fabric construction is parallelized first (one job per topology), then
 /// the cells are pulled off a shared work queue. Each cell's timing runs
 /// alone on its thread; cells on the same machine still contend for memory
 /// bandwidth, which is why the per-cell *min* of several runs is the
 /// number to trust. The returned vector is always in deterministic
-/// `fig7_topologies` × `fig7_engines` order regardless of `workers`.
+/// `fig7_topologies` × `fig7_engines` order regardless of `workers`, and
+/// the decision counts (and tables) are invariant under `routing.workers`.
 #[must_use]
-pub fn fig7_grid(level: u8, force: bool, workers: usize, runs: usize) -> Vec<Fig7Cell> {
+pub fn fig7_grid(
+    level: u8,
+    force: bool,
+    workers: usize,
+    runs: usize,
+    routing: RoutingOptions,
+) -> Vec<Fig7Cell> {
     let builders = fig7_builders(level);
     let fabrics = parallel_map(builders.len(), workers, |i| manage(builders[i]()));
 
@@ -179,7 +204,7 @@ pub fn fig7_grid(level: u8, force: bool, workers: usize, runs: usize) -> Vec<Fig
             topology: fabric.name.clone(),
             switches: fabric.switches,
             engine: engine.name().to_string(),
-            timing: time_engine_stats(fabric, engine, runs),
+            timing: time_engine_stats_opts(fabric, engine, runs, routing),
             min_smps_full_rc: fabric.switches
                 * fabric.subnet.topmost_lid().map_or(0, min_blocks_for),
         }
@@ -260,9 +285,10 @@ mod tests {
     #[test]
     fn fig7_grid_order_is_worker_independent() {
         // The grid on the small topologies: same cells, same order, same
-        // decision counts for any worker count.
-        let seq = fig7_grid(0, false, 1, 1);
-        let par = fig7_grid(0, false, 4, 1);
+        // decision counts for any worker count — grid workers *and*
+        // per-engine routing workers.
+        let seq = fig7_grid(0, false, 1, 1, RoutingOptions::default());
+        let par = fig7_grid(0, false, 4, 1, RoutingOptions::default().with_workers(2));
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.topology, b.topology);

@@ -82,7 +82,7 @@ impl LinkLoad {
                 }
                 g.neighbors(s)
                     .iter()
-                    .filter(|&&(v, _)| subnet.node(g.node_id(v)).is_physical_switch())
+                    .filter(|&&(v, _)| subnet.node(g.node_id(v as usize)).is_physical_switch())
                     .map(|&(_, p)| (p.raw(), ()))
                     .collect()
             })

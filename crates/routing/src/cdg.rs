@@ -307,7 +307,12 @@ impl Cdg {
     ) {
         // Per-switch port -> neighbor-switch map.
         let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
-            .map(|s| g.neighbors(s).iter().map(|&(v, p)| (p.raw(), v)).collect())
+            .map(|s| {
+                g.neighbors(s)
+                    .iter()
+                    .map(|&(v, p)| (p.raw(), v as usize))
+                    .collect()
+            })
             .collect();
 
         for dest in g.destinations().iter().filter(|d| filter(d)) {

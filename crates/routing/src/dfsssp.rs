@@ -12,19 +12,25 @@
 //!    hence deadlock-free.
 //!
 //! Both phases cost markedly more than Min-Hop's BFS — the reason DFSSSP
-//! sits an order of magnitude above Min-Hop in Fig. 7.
+//! sits an order of magnitude above Min-Hop in Fig. 7. Phase timings land
+//! in the `routing.dfsssp.distances` / `routing.dfsssp.vl_partition`
+//! observe spans. The weight-feedback loop makes phase 1 inherently
+//! serial (each group's Dijkstra reads the weights every earlier group
+//! wrote), so only the next-hop precompute of phase 2 fans across
+//! workers; the tables are identical for every worker count.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ib_subnet::{Lft, Subnet};
+use ib_observe::Observer;
+use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum, VirtualLane};
 use rustc_hash::FxHashMap;
 
 use crate::cdg::{Cdg, Channel};
-use crate::engine::RoutingEngine;
-use crate::graph::SwitchGraph;
-use crate::tables::{RoutingTables, VlAssignment};
+use crate::engine::{RoutingEngine, RoutingOptions};
+use crate::graph::{parallel_for_each, SwitchGraph};
+use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The DFSSSP engine.
 #[derive(Clone, Copy, Debug)]
@@ -48,8 +54,12 @@ impl RoutingEngine for Dfsssp {
         "dfsssp"
     }
 
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
-        let phase_timer = std::time::Instant::now();
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let g = SwitchGraph::build(subnet)?;
         if g.is_empty() {
             return Ok(RoutingTables {
@@ -59,20 +69,22 @@ impl RoutingEngine for Dfsssp {
                 decisions: 0,
             });
         }
+        let n = g.len();
 
         // Incoming adjacency: in_edges[v] = (source switch s, s's port to v).
-        let mut in_edges: Vec<Vec<(usize, PortNum)>> = vec![Vec::new(); g.len()];
-        for s in 0..g.len() {
+        let mut in_edges: Vec<Vec<(usize, PortNum)>> = vec![Vec::new(); n];
+        for s in 0..n {
             for &(v, p) in g.neighbors(s) {
-                in_edges[v].push((s, p));
+                in_edges[v as usize].push((s, p));
             }
         }
 
-        // Directed link weights, keyed (switch, out-port).
-        let mut weight: FxHashMap<(usize, u8), u64> = FxHashMap::default();
-        let w = |weight: &FxHashMap<(usize, u8), u64>, s: usize, p: PortNum| -> u64 {
-            weight.get(&(s, p.raw())).copied().unwrap_or(1)
-        };
+        // Directed link weights in a flat array keyed (switch, out-port):
+        // every slot starts at the implicit weight 1, so `weight[idx] += 1`
+        // is the `or_insert(1) += 1` of a map without the hashing.
+        let stride = 1 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
+        let widx = move |s: usize, p: PortNum| s * stride + p.raw() as usize;
+        let mut weight: Vec<u64> = vec![1; stride * n];
 
         // Destinations grouped by delivery switch, in switch order.
         let mut by_switch: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
@@ -82,10 +94,18 @@ impl RoutingEngine for Dfsssp {
         let mut groups: Vec<(usize, Vec<usize>)> = by_switch.into_iter().collect();
         groups.sort_unstable_by_key(|(s, _)| *s);
 
-        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
+        let mut stages: Vec<Vec<Option<PortNum>>> = vec![vec![None; g.lid_bound()]; n];
         let mut decisions = 0u64;
 
-        for (dsw, dest_indices) in groups {
+        // Phase 1 is the order-sensitive serial spine of DFSSSP: each
+        // group's snapshot must reflect exactly the weight increments of
+        // every earlier group, in group order.
+        let phase1 = observer.span("routing.dfsssp.distances");
+        let mut dist: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
+        let mut heap = BinaryHeap::new();
+        let mut candidates: Vec<PortNum> = Vec::new();
+        for (dsw, dest_indices) in &groups {
+            let dsw = *dsw;
             // Distances are computed against a snapshot of the weights;
             // updates made while routing this group's destinations only
             // influence later groups (OpenSM's dfsssp updates weights per
@@ -96,16 +116,16 @@ impl RoutingEngine for Dfsssp {
             // minimal-hop (so the per-destination trees remain cycle-lean)
             // and the weights only arbitrate among equal-hop options —
             // DFSSSP's balancing without sacrificing minimality.
-            let mut dist: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); g.len()];
+            dist.fill((u32::MAX, u64::MAX));
             dist[dsw] = (0, 0);
-            let mut heap = BinaryHeap::new();
+            heap.clear();
             heap.push(Reverse(((0u32, 0u64), dsw)));
             while let Some(Reverse((d, v))) = heap.pop() {
                 if d > dist[v] {
                     continue;
                 }
                 for &(s, p) in &in_edges[v] {
-                    let nd = (d.0 + 1, d.1 + w(&snapshot, s, p));
+                    let nd = (d.0 + 1, d.1 + snapshot[widx(s, p)]);
                     if nd < dist[s] {
                         dist[s] = nd;
                         heap.push(Reverse((nd, s)));
@@ -118,36 +138,33 @@ impl RoutingEngine for Dfsssp {
                 )));
             }
 
-            for &di in &dest_indices {
+            for &di in dest_indices {
                 let dest = g.destinations()[di];
-                for s in 0..g.len() {
+                let lid_idx = dest.lid.raw() as usize;
+                for s in 0..n {
                     decisions += 1;
                     if s == dsw {
-                        lfts[s].set(dest.lid, dest.port);
+                        stages[s][lid_idx] = Some(dest.port);
                         continue;
                     }
-                    let mut candidates: Vec<PortNum> = g
-                        .neighbors(s)
-                        .iter()
-                        .filter(|&&(v, p)| {
-                            dist[v].0 + 1 == dist[s].0
-                                && dist[v].1 + w(&snapshot, s, p) == dist[s].1
-                        })
-                        .map(|&(_, p)| p)
-                        .collect();
+                    candidates.clear();
+                    candidates.extend(
+                        g.neighbors(s)
+                            .iter()
+                            .filter(|&&(v, p)| {
+                                dist[v as usize].0 + 1 == dist[s].0
+                                    && dist[v as usize].1 + snapshot[widx(s, p)] == dist[s].1
+                            })
+                            .map(|&(_, p)| p),
+                    );
                     candidates.sort_unstable();
-                    let pick = candidates[dest.lid.raw() as usize % candidates.len()];
-                    lfts[s].set(dest.lid, pick);
-                    *weight.entry((s, pick.raw())).or_insert(1) += 1;
+                    let pick = candidates[lid_idx % candidates.len()];
+                    stages[s][lid_idx] = Some(pick);
+                    weight[widx(s, pick)] += 1;
                 }
             }
         }
-
-        let lfts: FxHashMap<_, _> = lfts
-            .into_iter()
-            .enumerate()
-            .map(|(s, lft)| (g.node_id(s), lft))
-            .collect();
+        phase1.end();
 
         // Phase 2: Domke et al.'s layer assignment. Paths live in
         // virtual layers; while a layer's channel dependency graph has a
@@ -163,50 +180,47 @@ impl RoutingEngine for Dfsssp {
         // outset, and within a cycle the dissolved edge is the one with
         // the fewest contributing paths (Domke's edge weight), preferring
         // edges carrying switch-LID paths.
-        let mut tables = RoutingTables {
-            lfts,
-            vls: VlAssignment::SingleVl,
-            engine: self.name(),
-            decisions,
-        };
+        let _phase2 = observer.span("routing.dfsssp.vl_partition");
         let mut lane_of: FxHashMap<(u32, u16), u8> = FxHashMap::default();
 
         let debug = std::env::var_os("IB_DFSSSP_DEBUG").is_some();
-        if debug {
-            eprintln!("dfsssp: phase 1 (routing) took {:?}", phase_timer.elapsed());
-        }
 
         // Next-hop tables are immutable during layering: precompute them
-        // once per destination instead of on every pass.
-        let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
-            .map(|s| g.neighbors(s).iter().map(|&(v, p)| (p.raw(), v)).collect())
+        // once per destination instead of on every pass. Each
+        // destination's table reads only the frozen staging rows, so the
+        // precompute fans across workers.
+        let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..n)
+            .map(|s| {
+                g.neighbors(s)
+                    .iter()
+                    .map(|&(v, p)| (p.raw(), v as usize))
+                    .collect()
+            })
             .collect();
-        let nexts: Vec<Vec<Option<(u8, usize)>>> = g
-            .destinations()
-            .iter()
-            .map(|dest| {
-                let mut next = vec![None; g.len()];
-                for (s, n) in next.iter_mut().enumerate() {
-                    let Some(lft) = tables.lfts.get(&g.node_id(s)) else {
-                        continue;
-                    };
-                    if let Some(p) = lft.get(dest.lid) {
+        let mut nexts: Vec<Vec<Option<(u8, usize)>>> = vec![vec![None; n]; g.destinations().len()];
+        parallel_for_each(
+            &mut nexts,
+            opts.effective_workers(g.destinations().len()),
+            || (),
+            |(), di, next| {
+                let dest = &g.destinations()[di];
+                for (s, slot) in next.iter_mut().enumerate() {
+                    if let Some(p) = stages[s][dest.lid.raw() as usize] {
                         if !p.is_management() {
                             if let Some(&v) = port_to_switch[s].get(&p.raw()) {
-                                *n = Some((p.raw(), v));
+                                *slot = Some((p.raw(), v));
                             }
                         }
                     }
                 }
-                next
-            })
-            .collect();
+            },
+        );
 
         // Per-lane worklists of (source switch, destination index).
         let mut lane_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.max_vls as usize];
         for (di, dest) in g.destinations().iter().enumerate() {
             let start_lane = usize::from(self.max_vls > 1 && dest.port.is_management());
-            for src in 0..g.len() {
+            for src in 0..n {
                 if src != dest.switch {
                     lane_pairs[start_lane].push((src as u32, di as u32));
                 }
@@ -231,7 +245,7 @@ impl RoutingEngine for Dfsssp {
                 prev = Some(ch);
                 cur = v;
                 hops += 1;
-                if cur == dest.switch || hops > g.len() {
+                if cur == dest.switch || hops > n {
                     return;
                 }
             }
@@ -324,7 +338,7 @@ impl RoutingEngine for Dfsssp {
             }
         }
 
-        tables.vls = if lane_of.is_empty() {
+        let vls = if lane_of.is_empty() {
             VlAssignment::SingleVl
         } else {
             VlAssignment::PerSourceDestination(
@@ -334,7 +348,12 @@ impl RoutingEngine for Dfsssp {
                     .collect(),
             )
         };
-        Ok(tables)
+        Ok(RoutingTables {
+            lfts: stages_to_lfts(&g, stages),
+            vls,
+            engine: self.name(),
+            decisions,
+        })
     }
 }
 
@@ -350,7 +369,12 @@ fn build_lane_cdg(
 ) -> IbResult<Cdg> {
     // Per-switch port -> neighbor-switch map.
     let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
-        .map(|s| g.neighbors(s).iter().map(|&(v, p)| (p.raw(), v)).collect())
+        .map(|s| {
+            g.neighbors(s)
+                .iter()
+                .map(|&(v, p)| (p.raw(), v as usize))
+                .collect()
+        })
         .collect();
     let mut cdg = Cdg::new();
     for dest in g.destinations() {
@@ -543,5 +567,23 @@ mod tests {
         let engine = Dfsssp { max_vls: 1 };
         let err = engine.compute(&t.subnet);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn emits_phase_spans() {
+        let mut t = two_level(2, 2, 2);
+        assign_lids(&mut t);
+        let observer = Observer::metrics();
+        Dfsssp::default()
+            .compute_with(&t.subnet, RoutingOptions::default(), &observer)
+            .unwrap();
+        let snap = observer.snapshot().expect("metrics enabled");
+        for span in ["routing.dfsssp.distances", "routing.dfsssp.vl_partition"] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == span),
+                "missing span {span}: {:?}",
+                snap.spans
+            );
+        }
     }
 }

@@ -1,9 +1,52 @@
 //! The routing-engine abstraction.
 
+use ib_observe::Observer;
 use ib_subnet::Subnet;
 use ib_types::IbResult;
 
 use crate::tables::RoutingTables;
+
+/// Parallelism knobs for one routing computation, mirroring `ib-sm`'s
+/// `SweepOptions`: `workers` bounds how many scoped threads the engine may
+/// fan its embarrassingly parallel phases across (all-pairs/per-delivery
+/// BFS, per-switch LFT staging). `0` means "use the machine's available
+/// parallelism". The order-sensitive serial phases (port-load balancing,
+/// weight updates, VL lifting) never parallelize, so the produced
+/// [`RoutingTables`] are identical for every worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingOptions {
+    /// Worker-thread cap for the parallel phases; `0` = auto.
+    pub workers: usize,
+}
+
+impl Default for RoutingOptions {
+    /// Single-threaded: the conservative default every `compute` call uses.
+    fn default() -> Self {
+        Self { workers: 1 }
+    }
+}
+
+impl RoutingOptions {
+    /// Builder-style worker override.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Resolves the configured worker count against a job count: `0` maps
+    /// to the machine's available parallelism, and the result is clamped to
+    /// `1..=jobs` so callers never spawn idle threads.
+    #[must_use]
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        requested.min(jobs).max(1)
+    }
+}
 
 /// A routing engine: a pure function from a LID-assigned subnet to a full
 /// set of LFTs (plus a VL layering when the engine provides one).
@@ -17,8 +60,25 @@ pub trait RoutingEngine: Send + Sync {
     /// Engine name as it appears in reports (`"fat-tree"`, `"minhop"`, ...).
     fn name(&self) -> &'static str;
 
-    /// Computes routing tables for every switch in the subnet.
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables>;
+    /// Computes routing tables for every switch in the subnet:
+    /// single-threaded and unobserved. Provided so the trait stays
+    /// object-safe and existing callers are untouched; it delegates to
+    /// [`RoutingEngine::compute_with`].
+    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+        self.compute_with(subnet, RoutingOptions::default(), &Observer::disabled())
+    }
+
+    /// Computes routing tables with explicit parallelism and a metrics
+    /// sink. Engines emit per-phase spans (`routing.<engine>.distances`,
+    /// `routing.<engine>.assign`, and VL-partition phases where they
+    /// exist) into `observer`, and fan parallel phases across at most
+    /// `opts` workers. Output is invariant under the worker count.
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables>;
 }
 
 /// The engines of Fig. 7 (plus Up*/Down*, used in the deadlock analysis).
@@ -113,6 +173,46 @@ mod tests {
     fn build_matches_kind() {
         for kind in EngineKind::all() {
             assert_eq!(kind.build().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn routing_options_resolve_workers() {
+        assert_eq!(RoutingOptions::default().workers, 1);
+        let opts = RoutingOptions::default().with_workers(4);
+        assert_eq!(opts.effective_workers(100), 4);
+        // Clamped to the job count, floored at one.
+        assert_eq!(opts.effective_workers(2), 2);
+        assert_eq!(opts.effective_workers(0), 1);
+        // Auto resolves to at least one worker.
+        assert!(
+            RoutingOptions::default()
+                .with_workers(0)
+                .effective_workers(8)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn compute_delegates_to_compute_with() {
+        use crate::testutil::assign_lids;
+        use ib_subnet::topology::fattree;
+
+        let mut t = fattree::two_level(2, 2, 2);
+        assign_lids(&mut t);
+        for kind in EngineKind::all() {
+            let e = kind.build();
+            let a = e.compute(&t.subnet).unwrap();
+            let b = e
+                .compute_with(
+                    &t.subnet,
+                    RoutingOptions::default(),
+                    &ib_observe::Observer::disabled(),
+                )
+                .unwrap();
+            assert_eq!(a.lfts, b.lfts, "{kind}");
+            assert_eq!(a.vls, b.vls, "{kind}");
+            assert_eq!(a.decisions, b.decisions, "{kind}");
         }
     }
 }

@@ -5,19 +5,22 @@
 //! spreading of destinations across uplinks (instead of sequential load
 //! accounting). That structural shortcut is why OpenSM's `ftree` is the
 //! fastest engine in the paper's Fig. 7 — a property this implementation
-//! reproduces by construction.
+//! reproduces by construction. Both phases — the per-delivery-switch BFS
+//! sweep and the per-switch LFT fill — are independent per unit of work
+//! and fan across the configured workers.
 //!
 //! Like OpenSM's engine, it refuses topologies that are not layered
 //! fat trees (edges must connect adjacent ranks, endpoints must live on
 //! leaves); callers fall back to Min-Hop in that case.
 
-use ib_subnet::{Lft, Subnet};
+use ib_observe::Observer;
+use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum};
 use rustc_hash::FxHashMap;
 
-use crate::engine::RoutingEngine;
-use crate::graph::SwitchGraph;
-use crate::tables::{RoutingTables, VlAssignment};
+use crate::engine::{RoutingEngine, RoutingOptions};
+use crate::graph::{parallel_for_each, DistanceMatrix, SwitchGraph};
+use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The fat-tree engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -28,7 +31,12 @@ impl RoutingEngine for FatTree {
         "fat-tree"
     }
 
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let g = SwitchGraph::build(subnet)?;
         if g.is_empty() {
             return Ok(RoutingTables {
@@ -49,14 +57,18 @@ impl RoutingEngine for FatTree {
             delivery.iter().enumerate().map(|(i, &s)| (s, i)).collect();
 
         // Phase 1: one BFS per *delivery* switch (typically only the
-        // leaves), in parallel — far fewer sweeps than Min-Hop's
+        // leaves), fanned across workers — far fewer sweeps than Min-Hop's
         // all-switches matrix, which is the structural shortcut that makes
         // fat-tree routing the cheapest engine in Fig. 7.
-        let dist: Vec<Vec<u32>> = delivery.iter().map(|&dsw| g.bfs_distances(dsw)).collect();
+        let workers = opts.effective_workers(g.len());
+        let dist = {
+            let _span = observer.span("routing.fat-tree.distances");
+            DistanceMatrix::for_sources(&g, &delivery, workers)
+        };
 
         // Per-switch neighbor lists sorted by port, so d-mod-k picks are
         // deterministic without per-destination allocation.
-        let sorted_adj: Vec<Vec<(usize, PortNum)>> = (0..g.len())
+        let sorted_adj: Vec<Vec<(u32, PortNum)>> = (0..g.len())
             .map(|s| {
                 let mut v = g.neighbors(s).to_vec();
                 v.sort_unstable_by_key(|&(_, p)| p);
@@ -64,22 +76,27 @@ impl RoutingEngine for FatTree {
             })
             .collect();
 
-        // Phase 2: every switch fills its own LFT independently — no
-        // sequential load-balancing state, so this parallelizes perfectly.
-        let lfts: Vec<Lft> = (0..g.len())
-            .map(|s| {
-                let mut lft = Lft::new();
+        // Phase 2: every switch fills its own staging row independently —
+        // no sequential load-balancing state, so this parallelizes
+        // perfectly (each worker writes only its own rows).
+        let _span = observer.span("routing.fat-tree.assign");
+        let mut stages: Vec<Vec<Option<PortNum>>> = vec![vec![None; g.lid_bound()]; g.len()];
+        parallel_for_each(
+            &mut stages,
+            workers,
+            || (),
+            |(), s, stage| {
                 for dest in g.destinations() {
                     if s == dest.switch {
-                        lft.set(dest.lid, dest.port);
+                        stage[dest.lid.raw() as usize] = Some(dest.port);
                         continue;
                     }
-                    let dist = &dist[dist_index[&dest.switch]];
+                    let drow = dist.row(dist_index[&dest.switch]);
                     // Two passes over the (small) neighbor list: count the
                     // minimal candidates, then take the (lid mod count)-th.
                     let count = sorted_adj[s]
                         .iter()
-                        .filter(|&&(v, _)| dist[v] + 1 == dist[s])
+                        .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
                         .count();
                     if count == 0 {
                         // Caught by layering validation for real fat
@@ -89,24 +106,17 @@ impl RoutingEngine for FatTree {
                     let want = dest.lid.raw() as usize % count;
                     let pick = sorted_adj[s]
                         .iter()
-                        .filter(|&&(v, _)| dist[v] + 1 == dist[s])
+                        .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
                         .nth(want)
-                        .map(|&(_, p)| p)
-                        .expect("candidate index in range");
-                    lft.set(dest.lid, pick);
+                        .map(|&(_, p)| p);
+                    stage[dest.lid.raw() as usize] = pick;
                 }
-                lft
-            })
-            .collect();
+            },
+        );
         let decisions = (g.len() * g.destinations().len()) as u64;
 
-        let lfts = lfts
-            .into_iter()
-            .enumerate()
-            .map(|(s, lft)| (g.node_id(s), lft))
-            .collect();
         Ok(RoutingTables {
-            lfts,
+            lfts: stages_to_lfts(&g, stages),
             vls: VlAssignment::SingleVl,
             engine: self.name(),
             decisions,
@@ -125,7 +135,7 @@ fn validate_fat_tree(g: &SwitchGraph, ranks: &[u32]) -> IbResult<()> {
             ));
         }
         for &(v, _) in g.neighbors(s) {
-            let (a, b) = (ranks[s], ranks[v]);
+            let (a, b) = (ranks[s], ranks[v as usize]);
             if a.abs_diff(b) != 1 {
                 return Err(IbError::Topology(format!(
                     "not a layered fat tree: edge joins ranks {a} and {b}"

@@ -1,4 +1,8 @@
-//! The switch-level view of a subnet that routing engines compute over.
+//! The switch-level view of a subnet that routing engines compute over,
+//! plus the flat-array compute substrate every engine's hot path runs on:
+//! a CSR adjacency, a reusable zero-allocation BFS workspace
+//! ([`BfsScratch`]), a row-major [`DistanceMatrix`], and a deterministic
+//! scoped-thread fan-out ([`parallel_for_each`]).
 
 use std::collections::VecDeque;
 
@@ -19,25 +23,32 @@ pub struct Destination {
     pub port: PortNum,
 }
 
-/// Dense adjacency view over the switches of a subnet.
+/// Dense adjacency view over the switches of a subnet, in CSR form.
 ///
 /// Engines work in switch-index space (`0..num_switches`) for cache-friendly
 /// BFS; [`SwitchGraph::node_id`] maps back to subnet handles. Both physical
 /// switches and vSwitches participate: a vSwitch routes packets between its
 /// VFs and its uplink like any other switch.
+///
+/// The adjacency is one flat edge array plus per-switch offsets — the whole
+/// graph is two contiguous allocations, so an all-pairs BFS streams the edge
+/// array instead of chasing one heap `Vec` per switch.
 #[derive(Clone, Debug)]
 pub struct SwitchGraph {
     switches: Vec<NodeId>,
     index_of: FxHashMap<NodeId, usize>,
-    /// `adj[s]` = (neighbor switch index, output port on `s`).
-    adj: Vec<Vec<(usize, PortNum)>>,
+    /// CSR edge array: `edges[offsets[s]..offsets[s + 1]]` holds the
+    /// (neighbor switch index, output port on `s`) pairs of switch `s`.
+    edges: Vec<(u32, PortNum)>,
+    offsets: Vec<u32>,
     destinations: Vec<Destination>,
 }
 
 impl SwitchGraph {
     /// Extracts the switch graph and the destination list from a subnet.
     ///
-    /// Fails if an HCA carries a LID but is not cabled to a switch.
+    /// Fails if an HCA carries a LID but is not cabled to a switch, or if a
+    /// registered LID has no endpoint behind it.
     pub fn build(subnet: &Subnet) -> IbResult<Self> {
         let switches: Vec<NodeId> = subnet.switches().map(|n| n.id).collect();
         let index_of: FxHashMap<NodeId, usize> = switches
@@ -46,59 +57,38 @@ impl SwitchGraph {
             .map(|(i, &id)| (id, i))
             .collect();
 
-        let mut adj = vec![Vec::new(); switches.len()];
+        // Two passes build the CSR arrays without intermediate per-switch
+        // vectors: count degrees, prefix-sum into offsets, then fill.
+        let mut offsets = vec![0u32; switches.len() + 1];
         for (i, &sw) in switches.iter().enumerate() {
+            let degree = subnet
+                .node(sw)
+                .connected_ports()
+                .filter(|(_, remote)| index_of.contains_key(&remote.node))
+                .count();
+            offsets[i + 1] = offsets[i] + degree as u32;
+        }
+        let mut edges = vec![(0u32, PortNum::MANAGEMENT); offsets[switches.len()] as usize];
+        for (i, &sw) in switches.iter().enumerate() {
+            let mut at = offsets[i] as usize;
             for (port, remote) in subnet.node(sw).connected_ports() {
                 if let Some(&j) = index_of.get(&remote.node) {
-                    adj[i].push((j, port));
+                    edges[at] = (j as u32, port);
+                    at += 1;
                 }
             }
         }
 
         let mut destinations = Vec::with_capacity(subnet.num_lids());
         for lid in subnet.lids() {
-            let ep = subnet.endpoint_of(lid).expect("registered LID");
-            if let Some(&s) = index_of.get(&ep.node) {
-                // The LID belongs to a switch itself.
-                destinations.push(Destination {
-                    lid,
-                    switch: s,
-                    port: PortNum::MANAGEMENT,
-                });
-            } else {
-                // The LID belongs to an HCA port; find the switch it hangs
-                // off (the far end of its cable).
-                let hca = subnet.node(ep.node);
-                // A down uplink counts as uncabled: the routing engine must
-                // not compute paths that end on a dead link.
-                let remote = hca
-                    .ports
-                    .get(ep.port.raw() as usize)
-                    .and_then(|p| if p.down { None } else { p.remote })
-                    .ok_or_else(|| {
-                        IbError::Topology(format!(
-                            "{} carries LID {lid} but is not cabled",
-                            hca.name
-                        ))
-                    })?;
-                let &s = index_of.get(&remote.node).ok_or_else(|| {
-                    IbError::Topology(format!(
-                        "{} (LID {lid}) is cabled to a non-switch",
-                        hca.name
-                    ))
-                })?;
-                destinations.push(Destination {
-                    lid,
-                    switch: s,
-                    port: remote.port,
-                });
-            }
+            destinations.push(resolve_destination(subnet, &index_of, lid)?);
         }
 
         Ok(Self {
             switches,
             index_of,
-            adj,
+            edges,
+            offsets,
             destinations,
         })
     }
@@ -127,10 +117,28 @@ impl SwitchGraph {
         self.index_of.get(&id).copied()
     }
 
-    /// Adjacency of switch `s`.
+    /// Adjacency of switch `s`: (neighbor switch index, output port) pairs.
     #[must_use]
-    pub fn neighbors(&self, s: usize) -> &[(usize, PortNum)] {
-        &self.adj[s]
+    pub fn neighbors(&self, s: usize) -> &[(u32, PortNum)] {
+        &self.edges[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Highest port number used by any switch-switch link (sizes the flat
+    /// per-port load and weight arrays engines keep).
+    #[must_use]
+    pub fn neighbors_max_port(&self) -> Option<PortNum> {
+        self.edges.iter().map(|&(_, p)| p).max()
+    }
+
+    /// One past the highest destination LID (`0` when there are none):
+    /// the row length of the flat per-switch LFT staging engines fill.
+    #[must_use]
+    pub fn lid_bound(&self) -> usize {
+        self.destinations
+            .iter()
+            .map(|d| d.lid.raw() as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// All destinations (every registered LID).
@@ -140,21 +148,12 @@ impl SwitchGraph {
     }
 
     /// BFS hop distances from switch `from` to every switch
-    /// (`u32::MAX` = unreachable).
+    /// (`u32::MAX` = unreachable). Allocates; hot paths use [`BfsScratch`]
+    /// or [`DistanceMatrix`] instead.
     #[must_use]
     pub fn bfs_distances(&self, from: usize) -> Vec<u32> {
         let mut dist = vec![u32::MAX; self.len()];
-        let mut queue = VecDeque::new();
-        dist[from] = 0;
-        queue.push_back(from);
-        while let Some(u) = queue.pop_front() {
-            for &(v, _) in &self.adj[u] {
-                if dist[v] == u32::MAX {
-                    dist[v] = dist[u] + 1;
-                    queue.push_back(v);
-                }
-            }
-        }
+        BfsScratch::for_graph(self).fill_into(self, from, &mut dist);
         dist
     }
 
@@ -177,15 +176,201 @@ impl SwitchGraph {
             queue.push_back(0);
         }
         while let Some(u) = queue.pop_front() {
-            for &(v, _) in &self.adj[u] {
-                if rank[v] == u32::MAX {
-                    rank[v] = rank[u] + 1;
-                    queue.push_back(v);
+            for &(v, _) in self.neighbors(u) {
+                if rank[v as usize] == u32::MAX {
+                    rank[v as usize] = rank[u] + 1;
+                    queue.push_back(v as usize);
                 }
             }
         }
         rank
     }
+}
+
+/// Resolves one LID to its delivery switch and port.
+fn resolve_destination(
+    subnet: &Subnet,
+    index_of: &FxHashMap<NodeId, usize>,
+    lid: Lid,
+) -> IbResult<Destination> {
+    let ep = subnet
+        .endpoint_of(lid)
+        .ok_or_else(|| IbError::Topology(format!("LID {lid} is registered but has no endpoint")))?;
+    if let Some(&s) = index_of.get(&ep.node) {
+        // The LID belongs to a switch itself.
+        return Ok(Destination {
+            lid,
+            switch: s,
+            port: PortNum::MANAGEMENT,
+        });
+    }
+    // The LID belongs to an HCA port; find the switch it hangs off (the
+    // far end of its cable).
+    let hca = subnet.node(ep.node);
+    // A down uplink counts as uncabled: the routing engine must not
+    // compute paths that end on a dead link.
+    let remote = hca
+        .ports
+        .get(ep.port.raw() as usize)
+        .and_then(|p| if p.down { None } else { p.remote })
+        .ok_or_else(|| {
+            IbError::Topology(format!("{} carries LID {lid} but is not cabled", hca.name))
+        })?;
+    let &s = index_of.get(&remote.node).ok_or_else(|| {
+        IbError::Topology(format!(
+            "{} (LID {lid}) is cabled to a non-switch",
+            hca.name
+        ))
+    })?;
+    Ok(Destination {
+        lid,
+        switch: s,
+        port: remote.port,
+    })
+}
+
+/// Reusable BFS workspace: a distance buffer plus a flat FIFO queue (each
+/// switch enters once, so a `Vec` with a head cursor is the ring). One
+/// scratch serves every source a worker sweeps — per-source BFS allocates
+/// nothing.
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// A scratch sized for `g`.
+    #[must_use]
+    pub fn for_graph(g: &SwitchGraph) -> Self {
+        Self {
+            dist: vec![u32::MAX; g.len()],
+            queue: Vec::with_capacity(g.len()),
+        }
+    }
+
+    /// Hop distances from `from`, valid until the next call.
+    pub fn distances(&mut self, g: &SwitchGraph, from: usize) -> &[u32] {
+        let mut dist = std::mem::take(&mut self.dist);
+        self.fill_into(g, from, &mut dist);
+        self.dist = dist;
+        &self.dist
+    }
+
+    /// Computes hop distances from `from` directly into `dist`
+    /// (`u32::MAX` = unreachable), using only the scratch queue.
+    pub fn fill_into(&mut self, g: &SwitchGraph, from: usize, dist: &mut [u32]) {
+        dist.fill(u32::MAX);
+        self.queue.clear();
+        dist[from] = 0;
+        self.queue.push(from as u32);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            let du = dist[u];
+            for &(v, _) in g.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    self.queue.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// A flat row-major distance matrix: row `i` holds the hop distances from
+/// the `i`-th requested source to every switch. One contiguous allocation
+/// replaces the `Vec<Vec<u32>>` the engines used to build per sweep.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    cols: usize,
+    data: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// All-pairs distances: row `s` = distances from switch `s`, fanned
+    /// across up to `workers` scoped threads. Row contents depend only on
+    /// the source, so the matrix is identical for every worker count.
+    #[must_use]
+    pub fn all_pairs(g: &SwitchGraph, workers: usize) -> Self {
+        let sources: Vec<usize> = (0..g.len()).collect();
+        Self::for_sources(g, &sources, workers)
+    }
+
+    /// Distances from an arbitrary source list: row `i` = distances from
+    /// `sources[i]` (the per-delivery-switch form fat-tree and Up*/Down*
+    /// sweeps use).
+    #[must_use]
+    pub fn for_sources(g: &SwitchGraph, sources: &[usize], workers: usize) -> Self {
+        let cols = g.len();
+        let mut data = vec![u32::MAX; sources.len() * cols];
+        let mut rows: Vec<&mut [u32]> = data.chunks_mut(cols.max(1)).collect();
+        parallel_for_each(
+            &mut rows,
+            workers,
+            || BfsScratch::for_graph(g),
+            |scratch, i, row| scratch.fill_into(g, sources[i], row),
+        );
+        Self { cols, data }
+    }
+
+    /// Number of rows (sources).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.cols).unwrap_or(0)
+    }
+
+    /// Row `i`: distances from the `i`-th source to every switch.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+/// Runs `f(state, index, item)` over every item, fanned across up to
+/// `workers` scoped threads in contiguous chunks; `init` builds one
+/// per-worker scratch state. `workers == 0` resolves to the machine's
+/// available parallelism. Deterministic by construction: `f` sees only its
+/// own item and index, never the partition, so outputs are identical for
+/// every worker count.
+pub(crate) fn parallel_for_each<T, S, I, F>(items: &mut [T], workers: usize, init: I, f: F)
+where
+    T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let jobs = items.len();
+    if jobs == 0 {
+        return;
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    }
+    .min(jobs)
+    .max(1);
+    if workers <= 1 {
+        let mut state = init();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(&mut state, i, item);
+        }
+        return;
+    }
+    let chunk = jobs.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, block) in items.chunks_mut(chunk).enumerate() {
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                for (j, item) in block.iter_mut().enumerate() {
+                    f(&mut state, ci * chunk + j, item);
+                }
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -220,6 +405,7 @@ mod tests {
         assert_eq!(g.destinations().len(), 6);
         assert_eq!(g.neighbors(1).len(), 2);
         assert_eq!(g.index(t.switch_levels[0][2]), Some(2));
+        assert_eq!(g.lid_bound(), 7);
     }
 
     #[test]
@@ -238,6 +424,36 @@ mod tests {
         let (_, g) = managed_linear();
         assert_eq!(g.bfs_distances(0), vec![0, 1, 2]);
         assert_eq!(g.bfs_distances(2), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_bfs() {
+        let mut t = two_level(4, 3, 2);
+        crate::testutil::assign_lids(&mut t);
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        let mut scratch = BfsScratch::for_graph(&g);
+        for s in 0..g.len() {
+            assert_eq!(scratch.distances(&g, s), g.bfs_distances(s).as_slice());
+        }
+    }
+
+    #[test]
+    fn distance_matrix_rows_match_bfs_for_any_worker_count() {
+        let mut t = two_level(4, 3, 2);
+        crate::testutil::assign_lids(&mut t);
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        for workers in [1, 2, 0] {
+            let m = DistanceMatrix::all_pairs(&g, workers);
+            assert_eq!(m.rows(), g.len());
+            for s in 0..g.len() {
+                assert_eq!(m.row(s), g.bfs_distances(s).as_slice(), "row {s}");
+            }
+        }
+        // Subset form: one row per requested source, in request order.
+        let m = DistanceMatrix::for_sources(&g, &[3, 1], 2);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), g.bfs_distances(3).as_slice());
+        assert_eq!(m.row(1), g.bfs_distances(1).as_slice());
     }
 
     #[test]
@@ -265,5 +481,36 @@ mod tests {
         let h = s.add_hca("h");
         s.assign_port_lid(h, PortNum::new(1), lid(1)).unwrap();
         assert!(SwitchGraph::build(&s).is_err());
+    }
+
+    #[test]
+    fn unregistered_lid_resolves_to_error_not_panic() {
+        // The LID-to-endpoint lookup is an `IbError`, not an `expect`:
+        // a registered-but-endpointless LID must degrade the result.
+        let s = Subnet::new();
+        let err = resolve_destination(&s, &FxHashMap::default(), lid(7)).unwrap_err();
+        assert!(
+            err.to_string().contains("no endpoint"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn parallel_for_each_is_partition_independent() {
+        let n = 23;
+        let mut reference: Vec<u64> = vec![0; n];
+        parallel_for_each(&mut reference, 1, || (), |(), i, out| *out = (i * i) as u64);
+        for workers in [2, 4, 0] {
+            let mut items: Vec<u64> = vec![0; n];
+            parallel_for_each(
+                &mut items,
+                workers,
+                || (),
+                |(), i, out| {
+                    *out = (i * i) as u64;
+                },
+            );
+            assert_eq!(items, reference, "workers={workers}");
+        }
     }
 }

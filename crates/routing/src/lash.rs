@@ -6,21 +6,24 @@
 //! lane whose channel dependency graph stays acyclic with the path's
 //! dependencies added; a new lane is opened when no existing one fits.
 //!
-//! The per-pair packing with cycle checks is why LASH is by far the most
+//! The per-destination in-tree extraction and the LFT fill fan across the
+//! configured workers (each tree and each switch row is independent); the
+//! pair packing cannot — each placement depends on every earlier one. That
+//! per-pair packing with cycle checks is why LASH is by far the most
 //! expensive engine in the paper's Fig. 7 (39145 s at 11664 nodes) — the
 //! same quadratic-in-switches, cycle-check-per-pair structure is faithfully
-//! reproduced here.
+//! reproduced here, and its cost lands in the `routing.lash.vl_partition`
+//! span.
 
-use std::collections::VecDeque;
-
-use ib_subnet::{Lft, Subnet};
+use ib_observe::Observer;
+use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum, VirtualLane};
 use rustc_hash::FxHashMap;
 
 use crate::cdg::{Cdg, Channel};
-use crate::engine::RoutingEngine;
-use crate::graph::SwitchGraph;
-use crate::tables::{RoutingTables, VlAssignment};
+use crate::engine::{RoutingEngine, RoutingOptions};
+use crate::graph::{parallel_for_each, SwitchGraph};
+use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The LASH engine.
 #[derive(Clone, Copy, Debug)]
@@ -40,7 +43,12 @@ impl RoutingEngine for Lash {
         "lash"
     }
 
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let g = SwitchGraph::build(subnet)?;
         if g.is_empty() {
             return Ok(RoutingTables {
@@ -50,61 +58,90 @@ impl RoutingEngine for Lash {
                 decisions: 0,
             });
         }
+        let n = g.len();
+        let workers = opts.effective_workers(n);
 
         // One deterministic BFS in-tree per switch: tree[dsw][s] = the port
-        // s uses toward dsw (lowest-index parent wins ties).
-        let mut trees: Vec<Vec<Option<PortNum>>> = Vec::with_capacity(g.len());
-        for dsw in 0..g.len() {
-            let mut port_toward = vec![None; g.len()];
-            let mut dist = vec![u32::MAX; g.len()];
-            dist[dsw] = 0;
-            let mut queue = VecDeque::new();
-            queue.push_back(dsw);
-            while let Some(v) = queue.pop_front() {
-                // Deterministic order: neighbors as stored (builder order).
-                for &(s, _) in g.neighbors(v) {
-                    if dist[s] == u32::MAX {
-                        dist[s] = dist[v] + 1;
-                        // The port s uses toward v (first matching entry).
-                        let p = g
-                            .neighbors(s)
-                            .iter()
-                            .find(|&&(x, _)| x == v)
-                            .map(|&(_, p)| p)
-                            .expect("symmetric adjacency");
-                        port_toward[s] = Some(p);
-                        queue.push_back(s);
+        // s uses toward dsw (lowest-index parent wins ties). Trees are
+        // independent, so the extraction fans across workers; each worker
+        // reuses one distance buffer and one queue for all its trees.
+        let mut trees: Vec<Vec<Option<PortNum>>> = vec![vec![None; n]; n];
+        {
+            let _span = observer.span("routing.lash.distances");
+            parallel_for_each(
+                &mut trees,
+                workers,
+                || (vec![u32::MAX; n], Vec::<u32>::with_capacity(n)),
+                |(dist, queue), dsw, port_toward| {
+                    dist.fill(u32::MAX);
+                    dist[dsw] = 0;
+                    queue.clear();
+                    queue.push(dsw as u32);
+                    let mut head = 0;
+                    while head < queue.len() {
+                        let v = queue[head] as usize;
+                        head += 1;
+                        // Deterministic order: neighbors as stored
+                        // (builder order).
+                        for &(s, _) in g.neighbors(v) {
+                            let s = s as usize;
+                            if dist[s] == u32::MAX {
+                                dist[s] = dist[v] + 1;
+                                // The port s uses toward v (first matching
+                                // entry).
+                                let p = g
+                                    .neighbors(s)
+                                    .iter()
+                                    .find(|&&(x, _)| x as usize == v)
+                                    .map(|&(_, p)| p)
+                                    .expect("symmetric adjacency");
+                                port_toward[s] = Some(p);
+                                queue.push(s as u32);
+                            }
+                        }
                     }
-                }
-            }
-            if dist.contains(&u32::MAX) {
+                },
+            );
+        }
+        for (dsw, tree) in trees.iter().enumerate() {
+            if tree
+                .iter()
+                .enumerate()
+                .any(|(s, p)| s != dsw && p.is_none())
+            {
                 return Err(IbError::Topology("disconnected switch graph".into()));
             }
-            trees.push(port_toward);
         }
 
-        // LFTs straight from the trees.
-        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
-        let mut decisions = 0u64;
-        for dest in g.destinations() {
-            for s in 0..g.len() {
-                decisions += 1;
-                if s == dest.switch {
-                    lfts[s].set(dest.lid, dest.port);
-                } else {
-                    lfts[s].set(dest.lid, trees[dest.switch][s].expect("connected graph"));
+        // LFTs straight from the trees: each switch's staging row is
+        // independent, so the fill fans across workers too.
+        let mut stages: Vec<Vec<Option<PortNum>>> = vec![vec![None; g.lid_bound()]; n];
+        parallel_for_each(
+            &mut stages,
+            workers,
+            || (),
+            |(), s, stage| {
+                for dest in g.destinations() {
+                    stage[dest.lid.raw() as usize] = if s == dest.switch {
+                        Some(dest.port)
+                    } else {
+                        trees[dest.switch][s]
+                    };
                 }
-            }
-        }
+            },
+        );
+        let mut decisions = (g.destinations().len() * n) as u64;
 
         // Pack each ordered switch pair into the first lane that stays
-        // acyclic. (The `dsw` index doubles as the tree id, so a range
-        // loop reads clearer than enumerate here.)
+        // acyclic. Strictly serial: whether a pair fits lane l depends on
+        // every pair placed before it. (The `dsw` index doubles as the
+        // tree id, so a range loop reads clearer than enumerate here.)
         // Layers use the classic dense-matrix CDG representation
         // (see [`MatrixCdg`]) so the per-pair cycle check carries LASH's
         // characteristic quadratic-in-channels cost.
+        let _span = observer.span("routing.lash.vl_partition");
         let mut channel_ids: FxHashMap<Channel, usize> = FxHashMap::default();
-        for s in 0..g.len() {
+        for s in 0..n {
             for &(_, p) in g.neighbors(s) {
                 let next = channel_ids.len();
                 channel_ids.entry((s as u32, p.raw())).or_insert(next);
@@ -113,27 +150,27 @@ impl RoutingEngine for Lash {
         let num_channels = channel_ids.len();
         let mut layers: Vec<MatrixCdg> = vec![MatrixCdg::new(num_channels)];
         let mut pair_lane: FxHashMap<(u32, u32), VirtualLane> = FxHashMap::default();
+        let mut ids: Vec<usize> = Vec::new();
         #[allow(clippy::needless_range_loop)]
-        for dsw in 0..g.len() {
-            for src in 0..g.len() {
+        for dsw in 0..n {
+            for src in 0..n {
                 if src == dsw {
                     continue;
                 }
-                // Materialize the channel path src -> dsw along the tree.
-                let mut path: Vec<Channel> = Vec::new();
+                // Materialize the channel-id path src -> dsw along the tree.
+                ids.clear();
                 let mut cur = src;
                 while cur != dsw {
                     let p = trees[dsw][cur].expect("connected graph");
-                    path.push((cur as u32, p.raw()));
+                    ids.push(channel_ids[&(cur as u32, p.raw())]);
                     decisions += 1;
                     cur = g
                         .neighbors(cur)
                         .iter()
                         .find(|&&(_, q)| q == p)
-                        .map(|&(v, _)| v)
+                        .map(|&(v, _)| v as usize)
                         .expect("port leads somewhere");
                 }
-                let ids: Vec<usize> = path.iter().map(|ch| channel_ids[ch]).collect();
                 let mut placed = None;
                 for (l, layer) in layers.iter_mut().enumerate() {
                     if layer.try_add_path(&ids) {
@@ -166,18 +203,13 @@ impl RoutingEngine for Lash {
             }
         }
 
-        let lfts = lfts
-            .into_iter()
-            .enumerate()
-            .map(|(s, lft)| (g.node_id(s), lft))
-            .collect();
         let vls = if pair_lane.is_empty() {
             VlAssignment::SingleVl
         } else {
             VlAssignment::PerSwitchPair(pair_lane)
         };
         Ok(RoutingTables {
-            lfts,
+            lfts: stages_to_lfts(&g, stages),
             vls,
             engine: self.name(),
             decisions,
@@ -190,7 +222,7 @@ impl RoutingEngine for Lash {
 /// each tentative pair placement walks matrix rows, costing
 /// O(channels²) per pair. That quadratic check, run for every ordered
 /// switch pair, is precisely what makes LASH the most expensive engine in
-/// the paper's Fig. 7 (39145 s at 11664 nodes) — the incremental
+/// the paper's Fig. 7 (39145 s at 11664 nodes) — the incremental
 /// reachability test of [`Cdg::try_add_path`] would be algorithmically
 /// equivalent but would not reproduce that cost profile.
 struct MatrixCdg {
@@ -326,7 +358,7 @@ pub fn verify_pair_layers_acyclic(subnet: &Subnet, tables: &RoutingTables) -> Ib
                         .neighbors(cur)
                         .iter()
                         .find(|&&(_, q)| q == p)
-                        .map(|&(v, _)| v)
+                        .map(|&(v, _)| v as usize)
                         .expect("port leads to a switch");
                     hops += 1;
                     if hops > g.len() {

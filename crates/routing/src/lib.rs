@@ -20,6 +20,13 @@
 //! mutates the subnet. The subnet manager (crate `ib-sm`) applies tables and
 //! accounts the SMPs; the engines only *compute* — which is exactly the
 //! `PCt` term of the paper's equation 1.
+//!
+//! Engines run single-threaded by default; [`RoutingOptions`] (threaded
+//! through [`RoutingEngine::compute_with`]) fans the embarrassingly
+//! parallel phases across scoped worker threads. The serial,
+//! order-sensitive phases are never split, so the produced tables are
+//! byte-identical for every worker count — pinned by
+//! `tests/parallel_compute.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +44,6 @@ pub mod tables;
 pub mod testutil;
 pub mod updn;
 
-pub use engine::{EngineKind, RoutingEngine};
-pub use graph::{Destination, SwitchGraph};
+pub use engine::{EngineKind, RoutingEngine, RoutingOptions};
+pub use graph::{BfsScratch, Destination, DistanceMatrix, SwitchGraph};
 pub use tables::{RoutingTables, VlAssignment};

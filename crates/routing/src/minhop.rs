@@ -1,19 +1,22 @@
 //! Min-Hop routing: OpenSM's default engine.
 //!
-//! All-pairs shortest switch distances (parallel BFS), then for every
-//! destination LID each switch picks the least-loaded among its minimal
-//! next-hop ports. Load balancing is the sequential, destination-ordered
-//! port-counting scheme OpenSM uses, so the computation has an inherently
-//! serial phase on top of the parallel distance matrix — one reason Min-Hop
-//! costs more than structured fat-tree routing in Fig. 7.
+//! All-pairs shortest switch distances — one BFS per source switch, fanned
+//! across the configured workers since each row is independent — then for
+//! every destination LID each switch picks the least-loaded among its
+//! minimal next-hop ports. Load balancing is the sequential,
+//! destination-ordered port-counting scheme OpenSM uses, so the computation
+//! has an inherently serial phase on top of the parallel distance matrix —
+//! one reason Min-Hop costs more than structured fat-tree routing in
+//! Fig. 7.
 
-use ib_subnet::{Lft, Subnet};
+use ib_observe::Observer;
+use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum};
 use rustc_hash::FxHashMap;
 
-use crate::engine::RoutingEngine;
-use crate::graph::SwitchGraph;
-use crate::tables::{RoutingTables, VlAssignment};
+use crate::engine::{RoutingEngine, RoutingOptions};
+use crate::graph::{DistanceMatrix, SwitchGraph};
+use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The Min-Hop engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,7 +27,12 @@ impl RoutingEngine for MinHop {
         "minhop"
     }
 
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let g = SwitchGraph::build(subnet)?;
         if g.is_empty() {
             return Ok(RoutingTables {
@@ -35,23 +43,35 @@ impl RoutingEngine for MinHop {
             });
         }
 
-        // Parallel all-pairs BFS: dist[s] = distances from switch s.
-        let dist: Vec<Vec<u32>> = (0..g.len()).map(|s| g.bfs_distances(s)).collect();
+        // Parallel all-pairs BFS: row s = distances from switch s. Rows
+        // depend only on their source, so the matrix is identical for any
+        // worker count.
+        let dist = {
+            let _span = observer.span("routing.minhop.distances");
+            DistanceMatrix::all_pairs(&g, opts.effective_workers(g.len()))
+        };
 
-        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
-        // port_load[s][p] = destinations already routed out port p of s.
-        let max_port = 1 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
-        let mut port_load: Vec<Vec<u64>> = vec![vec![0; max_port + 1]; g.len()];
+        // Serial assignment: OpenSM's destination-ordered port-load
+        // balancing. Each pick reads the loads left by every earlier pick,
+        // so this phase stays single-threaded to keep tables byte-identical
+        // whatever `opts.workers` says.
+        let _span = observer.span("routing.minhop.assign");
+        let mut stages: Vec<Vec<Option<PortNum>>> = vec![vec![None; g.lid_bound()]; g.len()];
+        // port_load[s * stride + p] = destinations already routed out port
+        // p of switch s.
+        let stride = 2 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
+        let mut port_load: Vec<u64> = vec![0; stride * g.len()];
         let mut decisions = 0u64;
 
         for dest in g.destinations() {
+            let lid_idx = dest.lid.raw() as usize;
             for s in 0..g.len() {
                 decisions += 1;
                 if s == dest.switch {
-                    lfts[s].set(dest.lid, dest.port);
+                    stages[s][lid_idx] = Some(dest.port);
                     continue;
                 }
-                let d_here = dist[s][dest.switch];
+                let d_here = dist.row(s)[dest.switch];
                 if d_here == u32::MAX {
                     return Err(IbError::Topology(format!(
                         "switch {s} cannot reach LID {}",
@@ -61,8 +81,8 @@ impl RoutingEngine for MinHop {
                 // Minimal candidates: neighbors exactly one hop closer.
                 let mut best: Option<(u64, PortNum)> = None;
                 for &(v, p) in g.neighbors(s) {
-                    if dist[v][dest.switch] + 1 == d_here {
-                        let load = port_load[s][p.raw() as usize];
+                    if dist.row(v as usize)[dest.switch] + 1 == d_here {
+                        let load = port_load[s * stride + p.raw() as usize];
                         let better = match best {
                             None => true,
                             Some((bl, bp)) => load < bl || (load == bl && p < bp),
@@ -74,33 +94,17 @@ impl RoutingEngine for MinHop {
                 }
                 let (_, port) =
                     best.ok_or_else(|| IbError::Topology("distance inversion".into()))?;
-                port_load[s][port.raw() as usize] += 1;
-                lfts[s].set(dest.lid, port);
+                port_load[s * stride + port.raw() as usize] += 1;
+                stages[s][lid_idx] = Some(port);
             }
         }
 
-        let lfts = lfts
-            .into_iter()
-            .enumerate()
-            .map(|(s, lft)| (g.node_id(s), lft))
-            .collect();
         Ok(RoutingTables {
-            lfts,
+            lfts: stages_to_lfts(&g, stages),
             vls: VlAssignment::SingleVl,
             engine: self.name(),
             decisions,
         })
-    }
-}
-
-impl SwitchGraph {
-    /// Highest port number used by any switch-switch link (helper for load
-    /// arrays).
-    #[must_use]
-    pub fn neighbors_max_port(&self) -> Option<PortNum> {
-        (0..self.len())
-            .flat_map(|s| self.neighbors(s).iter().map(|&(_, p)| p))
-            .max()
     }
 }
 
@@ -176,5 +180,23 @@ mod tests {
         let s = Subnet::new();
         let tables = MinHop.compute(&s).unwrap();
         assert!(tables.lfts.is_empty());
+    }
+
+    #[test]
+    fn emits_phase_spans() {
+        let mut t = two_level(2, 2, 2);
+        assign_lids(&mut t);
+        let observer = Observer::metrics();
+        MinHop
+            .compute_with(&t.subnet, RoutingOptions::default(), &observer)
+            .unwrap();
+        let snap = observer.snapshot().expect("metrics enabled");
+        for span in ["routing.minhop.distances", "routing.minhop.assign"] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == span),
+                "missing span {span}: {:?}",
+                snap.spans
+            );
+        }
     }
 }

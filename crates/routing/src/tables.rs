@@ -1,8 +1,25 @@
 //! Routing-engine output: per-switch LFTs plus a virtual-lane assignment.
 
 use ib_subnet::{Lft, NodeId, Subnet};
-use ib_types::{IbResult, Lid, VirtualLane};
+use ib_types::{IbResult, Lid, PortNum, VirtualLane};
 use rustc_hash::FxHashMap;
+
+use crate::graph::SwitchGraph;
+
+/// Converts per-switch flat staging rows (indexed by raw LID) into the
+/// block-structured LFT map routing engines return. One conversion at the
+/// end of a compute replaces per-entry `Lft::set` bookkeeping in the hot
+/// loops; `stages[s]` becomes the table of switch `s`.
+pub(crate) fn stages_to_lfts(
+    g: &SwitchGraph,
+    stages: Vec<Vec<Option<PortNum>>>,
+) -> FxHashMap<NodeId, Lft> {
+    stages
+        .into_iter()
+        .enumerate()
+        .map(|(s, stage)| (g.node_id(s), Lft::from_dense(stage)))
+        .collect()
+}
 
 /// How flows are spread across virtual lanes for deadlock freedom.
 #[derive(Clone, Debug, PartialEq, Eq)]

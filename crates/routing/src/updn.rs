@@ -6,16 +6,21 @@
 //! channel dependency graph, making Up*/Down* deadlock-free on a single
 //! virtual lane on any topology — the baseline deadlock argument the
 //! paper's §VI-C discussion builds on.
+//!
+//! Both hot phases fan across the configured workers: the per-delivery-
+//! switch legal-distance sweeps (each group's rows depend only on the
+//! labels) and the per-switch LFT fill (each switch's row is independent).
 
 use std::collections::VecDeque;
 
-use ib_subnet::{Lft, Subnet};
+use ib_observe::Observer;
+use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum};
 use rustc_hash::FxHashMap;
 
-use crate::engine::RoutingEngine;
-use crate::graph::SwitchGraph;
-use crate::tables::{RoutingTables, VlAssignment};
+use crate::engine::{RoutingEngine, RoutingOptions};
+use crate::graph::{parallel_for_each, SwitchGraph};
+use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The Up*/Down* engine.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,9 +37,9 @@ pub(crate) fn labels(g: &SwitchGraph, root: usize) -> Vec<(u32, usize)> {
     queue.push_back(root);
     while let Some(u) = queue.pop_front() {
         for &(v, _) in g.neighbors(u) {
-            if level[v] == u32::MAX {
-                level[v] = level[u] + 1;
-                queue.push_back(v);
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u] + 1;
+                queue.push_back(v as usize);
             }
         }
     }
@@ -65,7 +70,12 @@ impl RoutingEngine for UpDown {
         "up-down"
     }
 
-    fn compute(&self, subnet: &Subnet) -> IbResult<RoutingTables> {
+    fn compute_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let g = SwitchGraph::build(subnet)?;
         if g.is_empty() {
             return Ok(RoutingTables {
@@ -75,14 +85,23 @@ impl RoutingEngine for UpDown {
                 decisions: 0,
             });
         }
+        let n = g.len();
         let root = self.pick_root(&g);
         let lab = labels(&g, root);
         if lab.iter().any(|&(l, _)| l == u32::MAX) {
             return Err(IbError::Topology("disconnected switch graph".into()));
         }
+        // Relaxation order for the up-phase: increasing label, so every
+        // up-move goes to an already-finalized switch. Identical for every
+        // delivery switch, so it is computed once, outside the fan-out.
+        let order = {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&s| lab[s]);
+            order
+        };
 
-        // Group destinations by delivery switch; compute legal distances
-        // once per delivery switch.
+        // Group destinations by delivery switch; legal distances are
+        // computed once per delivery switch.
         let mut by_switch: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
         for (i, d) in g.destinations().iter().enumerate() {
             by_switch.entry(d.switch).or_default().push(i);
@@ -90,53 +109,84 @@ impl RoutingEngine for UpDown {
         let mut groups: Vec<(usize, Vec<usize>)> = by_switch.into_iter().collect();
         groups.sort_unstable_by_key(|(s, _)| *s);
 
-        let mut lfts: Vec<Lft> = vec![Lft::new(); g.len()];
-        let mut decisions = 0u64;
+        let workers = opts.effective_workers(n);
 
-        for (dsw, dest_indices) in groups {
-            // down_dist[s]: shortest all-down path s -> dsw.
-            // full_dist[s]: shortest up*down* path s -> dsw.
-            let mut down_dist = vec![u32::MAX; g.len()];
-            down_dist[dsw] = 0;
-            // Reverse BFS along down edges: expand y where y->x is down.
-            let mut queue = VecDeque::new();
-            queue.push_back(dsw);
-            while let Some(x) = queue.pop_front() {
-                for &(y, _) in g.neighbors(x) {
-                    // Move y -> x must be a *down* move for the path y..dsw
-                    // to stay all-down.
-                    if !is_up(&lab, y, x) && down_dist[y] == u32::MAX {
-                        down_dist[y] = down_dist[x] + 1;
-                        queue.push_back(y);
+        // Phase 1, fanned per delivery switch: row gi of `down_data` holds
+        // the shortest all-down distances to groups[gi]'s switch, row gi of
+        // `full_data` the shortest legal up*/down* distances. Rows depend
+        // only on the shared labels, never on other rows.
+        let mut down_data = vec![u32::MAX; groups.len() * n];
+        let mut full_data = vec![u32::MAX; groups.len() * n];
+        {
+            let _span = observer.span("routing.up-down.distances");
+            let mut rows: Vec<(&mut [u32], &mut [u32])> = down_data
+                .chunks_mut(n)
+                .zip(full_data.chunks_mut(n))
+                .collect();
+            parallel_for_each(
+                &mut rows,
+                workers,
+                || Vec::<u32>::with_capacity(n),
+                |queue, gi, (down, full)| {
+                    let dsw = groups[gi].0;
+                    down[dsw] = 0;
+                    // Reverse BFS along down edges: expand y where y->x is
+                    // down, so the path y..dsw stays all-down.
+                    queue.clear();
+                    queue.push(dsw as u32);
+                    let mut head = 0;
+                    while head < queue.len() {
+                        let x = queue[head] as usize;
+                        head += 1;
+                        for &(y, _) in g.neighbors(x) {
+                            let y = y as usize;
+                            if !is_up(&lab, y, x) && down[y] == u32::MAX {
+                                down[y] = down[x] + 1;
+                                queue.push(y as u32);
+                            }
+                        }
                     }
-                }
-            }
-            // Process switches in increasing label order: all up-moves go to
-            // already-finalized switches.
-            let mut order: Vec<usize> = (0..g.len()).collect();
-            order.sort_unstable_by_key(|&s| lab[s]);
-            let mut full_dist = down_dist.clone();
-            for &s in &order {
-                for &(v, _) in g.neighbors(s) {
-                    if is_up(&lab, s, v) && full_dist[v] != u32::MAX {
-                        full_dist[s] = full_dist[s].min(full_dist[v].saturating_add(1));
+                    full.copy_from_slice(down);
+                    for &s in &order {
+                        for &(v, _) in g.neighbors(s) {
+                            let v = v as usize;
+                            if is_up(&lab, s, v) && full[v] != u32::MAX {
+                                full[s] = full[s].min(full[v].saturating_add(1));
+                            }
+                        }
                     }
-                }
-            }
-            if full_dist.contains(&u32::MAX) {
+                },
+            );
+        }
+        for (gi, (dsw, _)) in groups.iter().enumerate() {
+            if full_data[gi * n..(gi + 1) * n].contains(&u32::MAX) {
                 return Err(IbError::Topology(format!(
                     "no legal up*/down* path to switch {dsw}"
                 )));
             }
+        }
 
-            for &di in &dest_indices {
-                let dest = g.destinations()[di];
-                for s in 0..g.len() {
-                    decisions += 1;
-                    if s == dsw {
-                        lfts[s].set(dest.lid, dest.port);
+        // Phase 2, fanned per switch: each switch fills its own staging row
+        // from the read-only distance matrices. The candidate set for a
+        // (switch, delivery switch) pair is shared by every LID the group
+        // delivers, so it is built once per pair.
+        let _span = observer.span("routing.up-down.assign");
+        let mut stages: Vec<Vec<Option<PortNum>>> = vec![vec![None; g.lid_bound()]; n];
+        parallel_for_each(
+            &mut stages,
+            workers,
+            Vec::<PortNum>::new,
+            |candidates, s, stage| {
+                for (gi, (dsw, dest_indices)) in groups.iter().enumerate() {
+                    if s == *dsw {
+                        for &di in dest_indices {
+                            let dest = g.destinations()[di];
+                            stage[dest.lid.raw() as usize] = Some(dest.port);
+                        }
                         continue;
                     }
+                    let down = &down_data[gi * n..(gi + 1) * n];
+                    let full = &full_data[gi * n..(gi + 1) * n];
                     // The rule must compose: a packet that descended into
                     // `s` follows the same LFT row as one that just
                     // arrived climbing, so the row itself must never turn
@@ -146,40 +196,35 @@ impl RoutingEngine for UpDown {
                     // descending), and climb toward the root otherwise
                     // (the root down-reaches everything, so the climb
                     // terminates).
-                    let mut candidates: Vec<PortNum> = Vec::new();
-                    if down_dist[s] != u32::MAX {
+                    candidates.clear();
+                    if down[s] != u32::MAX {
                         for &(v, p) in g.neighbors(s) {
-                            if !is_up(&lab, s, v)
-                                && down_dist[v] != u32::MAX
-                                && down_dist[v] + 1 == down_dist[s]
-                            {
+                            let v = v as usize;
+                            if !is_up(&lab, s, v) && down[v] != u32::MAX && down[v] + 1 == down[s] {
                                 candidates.push(p);
                             }
                         }
                     } else {
                         for &(v, p) in g.neighbors(s) {
-                            if is_up(&lab, s, v)
-                                && full_dist[v] != u32::MAX
-                                && full_dist[v] + 1 == full_dist[s]
-                            {
+                            let v = v as usize;
+                            if is_up(&lab, s, v) && full[v] != u32::MAX && full[v] + 1 == full[s] {
                                 candidates.push(p);
                             }
                         }
                     }
                     candidates.sort_unstable();
-                    let pick = candidates[dest.lid.raw() as usize % candidates.len()];
-                    lfts[s].set(dest.lid, pick);
+                    for &di in dest_indices {
+                        let dest = g.destinations()[di];
+                        let pick = candidates[dest.lid.raw() as usize % candidates.len()];
+                        stage[dest.lid.raw() as usize] = Some(pick);
+                    }
                 }
-            }
-        }
+            },
+        );
+        let decisions = (g.destinations().len() * n) as u64;
 
-        let lfts = lfts
-            .into_iter()
-            .enumerate()
-            .map(|(s, lft)| (g.node_id(s), lft))
-            .collect();
         Ok(RoutingTables {
-            lfts,
+            lfts: stages_to_lfts(&g, stages),
             vls: VlAssignment::SingleVl,
             engine: self.name(),
             decisions,

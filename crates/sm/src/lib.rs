@@ -33,6 +33,7 @@ pub mod traps;
 
 pub use distribution::{FailedBlock, ResumeAccounting};
 pub use failover::{SmGroup, SmInstance, SmState};
+pub use ib_routing::RoutingOptions;
 pub use report::{BringUpReport, DistributionReport};
 pub use sa::{PathRecord, PathRecordCache, SaService};
 pub use sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use ib_mad::SmpLedger;
 use ib_observe::Observer;
-use ib_routing::EngineKind;
+use ib_routing::{EngineKind, RoutingOptions};
 use ib_subnet::{lft::min_blocks_for, NodeId, Subnet};
 use ib_types::{IbResult, LidSpace};
 
@@ -78,6 +78,8 @@ pub struct SmConfig {
     pub smp_mode: SmpMode,
     /// How the heavy sweep parallelizes its planning work.
     pub sweep: SweepOptions,
+    /// How the routing engines parallelize their path computation.
+    pub routing: RoutingOptions,
 }
 
 impl Default for SmConfig {
@@ -86,6 +88,7 @@ impl Default for SmConfig {
             engine: EngineKind::MinHop,
             smp_mode: SmpMode::Directed,
             sweep: SweepOptions::default(),
+            routing: RoutingOptions::default(),
         }
     }
 }
@@ -180,7 +183,7 @@ impl SubnetManager {
         let started = Instant::now();
         let tables = {
             let _span = self.ledger.observer().span("sm.routing");
-            engine.compute(subnet)?
+            engine.compute_with(subnet, self.config.routing, self.ledger.observer())?
         };
         let path_computation = started.elapsed();
 

@@ -114,7 +114,8 @@ impl SubnetManager {
     ) -> IbResult<ResweepReport> {
         let span = self.ledger.observer().span("resweep.light");
         let engine = self.config().engine.build();
-        match engine.compute(subnet) {
+        let routing = self.config().routing;
+        match engine.compute_with(subnet, routing, self.ledger.observer()) {
             Ok(tables) => {
                 self.ledger.observer().incr("resweep.light");
                 let (distribution, retry_passes, failed_blocks) =
@@ -190,7 +191,8 @@ impl SubnetManager {
         }
 
         let engine = self.config().engine.build();
-        let tables = engine.compute(subnet)?;
+        let routing = self.config().routing;
+        let tables = engine.compute_with(subnet, routing, self.ledger.observer())?;
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         Ok(ResweepReport {

@@ -7,7 +7,7 @@
 
 use ib_mad::SmpLedger;
 use ib_routing::EngineKind;
-use ib_sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};
+use ib_sm::{RoutingOptions, SmConfig, SmpMode, SubnetManager, SweepOptions};
 use ib_subnet::topology::{fattree, BuiltTopology};
 use ib_subnet::{Lft, NodeId};
 
@@ -22,6 +22,7 @@ fn sweep(build: fn() -> BuiltTopology, workers: usize) -> (SmpLedger, Vec<(NodeI
             engine: EngineKind::FatTree,
             smp_mode: SmpMode::Directed,
             sweep: SweepOptions::with_workers(workers),
+            routing: RoutingOptions::default().with_workers(workers),
         },
     );
     let report = sm.bring_up(&mut t.subnet).expect("bring-up");

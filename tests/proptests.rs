@@ -399,6 +399,7 @@ fn second_sweep_sends_no_smps() {
                 engine,
                 smp_mode: SmpMode::Directed,
                 sweep: SweepOptions::with_workers(workers),
+                routing: ib_sm::RoutingOptions::default().with_workers(workers),
             },
         );
         let first = sm.bring_up(&mut t.subnet).expect("bring-up");
