@@ -24,6 +24,7 @@ fn dc(arch: VirtArch, opts: MigrationOptions) -> DataCenter {
             vfs_per_hypervisor: 4,
             engine: EngineKind::FatTree,
             migration: opts,
+            ..DataCenterConfig::default()
         },
     )
     .expect("bring-up")

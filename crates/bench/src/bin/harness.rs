@@ -75,6 +75,12 @@ fn main() {
         "sa-cache" => sa_cache(),
         "balance" => balance(),
         "faults" => faults(json, metrics),
+        "soak" => {
+            let seed: u64 = flag_value(&args, "--seed").unwrap_or(0xC0FFEE);
+            let events: usize = flag_value(&args, "--events").unwrap_or(200);
+            let inject = flag_value::<ib_bench::soak::Inject>(&args, "--inject");
+            soak(seed, events, inject, json);
+        }
         "dot" => dot(),
         "all" => {
             table1(json);
@@ -91,7 +97,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--json DIR] [--metrics DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -756,6 +762,100 @@ fn faults(json: Option<&Path>, metrics: Option<&Path>) {
             ledger_attempts, ledger_migration_smps
         );
         write_json(dir, "BENCH_metrics.json", &metrics_doc(&snap));
+    }
+}
+
+/// Chaos soak: a long seeded schedule of link faults, flap bursts,
+/// migrations, and sweeps with the fabric invariant verifier run after
+/// every convergence. Exits non-zero — printing the reproducing seed and
+/// the offending invariant — on any violation, and always under
+/// `--inject`, which corrupts an installed LFT to prove the verifier
+/// catches it.
+fn soak(seed: u64, events: usize, inject: Option<ib_bench::soak::Inject>, json: Option<&Path>) {
+    use ib_bench::soak::{run_soak, SoakConfig};
+
+    println!("\n===== SOAK: randomized fault/migration/sweep schedule, verified each step =====");
+    let config = SoakConfig {
+        seed,
+        events,
+        inject,
+        ..SoakConfig::default()
+    };
+    println!(
+        "seed {seed}, {events} events on a 2-level fat tree ({} leaves x {} hypervisors, {} spines), injection: {inject:?}",
+        config.leaves, config.hosts_per_leaf, config.spines
+    );
+    let started = Instant::now();
+    let report = run_soak(&config);
+    println!(
+        "  events {:>4}  (down {} / up {} / flap {} / migrate {} / sweep {} / noop {})",
+        report.events_run,
+        report.link_downs,
+        report.link_ups,
+        report.flap_bursts,
+        report.migrations,
+        report.sweeps,
+        report.noops,
+    );
+    println!(
+        "  migrations: {} committed, {} rolled back under SMP loss",
+        report.commits, report.rollbacks
+    );
+    println!(
+        "  quarantine: {} entered hold-down, {} traps absorbed by damping, {} released",
+        report.quarantines_entered, report.traps_absorbed, report.quarantines_released
+    );
+    println!(
+        "  verifier: {} post-event runs, all four invariants + quarantine absence ({:?})",
+        report.verify_runs,
+        started.elapsed()
+    );
+    if let Some(dir) = json {
+        let doc = Json::obj(vec![
+            ("schema", Json::from("ib-vswitch/bench-soak/v1")),
+            ("seed", Json::from(report.seed)),
+            ("events_requested", Json::from(events)),
+            ("events_run", Json::from(report.events_run)),
+            ("link_downs", Json::from(report.link_downs)),
+            ("link_ups", Json::from(report.link_ups)),
+            ("flap_bursts", Json::from(report.flap_bursts)),
+            ("sweeps", Json::from(report.sweeps)),
+            ("migrations", Json::from(report.migrations)),
+            ("commits", Json::from(report.commits)),
+            ("rollbacks", Json::from(report.rollbacks)),
+            (
+                "quarantines_entered",
+                Json::from(report.quarantines_entered),
+            ),
+            ("traps_absorbed", Json::from(report.traps_absorbed)),
+            (
+                "quarantines_released",
+                Json::from(report.quarantines_released),
+            ),
+            ("verify_runs", Json::from(report.verify_runs)),
+            (
+                "verdicts",
+                Json::Array(
+                    report
+                        .verdicts
+                        .iter()
+                        .map(|v| Json::from(v.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "failure",
+                report.failure.as_deref().map_or(Json::Null, Json::from),
+            ),
+        ]);
+        write_json(dir, "BENCH_soak.json", &doc);
+    }
+    match report.failure {
+        None => println!("  verdict: CLEAN — zero violations across the whole schedule"),
+        Some(failure) => {
+            eprintln!("  verdict: FAILED — {failure}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -1,0 +1,541 @@
+//! Chaos-soak harness: long, seeded, randomized schedules interleaving
+//! link faults, flap bursts, live migrations, and SM sweeps on a
+//! virtualized fat tree — with the fabric invariant verifier run after
+//! every convergence and the quarantine hold-down list checked against
+//! the installed LFTs.
+//!
+//! Everything the soak does is a pure function of its [`SoakConfig`]
+//! (seed included), so a failing run is reproducible from the seed the
+//! failure message prints. The optional [`Inject`] mode corrupts an
+//! installed LFT entry *after* a clean soak and demands the verifier
+//! catch it — the harness's loud-failure self-test.
+
+use ib_core::{DataCenter, DataCenterConfig, VirtArch};
+use ib_mad::SmpTransport;
+use ib_observe::Observer;
+use ib_routing::{EngineKind, RoutingOptions};
+use ib_sm::{QuarantineOptions, Trap};
+use ib_subnet::topology::fattree;
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, PortNum};
+use ib_verify::FabricVerifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deliberate LFT corruption applied after the event schedule, used to
+/// prove the verifier fails loudly instead of rubber-stamping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inject {
+    /// Redirect a VM's row on its own leaf to a wrong vSwitch.
+    Misroute,
+    /// Point the leaf row for a VM at a spine, whose row points back.
+    Cycle,
+    /// Clear a VM's forwarding row on its own leaf entirely.
+    DropRow,
+}
+
+impl std::str::FromStr for Inject {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "misroute" => Ok(Self::Misroute),
+            "cycle" => Ok(Self::Cycle),
+            "drop-row" => Ok(Self::DropRow),
+            other => Err(format!(
+                "unknown injection `{other}` (want misroute|cycle|drop-row)"
+            )),
+        }
+    }
+}
+
+/// Soak scenario parameters. The defaults are the CI profile: a small
+/// 2-level fat tree, 200 events, mild SMP loss on migrations.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Seed for the event schedule (and every derived RNG stream).
+    pub seed: u64,
+    /// How many top-level events to run.
+    pub events: usize,
+    /// Leaf switches in the fat tree.
+    pub leaves: usize,
+    /// Hypervisors per leaf.
+    pub hosts_per_leaf: usize,
+    /// Spine switches.
+    pub spines: usize,
+    /// VMs booted before the chaos starts.
+    pub vms: usize,
+    /// Per-hop SMP drop probability on migration transports.
+    pub drop_probability: f64,
+    /// Routing-engine worker threads (tables are invariant under this).
+    pub workers: usize,
+    /// Post-soak LFT corruption to throw at the verifier, if any.
+    pub inject: Option<Inject>,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            events: 200,
+            leaves: 4,
+            hosts_per_leaf: 2,
+            spines: 2,
+            vms: 4,
+            drop_probability: 0.05,
+            workers: 1,
+            inject: None,
+        }
+    }
+}
+
+/// What a soak run did and concluded. Byte-for-byte deterministic for a
+/// given [`SoakConfig`] — the regression tests compare whole reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SoakReport {
+    /// The schedule seed (reproduces the run).
+    pub seed: u64,
+    /// Events actually executed (less than requested iff a failure stopped
+    /// the run).
+    pub events_run: usize,
+    /// Single link-down events applied.
+    pub link_downs: usize,
+    /// Single link-up events applied.
+    pub link_ups: usize,
+    /// Flap bursts applied (each is several traps in quick succession).
+    pub flap_bursts: usize,
+    /// Unprompted light sweeps run.
+    pub sweeps: usize,
+    /// Resilient migrations attempted.
+    pub migrations: usize,
+    /// ... of which committed.
+    pub commits: usize,
+    /// ... of which rolled back cleanly under SMP loss.
+    pub rollbacks: usize,
+    /// Events that found no applicable action and did nothing.
+    pub noops: usize,
+    /// Links that entered quarantine hold-down.
+    pub quarantines_entered: u64,
+    /// Traps absorbed by flap damping without a re-sweep.
+    pub traps_absorbed: u64,
+    /// Links released from quarantine after their hold-down expired.
+    pub quarantines_released: usize,
+    /// Explicit post-event verifier runs (the SM's own sweep-time and
+    /// migration-time verifications come on top).
+    pub verify_runs: usize,
+    /// One verdict line per event: `"<i>:<kind>:clean"` or the violation.
+    pub verdicts: Vec<String>,
+    /// The failure that stopped the run, with the reproducing seed.
+    pub failure: Option<String>,
+}
+
+impl SoakReport {
+    /// Whether the run converged with zero violations (and no injection).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Every switch-to-switch cable of the physical core, one entry per cable
+/// (keyed at the end with the smaller node index).
+fn core_links(subnet: &Subnet) -> Vec<(NodeId, PortNum, NodeId)> {
+    let mut out = Vec::new();
+    for sw in subnet.physical_switches() {
+        for (port, remote) in sw.cabled_ports() {
+            if subnet.node(remote.node).is_physical_switch() && sw.id.index() < remote.node.index()
+            {
+                out.push((sw.id, port, remote.node));
+            }
+        }
+    }
+    out
+}
+
+/// Whether every live physical switch can still reach every other over up
+/// links, pretending `skip` (one cable, either end) is down.
+fn connected_without(
+    subnet: &Subnet,
+    links: &[(NodeId, PortNum, NodeId)],
+    skip: (NodeId, PortNum),
+) -> bool {
+    let switches: Vec<NodeId> = subnet
+        .physical_switches()
+        .filter(|n| n.is_alive())
+        .map(|n| n.id)
+        .collect();
+    let Some(&start) = switches.first() else {
+        return true;
+    };
+    let mut reached = vec![start];
+    let mut frontier = vec![start];
+    while let Some(cur) = frontier.pop() {
+        for &(a, p, b) in links {
+            if (a, p) == skip || !subnet.is_link_up(a, p) {
+                continue;
+            }
+            for (from, to) in [(a, b), (b, a)] {
+                if from == cur && !reached.contains(&to) {
+                    reached.push(to);
+                    frontier.push(to);
+                }
+            }
+        }
+    }
+    switches.iter().all(|s| reached.contains(s))
+}
+
+/// Links currently up whose loss keeps the switch core connected.
+fn safe_to_down(
+    subnet: &Subnet,
+    links: &[(NodeId, PortNum, NodeId)],
+) -> Vec<(NodeId, PortNum, NodeId)> {
+    links
+        .iter()
+        .copied()
+        .filter(|&(a, p, _)| subnet.is_link_up(a, p) && connected_without(subnet, links, (a, p)))
+        .collect()
+}
+
+/// Runs the soak. Infrastructure errors (a sweep that cannot converge, a
+/// verification failure inside the SM, a violation found by the explicit
+/// post-event check) all land in `report.failure` together with the
+/// reproducing seed; the schedule stops at the first one.
+#[must_use]
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    let observer = Observer::metrics();
+    let mut dc = DataCenter::from_topology_observed(
+        fattree::two_level(cfg.leaves, cfg.hosts_per_leaf, cfg.spines),
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 2,
+            // Min-Hop is *not* deadlock-free once links drop (a lost
+            // uplink forces down-up "valley" routes whose channel
+            // dependencies close cycles — the sweep-time verifier
+            // rejects exactly that). DFSSSP's lane layering stays
+            // deadlock-free on every degraded shape the soak produces.
+            engine: EngineKind::Dfsssp,
+            verify: true,
+            quarantine: QuarantineOptions::enabled(),
+            routing: RoutingOptions::default().with_workers(cfg.workers),
+            ..DataCenterConfig::default()
+        },
+        observer.clone(),
+    )
+    .expect("soak bring-up");
+    let hyps = dc.hypervisors.len();
+    let mut vm_ids = Vec::with_capacity(cfg.vms);
+    for i in 0..cfg.vms {
+        vm_ids.push(
+            dc.create_vm(format!("soak-vm{i}"), i % hyps)
+                .expect("soak vm"),
+        );
+    }
+
+    let links = core_links(&dc.subnet);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut traps = SmpTransport::perfect(dc.sm.sm_node);
+    let mut now_ns: u64 = 0;
+    let mut report = SoakReport {
+        seed: cfg.seed,
+        ..SoakReport::default()
+    };
+
+    for i in 0..cfg.events {
+        now_ns += 50_000_000 + rng.gen_range(0..150_000_000);
+        let roll = rng.gen_range(0u32..100);
+        let mut kind = "noop";
+        let step: IbResult<()> = (|| {
+            if roll < 35 {
+                // Link down (connectivity-preserving).
+                let cands = safe_to_down(&dc.subnet, &links);
+                if cands.is_empty() {
+                    return Ok(());
+                }
+                let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+                kind = "down";
+                report.link_downs += 1;
+                dc.subnet.set_link_down(a, p)?;
+                dc.sm.handle_trap_at(
+                    &mut dc.subnet,
+                    Trap::LinkStateChange { node: a, port: p },
+                    &mut traps,
+                    now_ns,
+                )?;
+            } else if roll < 60 {
+                // Link up — never overriding a quarantine hold-down.
+                let cands: Vec<_> = links
+                    .iter()
+                    .copied()
+                    .filter(|&(a, p, _)| {
+                        !dc.subnet.is_link_up(a, p)
+                            && !dc.sm.quarantine.is_quarantined(&dc.subnet, a, p, now_ns)
+                    })
+                    .collect();
+                if cands.is_empty() {
+                    return Ok(());
+                }
+                let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+                kind = "up";
+                report.link_ups += 1;
+                dc.subnet.set_link_up(a, p)?;
+                dc.sm.handle_trap_at(
+                    &mut dc.subnet,
+                    Trap::LinkStateChange { node: a, port: p },
+                    &mut traps,
+                    now_ns,
+                )?;
+            } else if roll < 75 {
+                // Flap burst: down/up/down in quick succession. The third
+                // trap trips the damper; the link ends administratively
+                // down inside its hold-down window.
+                let cands = safe_to_down(&dc.subnet, &links);
+                if cands.is_empty() {
+                    return Ok(());
+                }
+                let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+                kind = "flap";
+                report.flap_bursts += 1;
+                for _ in 0..4 {
+                    let held = dc.sm.quarantine.is_quarantined(&dc.subnet, a, p, now_ns);
+                    if dc.subnet.is_link_up(a, p) {
+                        dc.subnet.set_link_down(a, p)?;
+                    } else if !held {
+                        dc.subnet.set_link_up(a, p)?;
+                    }
+                    // A held link keeps flapping too — that trap must be
+                    // absorbed by the damper, not trigger a re-sweep.
+                    dc.sm.handle_trap_at(
+                        &mut dc.subnet,
+                        Trap::LinkStateChange { node: a, port: p },
+                        &mut traps,
+                        now_ns,
+                    )?;
+                    now_ns += 1_000_000;
+                    if held {
+                        break;
+                    }
+                }
+            } else if roll < 92 {
+                // Resilient migration over a lossy transport.
+                let id = vm_ids[rng.gen_range(0..vm_ids.len())];
+                let cur = dc.vm(id).expect("soak vm record").hypervisor;
+                let dest = rng.gen_range(0..hyps);
+                let migration_seed = rng.gen_range(0..u64::MAX);
+                if dest == cur || dc.hypervisors[dest].free_slot().is_none() {
+                    return Ok(());
+                }
+                kind = "migrate";
+                report.migrations += 1;
+                let mut transport =
+                    SmpTransport::lossy(dc.sm.sm_node, migration_seed, cfg.drop_probability, 0);
+                transport.retry.max_attempts = 8;
+                let tx = dc.migrate_vm_resilient(id, dest, &mut transport)?;
+                if tx.committed {
+                    report.commits += 1;
+                } else {
+                    report.rollbacks += 1;
+                }
+            } else {
+                // Unprompted light sweep (verified internally).
+                kind = "sweep";
+                report.sweeps += 1;
+                dc.sm.light_sweep(&mut dc.subnet, &mut traps)?;
+            }
+            Ok(())
+        })();
+        if kind == "noop" {
+            report.noops += 1;
+        }
+        report.events_run = i + 1;
+        if let Err(e) = step {
+            report.verdicts.push(format!("{i}:{kind}:error"));
+            report.failure = Some(format!(
+                "event {i} ({kind}): {e}; reproduce with --seed {}",
+                cfg.seed
+            ));
+            break;
+        }
+
+        // Expired hold-downs release and fold back into routing.
+        match dc
+            .sm
+            .release_quarantined(&mut dc.subnet, &mut traps, now_ns)
+        {
+            Ok(n) => report.quarantines_released += n,
+            Err(e) => {
+                report.failure = Some(format!(
+                    "event {i} (release): {e}; reproduce with --seed {}",
+                    cfg.seed
+                ));
+                break;
+            }
+        }
+
+        // The soak's own convergence check: black holes, forwarding
+        // loops, addressing, plus the promise that no installed row
+        // crosses a quarantined link. Deadlock-freedom is checked at
+        // sweep time by the SM itself (`SmConfig.verify`), which has the
+        // engine's virtual-lane layering — a single-lane re-check here
+        // would false-positive on DFSSSP's per-lane-acyclic tables.
+        let mut problems: Vec<String> = match FabricVerifier::new()
+            .with_deadlock(false)
+            .verify(&dc.subnet)
+        {
+            Ok(r) => {
+                report.verify_runs += 1;
+                r.violations.iter().map(ToString::to_string).collect()
+            }
+            Err(e) => vec![format!("verifier error: {e}")],
+        };
+        problems.extend(dc.sm.quarantine.verify_absent(&dc.subnet, now_ns));
+        if problems.is_empty() {
+            report.verdicts.push(format!("{i}:{kind}:clean"));
+        } else {
+            report.verdicts.push(format!("{i}:{kind}:{}", problems[0]));
+            report.failure = Some(format!(
+                "event {i} ({kind}): {} violation(s), first: {}; reproduce with --seed {}",
+                problems.len(),
+                problems[0],
+                cfg.seed
+            ));
+            break;
+        }
+    }
+
+    if let Some(snap) = observer.snapshot() {
+        report.quarantines_entered = snap.counter("quarantine.entered");
+        report.traps_absorbed = snap.counter("quarantine.absorbed");
+    }
+
+    if report.failure.is_none() {
+        if let Some(inject) = cfg.inject {
+            report.failure = Some(run_injection(&mut dc, inject, cfg.seed));
+            report.verify_runs += 1;
+        }
+    }
+    report
+}
+
+/// Corrupts an installed LFT per `inject` and runs the verifier, which
+/// must catch it. Returns the failure line either way — an injection run
+/// always fails loudly; an *undetected* corruption is the worse failure.
+fn run_injection(dc: &mut DataCenter, inject: Inject, seed: u64) -> String {
+    let (lid, hyp) = {
+        let vm = *dc.vms().first().expect("soak has VMs");
+        (vm.lid, vm.hypervisor)
+    };
+    let leaf = dc.hypervisors[hyp].leaf;
+    let what = match inject {
+        Inject::Misroute => {
+            // Point the row at a vSwitch that does not own the LID; its
+            // only route for a foreign LID bounces back up the cable.
+            let own = dc.subnet.node(leaf).lft().and_then(|l| l.get(lid));
+            let (port, _) = dc
+                .subnet
+                .node(leaf)
+                .connected_ports()
+                .find(|&(p, r)| dc.subnet.node(r.node).is_vswitch() && Some(p) != own)
+                .expect("leaf has a second vSwitch");
+            dc.subnet.lft_mut(leaf).expect("leaf LFT").set(lid, port);
+            format!("misroute of LID {lid} to a wrong vSwitch")
+        }
+        Inject::Cycle => {
+            // Leaf row up to a spine whose own row necessarily descends
+            // right back: a two-switch forwarding cycle.
+            let (port, _) = dc
+                .subnet
+                .node(leaf)
+                .connected_ports()
+                .find(|&(_, r)| dc.subnet.node(r.node).is_physical_switch())
+                .expect("leaf has an up spine link");
+            dc.subnet.lft_mut(leaf).expect("leaf LFT").set(lid, port);
+            format!("cross-pointing rows for LID {lid} (leaf <-> spine)")
+        }
+        Inject::DropRow => {
+            dc.subnet.lft_mut(leaf).expect("leaf LFT").clear(lid);
+            format!("dropped forwarding row for LID {lid}")
+        }
+    };
+    match FabricVerifier::new()
+        .with_deadlock(false)
+        .verify(&dc.subnet)
+    {
+        Ok(r) if r.is_clean() => {
+            format!("injected {what} went UNDETECTED — verifier gap; reproduce with --seed {seed}")
+        }
+        Ok(r) => format!(
+            "injected {what}: verifier caught it — {}; reproduce with --seed {seed}",
+            r.summary()
+        ),
+        Err(e) => format!("injected {what}: verifier errored: {e}; reproduce with --seed {seed}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SoakConfig {
+        SoakConfig {
+            events: 40,
+            ..SoakConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_soak_converges_clean() {
+        let report = run_soak(&quick());
+        assert!(report.is_clean(), "soak failed: {:?}", report.failure);
+        assert_eq!(report.events_run, 40);
+        assert_eq!(report.verdicts.len(), 40);
+        assert!(report.verdicts.iter().all(|v| v.ends_with(":clean")));
+        // The mix actually exercised faults and migrations.
+        assert!(report.link_downs > 0);
+        assert!(report.migrations > 0);
+        assert!(report.verify_runs == 40);
+    }
+
+    #[test]
+    fn flap_bursts_enter_quarantine_and_later_release() {
+        // A longer run reliably crosses the flap threshold and outlives
+        // at least one hold-down window.
+        let report = run_soak(&SoakConfig {
+            events: 120,
+            ..SoakConfig::default()
+        });
+        assert!(report.is_clean(), "soak failed: {:?}", report.failure);
+        assert!(report.flap_bursts > 0);
+        assert!(report.quarantines_entered > 0, "no link was quarantined");
+        assert!(report.traps_absorbed > 0, "damping never absorbed a trap");
+        assert!(
+            report.quarantines_released > 0,
+            "no hold-down expired in-run"
+        );
+    }
+
+    #[test]
+    fn every_injection_fails_loudly_with_the_seed() {
+        for inject in [Inject::Misroute, Inject::Cycle, Inject::DropRow] {
+            let report = run_soak(&SoakConfig {
+                events: 10,
+                inject: Some(inject),
+                ..SoakConfig::default()
+            });
+            let failure = report.failure.expect("injection must fail the run");
+            assert!(
+                failure.contains("verifier caught it"),
+                "{inject:?}: {failure}"
+            );
+            assert!(failure.contains("--seed"), "{inject:?}: {failure}");
+        }
+    }
+
+    #[test]
+    fn inject_parses_from_cli_names() {
+        assert_eq!("misroute".parse(), Ok(Inject::Misroute));
+        assert_eq!("cycle".parse(), Ok(Inject::Cycle));
+        assert_eq!("drop-row".parse(), Ok(Inject::DropRow));
+        assert!("nope".parse::<Inject>().is_err());
+    }
+}

@@ -10,32 +10,25 @@ use ib_types::{IbResult, PortNum};
 /// trunk, six compute nodes (the HP ProLiant machines) spread three per
 /// switch, and three infrastructure nodes (the SUN Fire controller /
 /// network / storage machines) that carry LIDs but are never virtualized.
-#[must_use]
-pub fn paper_testbed() -> BuiltTopology {
+pub fn paper_testbed() -> IbResult<BuiltTopology> {
     let mut subnet = Subnet::new();
     let sw0 = subnet.add_switch("dcs36-0", 36);
     let sw1 = subnet.add_switch("dcs36-1", 36);
-    subnet
-        .connect(sw0, PortNum::new(36), sw1, PortNum::new(36))
-        .expect("trunk");
+    subnet.connect(sw0, PortNum::new(36), sw1, PortNum::new(36))?;
 
     let mut hosts = Vec::new();
     for i in 0..6 {
         let host = subnet.add_hca(format!("compute-{i}"));
         let sw = if i < 3 { sw0 } else { sw1 };
         let port = PortNum::new((i % 3) as u8 + 1);
-        subnet
-            .connect(sw, port, host, PortNum::new(1))
-            .expect("compute");
+        subnet.connect(sw, port, host, PortNum::new(1))?;
         hosts.push(host);
     }
     for (i, name) in ["controller", "network", "storage"].iter().enumerate() {
         let infra = subnet.add_hca(format!("sunfire-{name}"));
         let sw = if i < 2 { sw0 } else { sw1 };
         let port = PortNum::new(10 + i as u8);
-        subnet
-            .connect(sw, port, infra, PortNum::new(1))
-            .expect("infra");
+        subnet.connect(sw, port, infra, PortNum::new(1))?;
         // Infra nodes are deliberately NOT in `hosts`, so the data center
         // never virtualizes them — they just consume LIDs like real ones.
     }
@@ -47,12 +40,12 @@ pub fn paper_testbed() -> BuiltTopology {
         name: "paper-testbed".into(),
     };
     debug_assert!(built.subnet.validate(true).is_ok());
-    built
+    Ok(built)
 }
 
 /// Builds the testbed data center in one call.
 pub fn testbed_datacenter(config: DataCenterConfig) -> IbResult<DataCenter> {
-    DataCenter::from_topology(paper_testbed(), config)
+    DataCenter::from_topology(paper_testbed()?, config)
 }
 
 /// Consolidates VMs onto the fewest hypervisors: repeatedly moves a VM
@@ -87,12 +80,16 @@ pub fn defragment(dc: &mut DataCenter) -> IbResult<Vec<MigrationReport>> {
         if recv_load < donor_load || (recv_load == 0 && donor_load <= 1) {
             break;
         }
-        let vm: VmId = dc
+        // `donor_load > 0` means a VM exists, but degrade gracefully if
+        // the inventory shifted under us rather than panicking.
+        let Some(vm): Option<VmId> = dc
             .vms()
             .iter()
             .find(|r| r.hypervisor == donor)
             .map(|r| r.id)
-            .expect("donor has a VM");
+        else {
+            break;
+        };
         reports.push(dc.migrate_vm(vm, receiver)?);
     }
     Ok(reports)
@@ -132,7 +129,7 @@ mod tests {
 
     #[test]
     fn testbed_shape_matches_section_viia() {
-        let t = paper_testbed();
+        let t = paper_testbed().unwrap();
         assert_eq!(t.num_hosts(), 6);
         assert_eq!(t.num_switches(), 2);
         // 9 HCAs total: 6 compute + 3 infra.

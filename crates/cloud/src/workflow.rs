@@ -50,11 +50,10 @@ pub struct LiveMigrationWorkflow {
 impl LiveMigrationWorkflow {
     /// Runs the four-step workflow, migrating `vm` to hypervisor `dest`.
     pub fn execute(&self, dc: &mut DataCenter, vm: VmId, dest: usize) -> IbResult<WorkflowTrace> {
-        let lid_before: Lid = dc
+        let (lid_before, vguid_before): (Lid, _) = dc
             .vm(vm)
-            .map(|r| r.lid)
+            .map(|r| (r.lid, r.vguid))
             .ok_or_else(|| ib_types::IbError::Virtualization(format!("{vm} does not exist")))?;
-        let vguid_before = dc.vm(vm).expect("checked").vguid;
 
         // Steps 1+2 happen on the orchestration plane; step 3 is the SM
         // reconfiguration we actually execute; step 4 re-attaches.
@@ -72,7 +71,9 @@ impl LiveMigrationWorkflow {
             .collect();
         let timeline = MigrationTimeline::compose(&self.model, &smps);
 
-        let rec = dc.vm(vm).expect("still exists");
+        let rec = dc.vm(vm).ok_or_else(|| {
+            ib_types::IbError::Virtualization(format!("{vm} vanished during migration"))
+        })?;
         let addresses_preserved = rec.lid == lid_before && rec.vguid == vguid_before;
 
         let steps = vec![
@@ -114,11 +115,10 @@ impl LiveMigrationWorkflow {
         dest: usize,
         transport: &mut SmpTransport<C>,
     ) -> IbResult<ResilientWorkflowTrace> {
-        let lid_before: Lid = dc
+        let (lid_before, vguid_before): (Lid, _) = dc
             .vm(vm)
-            .map(|r| r.lid)
+            .map(|r| (r.lid, r.vguid))
             .ok_or_else(|| ib_types::IbError::Virtualization(format!("{vm} does not exist")))?;
-        let vguid_before = dc.vm(vm).expect("checked").vguid;
 
         let report = dc.migrate_vm_resilient(vm, dest, transport)?;
 
@@ -135,7 +135,9 @@ impl LiveMigrationWorkflow {
             .collect();
         let timeline = MigrationTimeline::compose(&self.model, &smps);
 
-        let rec = dc.vm(vm).expect("still exists");
+        let rec = dc.vm(vm).ok_or_else(|| {
+            ib_types::IbError::Virtualization(format!("{vm} vanished during migration"))
+        })?;
         let addresses_preserved = rec.lid == lid_before && rec.vguid == vguid_before;
 
         let final_step = if report.committed {

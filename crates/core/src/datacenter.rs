@@ -4,12 +4,13 @@
 use ib_mad::fault::{SmpChannel, SmpTransport};
 use ib_mad::Smp;
 use ib_observe::Observer;
-use ib_routing::EngineKind;
+use ib_routing::{EngineKind, RoutingOptions, VlAssignment};
 use ib_sm::distribution::{hops_of, routing_for};
-use ib_sm::{BringUpReport, SmConfig, SmpMode, SubnetManager};
+use ib_sm::{BringUpReport, QuarantineOptions, SmConfig, SmpMode, SubnetManager};
 use ib_subnet::topology::BuiltTopology;
 use ib_subnet::{NodeId, Subnet};
 use ib_types::{IbError, IbResult, Lid, PortNum};
+use ib_verify::{FabricVerifier, LftSnapshot};
 use rustc_hash::FxHashMap;
 
 use crate::migration::{
@@ -29,8 +30,18 @@ pub struct DataCenterConfig {
     pub vfs_per_hypervisor: usize,
     /// Routing engine for the initial path computation.
     pub engine: EngineKind,
+    /// Routing-engine execution options (worker threads etc.) for the SM's
+    /// path computations. Tables are invariant under the worker count.
+    pub routing: RoutingOptions,
     /// Reconfiguration options for migrations and dynamic VM creation.
     pub migration: MigrationOptions,
+    /// Run the fabric invariant verifier after every SM sweep and after
+    /// every resilient migration commit/rollback, failing the operation on
+    /// any violation. Off by default.
+    pub verify: bool,
+    /// Link flap damping policy for the data center's SM. Disabled by
+    /// default.
+    pub quarantine: QuarantineOptions,
 }
 
 impl Default for DataCenterConfig {
@@ -39,7 +50,10 @@ impl Default for DataCenterConfig {
             arch: VirtArch::VSwitchPrepopulated,
             vfs_per_hypervisor: 4,
             engine: EngineKind::MinHop,
+            routing: RoutingOptions::default(),
             migration: MigrationOptions::default(),
+            verify: false,
+            quarantine: QuarantineOptions::default(),
         }
     }
 }
@@ -95,6 +109,9 @@ impl DataCenter {
             SmConfig {
                 engine: config.engine,
                 smp_mode: SmpMode::Directed,
+                routing: config.routing,
+                verify: config.verify,
+                quarantine: config.quarantine,
                 ..SmConfig::default()
             },
         );
@@ -498,6 +515,14 @@ impl DataCenter {
         let restrict: Option<Vec<NodeId>> = use_shortcut.then(|| vec![self.hypervisors[src].leaf]);
 
         self.sm.ledger.begin_phase(format!("migrate-{id}"));
+        // Pre-migration fingerprint of every forwarding column: after the
+        // commit (or rollback) only the LIDs the migration was allowed to
+        // move may have changed anywhere in the fabric (§V-C's locality
+        // claim, checked rather than assumed).
+        let snapshot = self
+            .config
+            .verify
+            .then(|| LftSnapshot::capture(&self.subnet));
         let mut tx = TxStats {
             committed: true,
             ..TxStats::default()
@@ -533,6 +558,7 @@ impl DataCenter {
                 tx.committed = false;
                 self.sm.ledger.observer().incr("migration.abort.step_a");
                 self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+                self.verify_after_migration(snapshot.as_ref(), &[])?;
                 return Ok(aborted(tx, hypervisor_smps, LftUpdateStats::default()));
             }
             Err(e) => return Err(e),
@@ -559,6 +585,7 @@ impl DataCenter {
                     tx.rollback_smps += 1;
                     let _ = self.hypervisor_smp_set_lid_tx(src_pf, Some(vm.lid), transport);
                     self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+                    self.verify_after_migration(snapshot.as_ref(), &[])?;
                     return Ok(aborted(tx, hypervisor_smps, LftUpdateStats::default()));
                 }
                 Err(e) => return Err(e),
@@ -615,6 +642,8 @@ impl DataCenter {
             let _ = self.hypervisor_smp_set_lid_tx(dest_pf, None, transport);
             let _ = self.hypervisor_smp_set_lid_tx(src_pf, Some(vm.lid), transport);
             self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
+            // A rollback must leave every forwarding column untouched.
+            self.verify_after_migration(snapshot.as_ref(), &[])?;
             return Ok(aborted(tx, hypervisor_smps, lft));
         }
 
@@ -639,6 +668,12 @@ impl DataCenter {
         rec.hypervisor = dest;
         rec.vf_slot = dest_slot;
 
+        // A committed swap may move exactly the two swapped LIDs; a
+        // committed copy exactly the VM's.
+        let mut allowed = vec![vm.lid];
+        allowed.extend(dest_vf_lid);
+        self.verify_after_migration(snapshot.as_ref(), &allowed)?;
+
         Ok(TxMigrationReport {
             committed: true,
             vm: id,
@@ -654,6 +689,45 @@ impl DataCenter {
     // ------------------------------------------------------------------
     // Helpers
     // ------------------------------------------------------------------
+
+    /// Post-migration verification (active when `config.verify`): the
+    /// forwarding columns of every LID outside `allowed` must be identical
+    /// to the pre-migration `snapshot`, and the full fabric invariants
+    /// (black holes, forwarding loops, addressing) must hold. The deadlock
+    /// check is left to sweep-time verification, which has the engine's VL
+    /// layering in hand — a swap/copy only re-homes existing paths, so it
+    /// cannot introduce a new channel dependency cycle.
+    fn verify_after_migration(
+        &mut self,
+        snapshot: Option<&LftSnapshot>,
+        allowed: &[Lid],
+    ) -> IbResult<()> {
+        let Some(before) = snapshot else {
+            return Ok(());
+        };
+        let after = LftSnapshot::capture(&self.subnet);
+        let observer = self.sm.observer();
+        observer.incr("migration.verify.runs");
+        let mut violations = before.verify_preserved(&after, allowed);
+        let report = FabricVerifier::new().with_deadlock(false).verify_observed(
+            &self.subnet,
+            &VlAssignment::SingleVl,
+            observer,
+        )?;
+        violations.extend(report.violations);
+        if violations.is_empty() {
+            observer.incr("migration.verify.clean");
+            Ok(())
+        } else {
+            observer.incr("migration.verify.failed");
+            let shown: Vec<String> = violations.iter().take(3).map(ToString::to_string).collect();
+            Err(IbError::Management(format!(
+                "post-migration verification failed ({} violations): {}",
+                violations.len(),
+                shown.join("; ")
+            )))
+        }
+    }
 
     /// Bounds-check a hypervisor index (public entry points take raw
     /// indices; a bad one must be an error, not a panic).
@@ -1072,6 +1146,58 @@ mod tests {
             }
             dc.verify_connectivity().unwrap();
         }
+    }
+
+    #[test]
+    fn verified_resilient_migration_commits_clean() {
+        for arch in [VirtArch::VSwitchPrepopulated, VirtArch::VSwitchDynamic] {
+            let built = two_level(2, 3, 2);
+            let mut dc = DataCenter::from_topology_observed(
+                built,
+                DataCenterConfig {
+                    arch,
+                    vfs_per_hypervisor: 3,
+                    verify: true,
+                    ..DataCenterConfig::default()
+                },
+                Observer::metrics(),
+            )
+            .unwrap();
+            let vm = dc.create_vm("vm", 0).unwrap();
+            let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+            let report = dc.migrate_vm_resilient(vm, 4, &mut transport).unwrap();
+            assert!(report.committed, "{arch}");
+            let snap = dc.sm.observer().snapshot().unwrap();
+            assert_eq!(snap.counter("migration.verify.runs"), 1, "{arch}");
+            assert_eq!(snap.counter("migration.verify.clean"), 1, "{arch}");
+            assert_eq!(snap.counter("migration.verify.failed"), 0, "{arch}");
+            // The bring-up sweep verified too.
+            assert!(snap.counter("verify.runs") >= 1, "{arch}");
+        }
+    }
+
+    #[test]
+    fn verified_rollback_proves_columns_untouched() {
+        let built = two_level(2, 3, 2);
+        let mut dc = DataCenter::from_topology_observed(
+            built,
+            DataCenterConfig {
+                arch: VirtArch::VSwitchPrepopulated,
+                vfs_per_hypervisor: 3,
+                verify: true,
+                ..DataCenterConfig::default()
+            },
+            Observer::metrics(),
+        )
+        .unwrap();
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let mut transport =
+            SmpTransport::with_channel(dc.sm.sm_node, ib_mad::LossyChannel::black_hole());
+        let report = dc.migrate_vm_resilient(vm, 4, &mut transport).unwrap();
+        assert!(!report.committed);
+        let snap = dc.sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("migration.verify.runs"), 1);
+        assert_eq!(snap.counter("migration.verify.clean"), 1);
     }
 
     #[test]

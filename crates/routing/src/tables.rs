@@ -101,6 +101,24 @@ pub struct RoutingTables {
 }
 
 impl RoutingTables {
+    /// Snapshots the LFTs *currently installed* in the subnet — the tables
+    /// packets would actually follow, as opposed to the ones an engine just
+    /// planned. Switches without an installed LFT are omitted. The
+    /// verification layer audits this view after sweeps and migrations.
+    #[must_use]
+    pub fn from_installed(subnet: &Subnet) -> Self {
+        let lfts: FxHashMap<NodeId, Lft> = subnet
+            .switches()
+            .filter_map(|n| subnet.lft(n.id).map(|lft| (n.id, lft.clone())))
+            .collect();
+        Self {
+            lfts,
+            vls: VlAssignment::SingleVl,
+            engine: "installed",
+            decisions: 0,
+        }
+    }
+
     /// Installs every LFT into the subnet directly (no SMP accounting —
     /// the subnet manager is the component that distributes with SMPs).
     pub fn install(&self, subnet: &mut Subnet) -> IbResult<()> {

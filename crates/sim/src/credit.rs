@@ -166,7 +166,9 @@ pub fn run(
             let v = remote.node;
             if subnet.node(v).is_hca() {
                 // Delivered straight into the HCA.
-                queues.get_mut(&key).expect("exists").pop_front();
+                if let Some(q) = queues.get_mut(&key) {
+                    q.pop_front();
+                }
                 report.delivered += 1;
                 progress += 1;
                 continue;
@@ -178,7 +180,9 @@ pub fn run(
             let Some(out) = lft.get(head.dst) else {
                 // Unroutable: count as a drop so the sim cannot wedge on
                 // misconfiguration.
-                queues.get_mut(&key).expect("exists").pop_front();
+                if let Some(q) = queues.get_mut(&key) {
+                    q.pop_front();
+                }
                 report.dropped += 1;
                 progress += 1;
                 continue;
@@ -193,11 +197,14 @@ pub fn run(
                     .get(&next_key)
                     .is_none_or(|q| q.len() < config.credits_per_channel);
             if has_room {
-                let pkt = queues
+                // The head was cloned from this queue above, so it is
+                // non-empty; an emptied queue just skips the move.
+                let Some(pkt) = queues
                     .get_mut(&key)
-                    .expect("exists")
-                    .pop_front()
-                    .expect("head");
+                    .and_then(std::collections::VecDeque::pop_front)
+                else {
+                    continue;
+                };
                 if next_is_endpoint {
                     report.delivered += 1;
                 } else {
@@ -215,7 +222,10 @@ pub fn run(
             let flow = &flows[*fi];
             let entry = &entries[*fi];
             let s = entry.first_switch;
-            let lft = subnet.node(s).lft().expect("entry switch");
+            let lft = subnet
+                .node(s)
+                .lft()
+                .ok_or_else(|| IbError::Topology("entry switch has no LFT".into()))?;
             let Some(out) = lft.get(flow.dst) else {
                 continue;
             };
@@ -267,15 +277,18 @@ pub fn run(
                 .collect();
             keys.sort_unstable_by_key(|&(n, p, v)| (n.index(), p, v));
             for key in keys {
-                let age = queues[&key].front().expect("non-empty").age;
+                let Some(age) = queues.get(&key).and_then(|q| q.front()).map(|p| p.age) else {
+                    continue;
+                };
                 if age > timeout && oldest.is_none_or(|(_, a)| age > a) {
                     oldest = Some((key, age));
                 }
             }
             if let Some((key, _)) = oldest {
-                queues.get_mut(&key).expect("exists").pop_front();
-                report.dropped += 1;
-                in_network -= 1;
+                if queues.get_mut(&key).and_then(|q| q.pop_front()).is_some() {
+                    report.dropped += 1;
+                    in_network -= 1;
+                }
             }
         }
         let all_injected = pending.iter().all(|&(_, r)| r == 0);

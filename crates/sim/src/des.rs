@@ -120,7 +120,10 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((at, id)) = self.heap.pop()?;
         self.now = at;
-        let payload = self.payloads.remove(&id).expect("payload exists");
+        // Heap ids and payload keys are inserted in lockstep, so the
+        // payload is present; a desynced queue drops the slot instead of
+        // panicking mid-simulation.
+        let payload = self.payloads.remove(&id)?;
         Some((at, payload))
     }
 

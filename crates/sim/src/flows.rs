@@ -57,7 +57,7 @@ impl FlowSet {
                 Ok(path) => {
                     let delivered = subnet
                         .endpoint_of(dst)
-                        .is_some_and(|ep| ep.node == *path.last().expect("non-empty"));
+                        .is_some_and(|ep| path.last().is_some_and(|&terminal| ep.node == terminal));
                     if delivered {
                         report.delivered += 1;
                         report.total_hops += path.len() - 1;

@@ -26,6 +26,7 @@ pub mod discovery;
 pub mod distribution;
 pub mod failover;
 pub mod lids;
+pub mod quarantine;
 pub mod report;
 pub mod sa;
 pub mod sm;
@@ -34,6 +35,7 @@ pub mod traps;
 pub use distribution::{FailedBlock, ResumeAccounting};
 pub use failover::{SmGroup, SmInstance, SmState};
 pub use ib_routing::RoutingOptions;
+pub use quarantine::{LinkQuarantine, QuarantineOptions};
 pub use report::{BringUpReport, DistributionReport};
 pub use sa::{PathRecord, PathRecordCache, SaService};
 pub use sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};

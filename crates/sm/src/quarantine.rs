@@ -1,0 +1,431 @@
+//! Link quarantine with flap damping.
+//!
+//! A link that bounces (down/up/down/up …) would otherwise drag the SM
+//! through a full re-sweep per transition and thrash the fabric's routes
+//! each time. Borrowing BGP route-flap damping, the SM instead keeps a
+//! per-link penalty counter: every state-change trap on a link adds a
+//! penalty, and when the penalty crosses the configured threshold the link
+//! is **quarantined** — administratively held down for an exponentially
+//! growing hold-down window (`base << (strikes - 1)`, capped), regardless
+//! of what the physical layer reports. Because the routing engines only
+//! route over *up* links, a quarantined link is naturally absent from every
+//! LFT the SM installs until its hold-down expires and the link is released
+//! back into the topology.
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, PortNum};
+use rustc_hash::FxHashMap;
+
+/// Flap-damping policy knobs, part of [`crate::SmConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuarantineOptions {
+    /// Master switch; when off, traps pass straight through to re-sweeps.
+    pub enabled: bool,
+    /// State-change events on one link that trigger a quarantine.
+    pub flap_threshold: u32,
+    /// Hold-down of the first quarantine, in nanoseconds.
+    pub base_hold_down_ns: u64,
+    /// Ceiling on the exponentially growing hold-down.
+    pub max_hold_down_ns: u64,
+}
+
+impl Default for QuarantineOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            flap_threshold: 3,
+            base_hold_down_ns: 1_000_000_000, // 1 s
+            max_hold_down_ns: 64_000_000_000, // 64 s
+        }
+    }
+}
+
+impl QuarantineOptions {
+    /// Enabled with the default damping curve.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// The hold-down for the `strikes`-th quarantine (1-based):
+    /// `base << (strikes - 1)`, saturating at the configured maximum.
+    #[must_use]
+    pub fn hold_down_for(&self, strikes: u32) -> u64 {
+        let shift = strikes.saturating_sub(1);
+        // A shift that would drop set bits has already passed the cap.
+        if shift >= self.base_hold_down_ns.leading_zeros() {
+            return self.max_hold_down_ns;
+        }
+        (self.base_hold_down_ns << shift).min(self.max_hold_down_ns)
+    }
+}
+
+/// Damping state of one link.
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkRecord {
+    /// State-change events since the last quarantine (or ever).
+    penalty: u32,
+    /// Times this link has been quarantined; drives the exponential
+    /// hold-down. Never decays — a chronically flapping link earns longer
+    /// and longer time-outs.
+    strikes: u32,
+    /// Absolute release time of the active quarantine, if any.
+    held_until: Option<u64>,
+    /// Whether the quarantine forced the link down (and must bring it back
+    /// up on release). False when the link was already physically down.
+    admin_down: bool,
+}
+
+/// Per-link flap damping state for a whole fabric, keyed by the canonical
+/// (lower) end of each cable.
+#[derive(Clone, Debug)]
+pub struct LinkQuarantine {
+    options: QuarantineOptions,
+    links: FxHashMap<(NodeId, PortNum), LinkRecord>,
+}
+
+impl LinkQuarantine {
+    /// Fresh damping state under `options`.
+    #[must_use]
+    pub fn new(options: QuarantineOptions) -> Self {
+        Self {
+            options,
+            links: FxHashMap::default(),
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn options(&self) -> QuarantineOptions {
+        self.options
+    }
+
+    /// Canonical key of the cable behind `(node, port)`: the end with the
+    /// smaller (node index, port) pair, so both ends' traps hit one record.
+    fn canonical(subnet: &Subnet, node: NodeId, port: PortNum) -> (NodeId, PortNum) {
+        match subnet.cabled_neighbor(node, port) {
+            Some(remote)
+                if (remote.node.index(), remote.port.raw()) < (node.index(), port.raw()) =>
+            {
+                (remote.node, remote.port)
+            }
+            _ => (node, port),
+        }
+    }
+
+    /// Whether the link behind `(node, port)` is inside a hold-down window
+    /// at `now_ns`.
+    #[must_use]
+    pub fn is_quarantined(
+        &self,
+        subnet: &Subnet,
+        node: NodeId,
+        port: PortNum,
+        now_ns: u64,
+    ) -> bool {
+        let key = Self::canonical(subnet, node, port);
+        self.links
+            .get(&key)
+            .and_then(|r| r.held_until)
+            .is_some_and(|until| until > now_ns)
+    }
+
+    /// Feeds one link state-change event into the damper.
+    ///
+    /// Returns `true` when the event is **absorbed** — the link is (or just
+    /// became) quarantined, the damper has re-asserted the administrative
+    /// down state, and the caller should *not* run a re-sweep for this
+    /// trap. Returns `false` when the event should be handled normally.
+    pub fn note_link_event(
+        &mut self,
+        subnet: &mut Subnet,
+        node: NodeId,
+        port: PortNum,
+        now_ns: u64,
+    ) -> IbResult<bool> {
+        if !self.options.enabled {
+            return Ok(false);
+        }
+        let key = Self::canonical(subnet, node, port);
+        let mut rec = self.links.get(&key).copied().unwrap_or_default();
+        rec.penalty += 1;
+
+        let in_hold_down = rec.held_until.is_some_and(|until| until > now_ns);
+        if in_hold_down {
+            // A resurrection inside the window: push the link back down and
+            // keep absorbing until the hold-down expires.
+            if subnet.is_link_up(key.0, key.1) {
+                subnet.set_link_down(key.0, key.1)?;
+                rec.admin_down = true;
+            }
+            self.links.insert(key, rec);
+            return Ok(true);
+        }
+
+        if rec.penalty >= self.options.flap_threshold {
+            rec.strikes += 1;
+            rec.penalty = 0;
+            rec.held_until = Some(now_ns + self.options.hold_down_for(rec.strikes));
+            if subnet.is_link_up(key.0, key.1) {
+                subnet.set_link_down(key.0, key.1)?;
+                rec.admin_down = true;
+            }
+            self.links.insert(key, rec);
+            // Absorbed as far as damping goes, but the topology just
+            // changed (the link went administratively down), so the caller
+            // must still re-sweep once to route around the quarantine.
+            return Ok(false);
+        }
+
+        self.links.insert(key, rec);
+        Ok(false)
+    }
+
+    /// Releases every link whose hold-down expired by `now_ns`, restoring
+    /// the administrative down state it imposed. Returns the released
+    /// links (canonical ends); if any were brought back up the caller
+    /// should run a re-sweep to fold them back into routing.
+    pub fn release_expired(
+        &mut self,
+        subnet: &mut Subnet,
+        now_ns: u64,
+    ) -> IbResult<Vec<(NodeId, PortNum)>> {
+        let mut due: Vec<(NodeId, PortNum)> = self
+            .links
+            .iter()
+            .filter(|(_, r)| r.held_until.is_some_and(|until| until <= now_ns))
+            .map(|(&k, _)| k)
+            .collect();
+        due.sort_unstable_by_key(|&(n, p)| (n.index(), p.raw()));
+        let mut released = Vec::new();
+        for key in due {
+            let Some(rec) = self.links.get_mut(&key) else {
+                continue;
+            };
+            rec.held_until = None;
+            let bring_up = rec.admin_down;
+            rec.admin_down = false;
+            if bring_up
+                && !subnet.is_link_up(key.0, key.1)
+                && subnet.cabled_neighbor(key.0, key.1).is_some()
+                && subnet.is_alive(key.0)
+            {
+                subnet.set_link_up(key.0, key.1)?;
+            }
+            released.push(key);
+        }
+        Ok(released)
+    }
+
+    /// Links currently inside a hold-down window at `now_ns`, as
+    /// (canonical end, release time) pairs in deterministic order.
+    #[must_use]
+    pub fn quarantined_links(&self, now_ns: u64) -> Vec<((NodeId, PortNum), u64)> {
+        let mut held: Vec<((NodeId, PortNum), u64)> = self
+            .links
+            .iter()
+            .filter_map(|(&k, r)| r.held_until.filter(|&u| u > now_ns).map(|u| (k, u)))
+            .collect();
+        held.sort_unstable_by_key(|&((n, p), _)| (n.index(), p.raw()));
+        held
+    }
+
+    /// Number of links currently holding a strike history.
+    #[must_use]
+    pub fn tracked_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Proves quarantined links are absent from the installed tables: scans
+    /// every switch LFT for a row that forwards over a link currently in
+    /// hold-down, returning a description of each offending row. Empty
+    /// means the quarantine held — no installed route uses a damped link.
+    #[must_use]
+    pub fn verify_absent(&self, subnet: &Subnet, now_ns: u64) -> Vec<String> {
+        let mut offenders = Vec::new();
+        let held = self.quarantined_links(now_ns);
+        if held.is_empty() {
+            return offenders;
+        }
+        // Both ends of each quarantined cable, as (node, out-port) pairs.
+        let mut banned: Vec<(NodeId, PortNum)> = Vec::new();
+        for &((node, port), _) in &held {
+            banned.push((node, port));
+            if let Some(remote) = subnet.cabled_neighbor(node, port) {
+                banned.push((remote.node, remote.port));
+            }
+        }
+        for node in subnet.switches() {
+            let Some(lft) = subnet.lft(node.id) else {
+                continue;
+            };
+            for &(end, out) in banned.iter().filter(|&&(end, _)| end == node.id) {
+                for lid in subnet.lids() {
+                    if lft.get(lid) == Some(out) {
+                        offenders.push(format!(
+                            "{} forwards LID {lid} over quarantined port {out}",
+                            subnet.name_of(end)
+                        ));
+                    }
+                }
+            }
+        }
+        offenders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_subnet::topology::fattree::two_level;
+
+    fn fabric() -> (ib_subnet::topology::BuiltTopology, NodeId, PortNum) {
+        let t = two_level(3, 2, 2);
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (port, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        (t, leaf0, port)
+    }
+
+    #[test]
+    fn disabled_damper_absorbs_nothing() {
+        let (mut t, leaf, port) = fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::default());
+        for _ in 0..10 {
+            assert!(!q.note_link_event(&mut t.subnet, leaf, port, 0).unwrap());
+        }
+        assert!(q.quarantined_links(0).is_empty());
+    }
+
+    #[test]
+    fn threshold_crossing_quarantines_and_downs_the_link() {
+        let (mut t, leaf, port) = fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        assert!(t.subnet.is_link_up(leaf, port));
+        // Two events: still below the threshold of 3.
+        assert!(!q.note_link_event(&mut t.subnet, leaf, port, 0).unwrap());
+        assert!(!q.note_link_event(&mut t.subnet, leaf, port, 1).unwrap());
+        assert!(!q.is_quarantined(&t.subnet, leaf, port, 1));
+        // Third event trips the quarantine; the caller still re-sweeps once.
+        assert!(!q.note_link_event(&mut t.subnet, leaf, port, 2).unwrap());
+        assert!(q.is_quarantined(&t.subnet, leaf, port, 2));
+        assert!(!t.subnet.is_link_up(leaf, port), "administratively down");
+        assert_eq!(q.quarantined_links(2).len(), 1);
+    }
+
+    #[test]
+    fn both_ends_share_one_record() {
+        let (mut t, leaf, port) = fabric();
+        let remote = t.subnet.cabled_neighbor(leaf, port).unwrap();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        q.note_link_event(&mut t.subnet, leaf, port, 0).unwrap();
+        q.note_link_event(&mut t.subnet, remote.node, remote.port, 1)
+            .unwrap();
+        q.note_link_event(&mut t.subnet, leaf, port, 2).unwrap();
+        assert!(q.is_quarantined(&t.subnet, remote.node, remote.port, 2));
+        assert_eq!(q.tracked_links(), 1);
+    }
+
+    #[test]
+    fn resurrection_during_hold_down_is_suppressed() {
+        let (mut t, leaf, port) = fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, at).unwrap();
+        }
+        assert!(!t.subnet.is_link_up(leaf, port));
+        // The flapping link "comes back": forced down again, absorbed.
+        t.subnet.set_link_up(leaf, port).unwrap();
+        assert!(q.note_link_event(&mut t.subnet, leaf, port, 10).unwrap());
+        assert!(!t.subnet.is_link_up(leaf, port));
+    }
+
+    #[test]
+    fn release_restores_the_link_and_strikes_escalate() {
+        let (mut t, leaf, port) = fabric();
+        let opts = QuarantineOptions::enabled();
+        let mut q = LinkQuarantine::new(opts);
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, at).unwrap();
+        }
+        let release_at = 2 + opts.base_hold_down_ns;
+        // Still held one tick before the deadline.
+        assert!(q
+            .release_expired(&mut t.subnet, release_at - 1)
+            .unwrap()
+            .is_empty());
+        let released = q.release_expired(&mut t.subnet, release_at).unwrap();
+        assert_eq!(released.len(), 1);
+        assert!(t.subnet.is_link_up(leaf, port), "restored on release");
+        // A second quarantine doubles the hold-down.
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, release_at + at)
+                .unwrap();
+        }
+        let held = q.quarantined_links(release_at + 2);
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].1, release_at + 2 + 2 * opts.base_hold_down_ns);
+    }
+
+    #[test]
+    fn hold_down_curve_is_exponential_and_capped() {
+        let opts = QuarantineOptions::enabled();
+        assert_eq!(opts.hold_down_for(1), opts.base_hold_down_ns);
+        assert_eq!(opts.hold_down_for(2), 2 * opts.base_hold_down_ns);
+        assert_eq!(opts.hold_down_for(3), 4 * opts.base_hold_down_ns);
+        assert_eq!(opts.hold_down_for(60), opts.max_hold_down_ns);
+    }
+
+    #[test]
+    fn physically_down_link_is_not_resurrected_on_release() {
+        let (mut t, leaf, port) = fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        // The link is already physically down when the flapping starts.
+        t.subnet.set_link_down(leaf, port).unwrap();
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, at).unwrap();
+        }
+        let released = q.release_expired(&mut t.subnet, u64::MAX).unwrap();
+        assert_eq!(released.len(), 1);
+        assert!(
+            !t.subnet.is_link_up(leaf, port),
+            "the damper never downed it, so it must not bring it up"
+        );
+    }
+
+    #[test]
+    fn verify_absent_flags_a_route_over_a_quarantined_link() {
+        let (mut t, leaf, port) = fabric();
+        ib_routing::testutil::assign_lids(&mut t);
+        let tables = ib_routing::EngineKind::MinHop
+            .build()
+            .compute(&t.subnet)
+            .unwrap();
+        tables.install(&mut t.subnet).unwrap();
+
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, at).unwrap();
+        }
+        // The tables were computed *before* the quarantine, so routes over
+        // the damped link are still installed: the audit must notice.
+        assert!(!q.verify_absent(&t.subnet, 2).is_empty());
+
+        // Recompute over the degraded (admin-down) topology and reinstall:
+        // the quarantined link vanishes from every LFT.
+        let rerouted = ib_routing::EngineKind::MinHop
+            .build()
+            .compute(&t.subnet)
+            .unwrap();
+        rerouted.install(&mut t.subnet).unwrap();
+        assert!(q.verify_absent(&t.subnet, 2).is_empty());
+    }
+}

@@ -11,6 +11,7 @@ use ib_types::{IbResult, LidSpace};
 use crate::discovery;
 use crate::distribution;
 use crate::lids;
+use crate::quarantine::{LinkQuarantine, QuarantineOptions};
 use crate::report::BringUpReport;
 
 /// How the SM addresses its SMPs.
@@ -80,6 +81,17 @@ pub struct SmConfig {
     pub sweep: SweepOptions,
     /// How the routing engines parallelize their path computation.
     pub routing: RoutingOptions,
+    /// Verify the fabric invariants (black holes, forwarding loops,
+    /// deadlock cycles, LID addressing) against the *installed* tables
+    /// after every sweep and converged re-sweep, failing the operation on
+    /// any violation. The deadlock check runs with the VL layering the
+    /// engine produced — enabling this with an engine that makes no
+    /// deadlock guarantee (Min-Hop) on a cyclic fabric will fail by
+    /// design. Off by default.
+    pub verify: bool,
+    /// Link flap damping policy (see [`QuarantineOptions`]). Disabled by
+    /// default.
+    pub quarantine: QuarantineOptions,
 }
 
 impl Default for SmConfig {
@@ -89,6 +101,8 @@ impl Default for SmConfig {
             smp_mode: SmpMode::Directed,
             sweep: SweepOptions::default(),
             routing: RoutingOptions::default(),
+            verify: false,
+            quarantine: QuarantineOptions::default(),
         }
     }
 }
@@ -104,6 +118,9 @@ pub struct SubnetManager {
     pub lid_space: LidSpace,
     /// Every SMP this SM ever sent.
     pub ledger: SmpLedger,
+    /// Per-link flap damping state (active when
+    /// `config.quarantine.enabled`).
+    pub quarantine: LinkQuarantine,
 }
 
 impl SubnetManager {
@@ -115,6 +132,7 @@ impl SubnetManager {
             sm_node,
             lid_space: LidSpace::new(),
             ledger: SmpLedger::new(),
+            quarantine: LinkQuarantine::new(config.quarantine),
         }
     }
 
@@ -196,6 +214,10 @@ impl SubnetManager {
             self.config.sweep,
         )?;
 
+        if self.config.verify {
+            self.verify_installed(subnet, &tables.vls)?;
+        }
+
         Ok(BringUpReport {
             discovery_smps: 0,
             lid_smps: 0,
@@ -206,6 +228,29 @@ impl SubnetManager {
             min_blocks_per_switch: subnet.topmost_lid().map_or(0, min_blocks_for),
             engine: engine.name().to_string(),
         })
+    }
+
+    /// Runs the [`ib_verify::FabricVerifier`] against the installed tables
+    /// (with the VL layering the engine produced), turning any violation
+    /// into a hard error. Emits `verify.*` counters into the observer.
+    pub(crate) fn verify_installed(
+        &mut self,
+        subnet: &Subnet,
+        vls: &ib_routing::VlAssignment,
+    ) -> IbResult<()> {
+        let report = ib_verify::FabricVerifier::new().verify_observed(
+            subnet,
+            vls,
+            self.ledger.observer(),
+        )?;
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(ib_types::IbError::Management(format!(
+                "fabric verification failed: {}",
+                report.summary()
+            )))
+        }
     }
 }
 
@@ -235,6 +280,50 @@ mod tests {
                 assert_eq!(*path.last().unwrap(), b);
             }
         }
+    }
+
+    #[test]
+    fn verified_bring_up_passes_and_counts() {
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                verify: true,
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("verify.runs"), 1);
+        assert_eq!(snap.counter("verify.clean"), 1);
+        assert_eq!(snap.counter("verify.violations"), 0);
+        assert_eq!(snap.spans_named("verify.run").len(), 1);
+    }
+
+    #[test]
+    fn verified_bring_up_rejects_corrupted_tables() {
+        // Corrupt a row behind the SM's back *between* two sweeps: the
+        // second (verifying) reconfiguration must refuse the fabric...
+        // except a full reconfiguration rewrites the corrupt row. Instead
+        // corrupt a LID registration, which no sweep repairs.
+        let mut t = two_level(2, 3, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                verify: true,
+                ..SmConfig::default()
+            },
+        );
+        sm.bring_up(&mut t.subnet).unwrap();
+        // Duplicate LID ownership: host 5's port claims host 4's LID.
+        let stolen = t.subnet.node(t.hosts[4]).ports[1].lid.unwrap();
+        t.subnet.node_mut(t.hosts[5]).ports[1].lid = Some(stolen);
+        let err = sm.full_reconfiguration(&mut t.subnet).unwrap_err();
+        assert!(
+            err.to_string().contains("fabric verification failed"),
+            "{err}"
+        );
     }
 
     #[test]

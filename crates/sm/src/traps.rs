@@ -81,6 +81,19 @@ pub struct ResweepReport {
     pub failed_blocks: Vec<FailedBlock>,
 }
 
+/// A re-sweep that never ran because flap damping absorbed the trap.
+fn absorbed_report() -> ResweepReport {
+    ResweepReport {
+        kind: SweepKind::Light,
+        escalated: false,
+        pruned_lids: Vec::new(),
+        removed_nodes: 0,
+        distribution: DistributionReport::default(),
+        retry_passes: 0,
+        failed_blocks: Vec::new(),
+    }
+}
+
 impl SubnetManager {
     /// Reacts to a trap: link-state changes get a light sweep (escalating
     /// if the known topology no longer routes), a switch death goes
@@ -103,6 +116,59 @@ impl SubnetManager {
         }
     }
 
+    /// Time-aware trap handling with flap damping: link state-change traps
+    /// are first fed to the [`crate::LinkQuarantine`]. A trap on a link
+    /// already inside its hold-down window is absorbed without a re-sweep
+    /// (the damper re-asserts the administrative down state); every other
+    /// trap proceeds to the usual light/heavy sweep over the — possibly
+    /// just-quarantined — topology.
+    pub fn handle_trap_at<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        trap: Trap,
+        transport: &mut SmpTransport<C>,
+        now_ns: u64,
+    ) -> IbResult<ResweepReport> {
+        if let Trap::LinkStateChange { node, port } = trap {
+            if self.config().quarantine.enabled {
+                let was_held = self.quarantine.is_quarantined(subnet, node, port, now_ns);
+                let absorbed = self
+                    .quarantine
+                    .note_link_event(subnet, node, port, now_ns)?;
+                let observer = self.ledger.observer();
+                observer.incr("quarantine.events");
+                if absorbed {
+                    observer.incr("quarantine.absorbed");
+                    self.ledger.observer().incr("trap.received");
+                    return Ok(absorbed_report());
+                }
+                if !was_held && self.quarantine.is_quarantined(subnet, node, port, now_ns) {
+                    observer.incr("quarantine.entered");
+                }
+            }
+        }
+        self.handle_trap(subnet, trap, transport)
+    }
+
+    /// Releases quarantined links whose hold-down expired by `now_ns` and,
+    /// if any link came back up, runs a light sweep to fold them back into
+    /// routing. Returns the number of links released.
+    pub fn release_quarantined<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        transport: &mut SmpTransport<C>,
+        now_ns: u64,
+    ) -> IbResult<usize> {
+        let released = self.quarantine.release_expired(subnet, now_ns)?;
+        if !released.is_empty() {
+            self.ledger
+                .observer()
+                .add("quarantine.released", released.len() as u64);
+            self.light_sweep(subnet, transport)?;
+        }
+        Ok(released.len())
+    }
+
     /// Light sweep: recompute routes over the currently known topology and
     /// push the dirty blocks. LIDs are not touched. If path computation
     /// fails — some destination became unreachable, meaning the topology
@@ -120,6 +186,7 @@ impl SubnetManager {
                 self.ledger.observer().incr("resweep.light");
                 let (distribution, retry_passes, failed_blocks) =
                     self.distribute_resumably(subnet, &tables, transport)?;
+                self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
                 Ok(ResweepReport {
                     kind: SweepKind::Light,
                     escalated: false,
@@ -195,6 +262,7 @@ impl SubnetManager {
         let tables = engine.compute_with(subnet, routing, self.ledger.observer())?;
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
+        self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
         Ok(ResweepReport {
             kind: SweepKind::Heavy,
             escalated: false,
@@ -204,6 +272,27 @@ impl SubnetManager {
             retry_passes,
             failed_blocks,
         })
+    }
+
+    /// Runs the fabric verifier after a re-sweep when `config.verify` is
+    /// set — but only once distribution converged: tables with stranded
+    /// blocks are *expected* to be inconsistent, so verification is
+    /// deferred (and counted) rather than failed.
+    fn verify_converged(
+        &mut self,
+        subnet: &Subnet,
+        vls: &ib_routing::VlAssignment,
+        failed_blocks: &[FailedBlock],
+    ) -> IbResult<()> {
+        if !self.config().verify {
+            return Ok(());
+        }
+        if failed_blocks.is_empty() {
+            self.verify_installed(subnet, vls)
+        } else {
+            self.ledger.observer().incr("verify.skipped_unconverged");
+            Ok(())
+        }
     }
 
     /// Distribution with bounded resume passes: failed blocks are retried

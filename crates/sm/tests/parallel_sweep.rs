@@ -23,6 +23,7 @@ fn sweep(build: fn() -> BuiltTopology, workers: usize) -> (SmpLedger, Vec<(NodeI
             smp_mode: SmpMode::Directed,
             sweep: SweepOptions::with_workers(workers),
             routing: RoutingOptions::default().with_workers(workers),
+            ..SmConfig::default()
         },
     );
     let report = sm.bring_up(&mut t.subnet).expect("bring-up");

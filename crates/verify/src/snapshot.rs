@@ -1,0 +1,171 @@
+//! Per-destination LFT fingerprints: the Algorithm-1 "uninvolved paths are
+//! untouched" check.
+//!
+//! §V-C argues that a LID swap/copy reconfigures migration in `O(switches)`
+//! SMPs precisely because *only* the rows of the LIDs being moved change.
+//! [`LftSnapshot`] makes that claim checkable: capture before the operation,
+//! diff after, and any destination outside the allowed set whose forwarding
+//! column changed anywhere in the fabric is a violation.
+
+use ib_subnet::Subnet;
+use ib_types::Lid;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::verifier::{InvariantClass, Violation};
+
+/// A fingerprint of every destination LID's forwarding column across all
+/// switch LFTs, cheap to capture and compare.
+///
+/// For each registered LID, the snapshot hashes the sequence of
+/// `(switch, out-port)` rows in a stable switch order (FNV-1a over the raw
+/// bytes). Two snapshots assign a LID equal fingerprints iff every switch
+/// forwards that LID identically in both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LftSnapshot {
+    /// Raw LID -> column fingerprint.
+    columns: FxHashMap<u16, u64>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, byte: u8) {
+    *hash ^= u64::from(byte);
+    *hash = hash.wrapping_mul(FNV_PRIME);
+}
+
+impl LftSnapshot {
+    /// Fingerprints the installed tables of `subnet`.
+    ///
+    /// Switch order is the subnet's own (deterministic) iteration order;
+    /// a switch with no installed LFT contributes a distinct marker so
+    /// "table dropped entirely" also shows up as a change.
+    #[must_use]
+    pub fn capture(subnet: &Subnet) -> Self {
+        let lids = subnet.lids();
+        let mut columns: FxHashMap<u16, u64> = lids.iter().map(|l| (l.raw(), FNV_OFFSET)).collect();
+        for node in subnet.switches() {
+            let lft = subnet.lft(node.id);
+            for &lid in &lids {
+                let Some(hash) = columns.get_mut(&lid.raw()) else {
+                    continue;
+                };
+                // Fold in the switch id so identical rows on different
+                // switches don't collide when tables move wholesale.
+                for b in (node.id.index() as u32).to_le_bytes() {
+                    fnv1a(hash, b);
+                }
+                match lft.and_then(|t| t.get(lid)) {
+                    Some(port) => {
+                        fnv1a(hash, 1);
+                        fnv1a(hash, port.raw());
+                    }
+                    None => fnv1a(hash, 0),
+                }
+            }
+        }
+        Self { columns }
+    }
+
+    /// Number of fingerprinted destinations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the snapshot covers no destinations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Raw LIDs whose forwarding columns differ between the two snapshots
+    /// (including LIDs present in only one), in ascending order.
+    #[must_use]
+    pub fn diff(&self, after: &Self) -> Vec<u16> {
+        let mut changed: Vec<u16> = self
+            .columns
+            .iter()
+            .filter(|(lid, hash)| after.columns.get(lid) != Some(hash))
+            .map(|(&lid, _)| lid)
+            .collect();
+        for &lid in after.columns.keys() {
+            if !self.columns.contains_key(&lid) {
+                changed.push(lid);
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// Checks that between `self` (before) and `after`, only the columns of
+    /// `allowed` LIDs changed. Every other change is an [`InvariantClass::
+    /// Addressing`] violation — the swap/copy touched a path it had no
+    /// business touching.
+    #[must_use]
+    pub fn verify_preserved(&self, after: &Self, allowed: &[Lid]) -> Vec<Violation> {
+        let allowed: FxHashSet<u16> = allowed.iter().map(|l| l.raw()).collect();
+        self.diff(after)
+            .into_iter()
+            .filter(|lid| !allowed.contains(lid))
+            .map(|lid| Violation {
+                class: InvariantClass::Addressing,
+                detail: format!("forwarding column of uninvolved LID {lid} changed"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_routing::testutil::{assign_lids, host_lid};
+    use ib_routing::EngineKind;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_types::PortNum;
+
+    fn fabric() -> ib_subnet::topology::BuiltTopology {
+        let mut t = two_level(3, 2, 2);
+        assign_lids(&mut t);
+        let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        t
+    }
+
+    #[test]
+    fn identical_fabric_has_empty_diff() {
+        let t = fabric();
+        let a = LftSnapshot::capture(&t.subnet);
+        let b = LftSnapshot::capture(&t.subnet);
+        assert_eq!(a, b);
+        assert!(a.diff(&b).is_empty());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn row_change_shows_up_only_for_that_lid() {
+        let mut t = fabric();
+        let before = LftSnapshot::capture(&t.subnet);
+        let victim = host_lid(&t, 3);
+        let leaf = t.switch_levels[0][0];
+        t.subnet.lft_mut(leaf).unwrap().set(victim, PortNum::DROP);
+        let after = LftSnapshot::capture(&t.subnet);
+        assert_eq!(before.diff(&after), vec![victim.raw()]);
+        // Allowed when declared, a violation when not.
+        assert!(before.verify_preserved(&after, &[victim]).is_empty());
+        let violations = before.verify_preserved(&after, &[]);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].class, InvariantClass::Addressing);
+    }
+
+    #[test]
+    fn dropped_table_changes_every_column() {
+        let mut t = fabric();
+        let before = LftSnapshot::capture(&t.subnet);
+        let leaf = t.switch_levels[0][0];
+        *t.subnet.lft_mut(leaf).unwrap() = ib_subnet::Lft::new();
+        let after = LftSnapshot::capture(&t.subnet);
+        assert_eq!(before.diff(&after).len(), before.len());
+    }
+}

@@ -1,0 +1,726 @@
+//! The [`FabricVerifier`]: the four fabric invariants checked against
+//! installed LFTs.
+
+use ib_observe::Observer;
+use ib_routing::cdg::Cdg;
+use ib_routing::{RoutingTables, SwitchGraph, VlAssignment};
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{IbResult, Lid};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Which invariant a violation breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvariantClass {
+    /// A LID unreachable from some switch: the packet is dropped, delivered
+    /// to the wrong endpoint, or dead-ends in a missing/downed row.
+    BlackHole,
+    /// Following LFT entries for one destination revisits a switch.
+    ForwardingLoop,
+    /// The channel dependency graph of the installed tables has a cycle on
+    /// some virtual lane (Duato's condition violated).
+    DeadlockCycle,
+    /// vSwitch addressing broken: duplicate LID ownership, or a registered
+    /// LID that does not resolve to a live owning endpoint.
+    Addressing,
+}
+
+impl InvariantClass {
+    /// Stable kebab-case name, used in reports and metrics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BlackHole => "black-hole",
+            Self::ForwardingLoop => "forwarding-loop",
+            Self::DeadlockCycle => "deadlock-cycle",
+            Self::Addressing => "addressing",
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One broken invariant, with a human-readable witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant class.
+    pub class: InvariantClass,
+    /// What exactly is wrong, naming switches/LIDs involved.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.class, self.detail)
+    }
+}
+
+/// The outcome of one verification pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Switches whose tables were walked.
+    pub switches: usize,
+    /// Destination LIDs checked.
+    pub lids: usize,
+    /// Every invariant violation found, in deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// True when every invariant holds.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one class.
+    #[must_use]
+    pub fn count(&self, class: InvariantClass) -> usize {
+        self.violations.iter().filter(|v| v.class == class).count()
+    }
+
+    /// A deterministic one-line verdict: `clean` or the leading violations.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!("clean ({} lids x {} switches)", self.lids, self.switches);
+        }
+        let shown: Vec<String> = self
+            .violations
+            .iter()
+            .take(3)
+            .map(Violation::to_string)
+            .collect();
+        let suffix = if self.violations.len() > 3 {
+            format!(" (+{} more)", self.violations.len() - 3)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} violation(s): {}{}",
+            self.violations.len(),
+            shown.join("; "),
+            suffix
+        )
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Where one switch's LFT sends a packet for one destination.
+enum NextHop {
+    /// Arrives at the destination endpoint.
+    Deliver,
+    /// Forwards to another switch (by dense index).
+    To(usize),
+    /// Terminal failure, with the reason.
+    Dead(String),
+}
+
+/// Checks the four fabric invariants against a subnet's *installed* LFTs.
+///
+/// Construction is free; every check is read-only. The verifier is
+/// deliberately independent of `ib-sm` so it can audit any subnet state —
+/// planned, installed, or corrupted by a chaos schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricVerifier {
+    /// Hop budget per (switch, destination) walk; beyond it the walk is a
+    /// loop by definition. Defaults to 64 (matches `trace_route` callers).
+    pub max_hops: usize,
+    /// Whether to run the CDG deadlock check (invariant 3). On by default;
+    /// callers verifying a fabric whose VL layering is unknown (e.g. a
+    /// torus routed by an engine that relies on lanes they cannot supply)
+    /// may disable it rather than report false cycles.
+    pub deadlock: bool,
+}
+
+impl Default for FabricVerifier {
+    fn default() -> Self {
+        Self {
+            max_hops: 64,
+            deadlock: true,
+        }
+    }
+}
+
+impl FabricVerifier {
+    /// A verifier with default bounds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style hop budget override.
+    #[must_use]
+    pub fn with_max_hops(mut self, max_hops: usize) -> Self {
+        self.max_hops = max_hops;
+        self
+    }
+
+    /// Builder-style deadlock-check toggle.
+    #[must_use]
+    pub fn with_deadlock(mut self, deadlock: bool) -> Self {
+        self.deadlock = deadlock;
+        self
+    }
+
+    /// Verifies all invariants assuming a single virtual lane (correct for
+    /// fat-tree / Up*/Down* / Min-Hop tables on tree-like fabrics).
+    pub fn verify(&self, subnet: &Subnet) -> IbResult<VerifyReport> {
+        self.verify_with_vls(subnet, &VlAssignment::SingleVl)
+    }
+
+    /// Verifies all invariants with the virtual-lane layering the routing
+    /// engine produced (DFSSSP / LASH tables are only deadlock-free *per
+    /// lane*).
+    pub fn verify_with_vls(&self, subnet: &Subnet, vls: &VlAssignment) -> IbResult<VerifyReport> {
+        self.verify_observed(subnet, vls, &Observer::disabled())
+    }
+
+    /// Like [`Self::verify_with_vls`], emitting `verify.*` counters and a
+    /// `verify.run` span into `observer`.
+    pub fn verify_observed(
+        &self,
+        subnet: &Subnet,
+        vls: &VlAssignment,
+        observer: &Observer,
+    ) -> IbResult<VerifyReport> {
+        let _span = observer.span("verify.run");
+        let switches: Vec<NodeId> = subnet.switches().map(|n| n.id).collect();
+        let index_of: FxHashMap<NodeId, usize> = switches
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let lids = subnet.lids();
+
+        let mut violations = Vec::new();
+        self.check_addressing(subnet, &mut violations);
+        for &lid in &lids {
+            self.check_forwarding(subnet, &switches, &index_of, lid, &mut violations);
+        }
+        if self.deadlock {
+            self.check_deadlock(subnet, vls, &mut violations)?;
+        }
+
+        let report = VerifyReport {
+            switches: switches.len(),
+            lids: lids.len(),
+            violations,
+        };
+        if observer.is_enabled() {
+            observer.incr("verify.runs");
+            observer.add("verify.violations", report.violations.len() as u64);
+            observer.add(
+                "verify.black_holes",
+                report.count(InvariantClass::BlackHole) as u64,
+            );
+            observer.add(
+                "verify.loops",
+                report.count(InvariantClass::ForwardingLoop) as u64,
+            );
+            observer.add(
+                "verify.deadlock_cycles",
+                report.count(InvariantClass::DeadlockCycle) as u64,
+            );
+            observer.add(
+                "verify.addressing",
+                report.count(InvariantClass::Addressing) as u64,
+            );
+            if report.is_clean() {
+                observer.incr("verify.clean");
+            }
+        }
+        Ok(report)
+    }
+
+    /// Invariant 4: LID ownership. Every LID is held by exactly one node,
+    /// the registry resolves it to that node, and the owner is alive.
+    fn check_addressing(&self, subnet: &Subnet, out: &mut Vec<Violation>) {
+        // Ownership scan over every node (dead ones included: a dead node
+        // still holding a LID is exactly the corruption we want to catch).
+        let mut owners: FxHashMap<u16, Vec<NodeId>> = FxHashMap::default();
+        for node in subnet.nodes() {
+            for lid in node.lids() {
+                owners.entry(lid.raw()).or_default().push(node.id);
+            }
+        }
+        let mut owned: Vec<(u16, Vec<NodeId>)> = owners.into_iter().collect();
+        owned.sort_unstable_by_key(|&(raw, _)| raw);
+        for (raw, who) in &owned {
+            if who.len() > 1 {
+                let names: Vec<&str> = who.iter().map(|&n| subnet.name_of(n)).collect();
+                out.push(Violation {
+                    class: InvariantClass::Addressing,
+                    detail: format!(
+                        "LID {raw} owned by {} nodes: {}",
+                        who.len(),
+                        names.join(", ")
+                    ),
+                });
+            }
+            // Every held LID must be registered back to its holder.
+            match subnet.endpoint_of(Lid::from_raw(*raw)) {
+                None => out.push(Violation {
+                    class: InvariantClass::Addressing,
+                    detail: format!(
+                        "LID {raw} held by {} but absent from the registry",
+                        subnet.name_of(who[0])
+                    ),
+                }),
+                Some(ep) if who.len() == 1 && ep.node != who[0] => out.push(Violation {
+                    class: InvariantClass::Addressing,
+                    detail: format!(
+                        "LID {raw} held by {} but registered to {}",
+                        subnet.name_of(who[0]),
+                        subnet.name_of(ep.node)
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+        // Every registered LID must resolve to a live owner.
+        for lid in subnet.lids() {
+            match subnet.endpoint_of(lid) {
+                None => out.push(Violation {
+                    class: InvariantClass::Addressing,
+                    detail: format!("LID {lid} registered but unresolvable"),
+                }),
+                Some(ep) if !subnet.is_alive(ep.node) => out.push(Violation {
+                    class: InvariantClass::Addressing,
+                    detail: format!(
+                        "LID {lid} registered to dead node {}",
+                        subnet.name_of(ep.node)
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Invariants 1 + 2 for one destination: every switch's walk must end
+    /// at the LID's endpoint without revisiting a switch.
+    fn check_forwarding(
+        &self,
+        subnet: &Subnet,
+        switches: &[NodeId],
+        index_of: &FxHashMap<NodeId, usize>,
+        lid: Lid,
+        out: &mut Vec<Violation>,
+    ) {
+        let Some(target) = subnet.endpoint_of(lid) else {
+            return; // Already reported by the addressing check.
+        };
+        // One bounded table walk per switch, memoized through `outcome` so
+        // shared suffixes are walked once; terminal failures and loops are
+        // reported once per destination, not once per upstream switch.
+        let next: Vec<NextHop> = switches
+            .iter()
+            .map(|&sw| self.next_hop(subnet, index_of, sw, lid, target.node))
+            .collect();
+
+        const UNKNOWN: u8 = 0;
+        const ON_PATH: u8 = 1;
+        const OK: u8 = 2;
+        const BAD: u8 = 3;
+        let mut outcome = vec![UNKNOWN; switches.len()];
+        let mut reported: FxHashSet<usize> = FxHashSet::default();
+
+        for start in 0..switches.len() {
+            if outcome[start] != UNKNOWN {
+                continue;
+            }
+            let mut path = vec![start];
+            outcome[start] = ON_PATH;
+            let verdict = loop {
+                let cur = *path.last().unwrap_or(&start);
+                match &next[cur] {
+                    NextHop::Deliver => break OK,
+                    NextHop::Dead(reason) => {
+                        if reported.insert(cur) {
+                            out.push(Violation {
+                                class: InvariantClass::BlackHole,
+                                detail: format!(
+                                    "LID {lid} at {}: {reason}",
+                                    subnet.name_of(switches[cur])
+                                ),
+                            });
+                        }
+                        break BAD;
+                    }
+                    &NextHop::To(v) => match outcome[v] {
+                        OK => break OK,
+                        BAD => break BAD,
+                        ON_PATH => {
+                            // The walk re-entered its own path: a cycle.
+                            let from = path.iter().position(|&s| s == v).unwrap_or(0);
+                            if reported.insert(v) {
+                                let names: Vec<&str> = path[from..]
+                                    .iter()
+                                    .map(|&s| subnet.name_of(switches[s]))
+                                    .collect();
+                                out.push(Violation {
+                                    class: InvariantClass::ForwardingLoop,
+                                    detail: format!(
+                                        "LID {lid} loops through {}",
+                                        names.join(" -> ")
+                                    ),
+                                });
+                            }
+                            break BAD;
+                        }
+                        _ => {
+                            if path.len() > self.max_hops {
+                                if reported.insert(cur) {
+                                    out.push(Violation {
+                                        class: InvariantClass::ForwardingLoop,
+                                        detail: format!(
+                                            "LID {lid}: walk from {} exceeded {} hops",
+                                            subnet.name_of(switches[start]),
+                                            self.max_hops
+                                        ),
+                                    });
+                                }
+                                break BAD;
+                            }
+                            outcome[v] = ON_PATH;
+                            path.push(v);
+                        }
+                    },
+                }
+            };
+            for s in path {
+                outcome[s] = verdict;
+            }
+        }
+    }
+
+    /// Resolves one switch's LFT entry for `lid` into a [`NextHop`].
+    fn next_hop(
+        &self,
+        subnet: &Subnet,
+        index_of: &FxHashMap<NodeId, usize>,
+        sw: NodeId,
+        lid: Lid,
+        target: NodeId,
+    ) -> NextHop {
+        if sw == target {
+            return NextHop::Deliver;
+        }
+        let Some(lft) = subnet.lft(sw) else {
+            return NextHop::Dead("no LFT installed".into());
+        };
+        let Some(port) = lft.get(lid) else {
+            return NextHop::Dead("missing LFT row".into());
+        };
+        if port.is_drop() {
+            return NextHop::Dead("row is an explicit drop".into());
+        }
+        if port.is_management() {
+            return NextHop::Dead("row terminates at the wrong switch".into());
+        }
+        let Some(remote) = subnet.neighbor(sw, port) else {
+            return NextHop::Dead(format!("row forwards into downed/uncabled port {port}"));
+        };
+        if remote.node == target {
+            return NextHop::Deliver;
+        }
+        if subnet.node(remote.node).is_hca() {
+            return NextHop::Dead(format!(
+                "delivered to wrong endpoint {}",
+                subnet.name_of(remote.node)
+            ));
+        }
+        match index_of.get(&remote.node) {
+            Some(&j) => NextHop::To(j),
+            None => NextHop::Dead(format!(
+                "forwards into non-switch {}",
+                subnet.name_of(remote.node)
+            )),
+        }
+    }
+
+    /// Invariant 3: the CDG of the installed tables is acyclic per lane.
+    fn check_deadlock(
+        &self,
+        subnet: &Subnet,
+        vls: &VlAssignment,
+        out: &mut Vec<Violation>,
+    ) -> IbResult<()> {
+        let g = SwitchGraph::build(subnet)?;
+        let tables = RoutingTables::from_installed(subnet);
+        match vls {
+            VlAssignment::SingleVl => {
+                let cdg = Cdg::from_tables(&g, &tables, |_| true);
+                Self::report_cdg_cycle(subnet, &g, &cdg, 0, out);
+            }
+            VlAssignment::PerDestination(map) => {
+                let mut lanes: Vec<u8> = map.values().map(|v| v.raw()).collect();
+                lanes.push(0);
+                lanes.sort_unstable();
+                lanes.dedup();
+                for lane in lanes {
+                    let cdg =
+                        Cdg::from_tables(&g, &tables, |d| vls.lane_for(0, 0, d.lid).raw() == lane);
+                    Self::report_cdg_cycle(subnet, &g, &cdg, lane, out);
+                }
+            }
+            VlAssignment::PerSwitchPair(_) | VlAssignment::PerSourceDestination(_) => {
+                self.check_deadlock_per_path(subnet, &g, &tables, vls, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-path CDG construction for path-granular lane assignments: each
+    /// (source switch, destination) path contributes its channel chain to
+    /// the CDG of *its* lane only.
+    fn check_deadlock_per_path(
+        &self,
+        subnet: &Subnet,
+        g: &SwitchGraph,
+        tables: &RoutingTables,
+        vls: &VlAssignment,
+        out: &mut Vec<Violation>,
+    ) {
+        // Per-switch port -> neighbor-switch map, as in Cdg::absorb_tables.
+        let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
+            .map(|s| {
+                g.neighbors(s)
+                    .iter()
+                    .map(|&(v, p)| (p.raw(), v as usize))
+                    .collect()
+            })
+            .collect();
+        let mut lanes: FxHashMap<u8, Cdg> = FxHashMap::default();
+        for dest in g.destinations() {
+            let mut next: Vec<Option<(u8, usize)>> = vec![None; g.len()];
+            for (s, n) in next.iter_mut().enumerate() {
+                let Some(lft) = tables.lfts.get(&g.node_id(s)) else {
+                    continue;
+                };
+                if let Some(p) = lft.get(dest.lid) {
+                    if !p.is_management() {
+                        if let Some(&v) = port_to_switch[s].get(&p.raw()) {
+                            *n = Some((p.raw(), v));
+                        }
+                    }
+                }
+            }
+            for s in 0..g.len() {
+                if s == dest.switch {
+                    continue;
+                }
+                let lane = vls.lane_for(s as u32, dest.switch as u32, dest.lid).raw();
+                let cdg = lanes.entry(lane).or_default();
+                let mut cur = s;
+                let mut prev: Option<usize> = None;
+                for _ in 0..self.max_hops {
+                    let Some((p, v)) = next[cur] else { break };
+                    let ch = cdg.intern((cur as u32, p));
+                    if let Some(pc) = prev {
+                        cdg.add_edge(pc, ch, dest.lid.raw());
+                    }
+                    prev = Some(ch);
+                    cur = v;
+                    if cur == dest.switch {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut ordered: Vec<(u8, Cdg)> = lanes.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(lane, _)| lane);
+        for (lane, cdg) in &ordered {
+            Self::report_cdg_cycle(subnet, g, cdg, *lane, out);
+        }
+    }
+
+    /// Renders one CDG cycle (if any) as a deadlock violation.
+    fn report_cdg_cycle(
+        subnet: &Subnet,
+        g: &SwitchGraph,
+        cdg: &Cdg,
+        lane: u8,
+        out: &mut Vec<Violation>,
+    ) {
+        if let Some(cycle) = cdg.find_cycle() {
+            let chain: Vec<String> = cycle
+                .iter()
+                .map(|&id| {
+                    let (s, p) = cdg.channel(id);
+                    format!("{}:p{}", subnet.name_of(g.node_id(s as usize)), p)
+                })
+                .collect();
+            out.push(Violation {
+                class: InvariantClass::DeadlockCycle,
+                detail: format!("VL{lane} channel dependency cycle: {}", chain.join(" -> ")),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_routing::testutil::{assign_lids, host_lid};
+    use ib_routing::EngineKind;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_subnet::topology::torus::torus_2d;
+    use ib_types::PortNum;
+
+    /// Bring a small fat tree to "installed tables" state without ib-sm
+    /// (which would be a dependency cycle): assign LIDs densely, compute,
+    /// install.
+    fn installed(engine: EngineKind) -> (ib_subnet::topology::BuiltTopology, VlAssignment) {
+        let mut t = two_level(3, 2, 2);
+        assign_lids(&mut t);
+        let tables = engine.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        (t, tables.vls)
+    }
+
+    #[test]
+    fn clean_fabric_verifies_clean() {
+        let (t, vls) = installed(EngineKind::MinHop);
+        let report = FabricVerifier::new()
+            .verify_with_vls(&t.subnet, &vls)
+            .unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.lids > 0 && report.switches > 0);
+        assert!(report.summary().starts_with("clean"));
+    }
+
+    #[test]
+    fn missing_row_is_a_black_hole() {
+        let (mut t, _) = installed(EngineKind::MinHop);
+        let victim = host_lid(&t, 5);
+        let leaf = t.switch_levels[0][0];
+        t.subnet.lft_mut(leaf).unwrap().clear(victim);
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert_eq!(report.count(InvariantClass::BlackHole), 1, "{report}");
+    }
+
+    #[test]
+    fn misroute_to_wrong_host_is_a_black_hole() {
+        let (mut t, _) = installed(EngineKind::MinHop);
+        let victim = host_lid(&t, 0);
+        // On the victim's own leaf, point its row at its neighbor host.
+        let leaf = t.switch_levels[0][0];
+        let (wrong_port, _) = t
+            .subnet
+            .node(leaf)
+            .connected_ports()
+            .find(|(_, r)| r.node == t.hosts[1])
+            .unwrap();
+        t.subnet.lft_mut(leaf).unwrap().set(victim, wrong_port);
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert!(report.count(InvariantClass::BlackHole) >= 1, "{report}");
+        assert!(report.summary().contains("wrong endpoint"));
+    }
+
+    #[test]
+    fn cross_pointing_rows_are_a_forwarding_loop() {
+        let (mut t, _) = installed(EngineKind::MinHop);
+        let victim = host_lid(&t, 5);
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (to_spine, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        let (to_leaf, _) = t
+            .subnet
+            .node(spine0)
+            .connected_ports()
+            .find(|(_, r)| r.node == leaf0)
+            .unwrap();
+        t.subnet.lft_mut(leaf0).unwrap().set(victim, to_spine);
+        t.subnet.lft_mut(spine0).unwrap().set(victim, to_leaf);
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert!(
+            report.count(InvariantClass::ForwardingLoop) >= 1,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn torus_minhop_deadlock_cycle_detected() {
+        let mut t = torus_2d(4, 4, 1, true);
+        assign_lids(&mut t);
+        let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert!(report.count(InvariantClass::DeadlockCycle) >= 1, "{report}");
+        // Reachability and loop-freedom still hold: min-hop routes deliver.
+        assert_eq!(report.count(InvariantClass::BlackHole), 0);
+        assert_eq!(report.count(InvariantClass::ForwardingLoop), 0);
+        // And the deadlock check can be disabled for engines that make no
+        // VL guarantee on cyclic fabrics.
+        let relaxed = FabricVerifier::new()
+            .with_deadlock(false)
+            .verify(&t.subnet)
+            .unwrap();
+        assert!(relaxed.is_clean(), "{relaxed}");
+    }
+
+    #[test]
+    fn torus_dfsssp_clean_per_lane() {
+        let mut t = torus_2d(4, 4, 1, true);
+        assign_lids(&mut t);
+        let tables = EngineKind::Dfsssp.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        let report = FabricVerifier::new()
+            .verify_with_vls(&t.subnet, &tables.vls)
+            .unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn duplicate_lid_ownership_is_an_addressing_violation() {
+        let (mut t, _) = installed(EngineKind::MinHop);
+        let stolen = host_lid(&t, 0);
+        // Corrupt a second node's port state to claim the same LID without
+        // going through the registry.
+        let thief = t.hosts[1];
+        t.subnet.node_mut(thief).ports[1].lid = Some(stolen);
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert!(report.count(InvariantClass::Addressing) >= 1, "{report}");
+        assert!(report.summary().contains("owned by 2 nodes"));
+    }
+
+    #[test]
+    fn observer_counters_reflect_the_report() {
+        let (mut t, _) = installed(EngineKind::MinHop);
+        let victim = host_lid(&t, 5);
+        t.subnet
+            .lft_mut(t.switch_levels[0][0])
+            .unwrap()
+            .set(victim, PortNum::DROP);
+        let observer = Observer::metrics();
+        let report = FabricVerifier::new()
+            .verify_observed(&t.subnet, &VlAssignment::SingleVl, &observer)
+            .unwrap();
+        assert!(!report.is_clean());
+        let snap = observer.snapshot().unwrap();
+        assert_eq!(snap.counter("verify.runs"), 1);
+        assert_eq!(
+            snap.counter("verify.violations"),
+            report.violations.len() as u64
+        );
+        assert_eq!(snap.counter("verify.clean"), 0);
+        assert_eq!(
+            snap.counter("verify.black_holes"),
+            report.count(InvariantClass::BlackHole) as u64
+        );
+    }
+}

@@ -44,6 +44,7 @@
 //! | [`core`] | `ib-core` | **the paper**: vSwitch architectures + reconfiguration |
 //! | [`sim`] | `ib-sim` | event queue, SMP replay, flows, downtime |
 //! | [`cloud`] | `ib-cloud` | placement, §VII-B workflow, scenarios |
+//! | [`verify`] | `ib-verify` | fabric invariant verifier over installed LFTs |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +58,7 @@ pub use ib_sim as sim;
 pub use ib_sm as sm;
 pub use ib_subnet as subnet;
 pub use ib_types as types;
+pub use ib_verify as verify;
 
 /// Topology builders, re-exported at the top level for convenience.
 pub use ib_subnet::topology;
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use ib_sm::{SmConfig, SmpMode, SubnetManager};
     pub use ib_subnet::{topology::BuiltTopology, Subnet};
     pub use ib_types::{Gid, Guid, Lid, PortNum};
+    pub use ib_verify::{FabricVerifier, VerifyReport};
 }
 
 #[cfg(test)]

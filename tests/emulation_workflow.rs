@@ -148,7 +148,7 @@ fn scheduler_places_and_workflow_moves() {
 
 #[test]
 fn infra_nodes_keep_their_lids_out_of_the_vm_plane() {
-    let built = paper_testbed();
+    let built = paper_testbed().expect("testbed builds");
     let infra_count = built.subnet.num_hcas() - built.num_hosts();
     assert_eq!(infra_count, 3);
     let dc = testbed_datacenter(config(VirtArch::VSwitchDynamic)).unwrap();

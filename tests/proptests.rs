@@ -400,6 +400,7 @@ fn second_sweep_sends_no_smps() {
                 smp_mode: SmpMode::Directed,
                 sweep: SweepOptions::with_workers(workers),
                 routing: ib_sm::RoutingOptions::default().with_workers(workers),
+                ..SmConfig::default()
             },
         );
         let first = sm.bring_up(&mut t.subnet).expect("bring-up");
