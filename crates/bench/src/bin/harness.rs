@@ -8,7 +8,13 @@
 //!
 //! Subcommands: `table1`, `fig7 [--level N] [--lash]`, `fig5`, `fig6`,
 //! `cost-model`, `capacity`, `emulation`, `deadlock`, `sa-cache`,
-//! `balance`, `faults`, `all`.
+//! `balance`, `faults`, `repair`, `soak`, `all`.
+//!
+//! `repair` compares the SM's incremental repair sweep against the full
+//! recompute on identical seeded fault schedules (SMPs and wall time),
+//! writing `BENCH_repair.json` under `--json`; `soak --repair` makes the
+//! chaos soak answer a seeded half of its link faults with the repair
+//! path.
 //!
 //! `--workers N` spreads the Fig. 7 `(topology, engine)` grid over N
 //! threads (default: the machine's available parallelism) and, unless
@@ -75,11 +81,13 @@ fn main() {
         "sa-cache" => sa_cache(),
         "balance" => balance(),
         "faults" => faults(json, metrics),
+        "repair" => repair(level, json),
         "soak" => {
             let seed: u64 = flag_value(&args, "--seed").unwrap_or(0xC0FFEE);
             let events: usize = flag_value(&args, "--events").unwrap_or(200);
             let inject = flag_value::<ib_bench::soak::Inject>(&args, "--inject");
-            soak(seed, events, inject, json);
+            let with_repair = args.iter().any(|a| a == "--repair");
+            soak(seed, events, inject, with_repair, json);
         }
         "dot" => dot(),
         "all" => {
@@ -94,10 +102,11 @@ fn main() {
             sa_cache();
             balance();
             faults(json, metrics);
+            repair(level, json);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--json DIR] [--metrics DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|repair|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--repair] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -765,13 +774,92 @@ fn faults(json: Option<&Path>, metrics: Option<&Path>) {
     }
 }
 
+/// Incremental repair vs full recompute: identical seeded fault schedules
+/// on triplet fabrics, one SM per arm. Reports LFT SMPs and trap-handling
+/// wall time per topology and fault count, the SMP ratio against the full
+/// trap sweep, and the ratio against the paper's `full_reconfiguration`
+/// (below 1.0 means the delta-routing path won).
+fn repair(level: u8, json: Option<&Path>) {
+    use ib_bench::repair::repair_grid;
+
+    println!("\n===== REPAIR: incremental (delta-routing) sweep vs full recompute on identical fault schedules =====");
+    println!(
+        "level {level}: 324-node fat tree + 4x4 torus always; 648-node fat tree at --level 1+"
+    );
+    println!(
+        "{:>18} {:>10} {:>7} {:>12} {:>10} {:>11} {:>7} {:>9} {:>12} {:>10} {:>9}",
+        "topology",
+        "engine",
+        "faults",
+        "repair SMPs",
+        "full SMPs",
+        "fullRC SMPs",
+        "ratio",
+        "vs fullRC",
+        "repair sec",
+        "full sec",
+        "fallbacks"
+    );
+    let rows = repair_grid(level);
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        println!(
+            "{:>18} {:>10} {:>7} {:>12} {:>10} {:>11} {:>7.3} {:>9.3} {:>12.4} {:>10.4} {:>9}",
+            row.topology,
+            row.engine,
+            row.faults,
+            row.repair_smps,
+            row.full_smps,
+            row.full_rc_smps,
+            row.smp_ratio,
+            row.smp_ratio_vs_full_rc,
+            row.repair_wall.as_secs_f64(),
+            row.full_wall.as_secs_f64(),
+            row.repair_fallbacks,
+        );
+        json_rows.push(Json::obj(vec![
+            ("topology", Json::from(row.topology.as_str())),
+            ("switches", Json::from(row.switches)),
+            ("engine", Json::from(row.engine)),
+            ("faults", Json::from(row.faults)),
+            ("repair_smps", Json::from(row.repair_smps)),
+            ("full_smps", Json::from(row.full_smps)),
+            ("full_rc_smps", Json::from(row.full_rc_smps)),
+            ("smp_ratio", Json::from(row.smp_ratio)),
+            ("smp_ratio_vs_full_rc", Json::from(row.smp_ratio_vs_full_rc)),
+            ("repair_seconds", Json::from(row.repair_wall.as_secs_f64())),
+            ("full_seconds", Json::from(row.full_wall.as_secs_f64())),
+            (
+                "full_rc_seconds",
+                Json::from(row.full_rc_wall.as_secs_f64()),
+            ),
+            ("repair_fallbacks", Json::from(row.repair_fallbacks)),
+        ]));
+    }
+    println!("(SMPs cover only the fault responses; every arm diffs against installed blocks, so the gap is the repair path's column splicing)");
+    if let Some(dir) = json {
+        let doc = Json::obj(vec![
+            ("schema", Json::from("ib-vswitch/bench-repair/v1")),
+            ("level", Json::from(u64::from(level))),
+            ("rows", Json::Array(json_rows)),
+        ]);
+        write_json(dir, "BENCH_repair.json", &doc);
+    }
+}
+
 /// Chaos soak: a long seeded schedule of link faults, flap bursts,
 /// migrations, and sweeps with the fabric invariant verifier run after
 /// every convergence. Exits non-zero — printing the reproducing seed and
 /// the offending invariant — on any violation, and always under
 /// `--inject`, which corrupts an installed LFT to prove the verifier
 /// catches it.
-fn soak(seed: u64, events: usize, inject: Option<ib_bench::soak::Inject>, json: Option<&Path>) {
+fn soak(
+    seed: u64,
+    events: usize,
+    inject: Option<ib_bench::soak::Inject>,
+    repair: bool,
+    json: Option<&Path>,
+) {
     use ib_bench::soak::{run_soak, SoakConfig};
 
     println!("\n===== SOAK: randomized fault/migration/sweep schedule, verified each step =====");
@@ -779,10 +867,11 @@ fn soak(seed: u64, events: usize, inject: Option<ib_bench::soak::Inject>, json: 
         seed,
         events,
         inject,
+        repair,
         ..SoakConfig::default()
     };
     println!(
-        "seed {seed}, {events} events on a 2-level fat tree ({} leaves x {} hypervisors, {} spines), injection: {inject:?}",
+        "seed {seed}, {events} events on a 2-level fat tree ({} leaves x {} hypervisors, {} spines), injection: {inject:?}, repair sweeps: {repair}",
         config.leaves, config.hosts_per_leaf, config.spines
     );
     let started = Instant::now();
@@ -806,13 +895,17 @@ fn soak(seed: u64, events: usize, inject: Option<ib_bench::soak::Inject>, json: 
         report.quarantines_entered, report.traps_absorbed, report.quarantines_released
     );
     println!(
+        "  repair: {} incremental sweeps, {} fell back to a full sweep",
+        report.repair_sweeps, report.repair_fallbacks
+    );
+    println!(
         "  verifier: {} post-event runs, all four invariants + quarantine absence ({:?})",
         report.verify_runs,
         started.elapsed()
     );
     if let Some(dir) = json {
         let doc = Json::obj(vec![
-            ("schema", Json::from("ib-vswitch/bench-soak/v1")),
+            ("schema", Json::from("ib-vswitch/bench-soak/v2")),
             ("seed", Json::from(report.seed)),
             ("events_requested", Json::from(events)),
             ("events_run", Json::from(report.events_run)),
@@ -832,6 +925,8 @@ fn soak(seed: u64, events: usize, inject: Option<ib_bench::soak::Inject>, json: 
                 "quarantines_released",
                 Json::from(report.quarantines_released),
             ),
+            ("repair_sweeps", Json::from(report.repair_sweeps)),
+            ("repair_fallbacks", Json::from(report.repair_fallbacks)),
             ("verify_runs", Json::from(report.verify_runs)),
             (
                 "verdicts",

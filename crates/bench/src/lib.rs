@@ -5,6 +5,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod repair;
 pub mod soak;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

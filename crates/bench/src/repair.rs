@@ -1,0 +1,229 @@
+//! Incremental-repair benchmark: the same seeded, connectivity-preserving
+//! link-fault schedule is applied to triplet fabrics — one subnet manager
+//! answering each trap with the incremental repair sweep, one with the
+//! classic full-recompute light sweep, and one with the paper's
+//! §VI-A `full_reconfiguration` — and the LFT SMP counts and wall time of
+//! the arms are compared.
+//!
+//! Link state is the only input to the fault schedule and sweeps never
+//! change link state, so a shared RNG seed makes every arm fail the exact
+//! same cables in the exact same order: the SMP delta is purely the
+//! repair path's doing.
+
+use std::time::{Duration, Instant};
+
+use ib_mad::SmpTransport;
+use ib_observe::Observer;
+use ib_routing::EngineKind;
+use ib_sm::{SmConfig, SubnetManager, Trap};
+use ib_subnet::topology::{fattree, torus, BuiltTopology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::soak::{core_links, safe_to_down};
+
+/// How one arm of the comparison answers each link-down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arm {
+    /// `SmConfig.repair = true`: the incremental repair sweep.
+    Repair,
+    /// The classic trap path: full recompute, dirty-block distribution.
+    Sweep,
+    /// The paper's traditional `full_reconfiguration` (§VI-A).
+    FullRc,
+}
+
+/// One cell: one topology at one fault count, all three arms.
+#[derive(Clone, Debug)]
+pub struct RepairRow {
+    /// Topology name (e.g. `fat-tree-2L-648`).
+    pub topology: String,
+    /// Physical switch count.
+    pub switches: usize,
+    /// Routing engine every arm uses.
+    pub engine: &'static str,
+    /// Faults injected (one trap each, handled to convergence).
+    pub faults: usize,
+    /// LFT SMPs the repair arm sent answering the traps.
+    pub repair_smps: usize,
+    /// LFT SMPs the full-sweep arm sent answering the same traps.
+    pub full_smps: usize,
+    /// LFT SMPs `full_reconfiguration` sent for the same faults.
+    pub full_rc_smps: usize,
+    /// Wall time the repair arm spent inside trap handling.
+    pub repair_wall: Duration,
+    /// Wall time the full-sweep arm spent inside trap handling.
+    pub full_wall: Duration,
+    /// Wall time the `full_reconfiguration` arm spent.
+    pub full_rc_wall: Duration,
+    /// Repairs that fell back to a full sweep (`repair.fallback`).
+    pub repair_fallbacks: u64,
+    /// `repair_smps / full_smps` — below 1.0 means repair won.
+    pub smp_ratio: f64,
+    /// `repair_smps / full_rc_smps` — the acceptance-criterion ratio.
+    pub smp_ratio_vs_full_rc: f64,
+}
+
+/// The benchmark topology set: the paper's two 2-level fat trees plus a
+/// wrapped 2-D torus (the shape that forces DFSSSP's lane layering into
+/// the repair path). Level 0 drops the 648-node tree to keep debug runs
+/// quick; the CI smoke run uses level 1.
+fn repair_builders(level: u8) -> Vec<(fn() -> BuiltTopology, EngineKind)> {
+    let mut out: Vec<(fn() -> BuiltTopology, EngineKind)> = vec![
+        (fattree::paper_324, EngineKind::MinHop),
+        (torus_4x4, EngineKind::Dfsssp),
+    ];
+    if level >= 1 {
+        out.push((fattree::paper_648, EngineKind::MinHop));
+    }
+    out
+}
+
+fn torus_4x4() -> BuiltTopology {
+    torus::torus_2d(4, 4, 1, true)
+}
+
+/// Runs one arm: fresh fabric, bring-up, then `faults` seeded
+/// connectivity-preserving link-downs each answered per `arm`.
+/// Returns `(lft_smps, wall_in_responses, repair_fallbacks)`.
+fn run_arm(
+    build: fn() -> BuiltTopology,
+    engine: EngineKind,
+    faults: usize,
+    seed: u64,
+    arm: Arm,
+) -> (usize, Duration, u64) {
+    let mut t = build();
+    let mut sm = SubnetManager::new(
+        t.hosts[0],
+        SmConfig {
+            engine,
+            repair: arm == Arm::Repair,
+            ..SmConfig::default()
+        },
+    );
+    sm.set_observer(Observer::metrics());
+    sm.bring_up(&mut t.subnet).expect("bench bring-up");
+    let links = core_links(&t.subnet);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut transport = SmpTransport::perfect(sm.sm_node);
+    let mut smps = 0;
+    let mut wall = Duration::ZERO;
+    for _ in 0..faults {
+        let cands = safe_to_down(&t.subnet, &links);
+        if cands.is_empty() {
+            break;
+        }
+        let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+        t.subnet.set_link_down(a, p).expect("bench link-down");
+        let started = Instant::now();
+        match arm {
+            Arm::FullRc => {
+                let report = sm
+                    .full_reconfiguration(&mut t.subnet)
+                    .expect("bench full reconfiguration");
+                wall += started.elapsed();
+                smps += report.distribution.lft_smps;
+            }
+            Arm::Repair | Arm::Sweep => {
+                let report = sm
+                    .handle_trap(
+                        &mut t.subnet,
+                        Trap::LinkStateChange { node: a, port: p },
+                        &mut transport,
+                    )
+                    .expect("bench trap");
+                wall += started.elapsed();
+                assert!(
+                    report.failed_blocks.is_empty(),
+                    "bench sweep did not converge"
+                );
+                smps += report.distribution.lft_smps;
+            }
+        }
+    }
+    let fallbacks = sm
+        .observer()
+        .snapshot()
+        .map_or(0, |s| s.counter("repair.fallback"));
+    (smps, wall, fallbacks)
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Runs the whole grid: every benchmark topology at every fault count,
+/// the repair arm vs both full arms on identical schedules.
+#[must_use]
+pub fn repair_grid(level: u8) -> Vec<RepairRow> {
+    let fault_counts: &[usize] = if level >= 1 { &[1, 2, 4] } else { &[1, 2] };
+    let mut rows = Vec::new();
+    for (build, engine) in repair_builders(level) {
+        let probe = build();
+        let switches = probe.subnet.num_physical_switches();
+        let name = probe.name.clone();
+        drop(probe);
+        for (fi, &faults) in fault_counts.iter().enumerate() {
+            let seed = 0xFA_B1C ^ ((fi as u64) << 8);
+            let (repair_smps, repair_wall, repair_fallbacks) =
+                run_arm(build, engine, faults, seed, Arm::Repair);
+            let (full_smps, full_wall, _) = run_arm(build, engine, faults, seed, Arm::Sweep);
+            let (full_rc_smps, full_rc_wall, _) = run_arm(build, engine, faults, seed, Arm::FullRc);
+            rows.push(RepairRow {
+                topology: name.clone(),
+                switches,
+                engine: engine.name(),
+                faults,
+                repair_smps,
+                full_smps,
+                full_rc_smps,
+                repair_wall,
+                full_wall,
+                full_rc_wall,
+                repair_fallbacks,
+                smp_ratio: ratio(repair_smps, full_smps),
+                smp_ratio_vs_full_rc: ratio(repair_smps, full_rc_smps),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_topologies_and_repair_does_not_send_more() {
+        let rows = repair_grid(0);
+        assert!(rows.iter().any(|r| r.topology.contains("fat-tree")));
+        assert!(rows.iter().any(|r| r.engine == "dfsssp"));
+        for row in &rows {
+            assert!(row.faults > 0);
+            assert!(row.full_smps > 0, "{}: full arm sent nothing", row.topology);
+            // A clean repair never exceeds the full sweep's dirty-block
+            // diff; a fallback degenerates to exactly the full sweep.
+            assert!(
+                row.repair_smps <= row.full_smps,
+                "{} faults={}: repair sent {} vs full {}",
+                row.topology,
+                row.faults,
+                row.repair_smps,
+                row.full_smps
+            );
+            assert!(
+                row.repair_smps <= row.full_rc_smps,
+                "{} faults={}: repair sent {} vs full_rc {}",
+                row.topology,
+                row.faults,
+                row.repair_smps,
+                row.full_rc_smps
+            );
+        }
+    }
+}

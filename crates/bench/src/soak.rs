@@ -69,6 +69,9 @@ pub struct SoakConfig {
     pub drop_probability: f64,
     /// Routing-engine worker threads (tables are invariant under this).
     pub workers: usize,
+    /// Randomly (seeded coin per fault event) handle link-downs with the
+    /// SM's incremental repair sweep instead of a full light sweep.
+    pub repair: bool,
     /// Post-soak LFT corruption to throw at the verifier, if any.
     pub inject: Option<Inject>,
 }
@@ -84,6 +87,7 @@ impl Default for SoakConfig {
             vms: 4,
             drop_probability: 0.05,
             workers: 1,
+            repair: false,
             inject: None,
         }
     }
@@ -120,6 +124,10 @@ pub struct SoakReport {
     pub traps_absorbed: u64,
     /// Links released from quarantine after their hold-down expired.
     pub quarantines_released: usize,
+    /// Incremental repair sweeps attempted (`repair.attempts`).
+    pub repair_sweeps: u64,
+    /// ... of which fell back to a full sweep (`repair.fallback`).
+    pub repair_fallbacks: u64,
     /// Explicit post-event verifier runs (the SM's own sweep-time and
     /// migration-time verifications come on top).
     pub verify_runs: usize,
@@ -139,7 +147,7 @@ impl SoakReport {
 
 /// Every switch-to-switch cable of the physical core, one entry per cable
 /// (keyed at the end with the smaller node index).
-fn core_links(subnet: &Subnet) -> Vec<(NodeId, PortNum, NodeId)> {
+pub(crate) fn core_links(subnet: &Subnet) -> Vec<(NodeId, PortNum, NodeId)> {
     let mut out = Vec::new();
     for sw in subnet.physical_switches() {
         for (port, remote) in sw.cabled_ports() {
@@ -154,7 +162,7 @@ fn core_links(subnet: &Subnet) -> Vec<(NodeId, PortNum, NodeId)> {
 
 /// Whether every live physical switch can still reach every other over up
 /// links, pretending `skip` (one cable, either end) is down.
-fn connected_without(
+pub(crate) fn connected_without(
     subnet: &Subnet,
     links: &[(NodeId, PortNum, NodeId)],
     skip: (NodeId, PortNum),
@@ -186,7 +194,7 @@ fn connected_without(
 }
 
 /// Links currently up whose loss keeps the switch core connected.
-fn safe_to_down(
+pub(crate) fn safe_to_down(
     subnet: &Subnet,
     links: &[(NodeId, PortNum, NodeId)],
 ) -> Vec<(NodeId, PortNum, NodeId)> {
@@ -255,6 +263,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                 let (a, p, _) = cands[rng.gen_range(0..cands.len())];
                 kind = "down";
                 report.link_downs += 1;
+                // Seeded coin: half the faults take the incremental repair
+                // path, half the classic full sweep. The `&&` keeps the
+                // RNG stream untouched when repair is off, so default
+                // schedules stay byte-identical.
+                dc.sm.set_repair(cfg.repair && rng.gen_bool(0.5));
                 dc.subnet.set_link_down(a, p)?;
                 dc.sm.handle_trap_at(
                     &mut dc.subnet,
@@ -296,6 +309,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
                 let (a, p, _) = cands[rng.gen_range(0..cands.len())];
                 kind = "flap";
                 report.flap_bursts += 1;
+                dc.sm.set_repair(cfg.repair && rng.gen_bool(0.5));
                 for _ in 0..4 {
                     let held = dc.sm.quarantine.is_quarantined(&dc.subnet, a, p, now_ns);
                     if dc.subnet.is_link_up(a, p) {
@@ -406,6 +420,8 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     if let Some(snap) = observer.snapshot() {
         report.quarantines_entered = snap.counter("quarantine.entered");
         report.traps_absorbed = snap.counter("quarantine.absorbed");
+        report.repair_sweeps = snap.counter("repair.attempts");
+        report.repair_fallbacks = snap.counter("repair.fallback");
     }
 
     if report.failure.is_none() {
@@ -511,6 +527,25 @@ mod tests {
         assert!(
             report.quarantines_released > 0,
             "no hold-down expired in-run"
+        );
+    }
+
+    #[test]
+    fn repair_soak_converges_clean_and_exercises_repairs() {
+        let report = run_soak(&SoakConfig {
+            events: 80,
+            repair: true,
+            ..SoakConfig::default()
+        });
+        assert!(
+            report.is_clean(),
+            "repair soak failed: {:?}",
+            report.failure
+        );
+        assert!(report.link_downs > 0);
+        assert!(
+            report.repair_sweeps > 0,
+            "the coin never landed on the repair path"
         );
     }
 

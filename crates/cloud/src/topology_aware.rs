@@ -37,22 +37,36 @@ pub fn rank_destinations(dc: &DataCenter, vm: VmId) -> IbResult<Vec<MigrationCan
         let Some(slot) = hyp.free_slot() else {
             continue;
         };
+        // The predictions now fail exactly where the fabric ops would
+        // (missing LFT or PF row, e.g. mid-bring-up): such a destination
+        // is not admissible — the migration would abort mid-pass — so it
+        // is skipped rather than ranked. On a healthy fabric every
+        // prediction succeeds and the ranking is unchanged.
         let predicted = match dc.config.arch {
             VirtArch::VSwitchPrepopulated => {
                 let Some(dest_lid) = hyp.vf_lid(&dc.subnet, slot) else {
                     continue;
                 };
-                affected::affected_by_swap(&dc.subnet, rec.lid, dest_lid).len()
+                let Ok(set) = affected::affected_by_swap(&dc.subnet, rec.lid, dest_lid) else {
+                    continue;
+                };
+                set.len()
             }
             VirtArch::VSwitchDynamic => {
                 let pf_lid = hyp.pf_lid(&dc.subnet)?;
-                affected::affected_by_copy(&dc.subnet, pf_lid, rec.lid).len()
+                let Ok(set) = affected::affected_by_copy(&dc.subnet, pf_lid, rec.lid) else {
+                    continue;
+                };
+                set.len()
             }
             VirtArch::SharedPort => {
                 // The emulation swaps node LIDs; predict with the swap set.
                 let src_pf = dc.hypervisors[rec.hypervisor].pf_lid(&dc.subnet)?;
                 let dst_pf = hyp.pf_lid(&dc.subnet)?;
-                affected::affected_by_swap(&dc.subnet, src_pf, dst_pf).len()
+                let Ok(set) = affected::affected_by_swap(&dc.subnet, src_pf, dst_pf) else {
+                    continue;
+                };
+                set.len()
             }
         };
         out.push(MigrationCandidate {
@@ -111,6 +125,34 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].switches_to_update <= w[1].switches_to_update);
         }
+    }
+
+    /// Pin: on a healthy fabric the ranking is byte-identical to the
+    /// pre-`IbResult` predicates — every candidate admitted, ordered by
+    /// `(n', !intra_leaf, hypervisor)` with the exact predicted sets.
+    #[test]
+    fn ranking_is_byte_identical_on_healthy_fabric() {
+        let mut dc = dc(VirtArch::VSwitchPrepopulated);
+        let vm = dc.create_vm("vm", 0).unwrap();
+        let rec_lid = dc.vm(vm).unwrap().lid;
+        let src_leaf = dc.hypervisors[0].leaf;
+        let mut expected = Vec::new();
+        for hyp in &dc.hypervisors {
+            if hyp.index == 0 {
+                continue;
+            }
+            let slot = hyp.free_slot().unwrap();
+            let dest_lid = hyp.vf_lid(&dc.subnet, slot).unwrap();
+            expected.push(MigrationCandidate {
+                hypervisor: hyp.index,
+                switches_to_update: affected::affected_by_swap(&dc.subnet, rec_lid, dest_lid)
+                    .unwrap()
+                    .len(),
+                intra_leaf: hyp.leaf == src_leaf,
+            });
+        }
+        expected.sort_by_key(|c| (c.switches_to_update, !c.intra_leaf, c.hypervisor));
+        assert_eq!(rank_destinations(&dc, vm).unwrap(), expected);
     }
 
     #[test]

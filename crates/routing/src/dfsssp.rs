@@ -181,39 +181,10 @@ impl RoutingEngine for Dfsssp {
         // the fewest contributing paths (Domke's edge weight), preferring
         // edges carrying switch-LID paths.
         let _phase2 = observer.span("routing.dfsssp.vl_partition");
-        let mut lane_of: FxHashMap<(u32, u16), u8> = FxHashMap::default();
-
-        let debug = std::env::var_os("IB_DFSSSP_DEBUG").is_some();
-
-        // Next-hop tables are immutable during layering: precompute them
-        // once per destination instead of on every pass. Each
-        // destination's table reads only the frozen staging rows, so the
-        // precompute fans across workers.
-        let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..n)
-            .map(|s| {
-                g.neighbors(s)
-                    .iter()
-                    .map(|&(v, p)| (p.raw(), v as usize))
-                    .collect()
-            })
-            .collect();
-        let mut nexts: Vec<Vec<Option<(u8, usize)>>> = vec![vec![None; n]; g.destinations().len()];
-        parallel_for_each(
-            &mut nexts,
+        let nexts = build_nexts(
+            &g,
             opts.effective_workers(g.destinations().len()),
-            || (),
-            |(), di, next| {
-                let dest = &g.destinations()[di];
-                for (s, slot) in next.iter_mut().enumerate() {
-                    if let Some(p) = stages[s][dest.lid.raw() as usize] {
-                        if !p.is_management() {
-                            if let Some(&v) = port_to_switch[s].get(&p.raw()) {
-                                *slot = Some((p.raw(), v));
-                            }
-                        }
-                    }
-                }
-            },
+            |s, lid| stages[s][lid.raw() as usize],
         );
 
         // Per-lane worklists of (source switch, destination index).
@@ -226,134 +197,363 @@ impl RoutingEngine for Dfsssp {
                 }
             }
         }
+        let lane_of = lift_lanes(&g, &nexts, &mut lane_pairs, self.max_vls)?;
 
-        // Walks a pair's channel path, feeding each consecutive channel
-        // pair to `visit`; stops early when `visit` returns false.
-        let walk = |src: u32, di: u32, visit: &mut dyn FnMut(Channel, Channel) -> bool| {
-            let dest = &g.destinations()[di as usize];
-            let next = &nexts[di as usize];
-            let mut cur = src as usize;
-            let mut prev: Option<Channel> = None;
-            let mut hops = 0;
-            while let Some((p, v)) = next[cur] {
-                let ch: Channel = (cur as u32, p);
-                if let Some(pr) = prev {
-                    if !visit(pr, ch) {
-                        return;
-                    }
-                }
-                prev = Some(ch);
-                cur = v;
-                hops += 1;
-                if cur == dest.switch || hops > n {
-                    return;
-                }
-            }
-        };
-
-        for lane in 0..self.max_vls as usize {
-            loop {
-                // Build this lane's CDG from its worklist.
-                let mut cdg = Cdg::new();
-                for &(src, di) in &lane_pairs[lane] {
-                    let dest = &g.destinations()[di as usize];
-                    let pair = (src, dest.lid.raw());
-                    let is_switch_lid = dest.port.is_management();
-                    walk(src, di, &mut |a, b| {
-                        let ia = cdg.intern(a);
-                        let ib = cdg.intern(b);
-                        cdg.add_pair_edge(ia, ib, pair);
-                        if is_switch_lid {
-                            cdg.add_switch_witness(ia, ib, pair);
-                        }
-                        true
-                    });
-                }
-                let cycles = cdg.find_cycles();
-                if debug {
-                    eprintln!(
-                        "dfsssp: lane {lane}: {} pairs, {} channels, {} edges, {} cycles",
-                        lane_pairs[lane].len(),
-                        cdg.num_channels(),
-                        cdg.num_edges(),
-                        cycles.len(),
-                    );
-                }
-                if cycles.is_empty() {
-                    break;
-                }
-                if lane + 1 >= self.max_vls as usize {
-                    return Err(IbError::Topology(format!(
-                        "dfsssp: virtual lanes exhausted ({}) breaking cycles",
-                        self.max_vls
-                    )));
-                }
-                // Dissolve the cheapest edge of every cycle not already
-                // broken by an earlier dissolution this pass; prefer edges
-                // carrying switch-LID paths.
-                let mut dissolved_ids: FxHashMap<(usize, usize), ()> = FxHashMap::default();
-                let mut dissolve: FxHashMap<(Channel, Channel), ()> = FxHashMap::default();
-                for cycle in &cycles {
-                    if cycle.iter().any(|e| dissolved_ids.contains_key(e)) {
-                        continue; // already broken this pass
-                    }
-                    let best = cycle
-                        .iter()
-                        .min_by_key(|&&(a, b)| {
-                            (
-                                cdg.switch_pair_witness_of(a, b).is_none(),
-                                cdg.edge_count_of(a, b),
-                            )
-                        })
-                        .copied()
-                        .expect("cycle is non-empty");
-                    dissolved_ids.insert(best, ());
-                    dissolve.insert((cdg.channel(best.0), cdg.channel(best.1)), ());
-                }
-                // Move every path crossing a dissolved edge up one lane.
-                let pairs = std::mem::take(&mut lane_pairs[lane]);
-                for (src, di) in pairs {
-                    let mut moved = false;
-                    walk(src, di, &mut |a, b| {
-                        if dissolve.contains_key(&(a, b)) {
-                            moved = true;
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    if moved {
-                        lane_pairs[lane + 1].push((src, di));
-                    } else {
-                        lane_pairs[lane].push((src, di));
-                    }
-                }
-            }
-        }
-
-        // Assemble the final assignment (lane 0 stays implicit).
-        for (lane, pairs) in lane_pairs.iter().enumerate().skip(1) {
-            for &(src, di) in pairs {
-                lane_of.insert((src, g.destinations()[di as usize].lid.raw()), lane as u8);
-            }
-        }
-
-        let vls = if lane_of.is_empty() {
-            VlAssignment::SingleVl
-        } else {
-            VlAssignment::PerSourceDestination(
-                lane_of
-                    .into_iter()
-                    .map(|(k, l)| (k, VirtualLane::new(l).expect("lane < 15")))
-                    .collect(),
-            )
-        };
+        let vls = lanes_to_assignment(lane_of);
         Ok(RoutingTables {
             lfts: stages_to_lfts(&g, stages),
             vls,
             engine: self.name(),
             decisions,
         })
+    }
+
+    /// Incremental repair: Dijkstra only from the dirty destinations'
+    /// delivery switches (weights seeded from the clean columns kept from
+    /// `prior`), splice the dirty columns into `prior`, then re-run the
+    /// layer assignment over the spliced tables — clean paths start on
+    /// their prior lanes, repaired paths start on the base lane, and the
+    /// usual cycle-lifting restores per-lane acyclicity or errors out when
+    /// lanes are exhausted (the SM then falls back to a full sweep).
+    fn repair_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        let g = SwitchGraph::build(subnet)?;
+        if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
+            return self.compute_with(subnet, opts, observer);
+        }
+        let _span = observer.span("routing.dfsssp.repair");
+        let n = g.len();
+        let dirty: rustc_hash::FxHashSet<u16> = dirty_dests.iter().map(|l| l.raw()).collect();
+        let mut out = prior.clone();
+        out.engine = self.name();
+        out.decisions = 0;
+        if !g
+            .destinations()
+            .iter()
+            .any(|d| dirty.contains(&d.lid.raw()))
+        {
+            return Ok(out);
+        }
+
+        let mut in_edges: Vec<Vec<(usize, PortNum)>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for &(v, p) in g.neighbors(s) {
+                in_edges[v as usize].push((s, p));
+            }
+        }
+        let stride = 1 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
+        let widx = move |s: usize, p: PortNum| s * stride + p.raw() as usize;
+        // Seed the link weights with the clean columns' picks, so the
+        // repaired destinations balance against the traffic that stays
+        // put — the same feedback a full recompute would have applied.
+        let mut weight: Vec<u64> = vec![1; stride * n];
+        for dest in g.destinations() {
+            if dirty.contains(&dest.lid.raw()) {
+                continue;
+            }
+            for s in 0..n {
+                if s == dest.switch {
+                    continue;
+                }
+                if let Some(p) = prior.lfts[&g.node_id(s)].get(dest.lid) {
+                    let idx = widx(s, p);
+                    if idx < weight.len() {
+                        weight[idx] += 1;
+                    }
+                }
+            }
+        }
+
+        // Dirty destinations grouped by delivery switch, in switch order —
+        // the same serial weight-feedback discipline as the full compute.
+        let mut by_switch: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for (i, d) in g.destinations().iter().enumerate() {
+            if dirty.contains(&d.lid.raw()) {
+                by_switch.entry(d.switch).or_default().push(i);
+            }
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = by_switch.into_iter().collect();
+        groups.sort_unstable_by_key(|(s, _)| *s);
+
+        let mut decisions = 0u64;
+        let mut dist: Vec<(u32, u64)> = vec![(u32::MAX, u64::MAX); n];
+        let mut heap = BinaryHeap::new();
+        let mut candidates: Vec<PortNum> = Vec::new();
+        let mut column: Vec<Option<PortNum>> = vec![None; n];
+        for (dsw, dest_indices) in &groups {
+            let dsw = *dsw;
+            let snapshot = weight.clone();
+            dist.fill((u32::MAX, u64::MAX));
+            dist[dsw] = (0, 0);
+            heap.clear();
+            heap.push(Reverse(((0u32, 0u64), dsw)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                for &(s, p) in &in_edges[v] {
+                    let nd = (d.0 + 1, d.1 + snapshot[widx(s, p)]);
+                    if nd < dist[s] {
+                        dist[s] = nd;
+                        heap.push(Reverse((nd, s)));
+                    }
+                }
+            }
+            if dist.iter().any(|&d| d.0 == u32::MAX) {
+                return Err(IbError::Topology(format!(
+                    "repair: switch {dsw} unreachable in dfsssp"
+                )));
+            }
+            for &di in dest_indices {
+                let dest = g.destinations()[di];
+                let lid_idx = dest.lid.raw() as usize;
+                for (s, slot) in column.iter_mut().enumerate() {
+                    decisions += 1;
+                    if s == dsw {
+                        *slot = Some(dest.port);
+                        continue;
+                    }
+                    candidates.clear();
+                    candidates.extend(
+                        g.neighbors(s)
+                            .iter()
+                            .filter(|&&(v, p)| {
+                                dist[v as usize].0 + 1 == dist[s].0
+                                    && dist[v as usize].1 + snapshot[widx(s, p)] == dist[s].1
+                            })
+                            .map(|&(_, p)| p),
+                    );
+                    candidates.sort_unstable();
+                    // Sticky: keep the installed port when it is still on
+                    // a lexicographically-shortest path — the repair's
+                    // diff stays minimal and only rows the fault actually
+                    // invalidated get rewritten.
+                    let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                    let pick = installed
+                        .filter(|p| candidates.contains(p))
+                        .unwrap_or_else(|| candidates[lid_idx % candidates.len()]);
+                    weight[widx(s, pick)] += 1;
+                    *slot = Some(pick);
+                }
+                out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+            }
+        }
+
+        // Re-layer the spliced tables: clean pairs keep their prior lane,
+        // repaired pairs restart on the base lane; lifting then repairs any
+        // cycle the splice introduced.
+        let nexts = build_nexts(
+            &g,
+            opts.effective_workers(g.destinations().len()),
+            |s, lid| out.lfts.get(&g.node_id(s)).and_then(|lft| lft.get(lid)),
+        );
+        let mut lane_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.max_vls as usize];
+        for (di, dest) in g.destinations().iter().enumerate() {
+            let start_lane = usize::from(self.max_vls > 1 && dest.port.is_management());
+            for src in 0..n {
+                if src == dest.switch {
+                    continue;
+                }
+                let lane = if dirty.contains(&dest.lid.raw()) {
+                    start_lane
+                } else {
+                    (prior
+                        .vls
+                        .lane_for(src as u32, dest.switch as u32, dest.lid)
+                        .raw() as usize)
+                        .min(self.max_vls as usize - 1)
+                };
+                lane_pairs[lane].push((src as u32, di as u32));
+            }
+        }
+        let lane_of = lift_lanes(&g, &nexts, &mut lane_pairs, self.max_vls)?;
+        out.vls = lanes_to_assignment(lane_of);
+        out.decisions = decisions;
+        Ok(out)
+    }
+}
+
+/// Precomputes per-destination next-hop tables (`nexts[di][s]` = (out port,
+/// neighbor switch) for destination `di` at switch `s`), fanned across
+/// workers; `row` supplies the LFT row to read (staging or spliced tables).
+fn build_nexts<F>(g: &SwitchGraph, workers: usize, row: F) -> Vec<Vec<Option<(u8, usize)>>>
+where
+    F: Fn(usize, ib_types::Lid) -> Option<PortNum> + Sync,
+{
+    let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..g.len())
+        .map(|s| {
+            g.neighbors(s)
+                .iter()
+                .map(|&(v, p)| (p.raw(), v as usize))
+                .collect()
+        })
+        .collect();
+    let mut nexts: Vec<Vec<Option<(u8, usize)>>> =
+        vec![vec![None; g.len()]; g.destinations().len()];
+    parallel_for_each(
+        &mut nexts,
+        workers,
+        || (),
+        |(), di, next| {
+            let dest = &g.destinations()[di];
+            for (s, slot) in next.iter_mut().enumerate() {
+                if let Some(p) = row(s, dest.lid) {
+                    if !p.is_management() {
+                        if let Some(&v) = port_to_switch[s].get(&p.raw()) {
+                            *slot = Some((p.raw(), v));
+                        }
+                    }
+                }
+            }
+        },
+    );
+    nexts
+}
+
+/// Domke et al.'s layer assignment over precomputed next-hop tables: while
+/// a lane's CDG has a cycle, dissolve one edge per cycle and move every
+/// path crossing it up a lane. Mutates `lane_pairs` in place and returns
+/// the final `(source switch, destination LID) -> lane` map (lane 0
+/// implicit). Errors when the lane budget is exhausted.
+fn lift_lanes(
+    g: &SwitchGraph,
+    nexts: &[Vec<Option<(u8, usize)>>],
+    lane_pairs: &mut [Vec<(u32, u32)>],
+    max_vls: u8,
+) -> IbResult<FxHashMap<(u32, u16), u8>> {
+    let n = g.len();
+    let debug = std::env::var_os("IB_DFSSSP_DEBUG").is_some();
+
+    // Walks a pair's channel path, feeding each consecutive channel
+    // pair to `visit`; stops early when `visit` returns false.
+    let walk = |src: u32, di: u32, visit: &mut dyn FnMut(Channel, Channel) -> bool| {
+        let dest = &g.destinations()[di as usize];
+        let next = &nexts[di as usize];
+        let mut cur = src as usize;
+        let mut prev: Option<Channel> = None;
+        let mut hops = 0;
+        while let Some((p, v)) = next[cur] {
+            let ch: Channel = (cur as u32, p);
+            if let Some(pr) = prev {
+                if !visit(pr, ch) {
+                    return;
+                }
+            }
+            prev = Some(ch);
+            cur = v;
+            hops += 1;
+            if cur == dest.switch || hops > n {
+                return;
+            }
+        }
+    };
+
+    for lane in 0..max_vls as usize {
+        loop {
+            // Build this lane's CDG from its worklist.
+            let mut cdg = Cdg::new();
+            for &(src, di) in &lane_pairs[lane] {
+                let dest = &g.destinations()[di as usize];
+                let pair = (src, dest.lid.raw());
+                let is_switch_lid = dest.port.is_management();
+                walk(src, di, &mut |a, b| {
+                    let ia = cdg.intern(a);
+                    let ib = cdg.intern(b);
+                    cdg.add_pair_edge(ia, ib, pair);
+                    if is_switch_lid {
+                        cdg.add_switch_witness(ia, ib, pair);
+                    }
+                    true
+                });
+            }
+            let cycles = cdg.find_cycles();
+            if debug {
+                eprintln!(
+                    "dfsssp: lane {lane}: {} pairs, {} channels, {} edges, {} cycles",
+                    lane_pairs[lane].len(),
+                    cdg.num_channels(),
+                    cdg.num_edges(),
+                    cycles.len(),
+                );
+            }
+            if cycles.is_empty() {
+                break;
+            }
+            if lane + 1 >= max_vls as usize {
+                return Err(IbError::Topology(format!(
+                    "dfsssp: virtual lanes exhausted ({max_vls}) breaking cycles"
+                )));
+            }
+            // Dissolve the cheapest edge of every cycle not already
+            // broken by an earlier dissolution this pass; prefer edges
+            // carrying switch-LID paths.
+            let mut dissolved_ids: FxHashMap<(usize, usize), ()> = FxHashMap::default();
+            let mut dissolve: FxHashMap<(Channel, Channel), ()> = FxHashMap::default();
+            for cycle in &cycles {
+                if cycle.iter().any(|e| dissolved_ids.contains_key(e)) {
+                    continue; // already broken this pass
+                }
+                let best = cycle
+                    .iter()
+                    .min_by_key(|&&(a, b)| {
+                        (
+                            cdg.switch_pair_witness_of(a, b).is_none(),
+                            cdg.edge_count_of(a, b),
+                        )
+                    })
+                    .copied()
+                    .expect("cycle is non-empty");
+                dissolved_ids.insert(best, ());
+                dissolve.insert((cdg.channel(best.0), cdg.channel(best.1)), ());
+            }
+            // Move every path crossing a dissolved edge up one lane.
+            let pairs = std::mem::take(&mut lane_pairs[lane]);
+            for (src, di) in pairs {
+                let mut moved = false;
+                walk(src, di, &mut |a, b| {
+                    if dissolve.contains_key(&(a, b)) {
+                        moved = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if moved {
+                    lane_pairs[lane + 1].push((src, di));
+                } else {
+                    lane_pairs[lane].push((src, di));
+                }
+            }
+        }
+    }
+
+    // Assemble the final assignment (lane 0 stays implicit).
+    let mut lane_of: FxHashMap<(u32, u16), u8> = FxHashMap::default();
+    for (lane, pairs) in lane_pairs.iter().enumerate().skip(1) {
+        for &(src, di) in pairs {
+            lane_of.insert((src, g.destinations()[di as usize].lid.raw()), lane as u8);
+        }
+    }
+    Ok(lane_of)
+}
+
+/// Wraps a lane map into the [`VlAssignment`] DFSSSP reports.
+fn lanes_to_assignment(lane_of: FxHashMap<(u32, u16), u8>) -> VlAssignment {
+    if lane_of.is_empty() {
+        VlAssignment::SingleVl
+    } else {
+        VlAssignment::PerSourceDestination(
+            lane_of
+                .into_iter()
+                .map(|(k, l)| (k, VirtualLane::new(l).expect("lane < 15")))
+                .collect(),
+        )
     }
 }
 

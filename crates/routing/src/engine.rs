@@ -79,6 +79,31 @@ pub trait RoutingEngine: Send + Sync {
         opts: RoutingOptions,
         observer: &Observer,
     ) -> IbResult<RoutingTables>;
+
+    /// Incrementally repairs `prior` tables after a fault: re-routes only
+    /// the `dirty_dests` destination columns and splices them into a copy
+    /// of `prior`, leaving every clean column byte-identical. The SM can
+    /// then distribute just the dirty LFT blocks instead of a full-fabric
+    /// rewrite — reconfiguration cost scales with the damage, not the
+    /// fabric.
+    ///
+    /// The default implementation ignores `prior`/`dirty_dests` and falls
+    /// back to a full [`RoutingEngine::compute_with`]; engines with a real
+    /// incremental path (Min-Hop, DFSSSP) override it. Callers must treat
+    /// the result as *untrusted* until it passes `FabricVerifier` — the
+    /// splice preserves per-column correctness, but global properties
+    /// (deadlock freedom across mixed old/new columns) need the gate.
+    fn repair_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        let _ = (prior, dirty_dests);
+        self.compute_with(subnet, opts, observer)
+    }
 }
 
 /// The engines of Fig. 7 (plus Up*/Down*, used in the deadlock analysis).

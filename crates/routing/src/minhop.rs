@@ -106,6 +106,136 @@ impl RoutingEngine for MinHop {
             decisions,
         })
     }
+
+    /// Incremental repair: BFS only from the dirty destinations' delivery
+    /// switches, re-assign only the dirty columns, splice into `prior`.
+    ///
+    /// Port loads are seeded from the clean columns kept from `prior`, so
+    /// the repaired picks balance against the traffic that stays put. The
+    /// result approximates (it is not byte-equal to) a full recompute —
+    /// which is exactly why the SM gates every repair behind the fabric
+    /// verifier before trusting it.
+    fn repair_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        let g = SwitchGraph::build(subnet)?;
+        // No usable baseline (or nothing to route): not an error, just no
+        // savings to be had — do the full compute.
+        if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
+            return self.compute_with(subnet, opts, observer);
+        }
+        let _span = observer.span("routing.minhop.repair");
+        let dirty: rustc_hash::FxHashSet<u16> = dirty_dests.iter().map(|l| l.raw()).collect();
+        // Destination order is preserved from the full compute, so the
+        // serial balancing below stays deterministic for any worker count.
+        let dirty_dests: Vec<crate::graph::Destination> = g
+            .destinations()
+            .iter()
+            .copied()
+            .filter(|d| dirty.contains(&d.lid.raw()))
+            .collect();
+        let mut out = prior.clone();
+        out.engine = self.name();
+        out.vls = VlAssignment::SingleVl;
+        out.decisions = 0;
+        if dirty_dests.is_empty() {
+            return Ok(out);
+        }
+
+        let stride = 2 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
+        let mut port_load: Vec<u64> = vec![0; stride * g.len()];
+        for dest in g.destinations() {
+            if dirty.contains(&dest.lid.raw()) {
+                continue;
+            }
+            for s in 0..g.len() {
+                // Delivery rows never increment load in the full compute.
+                if s == dest.switch {
+                    continue;
+                }
+                if let Some(p) = prior.lfts[&g.node_id(s)].get(dest.lid) {
+                    let idx = s * stride + p.raw() as usize;
+                    if idx < port_load.len() {
+                        port_load[idx] += 1;
+                    }
+                }
+            }
+        }
+
+        // BFS only from the dirty delivery switches (distances are
+        // symmetric: row(dsw)[s] == dist(s -> dsw)).
+        let mut dirty_switches: Vec<usize> = dirty_dests.iter().map(|d| d.switch).collect();
+        dirty_switches.sort_unstable();
+        dirty_switches.dedup();
+        let row_of: FxHashMap<usize, usize> = dirty_switches
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        let dist = DistanceMatrix::for_sources(
+            &g,
+            &dirty_switches,
+            opts.effective_workers(dirty_switches.len()),
+        );
+
+        let mut decisions = 0u64;
+        let mut column: Vec<Option<PortNum>> = vec![None; g.len()];
+        for dest in &dirty_dests {
+            let row = dist.row(row_of[&dest.switch]);
+            for (s, slot) in column.iter_mut().enumerate() {
+                decisions += 1;
+                if s == dest.switch {
+                    *slot = Some(dest.port);
+                    continue;
+                }
+                let d_here = row[s];
+                if d_here == u32::MAX {
+                    return Err(IbError::Topology(format!(
+                        "repair: switch {s} cannot reach LID {}",
+                        dest.lid
+                    )));
+                }
+                // Sticky selection: a repair's job is the smallest diff,
+                // not a global rebalance — keep the installed port
+                // whenever it is still on a shortest path (a port into
+                // the failed link never is: the link is gone from the
+                // graph), and fall back to least-loaded only when not.
+                let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                let mut best: Option<(u64, PortNum)> = None;
+                let mut kept: Option<PortNum> = None;
+                for &(v, p) in g.neighbors(s) {
+                    if row[v as usize] + 1 == d_here {
+                        if installed == Some(p) {
+                            kept = Some(p);
+                            break;
+                        }
+                        let load = port_load[s * stride + p.raw() as usize];
+                        let better = match best {
+                            None => true,
+                            Some((bl, bp)) => load < bl || (load == bl && p < bp),
+                        };
+                        if better {
+                            best = Some((load, p));
+                        }
+                    }
+                }
+                let port = match (kept, best) {
+                    (Some(p), _) | (None, Some((_, p))) => p,
+                    (None, None) => return Err(IbError::Topology("distance inversion".into())),
+                };
+                port_load[s * stride + port.raw() as usize] += 1;
+                *slot = Some(port);
+            }
+            out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+        }
+        out.decisions = decisions;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,20 @@ impl RoutingTables {
         }
     }
 
+    /// Overwrites one destination column across every switch's LFT: switch
+    /// `sw`'s row for `lid` becomes `f(sw)` (cleared on `None`). The splice
+    /// primitive of incremental repair — every other column is untouched,
+    /// so a later block-diff against the installed tables only sees the
+    /// repaired destinations' blocks.
+    pub fn set_column(&mut self, lid: Lid, f: impl Fn(NodeId) -> Option<PortNum>) {
+        for (&sw, lft) in &mut self.lfts {
+            match f(sw) {
+                Some(p) => lft.set(lid, p),
+                None => lft.clear(lid),
+            }
+        }
+    }
+
     /// Installs every LFT into the subnet directly (no SMP accounting —
     /// the subnet manager is the component that distributes with SMPs).
     pub fn install(&self, subnet: &mut Subnet) -> IbResult<()> {

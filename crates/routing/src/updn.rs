@@ -59,8 +59,11 @@ impl UpDown {
             return r;
         }
         let ranks = g.ranks();
+        // `max_by_key` keeps the *last* maximal element, so make the key
+        // unique: prefer higher rank, then *lower* index.
         (0..g.len())
-            .max_by_key(|&s| (ranks[s] != u32::MAX) as u32 * ranks[s].wrapping_add(1))
+            .filter(|&s| ranks[s] != u32::MAX)
+            .max_by_key(|&s| (ranks[s], std::cmp::Reverse(s)))
             .unwrap_or(0)
     }
 }
@@ -281,6 +284,32 @@ mod tests {
             let cdg = Cdg::from_tables(&g, &tables, |_| true);
             assert!(cdg.find_cycle().is_none(), "seed {seed} deadlocks");
         }
+    }
+
+    #[test]
+    fn default_root_tie_breaks_to_lowest_index_core() {
+        // Multi-core fat tree: every spine has the same (maximal) rank, so
+        // the documented tie-break must pick the lowest-index one — not the
+        // last maximal element `max_by_key` would keep on its own.
+        let mut t = two_level(3, 2, 3);
+        assign_lids(&mut t);
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        let ranks = g.ranks();
+        let max_rank = *ranks.iter().max().unwrap();
+        let lowest_core = ranks.iter().position(|&r| r == max_rank).unwrap();
+        let spine_indices: Vec<usize> = t.switch_levels[1]
+            .iter()
+            .map(|&s| g.index(s).unwrap())
+            .collect();
+        assert!(
+            spine_indices
+                .iter()
+                .filter(|&&s| ranks[s] == max_rank)
+                .count()
+                > 1,
+            "test needs a real tie among core switches"
+        );
+        assert_eq!(UpDown::default().pick_root(&g), lowest_core);
     }
 
     #[test]

@@ -92,6 +92,15 @@ pub struct SmConfig {
     /// Link flap damping policy (see [`QuarantineOptions`]). Disabled by
     /// default.
     pub quarantine: QuarantineOptions,
+    /// Answer link-down traps with an *incremental repair* sweep: re-route
+    /// only the destination columns whose installed paths crossed the
+    /// failed link (via [`ib_verify::affected_destinations`] and the
+    /// engine's `repair_with`), splice them into the last computed tables,
+    /// and distribute just the dirty blocks. Every repair is gated by the
+    /// fabric verifier; any rejection (or an engine without a baseline)
+    /// falls back to the usual full sweep and counts `sm.repair.fallback`.
+    /// Off by default — the traditional full-recompute path.
+    pub repair: bool,
 }
 
 impl Default for SmConfig {
@@ -103,6 +112,7 @@ impl Default for SmConfig {
             routing: RoutingOptions::default(),
             verify: false,
             quarantine: QuarantineOptions::default(),
+            repair: false,
         }
     }
 }
@@ -121,6 +131,9 @@ pub struct SubnetManager {
     /// Per-link flap damping state (active when
     /// `config.quarantine.enabled`).
     pub quarantine: LinkQuarantine,
+    /// The last full set of tables this SM computed — the splice baseline
+    /// for incremental repair. `None` until the first successful sweep.
+    pub(crate) last_tables: Option<ib_routing::RoutingTables>,
 }
 
 impl SubnetManager {
@@ -133,7 +146,15 @@ impl SubnetManager {
             lid_space: LidSpace::new(),
             ledger: SmpLedger::new(),
             quarantine: LinkQuarantine::new(config.quarantine),
+            last_tables: None,
         }
+    }
+
+    /// Toggles the incremental-repair sweep at runtime (see
+    /// [`SmConfig::repair`]); chaos harnesses flip this per event to
+    /// interleave repair and full sweeps on one fabric.
+    pub fn set_repair(&mut self, on: bool) {
+        self.config.repair = on;
     }
 
     /// The active configuration.
@@ -218,7 +239,7 @@ impl SubnetManager {
             self.verify_installed(subnet, &tables.vls)?;
         }
 
-        Ok(BringUpReport {
+        let report = BringUpReport {
             discovery_smps: 0,
             lid_smps: 0,
             path_computation,
@@ -227,7 +248,9 @@ impl SubnetManager {
             lids: subnet.num_lids(),
             min_blocks_per_switch: subnet.topmost_lid().map_or(0, min_blocks_for),
             engine: engine.name().to_string(),
-        })
+        };
+        self.last_tables = Some(tables);
+        Ok(report)
     }
 
     /// Runs the [`ib_verify::FabricVerifier`] against the installed tables

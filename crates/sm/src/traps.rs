@@ -58,6 +58,9 @@ pub enum SweepKind {
     Light,
     /// Full rediscovery, pruning of vanished nodes, then reroute.
     Heavy,
+    /// Incremental repair: only the destination columns whose installed
+    /// paths crossed the failed link were re-routed and redistributed.
+    Repair,
 }
 
 /// What a trap-driven re-sweep did.
@@ -106,7 +109,13 @@ impl SubnetManager {
     ) -> IbResult<ResweepReport> {
         self.ledger.observer().incr("trap.received");
         match trap {
-            Trap::LinkStateChange { .. } => self.light_sweep(subnet, transport),
+            Trap::LinkStateChange { node, port } => {
+                if self.config().repair {
+                    self.repair_sweep(subnet, node, port, transport)
+                } else {
+                    self.light_sweep(subnet, transport)
+                }
+            }
             Trap::SwitchDeath { node } => {
                 if subnet.is_alive(node) {
                     subnet.remove_node(node)?;
@@ -187,6 +196,7 @@ impl SubnetManager {
                 let (distribution, retry_passes, failed_blocks) =
                     self.distribute_resumably(subnet, &tables, transport)?;
                 self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
+                self.last_tables = Some(tables);
                 Ok(ResweepReport {
                     kind: SweepKind::Light,
                     escalated: false,
@@ -263,11 +273,109 @@ impl SubnetManager {
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
+        self.last_tables = Some(tables);
         Ok(ResweepReport {
             kind: SweepKind::Heavy,
             escalated: false,
             pruned_lids,
             removed_nodes,
+            distribution,
+            retry_passes,
+            failed_blocks,
+        })
+    }
+
+    /// Incremental repair sweep for a downed link at `(node, port)`: finds
+    /// the destination LIDs whose installed paths crossed the link, asks
+    /// the engine to re-route only those columns spliced into the last
+    /// computed tables, distributes the dirty blocks, and gates the result
+    /// behind the fabric verifier — black holes and forwarding loops
+    /// always, the CDG deadlock check when `config.verify` asks for it.
+    /// Any obstacle (link actually up, no baseline, engine error, verifier
+    /// rejection) falls back to the full sweep path and counts
+    /// `repair.fallback`; the repair itself emits `repair.*` counters and
+    /// a `resweep.repair` span.
+    pub fn repair_sweep<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        node: NodeId,
+        port: PortNum,
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResweepReport> {
+        self.ledger.observer().incr("repair.attempts");
+        // A live link at (node, port) means this trap is an *up* event:
+        // folding a link back in rebalances paths fabric-wide, which is a
+        // recompute, not a repair.
+        if subnet.neighbor(node, port).is_some() {
+            self.ledger.observer().incr("repair.skipped_up");
+            return self.light_sweep(subnet, transport);
+        }
+        let Some(prior) = self.last_tables.clone() else {
+            self.ledger.observer().incr("repair.no_baseline");
+            self.ledger.observer().incr("repair.fallback");
+            return self.light_sweep(subnet, transport);
+        };
+        let span = self.ledger.observer().span("resweep.repair");
+        let dirty = ib_verify::affected_destinations(subnet, node, port);
+        self.ledger
+            .observer()
+            .add("repair.dirty_dests", dirty.len() as u64);
+        if dirty.is_empty() {
+            // No installed path crossed the link: the tables are already
+            // correct and there is nothing to distribute.
+            self.ledger.observer().incr("repair.clean_noop");
+            return Ok(ResweepReport {
+                kind: SweepKind::Repair,
+                escalated: false,
+                pruned_lids: Vec::new(),
+                removed_nodes: 0,
+                distribution: DistributionReport::default(),
+                retry_passes: 0,
+                failed_blocks: Vec::new(),
+            });
+        }
+        let engine = self.config().engine.build();
+        let routing = self.config().routing;
+        let tables =
+            match engine.repair_with(subnet, routing, &prior, &dirty, self.ledger.observer()) {
+                Ok(tables) => tables,
+                Err(_) => {
+                    // E.g. a destination became unreachable: the damage
+                    // exceeds what a column rewrite can absorb (pruning is
+                    // needed). The full path escalates as usual.
+                    span.end();
+                    self.ledger.observer().incr("repair.engine_error");
+                    self.ledger.observer().incr("repair.fallback");
+                    return self.light_sweep(subnet, transport);
+                }
+            };
+        let (distribution, retry_passes, failed_blocks) =
+            self.distribute_resumably(subnet, &tables, transport)?;
+        if failed_blocks.is_empty() {
+            let report = ib_verify::FabricVerifier::new()
+                .with_deadlock(self.config().verify)
+                .verify_observed(subnet, &tables.vls, self.ledger.observer())?;
+            if !report.is_clean() {
+                // The splice broke a global invariant the per-column
+                // rewrite could not see. The full sweep recomputes from
+                // scratch and overwrites whatever this repair installed.
+                span.end();
+                self.ledger.observer().incr("repair.verify_rejected");
+                self.ledger.observer().incr("repair.fallback");
+                return self.light_sweep(subnet, transport);
+            }
+            self.ledger.observer().incr("repair.success");
+        } else {
+            // Mirrors `verify_converged`: tables with stranded blocks are
+            // expected to be inconsistent, so the gate is deferred.
+            self.ledger.observer().incr("repair.unconverged");
+        }
+        self.last_tables = Some(tables);
+        Ok(ResweepReport {
+            kind: SweepKind::Repair,
+            escalated: false,
+            pruned_lids: Vec::new(),
+            removed_nodes: 0,
             distribution,
             retry_passes,
             failed_blocks,
@@ -486,6 +594,124 @@ mod tests {
         let survivors: Vec<NodeId> = t.hosts[4..6].to_vec();
         assert_all_pairs_connected(&t, &survivors);
         t.subnet.validate_degraded().unwrap();
+    }
+
+    /// The leaf0 -> spine0 uplink, downed, plus its trap.
+    fn down_first_uplink(t: &mut ib_subnet::topology::BuiltTopology) -> Trap {
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (port, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        t.subnet.set_link_down(leaf0, port).unwrap();
+        Trap::LinkStateChange { node: leaf0, port }
+    }
+
+    #[test]
+    fn repair_sweep_fixes_link_down_and_counts_success() {
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let trap = down_first_uplink(&mut t);
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let report = sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+        assert_eq!(report.kind, SweepKind::Repair);
+        assert!(report.failed_blocks.is_empty());
+        assert!(report.distribution.lft_smps > 0, "dirty blocks were sent");
+        assert_all_pairs_connected(&t, &[]);
+        t.subnet.validate_degraded().unwrap();
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.attempts"), 1);
+        assert_eq!(snap.counter("repair.success"), 1);
+        assert_eq!(snap.counter("repair.fallback"), 0);
+        assert!(snap.counter("repair.dirty_dests") > 0);
+        assert_eq!(snap.spans_named("resweep.repair").len(), 1);
+    }
+
+    #[test]
+    fn repair_sends_no_more_smps_than_a_full_sweep_on_a_twin_fabric() {
+        // Same fault on two identical fabrics: the incremental repair must
+        // not exceed the light sweep's LFT traffic.
+        let run = |repair: bool| {
+            let mut t = two_level(3, 2, 2);
+            let mut sm = SubnetManager::new(
+                t.hosts[0],
+                SmConfig {
+                    repair,
+                    ..SmConfig::default()
+                },
+            );
+            sm.bring_up(&mut t.subnet).unwrap();
+            let trap = down_first_uplink(&mut t);
+            let mut transport = SmpTransport::perfect(sm.sm_node);
+            let report = sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+            assert!(report.failed_blocks.is_empty());
+            assert_all_pairs_connected(&t, &[]);
+            report.distribution.lft_smps
+        };
+        assert!(run(true) <= run(false));
+    }
+
+    #[test]
+    fn repair_without_baseline_falls_back_to_light_sweep() {
+        // An SM that never computed tables (adopted fabric) has no splice
+        // baseline: the repair request must degrade to the full path.
+        let (mut t, sm0) = bring_up();
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                ..SmConfig::default()
+            },
+        );
+        drop(sm0);
+        sm.set_observer(ib_observe::Observer::metrics());
+        let trap = down_first_uplink(&mut t);
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let report = sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+        assert_eq!(report.kind, SweepKind::Light);
+        assert_all_pairs_connected(&t, &[]);
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.no_baseline"), 1);
+        assert_eq!(snap.counter("repair.fallback"), 1);
+    }
+
+    #[test]
+    fn repair_skips_link_up_events() {
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let trap = down_first_uplink(&mut t);
+        sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+        // The link comes back: folding it in is a rebalance, not a repair.
+        let Trap::LinkStateChange { node, port } = trap else {
+            unreachable!()
+        };
+        t.subnet.set_link_up(node, port).unwrap();
+        let report = sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+        assert_eq!(report.kind, SweepKind::Light);
+        assert_all_pairs_connected(&t, &[]);
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.skipped_up"), 1);
+        assert_eq!(snap.counter("repair.fallback"), 0);
     }
 
     #[test]

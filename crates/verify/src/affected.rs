@@ -1,0 +1,172 @@
+//! The affected-destination set of a link fault.
+//!
+//! Incremental repair (the SM's delta-routing sweep) needs to know exactly
+//! which destination LIDs had an installed path across a failed link —
+//! those columns must be re-routed, everything else can stay byte-
+//! identical.
+//!
+//! **Why a two-row scan equals the full table walk.** The verifier walks
+//! every `(source switch, destination)` pair hop by hop; a link
+//! `(u, p) <-> (v, q)` lies on some installed walk for destination `d` iff
+//! a walk reaches `u` and forwards out `p`, or reaches `v` and forwards
+//! out `q`. But LFT forwarding is memoryless — *every* walk that passes
+//! through `u` continues with the single row `lft(u)[d]` — and `u` is
+//! itself a walk source (the verifier audits every switch as a source).
+//! So "some walk for `d` crosses the link" collapses to
+//! `lft(u)[d] == p || lft(v)[d] == q`: two row reads per LID instead of a
+//! fabric-wide traversal. The equivalence is pinned against a
+//! brute-force walk in this module's tests.
+
+use ib_subnet::{NodeId, Subnet};
+use ib_types::{Lid, PortNum};
+
+/// Destination LIDs whose installed paths traverse the link at
+/// `(node, port)` — in either direction — sorted ascending.
+///
+/// Works on downed links too: ports keep their cabling (`remote`) when a
+/// link goes down, so the far end is still recoverable. Non-switch
+/// endpoints (an HCA side of an uplink) have no LFT and contribute
+/// nothing; a completely uncabled `(node, port)` yields whatever the
+/// near-end rows still claim to forward there.
+#[must_use]
+pub fn affected_destinations(subnet: &Subnet, node: NodeId, port: PortNum) -> Vec<Lid> {
+    let mut ends: Vec<(NodeId, PortNum)> = vec![(node, port)];
+    if let Some(remote) = subnet
+        .node(node)
+        .ports
+        .get(port.raw() as usize)
+        .and_then(|p| p.remote)
+    {
+        ends.push((remote.node, remote.port));
+    }
+    subnet
+        .lids()
+        .into_iter()
+        .filter(|&lid| {
+            ends.iter()
+                .any(|&(n, p)| subnet.lft(n).is_some_and(|lft| lft.get(lid) == Some(p)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_routing::testutil::assign_lids;
+    use ib_routing::EngineKind;
+    use ib_subnet::topology::fattree::two_level;
+    use ib_subnet::topology::torus::torus_2d;
+    use ib_subnet::Endpoint;
+
+    /// Brute force: walk every (switch, lid) pair through the installed
+    /// tables and collect the LIDs whose walks traverse the given link in
+    /// either direction.
+    fn by_walking(subnet: &Subnet, node: NodeId, port: PortNum) -> Vec<Lid> {
+        let far = subnet
+            .node(node)
+            .ports
+            .get(port.raw() as usize)
+            .and_then(|p| p.remote);
+        let switches: Vec<NodeId> = subnet.switches().map(|n| n.id).collect();
+        let crosses = |cur: NodeId, out: PortNum| {
+            (cur == node && out == port)
+                || far.is_some_and(|f: Endpoint| cur == f.node && out == f.port)
+        };
+        subnet
+            .lids()
+            .into_iter()
+            .filter(|&lid| {
+                let Some(target) = subnet.endpoint_of(lid) else {
+                    return false;
+                };
+                switches.iter().any(|&start| {
+                    let mut cur = start;
+                    for _ in 0..64 {
+                        if cur == target.node {
+                            return false;
+                        }
+                        let Some(out) = subnet.lft(cur).and_then(|l| l.get(lid)) else {
+                            return false;
+                        };
+                        if out.is_management() {
+                            return false;
+                        }
+                        if crosses(cur, out) {
+                            return true;
+                        }
+                        let Some(next) = subnet.neighbor(cur, out) else {
+                            return false;
+                        };
+                        cur = next.node;
+                    }
+                    false
+                })
+            })
+            .collect()
+    }
+
+    fn installed(engine: EngineKind) -> ib_subnet::topology::BuiltTopology {
+        let mut t = two_level(3, 3, 2);
+        assign_lids(&mut t);
+        let tables = engine.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        t
+    }
+
+    #[test]
+    fn row_scan_equals_table_walk_on_fat_tree() {
+        let t = installed(EngineKind::MinHop);
+        // Every switch-to-switch link, from both endpoints.
+        for sw in t.subnet.switches().map(|n| n.id).collect::<Vec<_>>() {
+            let ports = t.subnet.node(sw).ports.len();
+            for p in 1..ports {
+                let port = PortNum::new(p as u8);
+                assert_eq!(
+                    affected_destinations(&t.subnet, sw, port),
+                    by_walking(&t.subnet, sw, port),
+                    "link ({sw:?}, {port})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_scan_equals_table_walk_on_torus() {
+        let mut t = torus_2d(3, 3, 1, true);
+        assign_lids(&mut t);
+        let tables = EngineKind::Dfsssp.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        for sw in t.subnet.switches().map(|n| n.id).collect::<Vec<_>>() {
+            let ports = t.subnet.node(sw).ports.len();
+            for p in 1..ports {
+                let port = PortNum::new(p as u8);
+                assert_eq!(
+                    affected_destinations(&t.subnet, sw, port),
+                    by_walking(&t.subnet, sw, port),
+                    "link ({sw:?}, {port})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downed_link_keeps_its_affected_set() {
+        let mut t = installed(EngineKind::MinHop);
+        // Pick a leaf uplink: its affected set must be non-empty before
+        // and unchanged right after the link drops (cabling persists).
+        let leaf = t.switch_levels[0][0];
+        let ports = t.subnet.node(leaf).ports.len();
+        let uplink = (1..ports)
+            .map(|p| PortNum::new(p as u8))
+            .find(|&p| {
+                t.subnet
+                    .neighbor(leaf, p)
+                    .is_some_and(|e| t.subnet.node(e.node).is_switch())
+            })
+            .unwrap();
+        let before = affected_destinations(&t.subnet, leaf, uplink);
+        assert!(!before.is_empty(), "an installed uplink carries traffic");
+        t.subnet.set_link_down(leaf, uplink).unwrap();
+        assert_eq!(affected_destinations(&t.subnet, leaf, uplink), before);
+    }
+}

@@ -31,8 +31,10 @@
 // panic (tests may still unwrap).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod affected;
 mod snapshot;
 mod verifier;
 
+pub use affected::affected_destinations;
 pub use snapshot::LftSnapshot;
 pub use verifier::{FabricVerifier, InvariantClass, VerifyReport, Violation};

@@ -95,7 +95,7 @@ fn affected_set_prediction_enables_concurrent_intra_leaf_migrations() {
 
     let vm_lid_b = dc.hypervisors[2].vf_lid(&dc.subnet, 0).unwrap();
     let far_lid = dc.hypervisors[3].vf_lid(&dc.subnet, 0).unwrap();
-    let affected_far = affected::affected_by_swap(&dc.subnet, vm_lid_b, far_lid);
+    let affected_far = affected::affected_by_swap(&dc.subnet, vm_lid_b, far_lid).unwrap();
     let plan_far = PlannedMigration {
         tag: "far",
         affected: affected_far.clone(),
