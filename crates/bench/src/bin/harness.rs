@@ -12,9 +12,10 @@
 //!
 //! `repair` compares the SM's incremental repair sweep against the full
 //! recompute on identical seeded fault schedules (SMPs and wall time),
-//! writing `BENCH_repair.json` under `--json`; `soak --repair` makes the
-//! chaos soak answer a seeded half of its link faults with the repair
-//! path.
+//! writing `BENCH_repair.json` under `--json`; `repair --batch` adds the
+//! coalesced-burst comparison (one batched sweep vs k serial repairs of
+//! the same all-down burst); `soak --repair` makes the chaos soak answer
+//! a seeded half of its link faults with the repair path.
 //!
 //! `--workers N` spreads the Fig. 7 `(topology, engine)` grid over N
 //! threads (default: the machine's available parallelism) and, unless
@@ -68,6 +69,7 @@ fn main() {
     let json = json_dir.as_deref();
     let metrics_dir: Option<PathBuf> = flag_value(&args, "--metrics");
     let metrics = metrics_dir.as_deref();
+    let batch = args.iter().any(|a| a == "--batch");
 
     match cmd {
         "table1" => table1(json),
@@ -81,7 +83,7 @@ fn main() {
         "sa-cache" => sa_cache(),
         "balance" => balance(),
         "faults" => faults(json, metrics),
-        "repair" => repair(level, json),
+        "repair" => repair(level, batch, json),
         "soak" => {
             let seed: u64 = flag_value(&args, "--seed").unwrap_or(0xC0FFEE);
             let events: usize = flag_value(&args, "--events").unwrap_or(200);
@@ -102,11 +104,11 @@ fn main() {
             sa_cache();
             balance();
             faults(json, metrics);
-            repair(level, json);
+            repair(level, batch, json);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|repair|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--repair] [--json DIR] [--metrics DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|repair|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--repair] [--batch] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -779,8 +781,8 @@ fn faults(json: Option<&Path>, metrics: Option<&Path>) {
 /// wall time per topology and fault count, the SMP ratio against the full
 /// trap sweep, and the ratio against the paper's `full_reconfiguration`
 /// (below 1.0 means the delta-routing path won).
-fn repair(level: u8, json: Option<&Path>) {
-    use ib_bench::repair::repair_grid;
+fn repair(level: u8, batch: bool, json: Option<&Path>) {
+    use ib_bench::repair::{batch_grid, repair_grid};
 
     println!("\n===== REPAIR: incremental (delta-routing) sweep vs full recompute on identical fault schedules =====");
     println!(
@@ -837,11 +839,72 @@ fn repair(level: u8, json: Option<&Path>) {
         ]));
     }
     println!("(SMPs cover only the fault responses; every arm diffs against installed blocks, so the gap is the repair path's column splicing)");
+    let mut batch_json_rows = Vec::new();
+    if batch {
+        println!("\n----- REPAIR --batch: one coalesced sweep vs k serial repairs of the same all-down burst -----");
+        println!(
+            "{:>18} {:>10} {:>7} {:>11} {:>12} {:>7} {:>9} {:>10} {:>11} {:>10} {:>9}",
+            "topology",
+            "engine",
+            "faults",
+            "batch SMPs",
+            "serial SMPs",
+            "ratio",
+            "verify b/s",
+            "batch sec",
+            "serial sec",
+            "identical",
+            "fallbacks"
+        );
+        for row in &batch_grid(level) {
+            println!(
+                "{:>18} {:>10} {:>7} {:>11} {:>12} {:>7.3} {:>5}/{:<3} {:>10.4} {:>11.4} {:>10} {:>9}",
+                row.topology,
+                row.engine,
+                row.faults,
+                row.batched_smps,
+                row.serial_smps,
+                row.smp_ratio,
+                row.batched_verify_runs,
+                row.serial_verify_runs,
+                row.batched_wall.as_secs_f64(),
+                row.serial_wall.as_secs_f64(),
+                row.identical_lfts,
+                row.batched_fallbacks,
+            );
+            assert!(
+                row.identical_lfts,
+                "{} faults={}: batched and serial LFTs diverged",
+                row.topology, row.faults
+            );
+            batch_json_rows.push(Json::obj(vec![
+                ("topology", Json::from(row.topology.as_str())),
+                ("switches", Json::from(row.switches)),
+                ("engine", Json::from(row.engine)),
+                ("faults", Json::from(row.faults)),
+                ("batched_smps", Json::from(row.batched_smps)),
+                ("serial_smps", Json::from(row.serial_smps)),
+                ("smp_ratio", Json::from(row.smp_ratio)),
+                ("batched_verify_runs", Json::from(row.batched_verify_runs)),
+                ("serial_verify_runs", Json::from(row.serial_verify_runs)),
+                (
+                    "batched_seconds",
+                    Json::from(row.batched_wall.as_secs_f64()),
+                ),
+                ("serial_seconds", Json::from(row.serial_wall.as_secs_f64())),
+                ("identical_lfts", Json::from(row.identical_lfts)),
+                ("batched_fallbacks", Json::from(row.batched_fallbacks)),
+            ]));
+        }
+        println!("(both arms answer the identical burst; byte-identical final LFTs are asserted — the batch saves shared blocks and k-1 verifier passes)");
+    }
     if let Some(dir) = json {
         let doc = Json::obj(vec![
-            ("schema", Json::from("ib-vswitch/bench-repair/v1")),
+            ("schema", Json::from("ib-vswitch/bench-repair/v2")),
             ("level", Json::from(u64::from(level))),
+            ("batched", Json::from(batch)),
             ("rows", Json::Array(json_rows)),
+            ("batch_rows", Json::Array(batch_json_rows)),
         ]);
         write_json(dir, "BENCH_repair.json", &doc);
     }

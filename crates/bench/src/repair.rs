@@ -17,6 +17,8 @@ use ib_observe::Observer;
 use ib_routing::EngineKind;
 use ib_sm::{SmConfig, SubnetManager, Trap};
 use ib_subnet::topology::{fattree, torus, BuiltTopology};
+use ib_subnet::Subnet;
+use ib_types::{Lid, PortNum};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,6 +88,14 @@ fn torus_4x4() -> BuiltTopology {
 /// Runs one arm: fresh fabric, bring-up, then `faults` seeded
 /// connectivity-preserving link-downs each answered per `arm`.
 /// Returns `(lft_smps, wall_in_responses, repair_fallbacks)`.
+///
+/// **Timer coverage.** Every arm's wall timer starts after the link-down
+/// and covers route compute + LFT distribution + one invariant
+/// verification per fault. The repair arm verifies *inside*
+/// `handle_trap` (its acceptance gate); the full arms have no gate, so
+/// they run the same verifier (deadlock check off, matching the gate's
+/// default) explicitly inside the timer. Without that, the repair arm
+/// would be billed for verification the other arms skip.
 fn run_arm(
     build: fn() -> BuiltTopology,
     engine: EngineKind,
@@ -122,10 +132,14 @@ fn run_arm(
                 let report = sm
                     .full_reconfiguration(&mut t.subnet)
                     .expect("bench full reconfiguration");
+                let _ = ib_verify::FabricVerifier::new()
+                    .with_deadlock(false)
+                    .verify(&t.subnet)
+                    .expect("bench verify");
                 wall += started.elapsed();
                 smps += report.distribution.lft_smps;
             }
-            Arm::Repair | Arm::Sweep => {
+            Arm::Repair => {
                 let report = sm
                     .handle_trap(
                         &mut t.subnet,
@@ -133,6 +147,25 @@ fn run_arm(
                         &mut transport,
                     )
                     .expect("bench trap");
+                wall += started.elapsed();
+                assert!(
+                    report.failed_blocks.is_empty(),
+                    "bench sweep did not converge"
+                );
+                smps += report.distribution.lft_smps;
+            }
+            Arm::Sweep => {
+                let report = sm
+                    .handle_trap(
+                        &mut t.subnet,
+                        Trap::LinkStateChange { node: a, port: p },
+                        &mut transport,
+                    )
+                    .expect("bench trap");
+                let _ = ib_verify::FabricVerifier::new()
+                    .with_deadlock(false)
+                    .verify(&t.subnet)
+                    .expect("bench verify");
                 wall += started.elapsed();
                 assert!(
                     report.failed_blocks.is_empty(),
@@ -194,6 +227,177 @@ pub fn repair_grid(level: u8) -> Vec<RepairRow> {
     rows
 }
 
+/// One cell of the batched-vs-serial comparison: the same k-fault burst
+/// (every link down before any response — the coalescing window's view)
+/// answered once as a single `repair_sweep_batch` and once as k serial
+/// repair sweeps.
+#[derive(Clone, Debug)]
+pub struct BatchRow {
+    /// Topology name (e.g. `fat-tree-2L-648`).
+    pub topology: String,
+    /// Physical switch count.
+    pub switches: usize,
+    /// Routing engine both arms use.
+    pub engine: &'static str,
+    /// Burst size: link-downs coalesced into (or serialized over) repairs.
+    pub faults: usize,
+    /// LFT SMPs the one batched sweep sent.
+    pub batched_smps: usize,
+    /// LFT SMPs the k serial repair sweeps sent in total.
+    pub serial_smps: usize,
+    /// Verifier passes in the batched arm (one gate per burst).
+    pub batched_verify_runs: u64,
+    /// Verifier passes in the serial arm (one gate per fault).
+    pub serial_verify_runs: u64,
+    /// Wall time of the batched response.
+    pub batched_wall: Duration,
+    /// Wall time of the k serial responses, summed.
+    pub serial_wall: Duration,
+    /// `batched_smps / serial_smps` — below 1.0 means coalescing won.
+    pub smp_ratio: f64,
+    /// Final installed LFTs byte-identical across the two arms (must
+    /// always hold: batching changes cost, never routes).
+    pub identical_lfts: bool,
+    /// Batched repairs that fell back to a full sweep.
+    pub batched_fallbacks: u64,
+}
+
+/// Every node's installed `(destination, out-port)` rows in the subnet's
+/// deterministic node order — the byte-identity fingerprint the batch
+/// rows compare across arms.
+type LftFingerprint = Vec<Vec<(Lid, PortNum)>>;
+
+/// Collects the [`LftFingerprint`] of the fabric's installed tables.
+fn installed_lfts(subnet: &Subnet) -> LftFingerprint {
+    subnet
+        .nodes()
+        .map(|n| n.lft().map(|l| l.iter().collect()).unwrap_or_default())
+        .collect()
+}
+
+/// One sub-arm of the batch comparison. All `faults` links go down
+/// *before* any response runs (the burst a coalescing window collects),
+/// then the arm answers: one `repair_sweep_batch` when `batched`, else
+/// one repair sweep per trap in arrival order.
+///
+/// **Timer coverage.** The timer starts after the last link-down and
+/// covers the responses only — engine splice(s), dirty-block
+/// distribution(s), and the verifier gate(s) each sweep runs internally.
+/// Bring-up and fault injection sit outside it, identically in both
+/// sub-arms. Candidate links are re-picked from the same seeded RNG over
+/// the same evolving link state, so both sub-arms down the identical
+/// cables in the identical order.
+///
+/// Returns `(lft_smps, verify_runs, wall, fallbacks, lft_fingerprint)`.
+fn run_batch_arm(
+    build: fn() -> BuiltTopology,
+    engine: EngineKind,
+    faults: usize,
+    seed: u64,
+    batched: bool,
+) -> (usize, u64, Duration, u64, LftFingerprint) {
+    let mut t = build();
+    let mut sm = SubnetManager::new(
+        t.hosts[0],
+        SmConfig {
+            engine,
+            repair: true,
+            ..SmConfig::default()
+        },
+    );
+    sm.set_observer(Observer::metrics());
+    sm.bring_up(&mut t.subnet).expect("bench bring-up");
+    let links = core_links(&t.subnet);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut transport = SmpTransport::perfect(sm.sm_node);
+    let mut downed = Vec::new();
+    for _ in 0..faults {
+        let cands = safe_to_down(&t.subnet, &links);
+        if cands.is_empty() {
+            break;
+        }
+        let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+        t.subnet.set_link_down(a, p).expect("bench link-down");
+        downed.push((a, p));
+    }
+    let mut smps = 0;
+    let started = Instant::now();
+    if batched {
+        let report = sm
+            .repair_sweep_batch(&mut t.subnet, &downed, &mut transport)
+            .expect("bench batch repair");
+        assert!(
+            report.failed_blocks.is_empty(),
+            "bench batch did not converge"
+        );
+        smps += report.distribution.lft_smps;
+    } else {
+        for &(a, p) in &downed {
+            let report = sm
+                .handle_trap(
+                    &mut t.subnet,
+                    Trap::LinkStateChange { node: a, port: p },
+                    &mut transport,
+                )
+                .expect("bench trap");
+            assert!(
+                report.failed_blocks.is_empty(),
+                "bench serial repair did not converge"
+            );
+            smps += report.distribution.lft_smps;
+        }
+    }
+    let wall = started.elapsed();
+    let snap = sm.observer().snapshot();
+    let verify_runs = snap.as_ref().map_or(0, |s| s.counter("verify.runs"));
+    let fallbacks = snap.as_ref().map_or(0, |s| s.counter("repair.fallback"));
+    (
+        smps,
+        verify_runs,
+        wall,
+        fallbacks,
+        installed_lfts(&t.subnet),
+    )
+}
+
+/// The batched-vs-serial grid: every benchmark topology at burst sizes
+/// of 2-3 faults (2-4 at level >= 1), one batched sweep vs k serial
+/// repairs on identical fault schedules.
+#[must_use]
+pub fn batch_grid(level: u8) -> Vec<BatchRow> {
+    let fault_counts: &[usize] = if level >= 1 { &[2, 3, 4] } else { &[2, 3] };
+    let mut rows = Vec::new();
+    for (build, engine) in repair_builders(level) {
+        let probe = build();
+        let switches = probe.subnet.num_physical_switches();
+        let name = probe.name.clone();
+        drop(probe);
+        for (fi, &faults) in fault_counts.iter().enumerate() {
+            let seed = 0xBA_7C4 ^ ((fi as u64) << 8);
+            let (batched_smps, batched_verify_runs, batched_wall, batched_fallbacks, batch_lfts) =
+                run_batch_arm(build, engine, faults, seed, true);
+            let (serial_smps, serial_verify_runs, serial_wall, _, serial_lfts) =
+                run_batch_arm(build, engine, faults, seed, false);
+            rows.push(BatchRow {
+                topology: name.clone(),
+                switches,
+                engine: engine.name(),
+                faults,
+                batched_smps,
+                serial_smps,
+                batched_verify_runs,
+                serial_verify_runs,
+                batched_wall,
+                serial_wall,
+                smp_ratio: ratio(batched_smps, serial_smps),
+                identical_lfts: batch_lfts == serial_lfts,
+                batched_fallbacks,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +427,40 @@ mod tests {
                 row.faults,
                 row.repair_smps,
                 row.full_rc_smps
+            );
+        }
+    }
+
+    #[test]
+    fn batched_repair_matches_serial_byte_for_byte_and_never_sends_more() {
+        let rows = batch_grid(0);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            assert!(
+                row.identical_lfts,
+                "{} faults={}: batched and serial LFTs diverged",
+                row.topology, row.faults
+            );
+            assert_eq!(
+                row.batched_fallbacks, 0,
+                "{} faults={}: batched arm fell back",
+                row.topology, row.faults
+            );
+            assert!(
+                row.batched_smps <= row.serial_smps,
+                "{} faults={}: batch sent {} vs serial {}",
+                row.topology,
+                row.faults,
+                row.batched_smps,
+                row.serial_smps
+            );
+            assert!(
+                row.batched_verify_runs < row.serial_verify_runs,
+                "{} faults={}: batch verified {}x vs serial {}x",
+                row.topology,
+                row.faults,
+                row.batched_verify_runs,
+                row.serial_verify_runs
             );
         }
     }

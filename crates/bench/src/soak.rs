@@ -403,6 +403,10 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             Err(e) => vec![format!("verifier error: {e}")],
         };
         problems.extend(dc.sm.quarantine.verify_absent(&dc.subnet, now_ns));
+        // The reverse route index is derived state: prove it still mirrors
+        // the installed rows after every event (repairs splice it, full
+        // sweeps rebuild it, migrations refresh their columns).
+        problems.extend(dc.sm.verify_route_index(&dc.subnet));
         if problems.is_empty() {
             report.verdicts.push(format!("{i}:{kind}:clean"));
         } else {

@@ -350,6 +350,10 @@ impl DataCenter {
             &mut self.sm.ledger,
         )?;
         self.commit_prepopulated_registrations(vm, dest, dest_slot, dest_vf_lid)?;
+        // The swap rewrote two destination columns with direct SMPs; keep
+        // the SM's repair baseline and reverse index in step.
+        self.sm
+            .note_columns_changed(&self.subnet, &[vm.lid, dest_vf_lid]);
         Ok(stats)
     }
 
@@ -399,6 +403,7 @@ impl DataCenter {
             &mut self.sm.ledger,
         )?;
         self.commit_dynamic_registrations(vm, dest, dest_slot)?;
+        self.sm.note_columns_changed(&self.subnet, &[vm.lid]);
         Ok(stats)
     }
 
@@ -467,6 +472,8 @@ impl DataCenter {
         self.subnet.clear_lid(dest_lid)?;
         self.subnet.assign_port_lid(src_pf, src_port, dest_lid)?;
         self.subnet.assign_port_lid(dest_pf, dest_port, src_lid)?;
+        self.sm
+            .note_columns_changed(&self.subnet, &[src_lid, dest_lid]);
         Ok(stats)
     }
 
@@ -644,6 +651,11 @@ impl DataCenter {
             self.hypervisors[src].vfs[vm.vf_slot].attached = Some(id);
             // A rollback must leave every forwarding column untouched.
             self.verify_after_migration(snapshot.as_ref(), &[])?;
+            // Best-effort compensating SMPs may still have perturbed the
+            // touched columns: re-read them into the SM's baseline/index.
+            let mut touched = vec![vm.lid];
+            touched.extend(dest_vf_lid);
+            self.sm.note_columns_changed(&self.subnet, &touched);
             return Ok(aborted(tx, hypervisor_smps, lft));
         }
 
@@ -673,6 +685,7 @@ impl DataCenter {
         let mut allowed = vec![vm.lid];
         allowed.extend(dest_vf_lid);
         self.verify_after_migration(snapshot.as_ref(), &allowed)?;
+        self.sm.note_columns_changed(&self.subnet, &allowed);
 
         Ok(TxMigrationReport {
             committed: true,

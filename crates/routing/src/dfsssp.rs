@@ -215,6 +215,10 @@ impl RoutingEngine for Dfsssp {
     /// their prior lanes, repaired paths start on the base lane, and the
     /// usual cycle-lifting restores per-lane acyclicity or errors out when
     /// lanes are exhausted (the SM then falls back to a full sweep).
+    fn incremental_repair(&self) -> bool {
+        true
+    }
+
     fn repair_with(
         &self,
         subnet: &Subnet,

@@ -104,6 +104,48 @@ pub trait RoutingEngine: Send + Sync {
         let _ = (prior, dirty_dests);
         self.compute_with(subnet, opts, observer)
     }
+
+    /// Whether [`RoutingEngine::repair_with`] is genuinely incremental:
+    /// re-routing only the dirty columns and leaving every other column
+    /// of `prior` byte-identical. Engines on the default full-recompute
+    /// fallback return `false`, telling callers that track derived state
+    /// per column (the SM's reverse route index) that a "repair" may
+    /// have rewritten *any* column.
+    fn incremental_repair(&self) -> bool {
+        false
+    }
+
+    /// Repairs a *burst* of faults in one call: folds
+    /// [`RoutingEngine::repair_with`] over the per-fault dirty groups in
+    /// order, each repair splicing into the previous result. Groups must be
+    /// disjoint and every faulted link must already be down in `subnet`
+    /// before the call — then each fold step sees exactly the columns the
+    /// corresponding serial repair sweep would have re-routed, and the final
+    /// tables are **byte-identical** to running the k repairs one trap at a
+    /// time.
+    ///
+    /// Deliberately *not* a single `repair_with` over the union: engines
+    /// with load-balancing state (Min-Hop's least-loaded port seeding) give
+    /// different — equally valid but not identical — answers when columns
+    /// are re-routed together versus one fault at a time, and the batched
+    /// path's contract is "same tables, fewer SMPs and verifier passes".
+    /// Empty groups (faults fully subsumed by earlier repairs) are skipped,
+    /// matching the serial path's clean no-op.
+    fn repair_batch_with(
+        &self,
+        subnet: &Subnet,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_groups: &[Vec<ib_types::Lid>],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        let mut cur: Option<RoutingTables> = None;
+        for group in dirty_groups.iter().filter(|g| !g.is_empty()) {
+            let base = cur.as_ref().unwrap_or(prior);
+            cur = Some(self.repair_with(subnet, opts, base, group, observer)?);
+        }
+        Ok(cur.unwrap_or_else(|| prior.clone()))
+    }
 }
 
 /// The engines of Fig. 7 (plus Up*/Down*, used in the deadlock analysis).
@@ -238,6 +280,106 @@ mod tests {
             assert_eq!(a.lfts, b.lfts, "{kind}");
             assert_eq!(a.vls, b.vls, "{kind}");
             assert_eq!(a.decisions, b.decisions, "{kind}");
+        }
+    }
+
+    /// The scan `ib-verify` performs, inlined against a table set (this
+    /// crate sits below `ib-verify` in the dependency order).
+    fn affected(
+        subnet: &Subnet,
+        tables: &crate::tables::RoutingTables,
+        node: ib_subnet::NodeId,
+        port: ib_types::PortNum,
+    ) -> Vec<ib_types::Lid> {
+        let mut ends = vec![(node, port)];
+        if let Some(r) = subnet
+            .node(node)
+            .ports
+            .get(port.raw() as usize)
+            .and_then(|p| p.remote)
+        {
+            ends.push((r.node, r.port));
+        }
+        subnet
+            .lids()
+            .into_iter()
+            .filter(|&lid| {
+                ends.iter().any(|&(n, p)| {
+                    tables
+                        .lfts
+                        .get(&n)
+                        .is_some_and(|lft| lft.get(lid) == Some(p))
+                })
+            })
+            .collect()
+    }
+
+    /// `repair_batch_with` over baseline-derived dirty groups (earlier
+    /// groups subtracted) must produce tables byte-identical to repairing
+    /// the faults one trap at a time, each serial step re-scanning against
+    /// the tables the previous repair produced. Valid because every faulted
+    /// link is down before either arm starts — the theorem the SM's trap
+    /// coalescing rests on.
+    #[test]
+    fn batch_fold_matches_serial_trap_at_a_time_repairs() {
+        use crate::testutil::assign_lids;
+        use ib_subnet::topology::fattree;
+
+        for kind in [EngineKind::MinHop, EngineKind::Dfsssp] {
+            let mut t = fattree::two_level(4, 4, 2);
+            assign_lids(&mut t);
+            let engine = kind.build();
+            let t0 = engine.compute(&t.subnet).unwrap();
+
+            // Two switch-switch faults on distinct leaves, both downed
+            // before any repair (connectivity survives: 4 uplinks/leaf).
+            let faults: Vec<(ib_subnet::NodeId, ib_types::PortNum)> = {
+                let mut seen = std::collections::HashSet::new();
+                t.subnet
+                    .switches()
+                    .flat_map(|n| n.connected_ports().map(move |(p, ep)| (n.id, p, ep.node)))
+                    .filter(|&(n, _, peer)| t.subnet.node(peer).is_switch() && seen.insert(n))
+                    .map(|(n, p, _)| (n, p))
+                    .take(2)
+                    .collect()
+            };
+            assert_eq!(faults.len(), 2);
+            for &(n, p) in &faults {
+                t.subnet.set_link_down(n, p).unwrap();
+            }
+
+            // Serial arm: re-scan against the evolving tables.
+            let opts = RoutingOptions::default();
+            let obs = ib_observe::Observer::disabled();
+            let mut serial = t0.clone();
+            for &(n, p) in &faults {
+                let dirty = affected(&t.subnet, &serial, n, p);
+                if dirty.is_empty() {
+                    continue;
+                }
+                serial = engine
+                    .repair_with(&t.subnet, opts, &serial, &dirty, &obs)
+                    .unwrap();
+            }
+
+            // Batch arm: groups precomputed from the T0 baseline, earlier
+            // groups subtracted.
+            let mut seen: std::collections::HashSet<ib_types::Lid> = Default::default();
+            let groups: Vec<Vec<ib_types::Lid>> = faults
+                .iter()
+                .map(|&(n, p)| {
+                    affected(&t.subnet, &t0, n, p)
+                        .into_iter()
+                        .filter(|&lid| seen.insert(lid))
+                        .collect()
+                })
+                .collect();
+            let batch = engine
+                .repair_batch_with(&t.subnet, opts, &t0, &groups, &obs)
+                .unwrap();
+
+            assert_eq!(batch.lfts, serial.lfts, "{kind}");
+            assert_eq!(batch.vls, serial.vls, "{kind}");
         }
     }
 }

@@ -115,6 +115,10 @@ impl RoutingEngine for MinHop {
     /// result approximates (it is not byte-equal to) a full recompute —
     /// which is exactly why the SM gates every repair behind the fabric
     /// verifier before trusting it.
+    fn incremental_repair(&self) -> bool {
+        true
+    }
+
     fn repair_with(
         &self,
         subnet: &Subnet,

@@ -38,5 +38,5 @@ pub use ib_routing::RoutingOptions;
 pub use quarantine::{LinkQuarantine, QuarantineOptions};
 pub use report::{BringUpReport, DistributionReport};
 pub use sa::{PathRecord, PathRecordCache, SaService};
-pub use sm::{SmConfig, SmpMode, SubnetManager, SweepOptions};
+pub use sm::{CoalesceOptions, SmConfig, SmpMode, SubnetManager, SweepOptions};
 pub use traps::{ResweepReport, SweepKind, Trap};

@@ -70,6 +70,42 @@ impl SweepOptions {
     }
 }
 
+/// Trap-coalescing policy: link-down traps arriving within `window_ns` of
+/// the first pending trap are *deferred* and answered together by one
+/// batched repair sweep ([`crate::SubnetManager`] unions their dirty sets,
+/// runs one engine repair fold, one verifier gate, and one dirty-block
+/// distribution) when the driver calls `flush_coalesced` past the deadline.
+/// Requires [`SmConfig::repair`]; disabled by default so single traps keep
+/// their immediate-response semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalesceOptions {
+    /// Master switch. When off, every trap is swept immediately.
+    pub enabled: bool,
+    /// How long after the *first* deferred trap the batch keeps absorbing
+    /// further traps before a flush is due.
+    pub window_ns: u64,
+}
+
+impl Default for CoalesceOptions {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window_ns: 200_000_000, // 200 ms, on the order of a damping window
+        }
+    }
+}
+
+impl CoalesceOptions {
+    /// Coalescing on, with the default window.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Subnet manager configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct SmConfig {
@@ -101,6 +137,10 @@ pub struct SmConfig {
     /// falls back to the usual full sweep and counts `sm.repair.fallback`.
     /// Off by default — the traditional full-recompute path.
     pub repair: bool,
+    /// Batch link-down traps arriving within a damping window into one
+    /// repair sweep (see [`CoalesceOptions`]). Only consulted when
+    /// `repair` is on.
+    pub coalesce: CoalesceOptions,
 }
 
 impl Default for SmConfig {
@@ -113,6 +153,7 @@ impl Default for SmConfig {
             verify: false,
             quarantine: QuarantineOptions::default(),
             repair: false,
+            coalesce: CoalesceOptions::default(),
         }
     }
 }
@@ -134,6 +175,18 @@ pub struct SubnetManager {
     /// The last full set of tables this SM computed — the splice baseline
     /// for incremental repair. `None` until the first successful sweep.
     pub(crate) last_tables: Option<ib_routing::RoutingTables>,
+    /// Reverse (switch, port) -> destination-set index over `last_tables`,
+    /// kept in lock-step with it: rebuilt after full sweeps, spliced
+    /// per-column after repairs, invalidated whenever the installed state
+    /// diverges (failed distribution blocks). `None` means "fall back to
+    /// the two-row scan".
+    pub(crate) route_index: Option<ib_verify::ReverseRouteIndex>,
+    /// Link-down traps deferred by coalescing, in arrival order,
+    /// deduplicated per (node, port).
+    pub(crate) pending_traps: Vec<(NodeId, ib_types::PortNum)>,
+    /// When the pending batch is due: first-deferred-trap time plus the
+    /// coalescing window.
+    pub(crate) batch_deadline_ns: Option<u64>,
 }
 
 impl SubnetManager {
@@ -147,6 +200,9 @@ impl SubnetManager {
             ledger: SmpLedger::new(),
             quarantine: LinkQuarantine::new(config.quarantine),
             last_tables: None,
+            route_index: None,
+            pending_traps: Vec::new(),
+            batch_deadline_ns: None,
         }
     }
 
@@ -249,8 +305,74 @@ impl SubnetManager {
             min_blocks_per_switch: subnet.topmost_lid().map_or(0, min_blocks_for),
             engine: engine.name().to_string(),
         };
+        // A full distribution covers every fault a deferred trap reported.
+        self.subsume_pending();
+        // Derive the index from the *installed* rows rather than `tables`:
+        // the two are equal on live switches after distribution, but dead
+        // switches keep stale rows the dirty-set scan still reads, and the
+        // index must agree with that scan exactly.
+        self.route_index = Some(ib_verify::ReverseRouteIndex::from_installed(subnet));
         self.last_tables = Some(tables);
         Ok(report)
+    }
+
+    /// Drops every deferred link-down trap because a full-table
+    /// distribution just covered them, counting `repair.batch_subsumed`.
+    pub(crate) fn subsume_pending(&mut self) {
+        if !self.pending_traps.is_empty() {
+            self.ledger
+                .observer()
+                .add("repair.batch_subsumed", self.pending_traps.len() as u64);
+            self.pending_traps.clear();
+        }
+        self.batch_deadline_ns = None;
+    }
+
+    /// Tells the SM that `lids`' destination columns were rewritten on the
+    /// fabric *behind its back* — an Algorithm-1 LID swap/copy or a vSwitch
+    /// route update issues direct LFT SMPs without a sweep. Re-reads those
+    /// columns from the installed tables into the repair baseline and the
+    /// reverse index, so a later incremental repair splices against what is
+    /// actually on the switches instead of silently reverting the move.
+    /// A no-op for columns the SM has no baseline for.
+    pub fn note_columns_changed(&mut self, subnet: &Subnet, lids: &[ib_types::Lid]) {
+        if let Some(tables) = self.last_tables.as_mut() {
+            for &lid in lids {
+                tables.set_column(lid, |sw| subnet.lft(sw).and_then(|l| l.get(lid)));
+            }
+        }
+        if let Some(idx) = self.route_index.as_mut() {
+            for &lid in lids {
+                idx.refresh_column_from_installed(subnet, lid);
+            }
+        }
+    }
+
+    /// Audits the reverse route index against the installed tables,
+    /// returning one line per stale `(switch, port)` destination set —
+    /// empty when the index is absent (nothing to audit) or exact. The
+    /// soak harness calls this after every event.
+    #[must_use]
+    pub fn verify_route_index(&self, subnet: &Subnet) -> Vec<String> {
+        self.route_index
+            .as_ref()
+            .map(|idx| idx.mismatches(subnet))
+            .unwrap_or_default()
+    }
+
+    /// The live reverse route index, when one mirrors the installed LFTs
+    /// (rebuilt by converged full sweeps, spliced per column by repairs).
+    /// `None` after an unconverged distribution until the next full sweep.
+    #[must_use]
+    pub fn route_index(&self) -> Option<&ib_verify::ReverseRouteIndex> {
+        self.route_index.as_ref()
+    }
+
+    /// The link-down traps currently deferred by coalescing, in arrival
+    /// order.
+    #[must_use]
+    pub fn pending_repairs(&self) -> &[(NodeId, ib_types::PortNum)] {
+        &self.pending_traps
     }
 
     /// Runs the [`ib_verify::FabricVerifier`] against the installed tables

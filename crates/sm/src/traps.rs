@@ -33,6 +33,23 @@ use crate::sm::SubnetManager;
 /// still terminating against a structurally unreachable switch.
 const MAX_RETRY_PASSES: usize = 16;
 
+/// Whether `tables` came out of a genuine column splice of `prior` — the
+/// precondition for updating the reverse route index per dirty column.
+/// The engine must advertise an incremental repair *and* the output must
+/// cover exactly the baseline's switch set: the engines' internal
+/// full-recompute fallback (taken when `prior` is missing a switch)
+/// rebuilds the live graph's switch set instead, so a key-set mismatch
+/// betrays a full recompute even from an incremental engine.
+fn repair_was_spliced(
+    engine: &dyn ib_routing::RoutingEngine,
+    prior: &ib_routing::RoutingTables,
+    tables: &ib_routing::RoutingTables,
+) -> bool {
+    engine.incremental_repair()
+        && tables.lfts.len() == prior.lfts.len()
+        && tables.lfts.keys().all(|k| prior.lfts.contains_key(k))
+}
+
 /// An unsolicited event notice delivered to the SM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Trap {
@@ -61,6 +78,11 @@ pub enum SweepKind {
     /// Incremental repair: only the destination columns whose installed
     /// paths crossed the failed link were re-routed and redistributed.
     Repair,
+    /// Nothing yet: the trap was queued by coalescing
+    /// ([`crate::CoalesceOptions`]) and will be answered, together with
+    /// every other trap in its window, by one batched repair sweep when
+    /// the driver calls [`SubnetManager::flush_coalesced`].
+    Deferred,
 }
 
 /// What a trap-driven re-sweep did.
@@ -155,8 +177,58 @@ impl SubnetManager {
                     observer.incr("quarantine.entered");
                 }
             }
+            // Trap coalescing: a link-*down* trap inside the batching
+            // window joins the pending batch instead of sweeping now. Up
+            // events never defer — folding a link back in is a fabric-wide
+            // rebalance the batch's column splice cannot express.
+            let config = self.config();
+            if config.repair && config.coalesce.enabled && subnet.neighbor(node, port).is_none() {
+                self.ledger.observer().incr("trap.received");
+                return Ok(self.defer_trap(node, port, now_ns));
+            }
         }
         self.handle_trap(subnet, trap, transport)
+    }
+
+    /// Queues one link-down trap for the pending batch (deduplicated per
+    /// link) and arms the flush deadline off the *first* deferred trap.
+    fn defer_trap(&mut self, node: NodeId, port: PortNum, now_ns: u64) -> ResweepReport {
+        if !self.pending_traps.contains(&(node, port)) {
+            self.pending_traps.push((node, port));
+        }
+        if self.batch_deadline_ns.is_none() {
+            self.batch_deadline_ns = Some(now_ns + self.config().coalesce.window_ns);
+        }
+        self.ledger.observer().incr("repair.deferred");
+        ResweepReport {
+            kind: SweepKind::Deferred,
+            ..absorbed_report()
+        }
+    }
+
+    /// Runs the batched repair sweep if the coalescing window has closed by
+    /// `now_ns`. `Ok(None)` means nothing was due — no traps pending, or
+    /// the window is still absorbing. Drivers call this from their event
+    /// loop alongside [`SubnetManager::release_quarantined`].
+    pub fn flush_coalesced<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        transport: &mut SmpTransport<C>,
+        now_ns: u64,
+    ) -> IbResult<Option<ResweepReport>> {
+        let Some(deadline) = self.batch_deadline_ns else {
+            return Ok(None);
+        };
+        if now_ns < deadline {
+            return Ok(None);
+        }
+        let faults = std::mem::take(&mut self.pending_traps);
+        self.batch_deadline_ns = None;
+        if faults.is_empty() {
+            return Ok(None);
+        }
+        self.repair_sweep_batch(subnet, &faults, transport)
+            .map(Some)
     }
 
     /// Releases quarantined links whose hold-down expired by `now_ns` and,
@@ -196,6 +268,7 @@ impl SubnetManager {
                 let (distribution, retry_passes, failed_blocks) =
                     self.distribute_resumably(subnet, &tables, transport)?;
                 self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
+                self.refresh_route_index(subnet, &failed_blocks);
                 self.last_tables = Some(tables);
                 Ok(ResweepReport {
                     kind: SweepKind::Light,
@@ -273,6 +346,7 @@ impl SubnetManager {
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
+        self.refresh_route_index(subnet, &failed_blocks);
         self.last_tables = Some(tables);
         Ok(ResweepReport {
             kind: SweepKind::Heavy,
@@ -316,7 +390,7 @@ impl SubnetManager {
             return self.light_sweep(subnet, transport);
         };
         let span = self.ledger.observer().span("resweep.repair");
-        let dirty = ib_verify::affected_destinations(subnet, node, port);
+        let dirty = self.dirty_destinations(subnet, node, port);
         self.ledger
             .observer()
             .add("repair.dirty_dests", dirty.len() as u64);
@@ -355,9 +429,10 @@ impl SubnetManager {
             let report = ib_verify::FabricVerifier::new()
                 .with_deadlock(self.config().verify)
                 .verify_observed(subnet, &tables.vls, self.ledger.observer())?;
-            if !report.is_clean() {
-                // The splice broke a global invariant the per-column
-                // rewrite could not see. The full sweep recomputes from
+            let touched: std::collections::HashSet<Lid> = dirty.iter().copied().collect();
+            if self.repair_gate_rejects(&report, &touched) {
+                // The splice broke an invariant on a column it touched (or
+                // a fabric-global one). The full sweep recomputes from
                 // scratch and overwrites whatever this repair installed.
                 span.end();
                 self.ledger.observer().incr("repair.verify_rejected");
@@ -365,10 +440,25 @@ impl SubnetManager {
                 return self.light_sweep(subnet, transport);
             }
             self.ledger.observer().incr("repair.success");
+            if repair_was_spliced(engine.as_ref(), &prior, &tables) {
+                if let Some(idx) = self.route_index.as_mut() {
+                    for &lid in &dirty {
+                        idx.apply_column_update(lid, &prior, &tables);
+                    }
+                }
+            } else {
+                // A full-recompute "repair" (default-fallback engines, or
+                // an incremental engine that lost its baseline) may have
+                // rewritten any column: per-column splicing cannot track
+                // it, so rebuild the index from what is now installed.
+                self.route_index = Some(ib_verify::ReverseRouteIndex::from_installed(subnet));
+            }
         } else {
             // Mirrors `verify_converged`: tables with stranded blocks are
-            // expected to be inconsistent, so the gate is deferred.
+            // expected to be inconsistent, so the gate is deferred — and
+            // the index no longer mirrors what is installed.
             self.ledger.observer().incr("repair.unconverged");
+            self.route_index = None;
         }
         self.last_tables = Some(tables);
         Ok(ResweepReport {
@@ -380,6 +470,200 @@ impl SubnetManager {
             retry_passes,
             failed_blocks,
         })
+    }
+
+    /// One batched repair sweep over a burst of link-down faults: unions
+    /// the per-fault dirty destination sets (earlier faults' columns
+    /// subtracted — each group is exactly what the corresponding serial
+    /// repair would have re-routed, since every faulted link is already
+    /// down), folds them through the engine's `repair_batch_with`, then
+    /// runs **one** dirty-block distribution and **one** verifier gate for
+    /// the whole burst. Final tables are byte-identical to repairing the
+    /// traps one at a time; the savings are the shared LFT blocks sent
+    /// once instead of per fault and the k-1 elided verifier passes.
+    /// Emits `repair.batched` / `repair.batch_size` and a `resweep.batch`
+    /// span; every obstacle falls back exactly like [`Self::repair_sweep`].
+    pub fn repair_sweep_batch<C: SmpChannel>(
+        &mut self,
+        subnet: &mut Subnet,
+        faults: &[(NodeId, PortNum)],
+        transport: &mut SmpTransport<C>,
+    ) -> IbResult<ResweepReport> {
+        self.ledger.observer().incr("repair.batched");
+        self.ledger
+            .observer()
+            .add("repair.batch_size", faults.len() as u64);
+        // A live link in the batch means an up event slipped in without a
+        // trap (e.g. an operator re-cable): fold-in is a rebalance, and the
+        // full sweep also covers every other fault in the batch.
+        if faults.iter().any(|&(n, p)| subnet.neighbor(n, p).is_some()) {
+            self.ledger.observer().incr("repair.skipped_up");
+            return self.light_sweep(subnet, transport);
+        }
+        let Some(prior) = self.last_tables.clone() else {
+            self.ledger.observer().incr("repair.no_baseline");
+            self.ledger.observer().incr("repair.fallback");
+            return self.light_sweep(subnet, transport);
+        };
+        let span = self.ledger.observer().span("resweep.batch");
+        // Disjoint per-fault dirty groups off the shared baseline: a column
+        // already claimed by an earlier fault will be re-routed around
+        // *all* downed links in one go, so later faults must not re-route
+        // it again (and serially repaired columns never re-cross a downed
+        // link, which is why baseline-minus-earlier equals the serial
+        // arm's per-step scan).
+        let mut seen = std::collections::HashSet::new();
+        let groups: Vec<Vec<Lid>> = faults
+            .iter()
+            .map(|&(n, p)| {
+                self.dirty_destinations(subnet, n, p)
+                    .into_iter()
+                    .filter(|&lid| seen.insert(lid))
+                    .collect()
+            })
+            .collect();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        self.ledger
+            .observer()
+            .add("repair.dirty_dests", total as u64);
+        if total == 0 {
+            self.ledger.observer().incr("repair.clean_noop");
+            return Ok(ResweepReport {
+                kind: SweepKind::Repair,
+                escalated: false,
+                pruned_lids: Vec::new(),
+                removed_nodes: 0,
+                distribution: DistributionReport::default(),
+                retry_passes: 0,
+                failed_blocks: Vec::new(),
+            });
+        }
+        let engine = self.config().engine.build();
+        let routing = self.config().routing;
+        let tables = match engine.repair_batch_with(
+            subnet,
+            routing,
+            &prior,
+            &groups,
+            self.ledger.observer(),
+        ) {
+            Ok(tables) => tables,
+            Err(_) => {
+                span.end();
+                self.ledger.observer().incr("repair.engine_error");
+                self.ledger.observer().incr("repair.fallback");
+                return self.light_sweep(subnet, transport);
+            }
+        };
+        let (distribution, retry_passes, failed_blocks) =
+            self.distribute_resumably(subnet, &tables, transport)?;
+        if failed_blocks.is_empty() {
+            let report = ib_verify::FabricVerifier::new()
+                .with_deadlock(self.config().verify)
+                .verify_observed(subnet, &tables.vls, self.ledger.observer())?;
+            let touched: std::collections::HashSet<Lid> =
+                groups.iter().flatten().copied().collect();
+            if self.repair_gate_rejects(&report, &touched) {
+                span.end();
+                self.ledger.observer().incr("repair.verify_rejected");
+                self.ledger.observer().incr("repair.fallback");
+                return self.light_sweep(subnet, transport);
+            }
+            self.ledger.observer().incr("repair.success");
+            if repair_was_spliced(engine.as_ref(), &prior, &tables) {
+                if let Some(idx) = self.route_index.as_mut() {
+                    for group in &groups {
+                        for &lid in group {
+                            idx.apply_column_update(lid, &prior, &tables);
+                        }
+                    }
+                }
+            } else {
+                self.route_index = Some(ib_verify::ReverseRouteIndex::from_installed(subnet));
+            }
+        } else {
+            self.ledger.observer().incr("repair.unconverged");
+            self.route_index = None;
+        }
+        self.last_tables = Some(tables);
+        Ok(ResweepReport {
+            kind: SweepKind::Repair,
+            escalated: false,
+            pruned_lids: Vec::new(),
+            removed_nodes: 0,
+            distribution,
+            retry_passes,
+            failed_blocks,
+        })
+    }
+
+    /// The repair acceptance gate, scoped to the columns this repair
+    /// touched. The verifier's forwarding check walks *every* destination
+    /// column globally, so mid-burst a repair sees black holes on columns
+    /// crossing other still-downed links — pre-existing damage the splice
+    /// cannot have caused (it only rewrites the dirty columns) and that
+    /// belongs to traps not yet handled. Those are tolerated but counted
+    /// (`repair.tolerated_preexisting`). A violation on a column the
+    /// repair touched, or a fabric-global one no column owns (`lid: None`
+    /// — addressing clashes, deadlock cycles), still rejects the repair.
+    fn repair_gate_rejects(
+        &self,
+        report: &ib_verify::VerifyReport,
+        touched: &std::collections::HashSet<Lid>,
+    ) -> bool {
+        let mut tolerated = 0u64;
+        let mut rejects = false;
+        for v in &report.violations {
+            match v.lid {
+                Some(lid) if !touched.contains(&lid) => tolerated += 1,
+                _ => rejects = true,
+            }
+        }
+        if tolerated > 0 {
+            self.ledger
+                .observer()
+                .add("repair.tolerated_preexisting", tolerated);
+        }
+        rejects
+    }
+
+    /// The dirty destination set of a fault at `(node, port)`: read off the
+    /// reverse route index when one is live (O(dirty), counted as
+    /// `repair.index_hits`), else the two-row fabric scan
+    /// ([`ib_verify::affected_destinations`], `repair.index_misses`). In
+    /// debug builds an index answer is always cross-checked against the
+    /// scan — the index is derived state and never silently trusted.
+    fn dirty_destinations(&self, subnet: &Subnet, node: NodeId, port: PortNum) -> Vec<Lid> {
+        match self.route_index.as_ref() {
+            Some(idx) => {
+                self.ledger.observer().incr("repair.index_hits");
+                let fast = idx.affected(subnet, node, port);
+                debug_assert_eq!(
+                    fast,
+                    ib_verify::affected_destinations(subnet, node, port),
+                    "reverse route index diverged from the two-row scan at ({node:?}, {port})"
+                );
+                fast
+            }
+            None => {
+                self.ledger.observer().incr("repair.index_misses");
+                ib_verify::affected_destinations(subnet, node, port)
+            }
+        }
+    }
+
+    /// After a full-table distribution: the deferred-trap queue is covered
+    /// (every fault was routed around), and the reverse index either
+    /// mirrors the freshly installed rows or — when blocks were stranded —
+    /// nothing trustworthy, so it is dropped until the next converged
+    /// sweep rebuilds it.
+    fn refresh_route_index(&mut self, subnet: &Subnet, failed_blocks: &[FailedBlock]) {
+        self.subsume_pending();
+        self.route_index = if failed_blocks.is_empty() {
+            Some(ib_verify::ReverseRouteIndex::from_installed(subnet))
+        } else {
+            None
+        };
     }
 
     /// Runs the fabric verifier after a re-sweep when `config.verify` is
@@ -711,6 +995,325 @@ mod tests {
         assert_all_pairs_connected(&t, &[]);
         let snap = sm.observer().snapshot().unwrap();
         assert_eq!(snap.counter("repair.skipped_up"), 1);
+        assert_eq!(snap.counter("repair.fallback"), 0);
+    }
+
+    /// A named leaf->spine uplink and its down trap.
+    fn down_uplink(
+        t: &mut ib_subnet::topology::BuiltTopology,
+        leaf_idx: usize,
+        spine_idx: usize,
+    ) -> Trap {
+        let leaf = t.switch_levels[0][leaf_idx];
+        let spine = t.switch_levels[1][spine_idx];
+        let (port, _) = t
+            .subnet
+            .node(leaf)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine)
+            .unwrap();
+        t.subnet.set_link_down(leaf, port).unwrap();
+        Trap::LinkStateChange { node: leaf, port }
+    }
+
+    #[test]
+    fn coalesced_traps_batch_into_one_repair_sweep() {
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                coalesce: crate::CoalesceOptions::enabled(),
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let window = sm.config().coalesce.window_ns;
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+
+        // Two faults land inside one window: both deferred, no SMPs yet.
+        let t0 = 1_000;
+        for (i, trap) in [down_uplink(&mut t, 0, 0), down_uplink(&mut t, 1, 0)]
+            .into_iter()
+            .enumerate()
+        {
+            let report = sm
+                .handle_trap_at(&mut t.subnet, trap, &mut transport, t0 + i as u64)
+                .unwrap();
+            assert_eq!(report.kind, SweepKind::Deferred);
+            assert_eq!(report.distribution.lft_smps, 0);
+        }
+        assert_eq!(sm.pending_repairs().len(), 2);
+
+        // Window still open: nothing flushes.
+        assert!(sm
+            .flush_coalesced(&mut t.subnet, &mut transport, t0 + window - 1)
+            .unwrap()
+            .is_none());
+
+        // Window closed: one batched repair answers both traps.
+        let report = sm
+            .flush_coalesced(&mut t.subnet, &mut transport, t0 + window)
+            .unwrap()
+            .expect("batch was due");
+        assert_eq!(report.kind, SweepKind::Repair);
+        assert!(report.failed_blocks.is_empty());
+        assert!(report.distribution.lft_smps > 0);
+        assert!(sm.pending_repairs().is_empty());
+        assert_all_pairs_connected(&t, &[]);
+        t.subnet.validate_degraded().unwrap();
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.deferred"), 2);
+        assert_eq!(snap.counter("repair.batched"), 1);
+        assert_eq!(snap.counter("repair.batch_size"), 2);
+        assert_eq!(snap.counter("repair.fallback"), 0);
+        assert_eq!(snap.counter("repair.index_hits"), 2);
+        assert_eq!(snap.spans_named("resweep.batch").len(), 1);
+        // One verifier pass for the whole burst.
+        assert_eq!(snap.counter("verify.runs"), 1);
+
+        // Re-flushing with nothing pending is a no-op.
+        assert!(sm
+            .flush_coalesced(&mut t.subnet, &mut transport, t0 + 2 * window)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn serial_repairs_of_an_all_down_burst_pass_the_scoped_gate() {
+        // Both links of a burst go down before any repair runs (the trap
+        // queue drained late). Repairing them one at a time, the first
+        // verifier pass sees the second fault's pre-existing black holes —
+        // on columns the first repair never touched. The scoped gate must
+        // tolerate those (counted) instead of rejecting into a full sweep.
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+
+        let traps = [down_uplink(&mut t, 0, 0), down_uplink(&mut t, 1, 0)];
+        for trap in traps {
+            let report = sm.handle_trap(&mut t.subnet, trap, &mut transport).unwrap();
+            assert_eq!(report.kind, SweepKind::Repair);
+            assert!(report.failed_blocks.is_empty());
+        }
+        assert_all_pairs_connected(&t, &[]);
+        t.subnet.validate_degraded().unwrap();
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.success"), 2);
+        assert_eq!(snap.counter("repair.verify_rejected"), 0);
+        assert_eq!(snap.counter("repair.fallback"), 0);
+        // The first gate saw (and tolerated) fault 2's damage.
+        assert!(snap.counter("repair.tolerated_preexisting") > 0);
+        assert_eq!(snap.counter("verify.runs"), 2);
+    }
+
+    #[test]
+    fn full_sweeps_subsume_pending_batches() {
+        let mut t = two_level(3, 2, 2);
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                coalesce: crate::CoalesceOptions::enabled(),
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        let trap = down_uplink(&mut t, 0, 0);
+        sm.handle_trap_at(&mut t.subnet, trap, &mut transport, 0)
+            .unwrap();
+        assert_eq!(sm.pending_repairs().len(), 1);
+
+        // A switch death forces a heavy sweep, whose full distribution
+        // also routes around the pending fault: the batch dissolves.
+        // (Spine 0 already lost its leaf-0 link, so every leaf keeps an
+        // uplink through spine 1.)
+        let spine0 = t.switch_levels[1][0];
+        sm.handle_trap_at(
+            &mut t.subnet,
+            Trap::SwitchDeath { node: spine0 },
+            &mut transport,
+            1,
+        )
+        .unwrap();
+        assert!(sm.pending_repairs().is_empty());
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("repair.batch_subsumed"), 1);
+        assert!(sm
+            .flush_coalesced(&mut t.subnet, &mut transport, u64::MAX)
+            .unwrap()
+            .is_none());
+        assert_all_pairs_connected(&t, &[]);
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+    }
+
+    /// Satellite regression: a link-up trap takes the `repair.skipped_up`
+    /// light sweep, which must refresh the repair baseline — a later
+    /// link-down repair has to splice against the rebalanced tables, not
+    /// the pre-up ones. Pinned against a twin fabric that only ever sees
+    /// the second fault: same SMP count, byte-identical tables.
+    #[test]
+    fn link_up_light_sweep_refreshes_the_repair_baseline() {
+        let config = SmConfig {
+            repair: true,
+            ..SmConfig::default()
+        };
+
+        // Fabric A: down L (repair), L back up (light sweep), down M.
+        let mut ta = two_level(3, 2, 2);
+        let mut sma = SubnetManager::new(ta.hosts[0], config);
+        sma.bring_up(&mut ta.subnet).unwrap();
+        let mut transport = SmpTransport::perfect(sma.sm_node);
+        let trap_l = down_uplink(&mut ta, 0, 0);
+        sma.handle_trap(&mut ta.subnet, trap_l, &mut transport)
+            .unwrap();
+        let Trap::LinkStateChange { node, port } = trap_l else {
+            unreachable!()
+        };
+        ta.subnet.set_link_up(node, port).unwrap();
+        let up = sma
+            .handle_trap(&mut ta.subnet, trap_l, &mut transport)
+            .unwrap();
+        assert_eq!(up.kind, SweepKind::Light);
+        let trap_m = down_uplink(&mut ta, 1, 0);
+        let repair_a = sma
+            .handle_trap(&mut ta.subnet, trap_m, &mut transport)
+            .unwrap();
+        assert_eq!(repair_a.kind, SweepKind::Repair);
+
+        // Fabric B: only ever sees fault M.
+        let mut tb = two_level(3, 2, 2);
+        let mut smb = SubnetManager::new(tb.hosts[0], config);
+        smb.bring_up(&mut tb.subnet).unwrap();
+        let mut transport_b = SmpTransport::perfect(smb.sm_node);
+        let trap_m_b = down_uplink(&mut tb, 1, 0);
+        let repair_b = smb
+            .handle_trap(&mut tb.subnet, trap_m_b, &mut transport_b)
+            .unwrap();
+        assert_eq!(repair_b.kind, SweepKind::Repair);
+
+        // A stale baseline would splice against pre-up tables and diff
+        // extra blocks; a fresh one makes the repairs indistinguishable.
+        assert_eq!(
+            repair_a.distribution.lft_smps,
+            repair_b.distribution.lft_smps
+        );
+        assert_eq!(
+            sma.last_tables.as_ref().unwrap().lfts,
+            smb.last_tables.as_ref().unwrap().lfts
+        );
+        for sw in ta.subnet.switches().map(|n| n.id).collect::<Vec<_>>() {
+            assert_eq!(ta.subnet.lft(sw), tb.subnet.lft(sw), "{sw:?}");
+        }
+        assert!(sma.verify_route_index(&ta.subnet).is_empty());
+    }
+
+    /// Satellite regression: traps absorbed inside a quarantine hold-down
+    /// never reach repair accounting, so the fold-back sweep at release
+    /// must rebuild the baseline and reverse index — a later fault would
+    /// otherwise repair against a topology that still excludes the
+    /// released link.
+    #[test]
+    fn quarantine_release_rebuilds_baseline_and_index() {
+        let mut t = two_level(3, 2, 2);
+        let opts = crate::QuarantineOptions::enabled();
+        let mut sm = SubnetManager::new(
+            t.hosts[0],
+            SmConfig {
+                repair: true,
+                quarantine: opts,
+                ..SmConfig::default()
+            },
+        );
+        sm.set_observer(ib_observe::Observer::metrics());
+        sm.bring_up(&mut t.subnet).unwrap();
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+
+        // Flap L until the third event trips the quarantine.
+        let leaf0 = t.switch_levels[0][0];
+        let spine0 = t.switch_levels[1][0];
+        let (port, _) = t
+            .subnet
+            .node(leaf0)
+            .connected_ports()
+            .find(|(_, r)| r.node == spine0)
+            .unwrap();
+        let trap = Trap::LinkStateChange { node: leaf0, port };
+        t.subnet.set_link_down(leaf0, port).unwrap();
+        sm.handle_trap_at(&mut t.subnet, trap, &mut transport, 0)
+            .unwrap();
+        t.subnet.set_link_up(leaf0, port).unwrap();
+        sm.handle_trap_at(&mut t.subnet, trap, &mut transport, 1)
+            .unwrap();
+        t.subnet.set_link_down(leaf0, port).unwrap();
+        sm.handle_trap_at(&mut t.subnet, trap, &mut transport, 2)
+            .unwrap();
+        assert!(sm.quarantine.is_quarantined(&t.subnet, leaf0, port, 2));
+
+        // A resurrection inside the hold-down is absorbed — dropped from
+        // repair accounting entirely.
+        t.subnet.set_link_up(leaf0, port).unwrap();
+        sm.handle_trap_at(&mut t.subnet, trap, &mut transport, 3)
+            .unwrap();
+        assert!(!t.subnet.is_link_up(leaf0, port), "damper re-downed it");
+
+        // Hold-down expires: the fold-back light sweep must leave the
+        // baseline and index mirroring the full-topology tables.
+        let release_at = 2 + opts.base_hold_down_ns + 1;
+        let released = sm
+            .release_quarantined(&mut t.subnet, &mut transport, release_at)
+            .unwrap();
+        assert_eq!(released, 1);
+        assert!(t.subnet.is_link_up(leaf0, port));
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+
+        // A fresh fault elsewhere now repairs against the folded-back
+        // state, byte-identical to a twin that never flapped.
+        let trap_m = down_uplink(&mut t, 1, 0);
+        let report = sm
+            .handle_trap_at(&mut t.subnet, trap_m, &mut transport, release_at + 1)
+            .unwrap();
+        assert_eq!(report.kind, SweepKind::Repair);
+        assert!(report.failed_blocks.is_empty());
+        assert_all_pairs_connected(&t, &[]);
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+
+        let mut twin = two_level(3, 2, 2);
+        let mut sm2 = SubnetManager::new(
+            twin.hosts[0],
+            SmConfig {
+                repair: true,
+                ..SmConfig::default()
+            },
+        );
+        sm2.bring_up(&mut twin.subnet).unwrap();
+        let mut transport2 = SmpTransport::perfect(sm2.sm_node);
+        let trap_m2 = down_uplink(&mut twin, 1, 0);
+        sm2.handle_trap(&mut twin.subnet, trap_m2, &mut transport2)
+            .unwrap();
+        assert_eq!(
+            sm.last_tables.as_ref().unwrap().lfts,
+            sm2.last_tables.as_ref().unwrap().lfts
+        );
+
+        let snap = sm.observer().snapshot().unwrap();
+        assert!(snap.counter("quarantine.absorbed") >= 1);
+        assert_eq!(snap.counter("quarantine.released"), 1);
         assert_eq!(snap.counter("repair.fallback"), 0);
     }
 

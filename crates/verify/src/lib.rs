@@ -32,9 +32,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod affected;
+mod rindex;
 mod snapshot;
 mod verifier;
 
 pub use affected::affected_destinations;
+pub use rindex::ReverseRouteIndex;
 pub use snapshot::LftSnapshot;
 pub use verifier::{FabricVerifier, InvariantClass, VerifyReport, Violation};

@@ -112,6 +112,7 @@ impl LftSnapshot {
             .map(|lid| Violation {
                 class: InvariantClass::Addressing,
                 detail: format!("forwarding column of uninvolved LID {lid} changed"),
+                lid: Some(Lid::from_raw(lid)),
             })
             .collect()
     }

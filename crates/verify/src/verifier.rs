@@ -50,6 +50,13 @@ pub struct Violation {
     pub class: InvariantClass,
     /// What exactly is wrong, naming switches/LIDs involved.
     pub detail: String,
+    /// The destination column this violation is attributable to, when the
+    /// check walks per-destination state (forwarding walks, snapshot
+    /// diffs). `None` for fabric-global findings — LID ownership clashes
+    /// and deadlock cycles — which no single column owns. Repair gates use
+    /// this to distinguish damage on the columns a repair touched from
+    /// pre-existing damage belonging to faults not yet handled.
+    pub lid: Option<Lid>,
 }
 
 impl std::fmt::Display for Violation {
@@ -264,6 +271,7 @@ impl FabricVerifier {
                         who.len(),
                         names.join(", ")
                     ),
+                    lid: None,
                 });
             }
             // Every held LID must be registered back to its holder.
@@ -274,6 +282,7 @@ impl FabricVerifier {
                         "LID {raw} held by {} but absent from the registry",
                         subnet.name_of(who[0])
                     ),
+                    lid: None,
                 }),
                 Some(ep) if who.len() == 1 && ep.node != who[0] => out.push(Violation {
                     class: InvariantClass::Addressing,
@@ -282,6 +291,7 @@ impl FabricVerifier {
                         subnet.name_of(who[0]),
                         subnet.name_of(ep.node)
                     ),
+                    lid: None,
                 }),
                 Some(_) => {}
             }
@@ -292,6 +302,7 @@ impl FabricVerifier {
                 None => out.push(Violation {
                     class: InvariantClass::Addressing,
                     detail: format!("LID {lid} registered but unresolvable"),
+                    lid: None,
                 }),
                 Some(ep) if !subnet.is_alive(ep.node) => out.push(Violation {
                     class: InvariantClass::Addressing,
@@ -299,6 +310,7 @@ impl FabricVerifier {
                         "LID {lid} registered to dead node {}",
                         subnet.name_of(ep.node)
                     ),
+                    lid: None,
                 }),
                 Some(_) => {}
             }
@@ -351,6 +363,7 @@ impl FabricVerifier {
                                     "LID {lid} at {}: {reason}",
                                     subnet.name_of(switches[cur])
                                 ),
+                                lid: Some(lid),
                             });
                         }
                         break BAD;
@@ -372,6 +385,7 @@ impl FabricVerifier {
                                         "LID {lid} loops through {}",
                                         names.join(" -> ")
                                     ),
+                                    lid: Some(lid),
                                 });
                             }
                             break BAD;
@@ -386,6 +400,7 @@ impl FabricVerifier {
                                             subnet.name_of(switches[start]),
                                             self.max_hops
                                         ),
+                                        lid: Some(lid),
                                     });
                                 }
                                 break BAD;
@@ -562,6 +577,7 @@ impl FabricVerifier {
             out.push(Violation {
                 class: InvariantClass::DeadlockCycle,
                 detail: format!("VL{lane} channel dependency cycle: {}", chain.join(" -> ")),
+                lid: None,
             });
         }
     }

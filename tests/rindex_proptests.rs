@@ -1,0 +1,265 @@
+//! Property-style tests over the reverse route index: after random
+//! sequences of connectivity-preserving link faults (answered by the
+//! incremental repair sweep), link restorations, live migrations, and
+//! full sweeps, the index must agree with the two-row fabric scan
+//! ([`ib_verify::affected_destinations`]) for **every** (switch, port) —
+//! on the paper's 324-node fat tree under every tree engine and on a
+//! wrapped torus under the VL-layering engines.
+//!
+//! Originally written with `proptest`; the offline build environment
+//! cannot fetch it, so these are seeded randomized tests driven by the
+//! vendored `rand` stub.
+
+use ib_core::{DataCenter, DataCenterConfig};
+use ib_mad::SmpTransport;
+use ib_routing::EngineKind;
+use ib_sm::{SmConfig, SubnetManager, Trap};
+use ib_subnet::topology::fattree::paper_324;
+use ib_subnet::topology::torus::torus_2d;
+use ib_subnet::{NodeId, Subnet};
+use ib_types::PortNum;
+use ib_verify::affected_destinations;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every switch-to-switch cable, one entry per cable.
+fn core_links(subnet: &Subnet) -> Vec<(NodeId, PortNum, NodeId)> {
+    let mut out = Vec::new();
+    for sw in subnet.physical_switches() {
+        for (port, remote) in sw.cabled_ports() {
+            if subnet.node(remote.node).is_physical_switch() && sw.id.index() < remote.node.index()
+            {
+                out.push((sw.id, port, remote.node));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the switch core stays connected over up links with `skip` down.
+fn connected_without(
+    subnet: &Subnet,
+    links: &[(NodeId, PortNum, NodeId)],
+    skip: (NodeId, PortNum),
+) -> bool {
+    let switches: Vec<NodeId> = subnet.physical_switches().map(|n| n.id).collect();
+    let Some(&start) = switches.first() else {
+        return true;
+    };
+    let mut reached = vec![start];
+    let mut frontier = vec![start];
+    while let Some(cur) = frontier.pop() {
+        for &(a, p, b) in links {
+            if (a, p) == skip || !subnet.is_link_up(a, p) {
+                continue;
+            }
+            for (from, to) in [(a, b), (b, a)] {
+                if from == cur && !reached.contains(&to) {
+                    reached.push(to);
+                    frontier.push(to);
+                }
+            }
+        }
+    }
+    switches.iter().all(|s| reached.contains(s))
+}
+
+/// Up links whose loss keeps the core connected.
+fn safe_to_down(
+    subnet: &Subnet,
+    links: &[(NodeId, PortNum, NodeId)],
+) -> Vec<(NodeId, PortNum, NodeId)> {
+    links
+        .iter()
+        .copied()
+        .filter(|&(a, p, _)| subnet.is_link_up(a, p) && connected_without(subnet, links, (a, p)))
+        .collect()
+}
+
+/// All (switch, cabled port) pairs of the live fabric.
+fn switch_ports(subnet: &Subnet) -> Vec<(NodeId, PortNum)> {
+    subnet
+        .physical_switches()
+        .flat_map(|sw| sw.cabled_ports().map(move |(p, _)| (sw.id, p)))
+        .collect()
+}
+
+/// The full property: the index's answer equals the two-row scan at
+/// `pairs`, and the index as a whole mirrors the installed tables.
+fn assert_index_matches_scan(sm: &SubnetManager, subnet: &Subnet, pairs: &[(NodeId, PortNum)]) {
+    let mismatches = sm.verify_route_index(subnet);
+    assert!(mismatches.is_empty(), "index drifted: {mismatches:?}");
+    let idx = sm
+        .route_index()
+        .expect("index stays live across converged sweeps");
+    for &(sw, port) in pairs {
+        assert_eq!(
+            idx.affected(subnet, sw, port),
+            affected_destinations(subnet, sw, port),
+            "index vs scan at ({sw:?}, {port})"
+        );
+    }
+}
+
+/// A seeded sample of (switch, port) pairs for the per-event spot check;
+/// the full all-pairs sweep runs once per sequence at the end.
+fn sample_pairs(rng: &mut StdRng, all: &[(NodeId, PortNum)], n: usize) -> Vec<(NodeId, PortNum)> {
+    (0..n).map(|_| all[rng.gen_range(0..all.len())]).collect()
+}
+
+/// The tree arm: a virtualized 324-node fat tree under each tree-capable
+/// engine, driven through random link-downs (repair sweeps), link-ups
+/// (fold-back sweeps), live migrations (out-of-band column edits the SM
+/// must be told about), and plain light sweeps.
+#[test]
+fn index_tracks_random_event_sequences_on_the_324_tree() {
+    for engine in [EngineKind::FatTree, EngineKind::MinHop, EngineKind::UpDown] {
+        for seed in [11u64, 42] {
+            let mut dc = DataCenter::from_topology(
+                paper_324(),
+                DataCenterConfig {
+                    engine,
+                    ..DataCenterConfig::default()
+                },
+            )
+            .expect("bring-up");
+            dc.sm.set_repair(true);
+            let hyps = dc.hypervisors.len();
+            let vms: Vec<_> = (0..3)
+                .map(|i| {
+                    dc.create_vm(format!("vm{i}"), i * 7 % hyps)
+                        .expect("create")
+                })
+                .collect();
+
+            let links = core_links(&dc.subnet);
+            let all_pairs = switch_ports(&dc.subnet);
+            let mut rng = StdRng::seed_from_u64(seed ^ engine.name().len() as u64);
+            let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+            let mut downed: Vec<(NodeId, PortNum)> = Vec::new();
+
+            for _ in 0..10 {
+                match rng.gen_range(0..4u8) {
+                    // Connectivity-preserving link-down, answered by the
+                    // incremental repair sweep.
+                    0 => {
+                        let cands = safe_to_down(&dc.subnet, &links);
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+                        dc.subnet.set_link_down(a, p).expect("down");
+                        dc.sm
+                            .handle_trap(
+                                &mut dc.subnet,
+                                Trap::LinkStateChange { node: a, port: p },
+                                &mut transport,
+                            )
+                            .expect("repair");
+                        downed.push((a, p));
+                    }
+                    // A downed link comes back: fold-back light sweep.
+                    1 => {
+                        let Some(i) = (!downed.is_empty()).then(|| rng.gen_range(0..downed.len()))
+                        else {
+                            continue;
+                        };
+                        let (a, p) = downed.swap_remove(i);
+                        dc.subnet.set_link_up(a, p).expect("up");
+                        dc.sm
+                            .handle_trap(
+                                &mut dc.subnet,
+                                Trap::LinkStateChange { node: a, port: p },
+                                &mut transport,
+                            )
+                            .expect("fold-back");
+                    }
+                    // Live migration: LID swap/copy edits installed
+                    // columns behind the SM's routing pass.
+                    2 => {
+                        let vm = vms[rng.gen_range(0..vms.len())];
+                        let cur = dc.vm(vm).expect("vm").hypervisor;
+                        let dest = (cur + 1 + rng.gen_range(0..hyps - 1)) % hyps;
+                        dc.migrate_vm(vm, dest).expect("migrate");
+                    }
+                    // A routine full sweep rebuilds the index outright.
+                    _ => {
+                        dc.sm
+                            .light_sweep(&mut dc.subnet, &mut transport)
+                            .expect("light sweep");
+                    }
+                }
+                let spots = sample_pairs(&mut rng, &all_pairs, 8);
+                assert_index_matches_scan(&dc.sm, &dc.subnet, &spots);
+            }
+            assert_index_matches_scan(&dc.sm, &dc.subnet, &all_pairs);
+        }
+    }
+}
+
+/// The torus arm: the VL-layering engines on a wrapped 4x4 torus, bare
+/// SM, link-downs (DFSSSP repairs incrementally; LASH's repair is a full
+/// recompute, exercising the rebuild path), link-ups, and light sweeps.
+#[test]
+fn index_tracks_random_event_sequences_on_a_torus() {
+    for engine in [EngineKind::Dfsssp, EngineKind::Lash] {
+        for seed in [7u64, 23] {
+            let mut t = torus_2d(4, 4, 1, true);
+            let mut sm = SubnetManager::new(
+                t.hosts[0],
+                SmConfig {
+                    engine,
+                    repair: true,
+                    ..SmConfig::default()
+                },
+            );
+            sm.bring_up(&mut t.subnet).expect("bring-up");
+            let links = core_links(&t.subnet);
+            let all_pairs = switch_ports(&t.subnet);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut transport = SmpTransport::perfect(sm.sm_node);
+            let mut downed: Vec<(NodeId, PortNum)> = Vec::new();
+
+            for _ in 0..12 {
+                match rng.gen_range(0..3u8) {
+                    0 => {
+                        let cands = safe_to_down(&t.subnet, &links);
+                        if cands.is_empty() {
+                            continue;
+                        }
+                        let (a, p, _) = cands[rng.gen_range(0..cands.len())];
+                        t.subnet.set_link_down(a, p).expect("down");
+                        sm.handle_trap(
+                            &mut t.subnet,
+                            Trap::LinkStateChange { node: a, port: p },
+                            &mut transport,
+                        )
+                        .expect("repair");
+                        downed.push((a, p));
+                    }
+                    1 => {
+                        let Some(i) = (!downed.is_empty()).then(|| rng.gen_range(0..downed.len()))
+                        else {
+                            continue;
+                        };
+                        let (a, p) = downed.swap_remove(i);
+                        t.subnet.set_link_up(a, p).expect("up");
+                        sm.handle_trap(
+                            &mut t.subnet,
+                            Trap::LinkStateChange { node: a, port: p },
+                            &mut transport,
+                        )
+                        .expect("fold-back");
+                    }
+                    _ => {
+                        sm.light_sweep(&mut t.subnet, &mut transport)
+                            .expect("light sweep");
+                    }
+                }
+                let spots = sample_pairs(&mut rng, &all_pairs, 8);
+                assert_index_matches_scan(&sm, &t.subnet, &spots);
+            }
+            assert_index_matches_scan(&sm, &t.subnet, &all_pairs);
+        }
+    }
+}
