@@ -786,7 +786,7 @@ fn repair(level: u8, batch: bool, json: Option<&Path>) {
 
     println!("\n===== REPAIR: incremental (delta-routing) sweep vs full recompute on identical fault schedules =====");
     println!(
-        "level {level}: 324-node fat tree + 4x4 torus always; 648-node fat tree at --level 1+"
+        "level {level}: 324-node fat tree (fat-tree/minhop/up-down) + 4x4 torus (dfsssp/lash) always; 648-node fat tree x 3 engines at --level 1+"
     );
     println!(
         "{:>18} {:>10} {:>7} {:>12} {:>10} {:>11} {:>7} {:>9} {:>12} {:>10} {:>9}",
@@ -900,7 +900,11 @@ fn repair(level: u8, batch: bool, json: Option<&Path>) {
     }
     if let Some(dir) = json {
         let doc = Json::obj(vec![
-            ("schema", Json::from("ib-vswitch/bench-repair/v2")),
+            // v3: the grid crosses every topology with its engine matrix
+            // (per-engine rows for fat-tree/minhop/up-down on the trees,
+            // dfsssp/lash on the torus); `repair_fallbacks` now reads the
+            // per-engine `repair.fallback.<engine>` counter tag.
+            ("schema", Json::from("ib-vswitch/bench-repair/v3")),
             ("level", Json::from(u64::from(level))),
             ("batched", Json::from(batch)),
             ("rows", Json::Array(json_rows)),
@@ -957,9 +961,21 @@ fn soak(
         "  quarantine: {} entered hold-down, {} traps absorbed by damping, {} released",
         report.quarantines_entered, report.traps_absorbed, report.quarantines_released
     );
+    let by_engine = report
+        .repair_fallbacks_by_engine
+        .iter()
+        .map(|(e, n)| format!("{e}={n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "  repair: {} incremental sweeps, {} fell back to a full sweep",
-        report.repair_sweeps, report.repair_fallbacks
+        "  repair: {} incremental sweeps, {} fell back to a full sweep{}",
+        report.repair_sweeps,
+        report.repair_fallbacks,
+        if by_engine.is_empty() {
+            String::new()
+        } else {
+            format!(" (by engine: {by_engine})")
+        }
     );
     println!(
         "  verifier: {} post-event runs, all four invariants + quarantine absence ({:?})",
@@ -990,6 +1006,16 @@ fn soak(
             ),
             ("repair_sweeps", Json::from(report.repair_sweeps)),
             ("repair_fallbacks", Json::from(report.repair_fallbacks)),
+            (
+                "repair_fallbacks_by_engine",
+                Json::Object(
+                    report
+                        .repair_fallbacks_by_engine
+                        .iter()
+                        .map(|(e, n)| (e.clone(), Json::from(*n)))
+                        .collect(),
+                ),
+            ),
             ("verify_runs", Json::from(report.verify_runs)),
             (
                 "verdicts",

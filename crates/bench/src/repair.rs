@@ -66,17 +66,24 @@ pub struct RepairRow {
     pub smp_ratio_vs_full_rc: f64,
 }
 
-/// The benchmark topology set: the paper's two 2-level fat trees plus a
-/// wrapped 2-D torus (the shape that forces DFSSSP's lane layering into
+/// The benchmark topology set crossed with the engine matrix: the paper's
+/// two 2-level fat trees under every tree-capable engine (fat-tree,
+/// Min-Hop, Up*/Down*) plus a wrapped 2-D torus under both VL-layering
+/// engines (DFSSSP, LASH — the shapes that force lane re-assignment into
 /// the repair path). Level 0 drops the 648-node tree to keep debug runs
 /// quick; the CI smoke run uses level 1.
 fn repair_builders(level: u8) -> Vec<(fn() -> BuiltTopology, EngineKind)> {
-    let mut out: Vec<(fn() -> BuiltTopology, EngineKind)> = vec![
-        (fattree::paper_324, EngineKind::MinHop),
-        (torus_4x4, EngineKind::Dfsssp),
-    ];
+    let tree_engines = [EngineKind::FatTree, EngineKind::MinHop, EngineKind::UpDown];
+    let mut out: Vec<(fn() -> BuiltTopology, EngineKind)> = Vec::new();
+    for engine in tree_engines {
+        out.push((fattree::paper_324, engine));
+    }
+    out.push((torus_4x4, EngineKind::Dfsssp));
+    out.push((torus_4x4, EngineKind::Lash));
     if level >= 1 {
-        out.push((fattree::paper_648, EngineKind::MinHop));
+        for engine in tree_engines {
+            out.push((fattree::paper_648, engine));
+        }
     }
     out
 }
@@ -175,10 +182,12 @@ fn run_arm(
             }
         }
     }
-    let fallbacks = sm
-        .observer()
-        .snapshot()
-        .map_or(0, |s| s.counter("repair.fallback"));
+    // Read the per-engine tag rather than the aggregate: a single-engine
+    // arm sees the same number either way, and this keeps the tagged
+    // counters BENCH reports on exercised end to end.
+    let fallbacks = sm.observer().snapshot().map_or(0, |s| {
+        s.counter(&format!("repair.fallback.{}", engine.name()))
+    });
     (smps, wall, fallbacks)
 }
 
@@ -350,7 +359,9 @@ fn run_batch_arm(
     let wall = started.elapsed();
     let snap = sm.observer().snapshot();
     let verify_runs = snap.as_ref().map_or(0, |s| s.counter("verify.runs"));
-    let fallbacks = snap.as_ref().map_or(0, |s| s.counter("repair.fallback"));
+    let fallbacks = snap.as_ref().map_or(0, |s| {
+        s.counter(&format!("repair.fallback.{}", engine.name()))
+    });
     (
         smps,
         verify_runs,
@@ -406,9 +417,23 @@ mod tests {
     fn grid_covers_topologies_and_repair_does_not_send_more() {
         let rows = repair_grid(0);
         assert!(rows.iter().any(|r| r.topology.contains("fat-tree")));
-        assert!(rows.iter().any(|r| r.engine == "dfsssp"));
+        // Every engine in the matrix gets native-repair rows.
+        for kind in EngineKind::all() {
+            assert!(
+                rows.iter().any(|r| r.engine == kind.name()),
+                "no rows for engine {}",
+                kind.name()
+            );
+        }
         for row in &rows {
             assert!(row.faults > 0);
+            // All five engines repair natively now: a fallback on the
+            // bench grid means an engine degraded to the full sweep.
+            assert_eq!(
+                row.repair_fallbacks, 0,
+                "{} engine={} faults={}: repair fell back",
+                row.topology, row.engine, row.faults
+            );
             assert!(row.full_smps > 0, "{}: full arm sent nothing", row.topology);
             // A clean repair never exceeds the full sweep's dirty-block
             // diff; a fallback degenerates to exactly the full sweep.

@@ -128,6 +128,9 @@ pub struct SoakReport {
     pub repair_sweeps: u64,
     /// ... of which fell back to a full sweep (`repair.fallback`).
     pub repair_fallbacks: u64,
+    /// The fallbacks keyed by engine name (`repair.fallback.<engine>`,
+    /// sorted) — which engine degraded, not just that one did.
+    pub repair_fallbacks_by_engine: Vec<(String, u64)>,
     /// Explicit post-event verifier runs (the SM's own sweep-time and
     /// migration-time verifications come on top).
     pub verify_runs: usize,
@@ -426,6 +429,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         report.traps_absorbed = snap.counter("quarantine.absorbed");
         report.repair_sweeps = snap.counter("repair.attempts");
         report.repair_fallbacks = snap.counter("repair.fallback");
+        report.repair_fallbacks_by_engine = snap
+            .counters
+            .iter()
+            .filter_map(|(n, v)| {
+                n.strip_prefix("repair.fallback.")
+                    .map(|engine| (engine.to_string(), *v))
+            })
+            .collect();
     }
 
     if report.failure.is_none() {

@@ -219,15 +219,15 @@ impl RoutingEngine for Dfsssp {
         true
     }
 
-    fn repair_with(
+    fn repair_with_graph(
         &self,
         subnet: &Subnet,
+        g: &SwitchGraph,
         opts: RoutingOptions,
         prior: &RoutingTables,
         dirty_dests: &[ib_types::Lid],
         observer: &Observer,
     ) -> IbResult<RoutingTables> {
-        let g = SwitchGraph::build(subnet)?;
         if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
             return self.compute_with(subnet, opts, observer);
         }
@@ -353,7 +353,7 @@ impl RoutingEngine for Dfsssp {
         // repaired pairs restart on the base lane; lifting then repairs any
         // cycle the splice introduced.
         let nexts = build_nexts(
-            &g,
+            g,
             opts.effective_workers(g.destinations().len()),
             |s, lid| out.lfts.get(&g.node_id(s)).and_then(|lft| lft.get(lid)),
         );
@@ -376,7 +376,7 @@ impl RoutingEngine for Dfsssp {
                 lane_pairs[lane].push((src as u32, di as u32));
             }
         }
-        let lane_of = lift_lanes(&g, &nexts, &mut lane_pairs, self.max_vls)?;
+        let lane_of = lift_lanes(g, &nexts, &mut lane_pairs, self.max_vls)?;
         out.vls = lanes_to_assignment(lane_of);
         out.decisions = decisions;
         Ok(out)

@@ -4,6 +4,7 @@ use ib_observe::Observer;
 use ib_subnet::Subnet;
 use ib_types::IbResult;
 
+use crate::graph::SwitchGraph;
 use crate::tables::RoutingTables;
 
 /// Parallelism knobs for one routing computation, mirroring `ib-sm`'s
@@ -87,12 +88,16 @@ pub trait RoutingEngine: Send + Sync {
     /// rewrite — reconfiguration cost scales with the damage, not the
     /// fabric.
     ///
-    /// The default implementation ignores `prior`/`dirty_dests` and falls
-    /// back to a full [`RoutingEngine::compute_with`]; engines with a real
-    /// incremental path (Min-Hop, DFSSSP) override it. Callers must treat
-    /// the result as *untrusted* until it passes `FabricVerifier` — the
-    /// splice preserves per-column correctness, but global properties
-    /// (deadlock freedom across mixed old/new columns) need the gate.
+    /// Callers must treat the result as *untrusted* until it passes
+    /// `FabricVerifier` — the splice preserves per-column correctness, but
+    /// global properties (deadlock freedom across mixed old/new columns)
+    /// need the gate.
+    ///
+    /// The default implementation builds the CSR [`SwitchGraph`] once and
+    /// delegates to [`RoutingEngine::repair_with_graph`]; engines override
+    /// that method, not this one. Callers that already hold a current
+    /// graph (the SM's quiet-epoch cache) call `repair_with_graph`
+    /// directly and skip the rebuild.
     fn repair_with(
         &self,
         subnet: &Subnet,
@@ -101,7 +106,29 @@ pub trait RoutingEngine: Send + Sync {
         dirty_dests: &[ib_types::Lid],
         observer: &Observer,
     ) -> IbResult<RoutingTables> {
-        let _ = (prior, dirty_dests);
+        let g = SwitchGraph::build(subnet)?;
+        self.repair_with_graph(subnet, &g, opts, prior, dirty_dests, observer)
+    }
+
+    /// [`RoutingEngine::repair_with`] against a caller-supplied CSR graph.
+    /// `graph` must be [`SwitchGraph::build`]'s output for `subnet` in its
+    /// *current* fault state — the SM caches it across repair sweeps in a
+    /// quiet topology epoch and rebuilds only when
+    /// `Subnet::topology_epoch` moves.
+    ///
+    /// The default implementation ignores the graph and the incremental
+    /// inputs and falls back to a full [`RoutingEngine::compute_with`];
+    /// engines with a real incremental path override it.
+    fn repair_with_graph(
+        &self,
+        subnet: &Subnet,
+        graph: &SwitchGraph,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        let _ = (graph, prior, dirty_dests);
         self.compute_with(subnet, opts, observer)
     }
 
@@ -139,10 +166,26 @@ pub trait RoutingEngine: Send + Sync {
         dirty_groups: &[Vec<ib_types::Lid>],
         observer: &Observer,
     ) -> IbResult<RoutingTables> {
+        let g = SwitchGraph::build(subnet)?;
+        self.repair_batch_with_graph(subnet, &g, opts, prior, dirty_groups, observer)
+    }
+
+    /// [`RoutingEngine::repair_batch_with`] against a caller-supplied CSR
+    /// graph, sharing one graph across every fold step (and with the SM's
+    /// quiet-epoch cache). Same contract as `repair_batch_with`.
+    fn repair_batch_with_graph(
+        &self,
+        subnet: &Subnet,
+        graph: &SwitchGraph,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_groups: &[Vec<ib_types::Lid>],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
         let mut cur: Option<RoutingTables> = None;
         for group in dirty_groups.iter().filter(|g| !g.is_empty()) {
             let base = cur.as_ref().unwrap_or(prior);
-            cur = Some(self.repair_with(subnet, opts, base, group, observer)?);
+            cur = Some(self.repair_with_graph(subnet, graph, opts, base, group, observer)?);
         }
         Ok(cur.unwrap_or_else(|| prior.clone()))
     }
@@ -325,7 +368,7 @@ mod tests {
         use crate::testutil::assign_lids;
         use ib_subnet::topology::fattree;
 
-        for kind in [EngineKind::MinHop, EngineKind::Dfsssp] {
+        for kind in EngineKind::all() {
             let mut t = fattree::two_level(4, 4, 2);
             assign_lids(&mut t);
             let engine = kind.build();

@@ -16,10 +16,10 @@
 use ib_observe::Observer;
 use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::engine::{RoutingEngine, RoutingOptions};
-use crate::graph::{parallel_for_each, DistanceMatrix, SwitchGraph};
+use crate::graph::{parallel_for_each, Destination, DistanceMatrix, SwitchGraph};
 use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The fat-tree engine.
@@ -121,6 +121,129 @@ impl RoutingEngine for FatTree {
             engine: self.name(),
             decisions,
         })
+    }
+
+    /// Incremental repair: re-rank the degraded graph (one BFS — the tree
+    /// structure is what the engine exploits, so it must be revalidated),
+    /// then rerun the per-delivery-switch sweep for the dirty destination
+    /// columns only and splice them into `prior`.
+    ///
+    /// The pick is *sticky*: the installed port is kept wherever it is
+    /// still a minimal candidate on the degraded graph, and the d-mod-k
+    /// spread decides only the entries the fault actually invalidated. A
+    /// plain re-run of the d-mod-k formula would rotate every pick whose
+    /// candidate *count* shrank — churning entries whose installed path
+    /// never crossed the failed link and inflating the dirty-block diff
+    /// past the full sweep's. The result approximates (it is not
+    /// byte-equal to) a full recompute, which is why the SM gates every
+    /// repair behind the fabric verifier.
+    fn incremental_repair(&self) -> bool {
+        true
+    }
+
+    fn repair_with_graph(
+        &self,
+        subnet: &Subnet,
+        g: &SwitchGraph,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        // No usable baseline: fall back to the full compute.
+        if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
+            return self.compute_with(subnet, opts, observer);
+        }
+        let _span = observer.span("routing.fat-tree.repair");
+        // A fault cannot un-layer a fat tree, but it can disconnect a
+        // switch — revalidate so a broken tree errors out to the SM's
+        // fallback instead of producing silent holes.
+        let ranks = g.ranks();
+        validate_fat_tree(g, &ranks)?;
+
+        let dirty: FxHashSet<u16> = dirty_dests.iter().map(|l| l.raw()).collect();
+        let dirty_dests: Vec<Destination> = g
+            .destinations()
+            .iter()
+            .copied()
+            .filter(|d| dirty.contains(&d.lid.raw()))
+            .collect();
+        let mut out = prior.clone();
+        out.engine = self.name();
+        out.vls = VlAssignment::SingleVl;
+        out.decisions = 0;
+        if dirty_dests.is_empty() {
+            return Ok(out);
+        }
+
+        // One BFS per dirty delivery switch — the repair-sized slice of
+        // the full compute's per-delivery sweep.
+        let mut dirty_switches: Vec<usize> = dirty_dests.iter().map(|d| d.switch).collect();
+        dirty_switches.sort_unstable();
+        dirty_switches.dedup();
+        let row_of: FxHashMap<usize, usize> = dirty_switches
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+        let dist = DistanceMatrix::for_sources(
+            g,
+            &dirty_switches,
+            opts.effective_workers(dirty_switches.len()),
+        );
+
+        let sorted_adj: Vec<Vec<(u32, PortNum)>> = (0..g.len())
+            .map(|s| {
+                let mut v = g.neighbors(s).to_vec();
+                v.sort_unstable_by_key(|&(_, p)| p);
+                v
+            })
+            .collect();
+
+        let mut decisions = 0u64;
+        let mut column: Vec<Option<PortNum>> = vec![None; g.len()];
+        for dest in &dirty_dests {
+            let drow = dist.row(row_of[&dest.switch]);
+            for (s, slot) in column.iter_mut().enumerate() {
+                decisions += 1;
+                if s == dest.switch {
+                    *slot = Some(dest.port);
+                    continue;
+                }
+                // Sticky selection: keep the installed port whenever it is
+                // still minimal (a port into the failed link never is —
+                // the link is gone from the graph), so the splice touches
+                // only the entries the fault invalidated. Fall back to the
+                // d-mod-k spread over the degraded candidate set.
+                let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                if let Some(p) = installed {
+                    if sorted_adj[s]
+                        .iter()
+                        .any(|&(v, q)| q == p && drow[v as usize] + 1 == drow[s])
+                    {
+                        *slot = Some(p);
+                        continue;
+                    }
+                }
+                let count = sorted_adj[s]
+                    .iter()
+                    .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
+                    .count();
+                if count == 0 {
+                    *slot = None;
+                    continue;
+                }
+                let want = dest.lid.raw() as usize % count;
+                *slot = sorted_adj[s]
+                    .iter()
+                    .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
+                    .nth(want)
+                    .map(|&(_, p)| p);
+            }
+            out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+        }
+        out.decisions = decisions;
+        Ok(out)
     }
 }
 

@@ -18,11 +18,11 @@
 use ib_observe::Observer;
 use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum, VirtualLane};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::cdg::{Cdg, Channel};
 use crate::engine::{RoutingEngine, RoutingOptions};
-use crate::graph::{parallel_for_each, SwitchGraph};
+use crate::graph::{parallel_for_each, Destination, SwitchGraph};
 use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The LASH engine.
@@ -215,6 +215,300 @@ impl RoutingEngine for Lash {
             decisions,
         })
     }
+
+    /// Incremental repair: recompute BFS in-trees only for the dirty
+    /// delivery switches and splice their columns into `prior`, then
+    /// re-place just the re-routed switch pairs into the lane structure.
+    /// Each layer's CDG is re-seeded from the clean pairs' installed
+    /// paths — they coexisted acyclically under `prior`, so no cycle
+    /// check is run (or wanted: the O(channels²) check is LASH's cost).
+    /// A dirty pair first tries its prior lane, escalates to the
+    /// CDG-checked first-fit search on conflict, opens a new lane within
+    /// the budget, and only errors out (a *counted* fallback at the SM)
+    /// when the budget is exhausted — the whole fabric is never
+    /// re-layered.
+    fn incremental_repair(&self) -> bool {
+        true
+    }
+
+    fn repair_with_graph(
+        &self,
+        subnet: &Subnet,
+        g: &SwitchGraph,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        // A usable baseline needs every switch's LFT *and* a per-pair (or
+        // single-lane) assignment to re-seed the layers from.
+        if g.is_empty()
+            || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s)))
+            || !matches!(
+                prior.vls,
+                VlAssignment::SingleVl | VlAssignment::PerSwitchPair(_)
+            )
+        {
+            return self.compute_with(subnet, opts, observer);
+        }
+        let _span = observer.span("routing.lash.repair");
+        let n = g.len();
+        let dirty: FxHashSet<u16> = dirty_dests.iter().map(|l| l.raw()).collect();
+        let dirty_cols: Vec<Destination> = g
+            .destinations()
+            .iter()
+            .copied()
+            .filter(|d| dirty.contains(&d.lid.raw()))
+            .collect();
+        let mut out = prior.clone();
+        out.engine = self.name();
+        out.decisions = 0;
+        if dirty_cols.is_empty() {
+            return Ok(out);
+        }
+
+        // Per-switch witness destination: the installed column each clean
+        // pair's path is read back from (all pairs toward one delivery
+        // switch ride the same in-tree, so one column per switch
+        // suffices). A switch with no LID leaves its pairs' paths
+        // unreconstructable — recompute instead (never the case once the
+        // SM has assigned switch LIDs).
+        let first_dest: Vec<Destination> = {
+            let mut fd: Vec<Option<Destination>> = vec![None; n];
+            for d in g.destinations() {
+                if fd[d.switch].is_none() {
+                    fd[d.switch] = Some(*d);
+                }
+            }
+            if fd.iter().any(Option::is_none) {
+                return self.compute_with(subnet, opts, observer);
+            }
+            fd.into_iter().flatten().collect()
+        };
+
+        let mut dirty_switches: Vec<usize> = dirty_cols.iter().map(|d| d.switch).collect();
+        dirty_switches.sort_unstable();
+        dirty_switches.dedup();
+        let tree_of: FxHashMap<usize, usize> = dirty_switches
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i))
+            .collect();
+
+        // Fresh BFS in-trees for the dirty delivery switches only — the
+        // repair-sized slice of the full compute's per-switch sweep.
+        let mut trees: Vec<Vec<Option<PortNum>>> = vec![vec![None; n]; dirty_switches.len()];
+        {
+            let _span = observer.span("routing.lash.distances");
+            parallel_for_each(
+                &mut trees,
+                opts.effective_workers(dirty_switches.len()),
+                || (vec![u32::MAX; n], Vec::<u32>::with_capacity(n)),
+                |(dist, queue), ti, port_toward| {
+                    let dsw = dirty_switches[ti];
+                    dist.fill(u32::MAX);
+                    dist[dsw] = 0;
+                    queue.clear();
+                    queue.push(dsw as u32);
+                    let mut head = 0;
+                    while head < queue.len() {
+                        let v = queue[head] as usize;
+                        head += 1;
+                        for &(s, _) in g.neighbors(v) {
+                            let s = s as usize;
+                            if dist[s] == u32::MAX {
+                                dist[s] = dist[v] + 1;
+                                let p = g
+                                    .neighbors(s)
+                                    .iter()
+                                    .find(|&&(x, _)| x as usize == v)
+                                    .map(|&(_, p)| p)
+                                    .expect("symmetric adjacency");
+                                port_toward[s] = Some(p);
+                                queue.push(s as u32);
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        for (ti, tree) in trees.iter().enumerate() {
+            if tree
+                .iter()
+                .enumerate()
+                .any(|(s, p)| s != dirty_switches[ti] && p.is_none())
+            {
+                return Err(IbError::Topology("disconnected switch graph".into()));
+            }
+        }
+
+        // Splice the dirty columns: identical to what the full compute's
+        // stage fill would produce from the same trees.
+        let mut decisions = (dirty_cols.len() * n) as u64;
+        for dest in &dirty_cols {
+            let tree = &trees[tree_of[&dest.switch]];
+            out.set_column(dest.lid, |sw| {
+                g.index(sw).and_then(|s| {
+                    if s == dest.switch {
+                        Some(dest.port)
+                    } else {
+                        tree[s]
+                    }
+                })
+            });
+        }
+
+        // Incremental lane re-assignment.
+        let _span2 = observer.span("routing.lash.vl_partition");
+        let mut channel_ids: FxHashMap<Channel, usize> = FxHashMap::default();
+        for s in 0..n {
+            for &(_, p) in g.neighbors(s) {
+                let next = channel_ids.len();
+                channel_ids.entry((s as u32, p.raw())).or_insert(next);
+            }
+        }
+        let num_channels = channel_ids.len();
+        let max_lane = match &prior.vls {
+            VlAssignment::PerSwitchPair(map) => map.values().map(|l| l.raw()).max().unwrap_or(0),
+            _ => 0,
+        };
+        let mut layers: Vec<MatrixCdg> = (0..=max_lane)
+            .map(|_| MatrixCdg::new(num_channels))
+            .collect();
+        let port_to_switch: Vec<FxHashMap<u8, usize>> = (0..n)
+            .map(|s| {
+                g.neighbors(s)
+                    .iter()
+                    .map(|&(v, p)| (p.raw(), v as usize))
+                    .collect()
+            })
+            .collect();
+        let dirty_set: FxHashSet<usize> = dirty_switches.iter().copied().collect();
+
+        // Re-seed the layers from the clean pairs' installed paths. A walk
+        // that dead-ends — the entry is cleared, or the port leads into a
+        // link the degraded graph no longer has — is *pre-existing damage*
+        // on a pair whose own trap has not been answered yet (mid-burst,
+        // serial repairs see later faults' black holes, exactly like the
+        // SM's scoped verifier gate does). The surviving prefix still
+        // carries in-flight traffic, so its channel dependencies are
+        // seeded and the pair is otherwise left to the trap that owns it.
+        // A forwarding *loop*, by contrast, means the baseline itself is
+        // corrupt: error out so the SM takes its counted fallback and
+        // rebuilds from scratch (keeping the reverse route index honest —
+        // a silent internal recompute here would be misread as a splice).
+        let mut ids: Vec<usize> = Vec::new();
+        for (dsw, &dest) in first_dest.iter().enumerate() {
+            if dirty_set.contains(&dsw) {
+                continue;
+            }
+            for src in 0..n {
+                if src == dsw {
+                    continue;
+                }
+                ids.clear();
+                let mut cur = src;
+                let mut hops = 0;
+                while cur != dsw {
+                    let Some(p) = out.lfts.get(&g.node_id(cur)).and_then(|l| l.get(dest.lid))
+                    else {
+                        break;
+                    };
+                    let Some(&cid) = channel_ids.get(&(cur as u32, p.raw())) else {
+                        break;
+                    };
+                    let Some(&next_sw) = port_to_switch[cur].get(&p.raw()) else {
+                        break;
+                    };
+                    ids.push(cid);
+                    cur = next_sw;
+                    hops += 1;
+                    if hops > n {
+                        return Err(IbError::Topology(
+                            "forwarding loop in the lash repair baseline".into(),
+                        ));
+                    }
+                }
+                let lane = prior.vls.lane_for(src as u32, dsw as u32, dest.lid).raw() as usize;
+                layers[lane].add_path(&ids);
+            }
+        }
+
+        // Place the dirty pairs: prior lane first (most repaired paths
+        // still fit where they lived), then first-fit, then a new lane.
+        let mut pair_lane: FxHashMap<(u32, u32), VirtualLane> = match &prior.vls {
+            VlAssignment::PerSwitchPair(map) => map.clone(),
+            _ => FxHashMap::default(),
+        };
+        for &dsw in &dirty_switches {
+            let tree = &trees[tree_of[&dsw]];
+            for src in 0..n {
+                if src == dsw {
+                    continue;
+                }
+                ids.clear();
+                let mut cur = src;
+                while cur != dsw {
+                    let p = tree[cur].expect("connected graph");
+                    ids.push(channel_ids[&(cur as u32, p.raw())]);
+                    decisions += 1;
+                    cur = g
+                        .neighbors(cur)
+                        .iter()
+                        .find(|&&(_, q)| q == p)
+                        .map(|&(v, _)| v as usize)
+                        .expect("port leads somewhere");
+                }
+                let prior_lane = prior
+                    .vls
+                    .lane_for(src as u32, dsw as u32, first_dest[dsw].lid)
+                    .raw() as usize;
+                let mut placed = None;
+                if layers[prior_lane].try_add_path(&ids) {
+                    placed = Some(prior_lane as u8);
+                } else {
+                    for (l, layer) in layers.iter_mut().enumerate() {
+                        if l != prior_lane && layer.try_add_path(&ids) {
+                            placed = Some(l as u8);
+                            break;
+                        }
+                    }
+                }
+                let lane = match placed {
+                    Some(l) => l,
+                    None => {
+                        if layers.len() >= self.max_vls as usize {
+                            return Err(IbError::Topology(format!(
+                                "lash: virtual lanes exhausted ({}) during repair",
+                                self.max_vls
+                            )));
+                        }
+                        let mut fresh = MatrixCdg::new(num_channels);
+                        let ok = fresh.try_add_path(&ids);
+                        debug_assert!(ok, "single path cannot be cyclic");
+                        layers.push(fresh);
+                        (layers.len() - 1) as u8
+                    }
+                };
+                if lane != 0 {
+                    pair_lane.insert(
+                        (src as u32, dsw as u32),
+                        VirtualLane::new(lane).expect("lane < 15"),
+                    );
+                } else {
+                    pair_lane.remove(&(src as u32, dsw as u32));
+                }
+            }
+        }
+
+        out.vls = if pair_lane.is_empty() {
+            VlAssignment::SingleVl
+        } else {
+            VlAssignment::PerSwitchPair(pair_lane)
+        };
+        out.decisions = decisions;
+        Ok(out)
+    }
 }
 
 /// A channel dependency graph stored as a dense adjacency matrix, the
@@ -284,6 +578,16 @@ impl MatrixCdg {
             }
         }
         false
+    }
+
+    /// Adds the consecutive dependencies of a channel-id path with **no**
+    /// cycle check — for re-seeding a layer from paths that already
+    /// coexisted acyclically in an installed assignment, where re-running
+    /// the quadratic check would defeat the point of incremental repair.
+    fn add_path(&mut self, ids: &[usize]) {
+        for w in ids.windows(2) {
+            self.adj[w[0] * self.n + w[1]] = true;
+        }
     }
 
     /// Adds the consecutive dependencies of a channel-id path, runs the

@@ -119,15 +119,15 @@ impl RoutingEngine for MinHop {
         true
     }
 
-    fn repair_with(
+    fn repair_with_graph(
         &self,
         subnet: &Subnet,
+        g: &SwitchGraph,
         opts: RoutingOptions,
         prior: &RoutingTables,
         dirty_dests: &[ib_types::Lid],
         observer: &Observer,
     ) -> IbResult<RoutingTables> {
-        let g = SwitchGraph::build(subnet)?;
         // No usable baseline (or nothing to route): not an error, just no
         // savings to be had — do the full compute.
         if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
@@ -182,7 +182,7 @@ impl RoutingEngine for MinHop {
             .map(|(i, &s)| (s, i))
             .collect();
         let dist = DistanceMatrix::for_sources(
-            &g,
+            g,
             &dirty_switches,
             opts.effective_workers(dirty_switches.len()),
         );

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use ib_observe::Observer;
 use ib_subnet::Subnet;
 use ib_types::{IbError, IbResult, PortNum};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::engine::{RoutingEngine, RoutingOptions};
 use crate::graph::{parallel_for_each, SwitchGraph};
@@ -232,6 +232,186 @@ impl RoutingEngine for UpDown {
             engine: self.name(),
             decisions,
         })
+    }
+
+    /// Incremental repair: recompute the root, labels, and relaxation
+    /// order on the degraded graph (cheap — one ranks pass plus one BFS),
+    /// then run the legal-distance sweep for the dirty delivery-switch
+    /// groups only, splicing the columns into `prior`.
+    ///
+    /// The pick is *sticky*: the installed port is kept wherever it is
+    /// still a legal minimal candidate, and the modular spread decides
+    /// only the entries the fault invalidated — re-running the formula
+    /// outright would rotate every pick whose candidate set shrank and
+    /// inflate the dirty-block diff past the full sweep's. The result
+    /// approximates (it is not byte-equal to) a full recompute, which is
+    /// why the SM gates every repair behind the fabric verifier.
+    fn incremental_repair(&self) -> bool {
+        true
+    }
+
+    fn repair_with_graph(
+        &self,
+        subnet: &Subnet,
+        g: &SwitchGraph,
+        opts: RoutingOptions,
+        prior: &RoutingTables,
+        dirty_dests: &[ib_types::Lid],
+        observer: &Observer,
+    ) -> IbResult<RoutingTables> {
+        // No usable baseline: fall back to the full compute.
+        if g.is_empty() || (0..g.len()).any(|s| !prior.lfts.contains_key(&g.node_id(s))) {
+            return self.compute_with(subnet, opts, observer);
+        }
+        let _span = observer.span("routing.up-down.repair");
+        let n = g.len();
+        // The orientation state is recomputed from scratch on the degraded
+        // graph: it is one ranks pass plus one BFS, and reusing a stale
+        // root or label set would silently diverge from what a full sweep
+        // would install.
+        let root = self.pick_root(g);
+        let lab = labels(g, root);
+        if lab.iter().any(|&(l, _)| l == u32::MAX) {
+            return Err(IbError::Topology("disconnected switch graph".into()));
+        }
+        let order = {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_unstable_by_key(|&s| lab[s]);
+            order
+        };
+
+        let dirty: FxHashSet<u16> = dirty_dests.iter().map(|l| l.raw()).collect();
+        let mut out = prior.clone();
+        out.engine = self.name();
+        out.vls = VlAssignment::SingleVl;
+        out.decisions = 0;
+
+        // Dirty destinations grouped by delivery switch, in switch order —
+        // legal distances are computed once per dirty group instead of
+        // once per delivery switch of the whole fabric.
+        let mut by_switch: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        for (i, d) in g.destinations().iter().enumerate() {
+            if dirty.contains(&d.lid.raw()) {
+                by_switch.entry(d.switch).or_default().push(i);
+            }
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = by_switch.into_iter().collect();
+        groups.sort_unstable_by_key(|(s, _)| *s);
+        if groups.is_empty() {
+            return Ok(out);
+        }
+
+        let workers = opts.effective_workers(groups.len());
+        let mut down_data = vec![u32::MAX; groups.len() * n];
+        let mut full_data = vec![u32::MAX; groups.len() * n];
+        {
+            let _span = observer.span("routing.up-down.distances");
+            let mut rows: Vec<(&mut [u32], &mut [u32])> = down_data
+                .chunks_mut(n)
+                .zip(full_data.chunks_mut(n))
+                .collect();
+            parallel_for_each(
+                &mut rows,
+                workers,
+                || Vec::<u32>::with_capacity(n),
+                |queue, gi, (down, full)| {
+                    let dsw = groups[gi].0;
+                    down[dsw] = 0;
+                    queue.clear();
+                    queue.push(dsw as u32);
+                    let mut head = 0;
+                    while head < queue.len() {
+                        let x = queue[head] as usize;
+                        head += 1;
+                        for &(y, _) in g.neighbors(x) {
+                            let y = y as usize;
+                            if !is_up(&lab, y, x) && down[y] == u32::MAX {
+                                down[y] = down[x] + 1;
+                                queue.push(y as u32);
+                            }
+                        }
+                    }
+                    full.copy_from_slice(down);
+                    for &s in &order {
+                        for &(v, _) in g.neighbors(s) {
+                            let v = v as usize;
+                            if is_up(&lab, s, v) && full[v] != u32::MAX {
+                                full[s] = full[s].min(full[v].saturating_add(1));
+                            }
+                        }
+                    }
+                },
+            );
+        }
+        for (gi, (dsw, _)) in groups.iter().enumerate() {
+            if full_data[gi * n..(gi + 1) * n].contains(&u32::MAX) {
+                return Err(IbError::Topology(format!(
+                    "no legal up*/down* path to switch {dsw}"
+                )));
+            }
+        }
+
+        let mut decisions = 0u64;
+        let mut column: Vec<Option<PortNum>> = vec![None; n];
+        let mut cand: Vec<Vec<PortNum>> = vec![Vec::new(); n];
+        for (gi, (dsw, dest_indices)) in groups.iter().enumerate() {
+            let down = &down_data[gi * n..(gi + 1) * n];
+            let full = &full_data[gi * n..(gi + 1) * n];
+            // Candidate sets are shared by every LID the group delivers —
+            // built once per (switch, group) pair, as in the full compute.
+            for (s, c) in cand.iter_mut().enumerate() {
+                c.clear();
+                if s == *dsw {
+                    continue;
+                }
+                if down[s] != u32::MAX {
+                    for &(v, p) in g.neighbors(s) {
+                        let v = v as usize;
+                        if !is_up(&lab, s, v) && down[v] != u32::MAX && down[v] + 1 == down[s] {
+                            c.push(p);
+                        }
+                    }
+                } else {
+                    for &(v, p) in g.neighbors(s) {
+                        let v = v as usize;
+                        if is_up(&lab, s, v) && full[v] != u32::MAX && full[v] + 1 == full[s] {
+                            c.push(p);
+                        }
+                    }
+                }
+                c.sort_unstable();
+                if c.is_empty() {
+                    // Unreachable once the full-row MAX check passed; be
+                    // defensive rather than panic on the modular pick.
+                    return Err(IbError::Topology(format!(
+                        "no legal up*/down* candidate at switch {s} toward switch {dsw}"
+                    )));
+                }
+            }
+            for &di in dest_indices {
+                let dest = g.destinations()[di];
+                for (s, slot) in column.iter_mut().enumerate() {
+                    decisions += 1;
+                    *slot = if s == *dsw {
+                        Some(dest.port)
+                    } else {
+                        // Sticky selection: keep the installed port while
+                        // it is still a legal up*/down* minimal candidate
+                        // (a port into the failed link never is), so only
+                        // the entries the fault invalidated move; the
+                        // modular spread decides the rest.
+                        let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                        match installed.filter(|p| cand[s].binary_search(p).is_ok()) {
+                            Some(p) => Some(p),
+                            None => Some(cand[s][dest.lid.raw() as usize % cand[s].len()]),
+                        }
+                    };
+                }
+                out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+            }
+        }
+        out.decisions = decisions;
+        Ok(out)
     }
 }
 

@@ -181,6 +181,12 @@ pub struct SubnetManager {
     /// diverges (failed distribution blocks). `None` means "fall back to
     /// the two-row scan".
     pub(crate) route_index: Option<ib_verify::ReverseRouteIndex>,
+    /// The CSR switch graph cached across consecutive repair sweeps in a
+    /// quiet epoch, keyed by [`Subnet::topology_epoch`]: a repair burst
+    /// between topology mutations reuses one build instead of
+    /// reconstructing per trap. Invalidated by comparing epochs, never by
+    /// mutation hooks — the subnet owns the epoch counter.
+    pub(crate) cached_graph: Option<(u64, ib_routing::SwitchGraph)>,
     /// Link-down traps deferred by coalescing, in arrival order,
     /// deduplicated per (node, port).
     pub(crate) pending_traps: Vec<(NodeId, ib_types::PortNum)>,
@@ -201,6 +207,7 @@ impl SubnetManager {
             quarantine: LinkQuarantine::new(config.quarantine),
             last_tables: None,
             route_index: None,
+            cached_graph: None,
             pending_traps: Vec::new(),
             batch_deadline_ns: None,
         }
@@ -373,6 +380,15 @@ impl SubnetManager {
     #[must_use]
     pub fn pending_repairs(&self) -> &[(NodeId, ib_types::PortNum)] {
         &self.pending_traps
+    }
+
+    /// The virtual-lane assignment of the last computed tables, for
+    /// running the deadlock-aware verifier against the installed fabric
+    /// ([`ib_verify::FabricVerifier::verify_with_vls`]). `None` before
+    /// the first sweep.
+    #[must_use]
+    pub fn installed_vls(&self) -> Option<&ib_routing::VlAssignment> {
+        self.last_tables.as_ref().map(|t| &t.vls)
     }
 
     /// Runs the [`ib_verify::FabricVerifier`] against the installed tables

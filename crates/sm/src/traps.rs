@@ -385,8 +385,7 @@ impl SubnetManager {
             return self.light_sweep(subnet, transport);
         }
         let Some(prior) = self.last_tables.clone() else {
-            self.ledger.observer().incr("repair.no_baseline");
-            self.ledger.observer().incr("repair.fallback");
+            self.count_repair_fallback("repair.no_baseline");
             return self.light_sweep(subnet, transport);
         };
         let span = self.ledger.observer().span("resweep.repair");
@@ -410,19 +409,38 @@ impl SubnetManager {
         }
         let engine = self.config().engine.build();
         let routing = self.config().routing;
-        let tables =
-            match engine.repair_with(subnet, routing, &prior, &dirty, self.ledger.observer()) {
-                Ok(tables) => tables,
-                Err(_) => {
-                    // E.g. a destination became unreachable: the damage
-                    // exceeds what a column rewrite can absorb (pruning is
-                    // needed). The full path escalates as usual.
-                    span.end();
-                    self.ledger.observer().incr("repair.engine_error");
-                    self.ledger.observer().incr("repair.fallback");
-                    return self.light_sweep(subnet, transport);
-                }
-            };
+        let graph = match self.acquire_repair_graph(subnet) {
+            Ok(g) => g,
+            Err(_) => {
+                // The graph itself is unbuildable (e.g. an HCA still
+                // carries a LID over its downed uplink): same escalation
+                // as an engine error, which is where this Err used to
+                // surface when every engine built its own graph.
+                span.end();
+                self.count_repair_fallback("repair.engine_error");
+                return self.light_sweep(subnet, transport);
+            }
+        };
+        let result = engine.repair_with_graph(
+            subnet,
+            &graph,
+            routing,
+            &prior,
+            &dirty,
+            self.ledger.observer(),
+        );
+        self.cached_graph = Some((subnet.topology_epoch(), graph));
+        let tables = match result {
+            Ok(tables) => tables,
+            Err(_) => {
+                // E.g. a destination became unreachable: the damage
+                // exceeds what a column rewrite can absorb (pruning is
+                // needed). The full path escalates as usual.
+                span.end();
+                self.count_repair_fallback("repair.engine_error");
+                return self.light_sweep(subnet, transport);
+            }
+        };
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         if failed_blocks.is_empty() {
@@ -435,11 +453,10 @@ impl SubnetManager {
                 // a fabric-global one). The full sweep recomputes from
                 // scratch and overwrites whatever this repair installed.
                 span.end();
-                self.ledger.observer().incr("repair.verify_rejected");
-                self.ledger.observer().incr("repair.fallback");
+                self.count_repair_fallback("repair.verify_rejected");
                 return self.light_sweep(subnet, transport);
             }
-            self.ledger.observer().incr("repair.success");
+            self.count_repair_success();
             if repair_was_spliced(engine.as_ref(), &prior, &tables) {
                 if let Some(idx) = self.route_index.as_mut() {
                     for &lid in &dirty {
@@ -501,8 +518,7 @@ impl SubnetManager {
             return self.light_sweep(subnet, transport);
         }
         let Some(prior) = self.last_tables.clone() else {
-            self.ledger.observer().incr("repair.no_baseline");
-            self.ledger.observer().incr("repair.fallback");
+            self.count_repair_fallback("repair.no_baseline");
             return self.light_sweep(subnet, transport);
         };
         let span = self.ledger.observer().span("resweep.batch");
@@ -540,18 +556,28 @@ impl SubnetManager {
         }
         let engine = self.config().engine.build();
         let routing = self.config().routing;
-        let tables = match engine.repair_batch_with(
+        let graph = match self.acquire_repair_graph(subnet) {
+            Ok(g) => g,
+            Err(_) => {
+                span.end();
+                self.count_repair_fallback("repair.engine_error");
+                return self.light_sweep(subnet, transport);
+            }
+        };
+        let result = engine.repair_batch_with_graph(
             subnet,
+            &graph,
             routing,
             &prior,
             &groups,
             self.ledger.observer(),
-        ) {
+        );
+        self.cached_graph = Some((subnet.topology_epoch(), graph));
+        let tables = match result {
             Ok(tables) => tables,
             Err(_) => {
                 span.end();
-                self.ledger.observer().incr("repair.engine_error");
-                self.ledger.observer().incr("repair.fallback");
+                self.count_repair_fallback("repair.engine_error");
                 return self.light_sweep(subnet, transport);
             }
         };
@@ -565,11 +591,10 @@ impl SubnetManager {
                 groups.iter().flatten().copied().collect();
             if self.repair_gate_rejects(&report, &touched) {
                 span.end();
-                self.ledger.observer().incr("repair.verify_rejected");
-                self.ledger.observer().incr("repair.fallback");
+                self.count_repair_fallback("repair.verify_rejected");
                 return self.light_sweep(subnet, transport);
             }
-            self.ledger.observer().incr("repair.success");
+            self.count_repair_success();
             if repair_was_spliced(engine.as_ref(), &prior, &tables) {
                 if let Some(idx) = self.route_index.as_mut() {
                     for group in &groups {
@@ -595,6 +620,46 @@ impl SubnetManager {
             retry_passes,
             failed_blocks,
         })
+    }
+
+    /// Counts one repair fallback three ways: the named reason, the
+    /// aggregate `repair.fallback`, and the per-engine
+    /// `repair.fallback.<engine>` tag BENCH and soak output key on — a
+    /// grid run over the full engine matrix must show *which* engine
+    /// degraded to the full sweep, not just that one did.
+    fn count_repair_fallback(&self, reason: &str) {
+        let observer = self.ledger.observer();
+        observer.incr(reason);
+        observer.incr("repair.fallback");
+        observer.incr(&format!("repair.fallback.{}", self.config().engine.name()));
+    }
+
+    /// Counts one gated, converged repair — aggregate plus per-engine tag.
+    fn count_repair_success(&self) {
+        let observer = self.ledger.observer();
+        observer.incr("repair.success");
+        observer.incr(&format!("repair.success.{}", self.config().engine.name()));
+    }
+
+    /// Acquires the CSR switch graph for a repair sweep: reuses the build
+    /// cached by an earlier repair in the same topology epoch — a quiet
+    /// burst of traps between mutations pays for one construction, counted
+    /// `repair.graph_reused` — and rebuilds from the subnet otherwise
+    /// (`repair.graph_rebuilt`). The caller stores the graph back into
+    /// `cached_graph` once the engine is done with it; an `Err` (the
+    /// degraded subnet cannot even express a CSR graph, e.g. an HCA whose
+    /// only uplink went down but still carries a LID) is the caller's cue
+    /// to escalate exactly like an engine error.
+    fn acquire_repair_graph(&mut self, subnet: &Subnet) -> IbResult<ib_routing::SwitchGraph> {
+        let epoch = subnet.topology_epoch();
+        if let Some((cached_epoch, graph)) = self.cached_graph.take() {
+            if cached_epoch == epoch {
+                self.ledger.observer().incr("repair.graph_reused");
+                return Ok(graph);
+            }
+        }
+        self.ledger.observer().incr("repair.graph_rebuilt");
+        ib_routing::SwitchGraph::build(subnet)
     }
 
     /// The repair acceptance gate, scoped to the columns this repair
@@ -917,8 +982,12 @@ mod tests {
         let snap = sm.observer().snapshot().unwrap();
         assert_eq!(snap.counter("repair.attempts"), 1);
         assert_eq!(snap.counter("repair.success"), 1);
+        assert_eq!(snap.counter("repair.success.minhop"), 1);
         assert_eq!(snap.counter("repair.fallback"), 0);
+        assert_eq!(snap.counter("repair.fallback.minhop"), 0);
         assert!(snap.counter("repair.dirty_dests") > 0);
+        assert_eq!(snap.counter("repair.graph_rebuilt"), 1);
+        assert_eq!(snap.counter("repair.graph_reused"), 0);
         assert_eq!(snap.spans_named("resweep.repair").len(), 1);
     }
 
@@ -968,6 +1037,7 @@ mod tests {
         let snap = sm.observer().snapshot().unwrap();
         assert_eq!(snap.counter("repair.no_baseline"), 1);
         assert_eq!(snap.counter("repair.fallback"), 1);
+        assert_eq!(snap.counter("repair.fallback.minhop"), 1);
     }
 
     #[test]
@@ -1113,11 +1183,17 @@ mod tests {
 
         let snap = sm.observer().snapshot().unwrap();
         assert_eq!(snap.counter("repair.success"), 2);
+        assert_eq!(snap.counter("repair.success.minhop"), 2);
         assert_eq!(snap.counter("repair.verify_rejected"), 0);
         assert_eq!(snap.counter("repair.fallback"), 0);
         // The first gate saw (and tolerated) fault 2's damage.
         assert!(snap.counter("repair.tolerated_preexisting") > 0);
         assert_eq!(snap.counter("verify.runs"), 2);
+        // Both links were already down before the first repair, so the
+        // topology epoch never moved between sweeps: one graph build,
+        // reused by the second repair.
+        assert_eq!(snap.counter("repair.graph_rebuilt"), 1);
+        assert_eq!(snap.counter("repair.graph_reused"), 1);
     }
 
     #[test]

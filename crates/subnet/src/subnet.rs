@@ -41,6 +41,7 @@ pub struct Subnet {
     switch_guids: GuidFactory,
     hca_guids: GuidFactory,
     vguid_factory: GuidFactory,
+    topology_epoch: u64,
 }
 
 impl Default for Subnet {
@@ -60,7 +61,21 @@ impl Subnet {
             switch_guids: GuidFactory::new(NAMESPACE_SWITCH),
             hca_guids: GuidFactory::new(NAMESPACE_HCA),
             vguid_factory: GuidFactory::new(NAMESPACE_VGUID),
+            topology_epoch: 0,
         }
+    }
+
+    /// A counter bumped on every change to the subnet's *routable shape* —
+    /// node arena growth, cabling, link up/down toggles, node removal, and
+    /// LID registry edits. Two observations with the same epoch are
+    /// guaranteed to produce the same routing graph, so consumers (the
+    /// SM's repair path) can cache derived structures like the CSR switch
+    /// graph across quiet-epoch sweeps instead of rebuilding per trap.
+    /// LFT edits do **not** bump the epoch: installed tables are routing
+    /// output, not graph shape.
+    #[must_use]
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     // ------------------------------------------------------------------
@@ -126,6 +141,7 @@ impl Subnet {
             dead: false,
         });
         self.guid_map.insert(guid.raw(), id);
+        self.topology_epoch += 1;
         id
     }
 
@@ -164,6 +180,7 @@ impl Subnet {
         }
         self.nodes[a.index()].ports[a_port.raw() as usize].remote = Some(Endpoint::new(b, b_port));
         self.nodes[b.index()].ports[b_port.raw() as usize].remote = Some(Endpoint::new(a, a_port));
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -197,6 +214,7 @@ impl Subnet {
         let far = &mut self.nodes[remote.node.index()].ports[remote.port.raw() as usize];
         far.remote = None;
         far.down = false;
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -229,6 +247,7 @@ impl Subnet {
         })?;
         self.nodes[node.index()].ports[port.raw() as usize].down = true;
         self.nodes[remote.node.index()].ports[remote.port.raw() as usize].down = true;
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -239,6 +258,7 @@ impl Subnet {
         })?;
         self.nodes[node.index()].ports[port.raw() as usize].down = false;
         self.nodes[remote.node.index()].ports[remote.port.raw() as usize].down = false;
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -283,6 +303,7 @@ impl Subnet {
             self.set_link_down(node, port)?;
         }
         self.nodes[node.index()].dead = true;
+        self.topology_epoch += 1;
         Ok(links.len())
     }
 
@@ -317,6 +338,7 @@ impl Subnet {
         }
         self.lid_map
             .insert(lid.raw(), Endpoint::new(node, PortNum::MANAGEMENT));
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -335,6 +357,7 @@ impl Subnet {
         }
         state.lid = Some(lid);
         self.lid_map.insert(lid.raw(), Endpoint::new(node, port));
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -356,6 +379,7 @@ impl Subnet {
                 state.extra_lids.retain(|&l| l != lid);
             }
         }
+        self.topology_epoch += 1;
         Ok(())
     }
 
@@ -396,6 +420,7 @@ impl Subnet {
                 .extra_lids
                 .push(l);
         }
+        self.topology_epoch += 1;
         Ok(())
     }
 

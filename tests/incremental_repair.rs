@@ -13,7 +13,7 @@ use ib_mad::SmpTransport;
 use ib_observe::Observer;
 use ib_routing::{EngineKind, RoutingOptions};
 use ib_sm::{SmConfig, SubnetManager, SweepKind, Trap};
-use ib_subnet::topology::fattree::{paper_648, two_level};
+use ib_subnet::topology::fattree::{paper_324, paper_648, two_level};
 use ib_subnet::topology::torus::torus_2d;
 use ib_subnet::topology::BuiltTopology;
 use ib_subnet::{NodeId, Subnet};
@@ -237,6 +237,204 @@ fn every_engine_survives_repair_schedules_deterministically() {
             );
         }
     }
+}
+
+/// Every routing engine in the matrix now repairs natively — none rides
+/// the default full-recompute shim.
+#[test]
+fn every_engine_reports_native_incremental_repair() {
+    for kind in EngineKind::all() {
+        assert!(
+            kind.build().incremental_repair(),
+            "{kind:?} must implement native incremental repair"
+        );
+    }
+}
+
+/// The per-engine matrix acceptance criterion: each engine answers a
+/// single-fault trap with its native repair on a topology it supports —
+/// the paper's 324- and 648-node fat trees for the tree engines, the
+/// wrapped 4x4 torus for the VL-layering engines — and the repair sends
+/// no more SMPs than the classic full-recompute sweep, strictly fewer
+/// than `full_reconfiguration`, falls back zero times, and leaves the
+/// reverse route index in lockstep with the two-row scan.
+#[test]
+fn native_repair_beats_full_sweeps_across_the_engine_matrix() {
+    let torus_4x4: fn() -> BuiltTopology = || torus_2d(4, 4, 1, true);
+    let matrix: [(EngineKind, fn() -> BuiltTopology); 7] = [
+        (EngineKind::FatTree, paper_324),
+        (EngineKind::MinHop, paper_324),
+        (EngineKind::UpDown, paper_324),
+        (EngineKind::FatTree, paper_648),
+        (EngineKind::UpDown, paper_648),
+        (EngineKind::Dfsssp, torus_4x4),
+        (EngineKind::Lash, torus_4x4),
+    ];
+    for (engine, build) in matrix {
+        // The same cable on identically-built fabrics.
+        let fault = |t: &BuiltTopology| {
+            let links = core_links(&t.subnet);
+            safe_to_down(&t.subnet, &links)[0]
+        };
+        let trap_arm = |repair: bool| {
+            let (mut t, mut sm) = bring_up(
+                build(),
+                SmConfig {
+                    engine,
+                    repair,
+                    ..SmConfig::default()
+                },
+            );
+            let (node, port, _) = fault(&t);
+            t.subnet.set_link_down(node, port).expect("link down");
+            let mut transport = SmpTransport::perfect(sm.sm_node);
+            let report = sm
+                .handle_trap(
+                    &mut t.subnet,
+                    Trap::LinkStateChange { node, port },
+                    &mut transport,
+                )
+                .expect("trap");
+            assert!(report.failed_blocks.is_empty(), "{engine:?}: converged");
+            if repair {
+                assert_eq!(report.kind, SweepKind::Repair, "{engine:?}: repair ran");
+            }
+            (t, sm, report.distribution.lft_smps)
+        };
+
+        let (a, sm_a, repair_smps) = trap_arm(true);
+        let snap = sm_a.observer().snapshot().expect("metrics on");
+        assert_eq!(
+            snap.counter(&format!("repair.success.{}", engine.name())),
+            1,
+            "{engine:?}: one tagged native repair"
+        );
+        assert_eq!(
+            snap.counter("repair.fallback"),
+            0,
+            "{engine:?}: no fallback"
+        );
+        assert!(
+            sm_a.verify_route_index(&a.subnet).is_empty(),
+            "{engine:?}: index agrees with the scan after the splice"
+        );
+        let r = FabricVerifier::new()
+            .with_deadlock(matches!(engine, EngineKind::Dfsssp | EngineKind::Lash))
+            .verify_with_vls(&a.subnet, sm_a.installed_vls().expect("tables installed"))
+            .expect("verifier");
+        assert!(r.is_clean(), "{engine:?}: {}", r.summary());
+
+        let (_, _, sweep_smps) = trap_arm(false);
+
+        let (mut c, mut sm_c) = bring_up(
+            build(),
+            SmConfig {
+                engine,
+                ..SmConfig::default()
+            },
+        );
+        let (node_c, port_c, _) = fault(&c);
+        c.subnet.set_link_down(node_c, port_c).expect("link down");
+        let full_rc_smps = sm_c
+            .full_reconfiguration(&mut c.subnet)
+            .expect("full reconfiguration")
+            .distribution
+            .lft_smps;
+
+        assert!(
+            repair_smps <= sweep_smps,
+            "{engine:?}: repair must not exceed the full sweep: {repair_smps} vs {sweep_smps}"
+        );
+        // On the trees a single fault leaves most columns clean, so the
+        // win is strict; the 16-switch torus is small enough that one
+        // fault can dirty every block, making parity the floor there.
+        let tree = matches!(
+            engine,
+            EngineKind::FatTree | EngineKind::MinHop | EngineKind::UpDown
+        );
+        assert!(
+            if tree {
+                repair_smps < full_rc_smps
+            } else {
+                repair_smps <= full_rc_smps
+            },
+            "{engine:?}: repair must beat full_reconfiguration: {repair_smps} vs {full_rc_smps}"
+        );
+    }
+}
+
+/// LASH's repair is an exact recompute of the dirty destination in-trees:
+/// after a single-fault repair accepted by the CDG deadlock gate
+/// (`verify: true`), the installed tables are byte-identical to a full
+/// LASH reconfiguration of the same degraded torus, and the repaired
+/// fabric passes the full deadlock-freedom check.
+#[test]
+fn lash_repair_matches_full_recompute_under_the_cdg_gate() {
+    let build: fn() -> BuiltTopology = || torus_2d(4, 4, 1, true);
+    let fault = |t: &BuiltTopology| {
+        let links = core_links(&t.subnet);
+        safe_to_down(&t.subnet, &links)[0]
+    };
+
+    // Arm A: native repair behind the deadlock-checking gate.
+    let (mut a, mut sm_a) = bring_up(
+        build(),
+        SmConfig {
+            engine: EngineKind::Lash,
+            repair: true,
+            verify: true,
+            ..SmConfig::default()
+        },
+    );
+    let (node, port, _) = fault(&a);
+    a.subnet.set_link_down(node, port).expect("link down");
+    let mut transport = SmpTransport::perfect(sm_a.sm_node);
+    let report = sm_a
+        .handle_trap(
+            &mut a.subnet,
+            Trap::LinkStateChange { node, port },
+            &mut transport,
+        )
+        .expect("repair sweep");
+    assert_eq!(report.kind, SweepKind::Repair, "the repair path ran");
+    assert!(report.failed_blocks.is_empty());
+    let snap = sm_a.observer().snapshot().expect("metrics on");
+    assert_eq!(snap.counter("repair.success.lash"), 1);
+    assert_eq!(
+        snap.counter("repair.fallback"),
+        0,
+        "the CDG gate accepted the incremental lane re-assignment"
+    );
+
+    // Arm B: full LASH recompute of the same degraded fabric.
+    let (mut b, mut sm_b) = bring_up(
+        build(),
+        SmConfig {
+            engine: EngineKind::Lash,
+            ..SmConfig::default()
+        },
+    );
+    let (node_b, port_b, _) = fault(&b);
+    assert_eq!((node_b, port_b), (node, port), "twin fabrics, same cable");
+    b.subnet.set_link_down(node_b, port_b).expect("link down");
+    sm_b.full_reconfiguration(&mut b.subnet)
+        .expect("full reconfiguration");
+
+    let tables = |s: &Subnet| -> Vec<(NodeId, ib_subnet::Lft)> {
+        s.physical_switches()
+            .map(|n| (n.id, n.lft().expect("installed LFT").clone()))
+            .collect()
+    };
+    assert_eq!(
+        tables(&a.subnet),
+        tables(&b.subnet),
+        "repair splice is byte-identical to the full recompute"
+    );
+    let r = FabricVerifier::new()
+        .with_deadlock(true)
+        .verify_with_vls(&a.subnet, sm_a.installed_vls().expect("tables installed"))
+        .expect("verifier");
+    assert!(r.is_clean(), "{}", r.summary());
 }
 
 /// The coalescing acceptance criterion: a 3-fault burst (seeded,

@@ -198,8 +198,8 @@ fn index_tracks_random_event_sequences_on_the_324_tree() {
 }
 
 /// The torus arm: the VL-layering engines on a wrapped 4x4 torus, bare
-/// SM, link-downs (DFSSSP repairs incrementally; LASH's repair is a full
-/// recompute, exercising the rebuild path), link-ups, and light sweeps.
+/// SM, link-downs (both DFSSSP and LASH repair incrementally, so the
+/// index advances by per-column splices), link-ups, and light sweeps.
 #[test]
 fn index_tracks_random_event_sequences_on_a_torus() {
     for engine in [EngineKind::Dfsssp, EngineKind::Lash] {
