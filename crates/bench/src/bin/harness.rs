@@ -42,6 +42,7 @@ use ib_core::cost::{Table1Row, PAPER_TABLE1};
 use ib_core::{DataCenter, DataCenterConfig, MigrationOptions, VirtArch};
 use ib_mad::CostModel;
 use ib_observe::Observer;
+use ib_routing::EngineKind;
 use ib_routing::RoutingOptions;
 use ib_subnet::topology::basic::{fig5_fabric, fig6_fabric};
 use ib_subnet::topology::fattree;
@@ -89,7 +90,14 @@ fn main() {
             let events: usize = flag_value(&args, "--events").unwrap_or(200);
             let inject = flag_value::<ib_bench::soak::Inject>(&args, "--inject");
             let with_repair = args.iter().any(|a| a == "--repair");
-            soak(seed, events, inject, with_repair, json);
+            let partitions = args.iter().any(|a| a == "--partitions");
+            let engine = flag_value::<String>(&args, "--engine").map(|name| {
+                parse_engine(&name).unwrap_or_else(|| {
+                    eprintln!("unknown engine `{name}` (want minhop|fat-tree|up-down|dfsssp|lash)");
+                    std::process::exit(2);
+                })
+            });
+            soak(seed, events, inject, with_repair, partitions, engine, json);
         }
         "dot" => dot(),
         "all" => {
@@ -108,7 +116,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|repair|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row] [--repair] [--batch] [--json DIR] [--metrics DIR]");
+            eprintln!("usage: harness [table1|fig7|fig5|fig6|cost-model|capacity|emulation|deadlock|sa-cache|balance|faults|repair|soak|dot|all] [--level N] [--force-engines] [--workers N] [--routing-workers N] [--seed N] [--events N] [--inject misroute|cycle|drop-row|stale-route] [--repair] [--partitions] [--engine minhop|fat-tree|up-down|dfsssp|lash] [--batch] [--json DIR] [--metrics DIR]");
             std::process::exit(2);
         }
     }
@@ -914,35 +922,89 @@ fn repair(level: u8, batch: bool, json: Option<&Path>) {
     }
 }
 
+/// The engine names the soak CLI accepts (the reports' names, plus the
+/// common shorthands).
+fn parse_engine(name: &str) -> Option<EngineKind> {
+    match name {
+        "minhop" | "min-hop" => Some(EngineKind::MinHop),
+        "fat-tree" | "ftree" => Some(EngineKind::FatTree),
+        "up-down" | "updn" => Some(EngineKind::UpDown),
+        "dfsssp" => Some(EngineKind::Dfsssp),
+        "lash" => Some(EngineKind::Lash),
+        _ => None,
+    }
+}
+
 /// Chaos soak: a long seeded schedule of link faults, flap bursts,
 /// migrations, and sweeps with the fabric invariant verifier run after
 /// every convergence. Exits non-zero — printing the reproducing seed and
 /// the offending invariant — on any violation, and always under
 /// `--inject`, which corrupts an installed LFT to prove the verifier
 /// catches it.
+///
+/// `--partitions` swaps the schedule for seeded split-then-heal cycles
+/// (whole-leaf severs) and runs it under *every* routing engine unless
+/// `--engine` pins one; the JSON report then aggregates across engines.
 fn soak(
     seed: u64,
     events: usize,
     inject: Option<ib_bench::soak::Inject>,
     repair: bool,
+    partitions: bool,
+    engine: Option<EngineKind>,
     json: Option<&Path>,
 ) {
-    use ib_bench::soak::{run_soak, SoakConfig};
+    use ib_bench::soak::{run_soak, SoakConfig, SoakReport};
 
     println!("\n===== SOAK: randomized fault/migration/sweep schedule, verified each step =====");
-    let config = SoakConfig {
-        seed,
-        events,
-        inject,
-        repair,
-        ..SoakConfig::default()
+    // The default schedule runs one engine (DFSSSP unless pinned); the
+    // partition schedule sweeps all five unless pinned — graceful
+    // degradation is an every-engine promise.
+    let engines: Vec<EngineKind> = match (partitions, engine) {
+        (_, Some(e)) => vec![e],
+        (true, None) => EngineKind::all().to_vec(),
+        (false, None) => vec![SoakConfig::default().engine],
     };
-    println!(
-        "seed {seed}, {events} events on a 2-level fat tree ({} leaves x {} hypervisors, {} spines), injection: {inject:?}, repair sweeps: {repair}",
-        config.leaves, config.hosts_per_leaf, config.spines
-    );
+    let mut reports: Vec<(EngineKind, SoakReport)> = Vec::new();
     let started = Instant::now();
-    let report = run_soak(&config);
+    for engine in engines {
+        let config = SoakConfig {
+            seed,
+            events,
+            inject,
+            repair,
+            partitions,
+            engine,
+            ..SoakConfig::default()
+        };
+        println!(
+            "seed {seed}, {events} events on a 2-level fat tree ({} leaves x {} hypervisors, {} spines), engine: {engine}, partitions: {partitions}, injection: {inject:?}, repair sweeps: {repair}",
+            config.leaves, config.hosts_per_leaf, config.spines
+        );
+        let report = run_soak(&config);
+        print_soak_report(&report, partitions);
+        reports.push((engine, report));
+    }
+    println!("  total: {:?}", started.elapsed());
+    if let Some(dir) = json {
+        write_soak_json(dir, events, partitions, &reports);
+    }
+    let failures: Vec<String> = reports
+        .iter()
+        .filter_map(|(e, r)| r.failure.as_ref().map(|f| format!("{e}: {f}")))
+        .collect();
+    if failures.is_empty() {
+        println!("  verdict: CLEAN — zero violations across the whole schedule");
+    } else {
+        for failure in &failures {
+            eprintln!("  verdict: FAILED — {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The per-run console summary of one soak report.
+fn print_soak_report(report: &ib_bench::soak::SoakReport, partitions: bool) {
     println!(
         "  events {:>4}  (down {} / up {} / flap {} / migrate {} / sweep {} / noop {})",
         report.events_run,
@@ -961,6 +1023,12 @@ fn soak(
         "  quarantine: {} entered hold-down, {} traps absorbed by damping, {} released",
         report.quarantines_entered, report.traps_absorbed, report.quarantines_released
     );
+    if partitions {
+        println!(
+            "  partitions: {} splits, {} heals applied, {} heals proven restored, {} migrations aborted as unreachable",
+            report.partitions, report.heals, report.healed, report.migration_aborts
+        );
+    }
     let by_engine = report
         .repair_fallbacks_by_engine
         .iter()
@@ -978,69 +1046,93 @@ fn soak(
         }
     );
     println!(
-        "  verifier: {} post-event runs, all four invariants + quarantine absence ({:?})",
+        "  verifier: {} post-event runs, all four invariants + quarantine absence",
         report.verify_runs,
-        started.elapsed()
     );
-    if let Some(dir) = json {
-        let doc = Json::obj(vec![
-            ("schema", Json::from("ib-vswitch/bench-soak/v2")),
-            ("seed", Json::from(report.seed)),
-            ("events_requested", Json::from(events)),
-            ("events_run", Json::from(report.events_run)),
-            ("link_downs", Json::from(report.link_downs)),
-            ("link_ups", Json::from(report.link_ups)),
-            ("flap_bursts", Json::from(report.flap_bursts)),
-            ("sweeps", Json::from(report.sweeps)),
-            ("migrations", Json::from(report.migrations)),
-            ("commits", Json::from(report.commits)),
-            ("rollbacks", Json::from(report.rollbacks)),
-            (
-                "quarantines_entered",
-                Json::from(report.quarantines_entered),
+}
+
+/// Writes `BENCH_soak.json`: the run totals (summed when the partition
+/// schedule sweeps several engines), the per-engine reports, and the
+/// first failure. Same schema as before — the partition keys are
+/// additive.
+fn write_soak_json(
+    dir: &Path,
+    events: usize,
+    partitions: bool,
+    reports: &[(EngineKind, ib_bench::soak::SoakReport)],
+) {
+    let sum = |f: &dyn Fn(&ib_bench::soak::SoakReport) -> u64| -> u64 {
+        reports.iter().map(|(_, r)| f(r)).sum()
+    };
+    let doc = Json::obj(vec![
+        ("schema", Json::from("ib-vswitch/bench-soak/v2")),
+        ("seed", Json::from(reports[0].1.seed)),
+        ("events_requested", Json::from(events)),
+        ("partition_schedule", Json::from(partitions)),
+        (
+            "engines",
+            Json::Array(reports.iter().map(|(e, _)| Json::from(e.name())).collect()),
+        ),
+        ("events_run", Json::from(sum(&|r| r.events_run as u64))),
+        ("link_downs", Json::from(sum(&|r| r.link_downs as u64))),
+        ("link_ups", Json::from(sum(&|r| r.link_ups as u64))),
+        ("flap_bursts", Json::from(sum(&|r| r.flap_bursts as u64))),
+        ("sweeps", Json::from(sum(&|r| r.sweeps as u64))),
+        ("migrations", Json::from(sum(&|r| r.migrations as u64))),
+        ("commits", Json::from(sum(&|r| r.commits as u64))),
+        ("rollbacks", Json::from(sum(&|r| r.rollbacks as u64))),
+        (
+            "quarantines_entered",
+            Json::from(sum(&|r| r.quarantines_entered)),
+        ),
+        ("traps_absorbed", Json::from(sum(&|r| r.traps_absorbed))),
+        (
+            "quarantines_released",
+            Json::from(sum(&|r| r.quarantines_released as u64)),
+        ),
+        ("partitions", Json::from(sum(&|r| r.partitions as u64))),
+        ("heals", Json::from(sum(&|r| r.heals as u64))),
+        ("healed", Json::from(sum(&|r| r.healed))),
+        (
+            "stale_route_violations",
+            Json::from(sum(&|r| r.stale_route_violations)),
+        ),
+        ("migration_aborts", Json::from(sum(&|r| r.migration_aborts))),
+        ("repair_sweeps", Json::from(sum(&|r| r.repair_sweeps))),
+        ("repair_fallbacks", Json::from(sum(&|r| r.repair_fallbacks))),
+        (
+            "repair_fallbacks_by_engine",
+            Json::Object(
+                reports
+                    .iter()
+                    .flat_map(|(_, r)| r.repair_fallbacks_by_engine.iter())
+                    .map(|(e, n)| (e.clone(), Json::from(*n)))
+                    .collect(),
             ),
-            ("traps_absorbed", Json::from(report.traps_absorbed)),
-            (
-                "quarantines_released",
-                Json::from(report.quarantines_released),
+        ),
+        ("verify_runs", Json::from(sum(&|r| r.verify_runs as u64))),
+        (
+            "verdicts",
+            Json::Array(
+                reports
+                    .iter()
+                    .flat_map(|(e, r)| {
+                        r.verdicts
+                            .iter()
+                            .map(move |v| Json::from(format!("{e}:{v}")))
+                    })
+                    .collect(),
             ),
-            ("repair_sweeps", Json::from(report.repair_sweeps)),
-            ("repair_fallbacks", Json::from(report.repair_fallbacks)),
-            (
-                "repair_fallbacks_by_engine",
-                Json::Object(
-                    report
-                        .repair_fallbacks_by_engine
-                        .iter()
-                        .map(|(e, n)| (e.clone(), Json::from(*n)))
-                        .collect(),
-                ),
-            ),
-            ("verify_runs", Json::from(report.verify_runs)),
-            (
-                "verdicts",
-                Json::Array(
-                    report
-                        .verdicts
-                        .iter()
-                        .map(|v| Json::from(v.as_str()))
-                        .collect(),
-                ),
-            ),
-            (
-                "failure",
-                report.failure.as_deref().map_or(Json::Null, Json::from),
-            ),
-        ]);
-        write_json(dir, "BENCH_soak.json", &doc);
-    }
-    match report.failure {
-        None => println!("  verdict: CLEAN — zero violations across the whole schedule"),
-        Some(failure) => {
-            eprintln!("  verdict: FAILED — {failure}");
-            std::process::exit(1);
-        }
-    }
+        ),
+        (
+            "failure",
+            reports
+                .iter()
+                .find_map(|(e, r)| r.failure.as_ref().map(|f| Json::from(format!("{e}: {f}"))))
+                .unwrap_or(Json::Null),
+        ),
+    ]);
+    write_json(dir, "BENCH_soak.json", &doc);
 }
 
 /// Prints the Fig. 5 fabric (virtualized, one VM) as GraphViz dot.

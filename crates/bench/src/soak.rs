@@ -32,6 +32,11 @@ pub enum Inject {
     Cycle,
     /// Clear a VM's forwarding row on its own leaf entirely.
     DropRow,
+    /// Sever a leaf, let the SM clear the stranded columns, then
+    /// resurrect one cleared row — a served switch pointing at a LID the
+    /// fabric can no longer reach. The reachability-aware verifier must
+    /// name it a stale route.
+    StaleRoute,
 }
 
 impl std::str::FromStr for Inject {
@@ -42,8 +47,9 @@ impl std::str::FromStr for Inject {
             "misroute" => Ok(Self::Misroute),
             "cycle" => Ok(Self::Cycle),
             "drop-row" => Ok(Self::DropRow),
+            "stale-route" => Ok(Self::StaleRoute),
             other => Err(format!(
-                "unknown injection `{other}` (want misroute|cycle|drop-row)"
+                "unknown injection `{other}` (want misroute|cycle|drop-row|stale-route)"
             )),
         }
     }
@@ -72,6 +78,18 @@ pub struct SoakConfig {
     /// Randomly (seeded coin per fault event) handle link-downs with the
     /// SM's incremental repair sweep instead of a full light sweep.
     pub repair: bool,
+    /// Partition mode: the schedule trades single-link faults and flap
+    /// bursts for whole-leaf severs and heals — the fabric repeatedly
+    /// splits into two components and reconnects, with migrations and
+    /// sweeps running throughout. The partial-fault events are dropped so
+    /// every degraded shape stays an intact (sub-)fat-tree, which keeps
+    /// the schedule deadlock-free under all five routing engines.
+    pub partitions: bool,
+    /// Routing engine for the SM's path computation. The default DFSSSP
+    /// is the only engine whose tables stay deadlock-free on the degraded
+    /// shapes the *default* (partial-fault) schedule produces; under
+    /// `partitions` every engine is fair game.
+    pub engine: EngineKind,
     /// Post-soak LFT corruption to throw at the verifier, if any.
     pub inject: Option<Inject>,
 }
@@ -88,6 +106,8 @@ impl Default for SoakConfig {
             drop_probability: 0.05,
             workers: 1,
             repair: false,
+            partitions: false,
+            engine: EngineKind::Dfsssp,
             inject: None,
         }
     }
@@ -124,6 +144,20 @@ pub struct SoakReport {
     pub traps_absorbed: u64,
     /// Links released from quarantine after their hold-down expired.
     pub quarantines_released: usize,
+    /// Whole-leaf sever events applied (partition mode).
+    pub partitions: usize,
+    /// Heal events applied: every cut link restored, boundary trap
+    /// delivered (partition mode).
+    pub heals: usize,
+    /// Heals the SM *proved*: sweeps that found every previously
+    /// stranded forwarding column restored (`sm.healed`).
+    pub healed: u64,
+    /// Stale-route violations found by any verification pass
+    /// (`verify.stale_routes`) — zero on a clean run.
+    pub stale_route_violations: u64,
+    /// Migrations rejected by the reachability pre-flight
+    /// (`migration.abort.unreachable`).
+    pub migration_aborts: u64,
     /// Incremental repair sweeps attempted (`repair.attempts`).
     pub repair_sweeps: u64,
     /// ... of which fell back to a full sweep (`repair.fallback`).
@@ -223,9 +257,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             // Min-Hop is *not* deadlock-free once links drop (a lost
             // uplink forces down-up "valley" routes whose channel
             // dependencies close cycles — the sweep-time verifier
-            // rejects exactly that). DFSSSP's lane layering stays
-            // deadlock-free on every degraded shape the soak produces.
-            engine: EngineKind::Dfsssp,
+            // rejects exactly that). The default DFSSSP's lane layering
+            // stays deadlock-free on every degraded shape the default
+            // schedule produces; the partition schedule only ever severs
+            // whole leaves, so there every engine qualifies.
+            engine: cfg.engine,
             verify: true,
             quarantine: QuarantineOptions::enabled(),
             routing: RoutingOptions::default().with_workers(cfg.workers),
@@ -252,11 +288,114 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         ..SoakReport::default()
     };
 
+    // Partition-mode state: the leaves the schedule may sever (never the
+    // SM's own — the master must keep a component to serve), and the
+    // currently active cut, one `(leaf, leaf_port, spine, spine_port)`
+    // per severed cable.
+    let sm_leaf = dc.hypervisors[0].leaf;
+    let mut victim_leaves: Vec<NodeId> = dc
+        .hypervisors
+        .iter()
+        .map(|h| h.leaf)
+        .filter(|&l| l != sm_leaf)
+        .collect();
+    victim_leaves.sort_unstable_by_key(|n| n.index());
+    victim_leaves.dedup();
+    let mut active_cut: Option<Vec<(NodeId, PortNum, NodeId, PortNum)>> = None;
+
     for i in 0..cfg.events {
         now_ns += 50_000_000 + rng.gen_range(0..150_000_000);
         let roll = rng.gen_range(0u32..100);
         let mut kind = "noop";
         let step: IbResult<()> = (|| {
+            if cfg.partitions {
+                if roll < 18 {
+                    // Split: sever a whole victim leaf — every spine
+                    // uplink at once — and let the served-side spines
+                    // report it. The fabric is now two components; the
+                    // SM's sweeps must degrade, not fail.
+                    if active_cut.is_some() {
+                        return Ok(());
+                    }
+                    let leaf = victim_leaves[rng.gen_range(0..victim_leaves.len())];
+                    kind = "split";
+                    report.partitions += 1;
+                    let cut: Vec<(NodeId, PortNum, NodeId, PortNum)> = dc
+                        .subnet
+                        .node(leaf)
+                        .connected_ports()
+                        .filter(|(_, r)| dc.subnet.node(r.node).is_physical_switch())
+                        .map(|(p, r)| (leaf, p, r.node, r.port))
+                        .collect();
+                    for &(l, p, _, _) in &cut {
+                        dc.subnet.set_link_down(l, p)?;
+                    }
+                    for &(_, _, spine, sp) in &cut {
+                        dc.sm.handle_trap_at(
+                            &mut dc.subnet,
+                            Trap::LinkStateChange {
+                                node: spine,
+                                port: sp,
+                            },
+                            &mut traps,
+                            now_ns,
+                        )?;
+                        now_ns += 1_000_000;
+                    }
+                    active_cut = Some(cut);
+                } else if roll < 36 {
+                    // Heal: every cut cable comes back, and each end's
+                    // link-up trap is delivered — the boundary signal the
+                    // degraded SM must NOT absorb. The sweep it triggers
+                    // has to restore every stranded forwarding column
+                    // (the SM proves it and errors otherwise).
+                    let Some(cut) = active_cut.take() else {
+                        return Ok(());
+                    };
+                    kind = "heal";
+                    report.heals += 1;
+                    for &(l, p, _, _) in &cut {
+                        dc.subnet.set_link_up(l, p)?;
+                    }
+                    for &(l, p, _, _) in &cut {
+                        dc.sm.handle_trap_at(
+                            &mut dc.subnet,
+                            Trap::LinkStateChange { node: l, port: p },
+                            &mut traps,
+                            now_ns,
+                        )?;
+                        now_ns += 1_000_000;
+                    }
+                } else if roll < 80 {
+                    // Resilient migration — the destination may sit in
+                    // the lost component, in which case the pre-flight
+                    // must abort it cleanly before any SMP.
+                    let id = vm_ids[rng.gen_range(0..vm_ids.len())];
+                    let cur = dc.vm(id).expect("soak vm record").hypervisor;
+                    let dest = rng.gen_range(0..hyps);
+                    let migration_seed = rng.gen_range(0..u64::MAX);
+                    if dest == cur || dc.hypervisors[dest].free_slot().is_none() {
+                        return Ok(());
+                    }
+                    kind = "migrate";
+                    report.migrations += 1;
+                    let mut transport =
+                        SmpTransport::lossy(dc.sm.sm_node, migration_seed, cfg.drop_probability, 0);
+                    transport.retry.max_attempts = 8;
+                    let tx = dc.migrate_vm_resilient(id, dest, &mut transport)?;
+                    if tx.committed {
+                        report.commits += 1;
+                    } else {
+                        report.rollbacks += 1;
+                    }
+                } else {
+                    // Unprompted light sweep — run degraded or whole.
+                    kind = "sweep";
+                    report.sweeps += 1;
+                    dc.sm.light_sweep(&mut dc.subnet, &mut traps)?;
+                }
+                return Ok(());
+            }
             if roll < 35 {
                 // Link down (connectivity-preserving).
                 let cands = safe_to_down(&dc.subnet, &links);
@@ -390,13 +529,17 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         }
 
         // The soak's own convergence check: black holes, forwarding
-        // loops, addressing, plus the promise that no installed row
-        // crosses a quarantined link. Deadlock-freedom is checked at
-        // sweep time by the SM itself (`SmConfig.verify`), which has the
-        // engine's virtual-lane layering — a single-lane re-check here
-        // would false-positive on DFSSSP's per-lane-acyclic tables.
+        // loops, addressing, stale routes, plus the promise that no
+        // installed row crosses a quarantined link — all scoped to the
+        // component the SM can actually govern (the whole fabric except
+        // mid-split, when the lost side's frozen tables are not the SM's
+        // to answer for). Deadlock-freedom is checked at sweep time by
+        // the SM itself (`SmConfig.verify`), which has the engine's
+        // virtual-lane layering — a single-lane re-check here would
+        // false-positive on DFSSSP's per-lane-acyclic tables.
         let mut problems: Vec<String> = match FabricVerifier::new()
             .with_deadlock(false)
+            .with_viewpoint(dc.sm.sm_node)
             .verify(&dc.subnet)
         {
             Ok(r) => {
@@ -405,7 +548,11 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
             }
             Err(e) => vec![format!("verifier error: {e}")],
         };
-        problems.extend(dc.sm.quarantine.verify_absent(&dc.subnet, now_ns));
+        problems.extend(dc.sm.quarantine.verify_absent_scoped(
+            &dc.subnet,
+            now_ns,
+            Some(dc.sm.sm_node),
+        ));
         // The reverse route index is derived state: prove it still mirrors
         // the installed rows after every event (repairs splice it, full
         // sweeps rebuild it, migrations refresh their columns).
@@ -427,6 +574,9 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     if let Some(snap) = observer.snapshot() {
         report.quarantines_entered = snap.counter("quarantine.entered");
         report.traps_absorbed = snap.counter("quarantine.absorbed");
+        report.healed = snap.counter("sm.healed");
+        report.stale_route_violations = snap.counter("verify.stale_routes");
+        report.migration_aborts = snap.counter("migration.abort.unreachable");
         report.repair_sweeps = snap.counter("repair.attempts");
         report.repair_fallbacks = snap.counter("repair.fallback");
         report.repair_fallbacks_by_engine = snap
@@ -487,9 +637,56 @@ fn run_injection(dc: &mut DataCenter, inject: Inject, seed: u64) -> String {
             dc.subnet.lft_mut(leaf).expect("leaf LFT").clear(lid);
             format!("dropped forwarding row for LID {lid}")
         }
+        Inject::StaleRoute => {
+            // Sever a victim leaf, sweep so the SM clears every stranded
+            // column on the switches it still serves, then resurrect one
+            // cleared row on the SM's own leaf: a served switch
+            // forwarding toward a destination the fabric cannot reach.
+            let sm_leaf = dc.hypervisors[0].leaf;
+            let victim = dc
+                .hypervisors
+                .iter()
+                .map(|h| h.leaf)
+                .find(|&l| l != sm_leaf)
+                .expect("soak fabric has a second leaf");
+            let uplinks: Vec<PortNum> = dc
+                .subnet
+                .node(victim)
+                .connected_ports()
+                .filter(|(_, r)| dc.subnet.node(r.node).is_physical_switch())
+                .map(|(p, _)| p)
+                .collect();
+            for &p in &uplinks {
+                dc.subnet
+                    .set_link_down(victim, p)
+                    .expect("sever victim leaf");
+            }
+            let mut traps = SmpTransport::perfect(dc.sm.sm_node);
+            dc.sm
+                .light_sweep(&mut dc.subnet, &mut traps)
+                .expect("degraded sweep");
+            let lost = dc
+                .subnet
+                .node(victim)
+                .lids()
+                .next()
+                .expect("leaf owns a LID");
+            let (port, _) = dc
+                .subnet
+                .node(sm_leaf)
+                .connected_ports()
+                .next()
+                .expect("sm leaf has a live port");
+            dc.subnet
+                .lft_mut(sm_leaf)
+                .expect("leaf LFT")
+                .set(lost, port);
+            format!("stale route: resurrected the cleared row for lost LID {lost}")
+        }
     };
     match FabricVerifier::new()
         .with_deadlock(false)
+        .with_viewpoint(dc.sm.sm_node)
         .verify(&dc.subnet)
     {
         Ok(r) if r.is_clean() => {
@@ -565,8 +762,70 @@ mod tests {
     }
 
     #[test]
+    fn partition_soak_splits_heals_and_stays_clean() {
+        let report = run_soak(&SoakConfig {
+            events: 80,
+            partitions: true,
+            ..SoakConfig::default()
+        });
+        assert!(
+            report.is_clean(),
+            "partition soak failed: {:?}",
+            report.failure
+        );
+        assert!(report.partitions > 0, "no split was scheduled");
+        assert!(report.heals > 0, "no heal was scheduled");
+        assert!(
+            report.healed >= report.heals as u64,
+            "the SM proved fewer heals ({}) than were applied ({})",
+            report.healed,
+            report.heals
+        );
+        assert_eq!(
+            report.stale_route_violations, 0,
+            "clean run grew a stale route"
+        );
+        assert!(report.migrations > 0);
+        assert!(
+            report.migration_aborts > 0,
+            "no migration ever targeted the lost component"
+        );
+    }
+
+    #[test]
+    fn partition_soak_is_clean_under_every_engine() {
+        for engine in EngineKind::all() {
+            let report = run_soak(&SoakConfig {
+                events: 40,
+                partitions: true,
+                engine,
+                ..SoakConfig::default()
+            });
+            assert!(report.is_clean(), "{engine}: {:?}", report.failure);
+            assert!(report.partitions > 0, "{engine}: no split was scheduled");
+        }
+    }
+
+    #[test]
+    fn partition_soak_is_worker_invariant() {
+        let base = SoakConfig {
+            events: 40,
+            partitions: true,
+            ..SoakConfig::default()
+        };
+        let one = run_soak(&base);
+        let four = run_soak(&SoakConfig { workers: 4, ..base });
+        assert_eq!(one, four, "schedule must not depend on worker count");
+    }
+
+    #[test]
     fn every_injection_fails_loudly_with_the_seed() {
-        for inject in [Inject::Misroute, Inject::Cycle, Inject::DropRow] {
+        for inject in [
+            Inject::Misroute,
+            Inject::Cycle,
+            Inject::DropRow,
+            Inject::StaleRoute,
+        ] {
             let report = run_soak(&SoakConfig {
                 events: 10,
                 inject: Some(inject),
@@ -586,6 +845,7 @@ mod tests {
         assert_eq!("misroute".parse(), Ok(Inject::Misroute));
         assert_eq!("cycle".parse(), Ok(Inject::Cycle));
         assert_eq!("drop-row".parse(), Ok(Inject::DropRow));
+        assert_eq!("stale-route".parse(), Ok(Inject::StaleRoute));
         assert!("nope".parse::<Inject>().is_err());
     }
 }

@@ -489,6 +489,12 @@ impl DataCenter {
     /// VM keeps running at the source with its registrations untouched.
     /// The returned report says which way it went via `committed`.
     ///
+    /// Partition tolerance: a pre-flight reachability check aborts the
+    /// migration (counted as `migration.abort.unreachable`) before a
+    /// single SMP is sent when either hypervisor sits beyond a fabric
+    /// split, and a migration that does run confines its LFT pass to the
+    /// switches the SM can still reach.
+    ///
     /// Only the two vSwitch architectures are supported — the Shared Port
     /// baseline has no per-VM fabric state to protect transactionally.
     pub fn migrate_vm_resilient<C: SmpChannel>(
@@ -519,7 +525,24 @@ impl DataCenter {
             .ok_or_else(|| IbError::Capacity(format!("hypervisor {dest} has no free VF")))?;
         let use_shortcut = self.config.migration.intra_leaf_shortcut
             && self.hypervisors[src].leaf == self.hypervisors[dest].leaf;
-        let restrict: Option<Vec<NodeId>> = use_shortcut.then(|| vec![self.hypervisors[src].leaf]);
+        // On a split fabric the step (b) pass must confine itself to the
+        // switches the SM can still reach: rows beyond the split cannot be
+        // updated by any SMP and are rewritten wholesale when the heal
+        // sweep runs. `None` (the common, connected case) means every
+        // physical switch.
+        let component = self.sm_component();
+        let restrict: Option<Vec<NodeId>> = if use_shortcut {
+            Some(vec![self.hypervisors[src].leaf])
+        } else {
+            let reachable: Vec<NodeId> = self
+                .subnet
+                .physical_switches()
+                .filter(|n| component[n.id.index()])
+                .map(|n| n.id)
+                .collect();
+            let total = self.subnet.physical_switches().count();
+            (reachable.len() < total).then_some(reachable)
+        };
 
         self.sm.ledger.begin_phase(format!("migrate-{id}"));
         // Pre-migration fingerprint of every forwarding column: after the
@@ -550,6 +573,24 @@ impl DataCenter {
                 lft,
                 tx,
             };
+
+        // Pre-flight (partition tolerance): a destination hypervisor the
+        // fabric split has carried away would detach the VM at the source
+        // and then time out on every SMP toward it. Check live-link
+        // reachability from the SM first and abort before a single
+        // data-path SMP is spent; the journal never opens, so there is
+        // nothing to roll back.
+        if !component[dest_pf.index()] || !component[src_pf.index()] {
+            // No verification pass: not one column was touched, and the
+            // stale rows a fresh split leaves behind are the next sweep's
+            // business, not this migration's.
+            tx.committed = false;
+            self.sm
+                .ledger
+                .observer()
+                .incr("migration.abort.unreachable");
+            return Ok(aborted(tx, 0, LftUpdateStats::default()));
+        }
 
         // Step V-C(a): detach the VF, signal both hypervisors, move vGUID.
         // Each signal that fails persistently triggers compensation of the
@@ -722,11 +763,13 @@ impl DataCenter {
         let observer = self.sm.observer();
         observer.incr("migration.verify.runs");
         let mut violations = before.verify_preserved(&after, allowed);
-        let report = FabricVerifier::new().with_deadlock(false).verify_observed(
-            &self.subnet,
-            &VlAssignment::SingleVl,
-            observer,
-        )?;
+        // Viewpoint scoping: on a split fabric the migration only touched
+        // (and only answers for) the SM's component — rows beyond the
+        // split are the heal sweep's business.
+        let report = FabricVerifier::new()
+            .with_deadlock(false)
+            .with_viewpoint(self.sm.sm_node)
+            .verify_observed(&self.subnet, &VlAssignment::SingleVl, observer)?;
         violations.extend(report.violations);
         if violations.is_empty() {
             observer.incr("migration.verify.clean");
@@ -740,6 +783,29 @@ impl DataCenter {
                 shown.join("; ")
             )))
         }
+    }
+
+    /// The SM's connected component over live links through alive nodes,
+    /// as one flag per node index.
+    ///
+    /// Depth-first over `connected_ports` (live cables only). The
+    /// resilient migration uses it twice: as the pre-flight that rejects
+    /// a hypervisor beyond a fabric split before any SMP is spent toward
+    /// it, and to confine the step (b) LFT pass to updatable switches.
+    fn sm_component(&self) -> Vec<bool> {
+        let start = self.sm.sm_node;
+        let mut seen = vec![false; self.subnet.node_ids().count()];
+        seen[start.index()] = true;
+        let mut stack = vec![start];
+        while let Some(at) = stack.pop() {
+            for (_, remote) in self.subnet.node(at).connected_ports() {
+                if !seen[remote.node.index()] && self.subnet.is_alive(remote.node) {
+                    seen[remote.node.index()] = true;
+                    stack.push(remote.node);
+                }
+            }
+        }
+        seen
     }
 
     /// Bounds-check a hypervisor index (public entry points take raw

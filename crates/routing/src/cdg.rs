@@ -436,16 +436,22 @@ mod tests {
     }
 
     #[test]
-    fn fat_tree_minhop_is_acyclic() {
-        // Shortest-path routing on a tree-like topology cannot produce
-        // cyclic dependencies.
+    fn fat_tree_minhop_is_acyclic_per_lane() {
+        // Host routes ascend then descend the tree (acyclic on VL0);
+        // switch-destined columns are up*/down*-legal on their own lane
+        // (acyclic on VL1). Only the per-lane CDGs matter for deadlock —
+        // a cycle cannot span two lanes.
         let mut t = two_level(4, 3, 2);
         assign_lids(&mut t);
         let tables = MinHop.compute(&t.subnet).unwrap();
         let g = SwitchGraph::build(&t.subnet).unwrap();
-        let cdg = Cdg::from_tables(&g, &tables, |_| true);
-        assert!(cdg.num_edges() > 0);
-        assert!(cdg.find_cycle().is_none());
+        for lane in [0u8, 1] {
+            let cdg = Cdg::from_tables(&g, &tables, |d| {
+                tables.vls.lane_for(0, 0, d.lid).raw() == lane
+            });
+            assert!(cdg.num_edges() > 0, "lane {lane}");
+            assert!(cdg.find_cycle().is_none(), "lane {lane}");
+        }
     }
 
     #[test]

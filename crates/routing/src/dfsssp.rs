@@ -132,12 +132,6 @@ impl RoutingEngine for Dfsssp {
                     }
                 }
             }
-            if dist.iter().any(|&d| d.0 == u32::MAX) {
-                return Err(IbError::Topology(format!(
-                    "switch {dsw} unreachable in dfsssp"
-                )));
-            }
-
             for &di in dest_indices {
                 let dest = g.destinations()[di];
                 let lid_idx = dest.lid.raw() as usize;
@@ -145,6 +139,12 @@ impl RoutingEngine for Dfsssp {
                     decisions += 1;
                     if s == dsw {
                         stages[s][lid_idx] = Some(dest.port);
+                        continue;
+                    }
+                    if dist[s].0 == u32::MAX {
+                        // Split fabric: `s` sits in another component. Its
+                        // column entry stays `None` — an explicit hole —
+                        // and every reachable pair still gets routed.
                         continue;
                     }
                     candidates.clear();
@@ -158,6 +158,9 @@ impl RoutingEngine for Dfsssp {
                             .map(|&(_, p)| p),
                     );
                     candidates.sort_unstable();
+                    if candidates.is_empty() {
+                        return Err(IbError::Topology("distance inversion in dfsssp".into()));
+                    }
                     let pick = candidates[lid_idx % candidates.len()];
                     stages[s][lid_idx] = Some(pick);
                     weight[widx(s, pick)] += 1;
@@ -191,8 +194,10 @@ impl RoutingEngine for Dfsssp {
         let mut lane_pairs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.max_vls as usize];
         for (di, dest) in g.destinations().iter().enumerate() {
             let start_lane = usize::from(self.max_vls > 1 && dest.port.is_management());
-            for src in 0..n {
-                if src != dest.switch {
+            for (src, row) in stages.iter().enumerate().take(n) {
+                // Unroutable cross-component pairs have no path and hence
+                // no channel dependencies: they never enter the layering.
+                if src != dest.switch && row[dest.lid.raw() as usize].is_some() {
                     lane_pairs[start_lane].push((src as u32, di as u32));
                 }
             }
@@ -309,11 +314,6 @@ impl RoutingEngine for Dfsssp {
                     }
                 }
             }
-            if dist.iter().any(|&d| d.0 == u32::MAX) {
-                return Err(IbError::Topology(format!(
-                    "repair: switch {dsw} unreachable in dfsssp"
-                )));
-            }
             for &di in dest_indices {
                 let dest = g.destinations()[di];
                 let lid_idx = dest.lid.raw() as usize;
@@ -321,6 +321,13 @@ impl RoutingEngine for Dfsssp {
                     decisions += 1;
                     if s == dsw {
                         *slot = Some(dest.port);
+                        continue;
+                    }
+                    if dist[s].0 == u32::MAX {
+                        // The fault split the fabric: clear this row
+                        // instead of leaving it pointing at the lost
+                        // component.
+                        *slot = None;
                         continue;
                     }
                     candidates.clear();
@@ -334,6 +341,11 @@ impl RoutingEngine for Dfsssp {
                             .map(|&(_, p)| p),
                     );
                     candidates.sort_unstable();
+                    if candidates.is_empty() {
+                        return Err(IbError::Topology(
+                            "distance inversion in dfsssp repair".into(),
+                        ));
+                    }
                     // Sticky: keep the installed port when it is still on
                     // a lexicographically-shortest path — the repair's
                     // diff stays minimal and only rows the fault actually
@@ -362,6 +374,16 @@ impl RoutingEngine for Dfsssp {
             let start_lane = usize::from(self.max_vls > 1 && dest.port.is_management());
             for src in 0..n {
                 if src == dest.switch {
+                    continue;
+                }
+                // Cross-component pairs were cleared by the splice: no
+                // path, no dependencies, no lane.
+                if out
+                    .lfts
+                    .get(&g.node_id(src))
+                    .and_then(|lft| lft.get(dest.lid))
+                    .is_none()
+                {
                     continue;
                 }
                 let lane = if dirty.contains(&dest.lid.raw()) {

@@ -12,6 +12,11 @@
 //! Like OpenSM's engine, it refuses topologies that are not layered
 //! fat trees (edges must connect adjacent ranks, endpoints must live on
 //! leaves); callers fall back to Min-Hop in that case.
+//!
+//! Switch-destined LIDs are routed up*/down*-legally on a dedicated
+//! lane (see [`crate::swcols`]) — d-mod-k valleys between sibling
+//! spines would otherwise close credit loops, the caveat OpenSM's own
+//! ftree documents for switch-to-switch paths.
 
 use ib_observe::Observer;
 use ib_subnet::Subnet;
@@ -20,6 +25,7 @@ use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::engine::{RoutingEngine, RoutingOptions};
 use crate::graph::{parallel_for_each, Destination, DistanceMatrix, SwitchGraph};
+use crate::swcols::{switch_dest_vls, SwitchColumns};
 use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The fat-tree engine.
@@ -49,8 +55,15 @@ impl RoutingEngine for FatTree {
         let ranks = g.ranks();
         validate_fat_tree(&g, &ranks)?;
 
-        // Delivery switches, deduplicated and ordered.
-        let mut delivery: Vec<usize> = g.destinations().iter().map(|d| d.switch).collect();
+        // Delivery switches of HCA-destined LIDs, deduplicated and
+        // ordered (switch-destined columns use the legal sweep below and
+        // need no distance row here).
+        let mut delivery: Vec<usize> = g
+            .destinations()
+            .iter()
+            .filter(|d| d.port != PortNum::MANAGEMENT)
+            .map(|d| d.switch)
+            .collect();
         delivery.sort_unstable();
         delivery.dedup();
         let dist_index: FxHashMap<usize, usize> =
@@ -65,6 +78,12 @@ impl RoutingEngine for FatTree {
             let _span = observer.span("routing.fat-tree.distances");
             DistanceMatrix::for_sources(&g, &delivery, workers)
         };
+
+        // Switch-destined columns are valley-routed via the hub on
+        // their own lane instead of d-mod-k: a spine-to-spine route
+        // must dip through a leaf, and two such valleys through
+        // different leaves close a credit loop (see `swcols`).
+        let swcols = SwitchColumns::new(&g, workers);
 
         // Per-switch neighbor lists sorted by port, so d-mod-k picks are
         // deterministic without per-destination allocation.
@@ -91,22 +110,38 @@ impl RoutingEngine for FatTree {
                         stage[dest.lid.raw() as usize] = Some(dest.port);
                         continue;
                     }
+                    if dest.port == PortNum::MANAGEMENT {
+                        // Switch LID: legal pick (None across a split).
+                        stage[dest.lid.raw() as usize] = swcols.pick(dest.switch, dest.lid, s);
+                        continue;
+                    }
                     let drow = dist.row(dist_index[&dest.switch]);
+                    if drow[s] == u32::MAX {
+                        // Split fabric: the destination lives in another
+                        // component. The stage entry stays `None`.
+                        continue;
+                    }
                     // Two passes over the (small) neighbor list: count the
-                    // minimal candidates, then take the (lid mod count)-th.
-                    let count = sorted_adj[s]
-                        .iter()
-                        .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
-                        .count();
+                    // minimal candidates, then take the (lid + switch mod
+                    // count)-th. The switch stagger keeps the spread but
+                    // breaks the fabric-wide symmetry of pure d-mod-k:
+                    // without it, uniformly-cabled switches all point the
+                    // same destination at the same spine, so one lost
+                    // cable breaks that column at every switch at once
+                    // and an incremental repair can never beat a full
+                    // sweep's block diff.
+                    let minimal =
+                        |&&(v, _): &&(u32, PortNum)| drow[v as usize].wrapping_add(1) == drow[s];
+                    let count = sorted_adj[s].iter().filter(minimal).count();
                     if count == 0 {
                         // Caught by layering validation for real fat
                         // trees; be defensive anyway.
                         continue;
                     }
-                    let want = dest.lid.raw() as usize % count;
+                    let want = (dest.lid.raw() as usize + s) % count;
                     let pick = sorted_adj[s]
                         .iter()
-                        .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
+                        .filter(minimal)
                         .nth(want)
                         .map(|&(_, p)| p);
                     stage[dest.lid.raw() as usize] = pick;
@@ -117,7 +152,7 @@ impl RoutingEngine for FatTree {
 
         Ok(RoutingTables {
             lfts: stages_to_lfts(&g, stages),
-            vls: VlAssignment::SingleVl,
+            vls: switch_dest_vls(&g),
             engine: self.name(),
             decisions,
         })
@@ -170,15 +205,27 @@ impl RoutingEngine for FatTree {
             .collect();
         let mut out = prior.clone();
         out.engine = self.name();
-        out.vls = VlAssignment::SingleVl;
+        out.vls = switch_dest_vls(g);
         out.decisions = 0;
         if dirty_dests.is_empty() {
             return Ok(out);
         }
 
-        // One BFS per dirty delivery switch — the repair-sized slice of
-        // the full compute's per-delivery sweep.
-        let mut dirty_switches: Vec<usize> = dirty_dests.iter().map(|d| d.switch).collect();
+        // Switch-destined dirty columns rebuild their valley routes on
+        // the degraded graph; hub BFS is fault-stable, so the sticky
+        // splice below churns only near the lost link.
+        let swcols = dirty_dests
+            .iter()
+            .any(|d| d.port == PortNum::MANAGEMENT)
+            .then(|| SwitchColumns::new(g, opts.effective_workers(g.len())));
+
+        // One BFS per dirty HCA-destined delivery switch — the
+        // repair-sized slice of the full compute's per-delivery sweep.
+        let mut dirty_switches: Vec<usize> = dirty_dests
+            .iter()
+            .filter(|d| d.port != PortNum::MANAGEMENT)
+            .map(|d| d.switch)
+            .collect();
         dirty_switches.sort_unstable();
         dirty_switches.dedup();
         let row_of: FxHashMap<usize, usize> = dirty_switches
@@ -203,6 +250,24 @@ impl RoutingEngine for FatTree {
         let mut decisions = 0u64;
         let mut column: Vec<Option<PortNum>> = vec![None; g.len()];
         for dest in &dirty_dests {
+            if dest.port == PortNum::MANAGEMENT {
+                for (s, slot) in column.iter_mut().enumerate() {
+                    decisions += 1;
+                    *slot = if s == dest.switch {
+                        Some(dest.port)
+                    } else {
+                        // Sticky: keep the installed port while it is
+                        // still valley-legal on the degraded graph, so
+                        // the splice rewrites only what the fault broke.
+                        let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                        swcols
+                            .as_ref()
+                            .and_then(|sw| sw.sticky_pick(dest.switch, dest.lid, s, installed))
+                    };
+                }
+                out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+                continue;
+            }
             let drow = dist.row(row_of[&dest.switch]);
             for (s, slot) in column.iter_mut().enumerate() {
                 decisions += 1;
@@ -210,6 +275,15 @@ impl RoutingEngine for FatTree {
                     *slot = Some(dest.port);
                     continue;
                 }
+                if drow[s] == u32::MAX {
+                    // The fault split the fabric: this switch can no
+                    // longer reach the destination. Clear the row rather
+                    // than leave it pointing into the lost component.
+                    *slot = None;
+                    continue;
+                }
+                let minimal =
+                    |&&(v, _): &&(u32, PortNum)| drow[v as usize].wrapping_add(1) == drow[s];
                 // Sticky selection: keep the installed port whenever it is
                 // still minimal (a port into the failed link never is —
                 // the link is gone from the graph), so the splice touches
@@ -219,24 +293,21 @@ impl RoutingEngine for FatTree {
                 if let Some(p) = installed {
                     if sorted_adj[s]
                         .iter()
-                        .any(|&(v, q)| q == p && drow[v as usize] + 1 == drow[s])
+                        .any(|&(v, q)| q == p && drow[v as usize].wrapping_add(1) == drow[s])
                     {
                         *slot = Some(p);
                         continue;
                     }
                 }
-                let count = sorted_adj[s]
-                    .iter()
-                    .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
-                    .count();
+                let count = sorted_adj[s].iter().filter(minimal).count();
                 if count == 0 {
                     *slot = None;
                     continue;
                 }
-                let want = dest.lid.raw() as usize % count;
+                let want = (dest.lid.raw() as usize + s) % count;
                 *slot = sorted_adj[s]
                     .iter()
-                    .filter(|&&(v, _)| drow[v as usize] + 1 == drow[s])
+                    .filter(minimal)
                     .nth(want)
                     .map(|&(_, p)| p);
             }
@@ -253,9 +324,12 @@ impl RoutingEngine for FatTree {
 fn validate_fat_tree(g: &SwitchGraph, ranks: &[u32]) -> IbResult<()> {
     for s in 0..g.len() {
         if ranks[s] == u32::MAX {
-            return Err(IbError::Topology(
-                "disconnected switch in fat-tree routing".into(),
-            ));
+            // A split fabric: `s` sits in a component with no ranked
+            // seed. Its edges all stay inside that component (a BFS
+            // would have crossed any cable to a ranked switch), so
+            // there is nothing to validate — the reachable part of the
+            // tree is still layered and still routable.
+            continue;
         }
         for &(v, _) in g.neighbors(s) {
             let (a, b) = (ranks[s], ranks[v as usize]);

@@ -157,6 +157,114 @@ impl SwitchGraph {
         dist
     }
 
+    /// Connected-component labeling of the switch graph: deterministic
+    /// (components are numbered by their lowest switch index, in index
+    /// order), computed with one BFS pass over the CSR arrays. Engines use
+    /// this to route per component on a split fabric; the SM uses it to
+    /// detect the split and count the unreachable side.
+    #[must_use]
+    pub fn components(&self) -> Components {
+        let mut label = vec![u32::MAX; self.len()];
+        let mut queue: Vec<u32> = Vec::with_capacity(self.len());
+        let mut count = 0u32;
+        for root in 0..self.len() {
+            if label[root] != u32::MAX {
+                continue;
+            }
+            label[root] = count;
+            queue.clear();
+            queue.push(root as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &(v, _) in self.neighbors(u) {
+                    if label[v as usize] == u32::MAX {
+                        label[v as usize] = count;
+                        queue.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        Components {
+            label,
+            count: count as usize,
+        }
+    }
+
+    /// The bridge (cut) edges of the switch graph: unordered switch-index
+    /// pairs `(a, b)` with `a < b`, sorted, whose removal would disconnect
+    /// the component containing them. Parallel cables between the same two
+    /// switches are never bridges — cutting one leaves the twin. Computed
+    /// with an iterative Tarjan low-link pass, so deep fabrics cannot
+    /// overflow the call stack.
+    #[must_use]
+    pub fn bridges(&self) -> Vec<(usize, usize)> {
+        let n = self.len();
+        // Collapse parallel cables: unique neighbor + multiplicity.
+        let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (u, row) in adj.iter_mut().enumerate() {
+            let mut nbrs: Vec<u32> = self.neighbors(u).iter().map(|&(v, _)| v).collect();
+            nbrs.sort_unstable();
+            let mut i = 0;
+            while i < nbrs.len() {
+                let v = nbrs[i];
+                let mut m = 0u32;
+                while i < nbrs.len() && nbrs[i] == v {
+                    m += 1;
+                    i += 1;
+                }
+                row.push((v, m));
+            }
+        }
+        let mut disc = vec![u32::MAX; n];
+        let mut low = vec![u32::MAX; n];
+        let mut timer = 0u32;
+        let mut out = Vec::new();
+        // One explicit DFS frame per switch: (node, parent, next edge).
+        let mut stack: Vec<(u32, u32, usize)> = Vec::new();
+        for root in 0..n {
+            if disc[root] != u32::MAX {
+                continue;
+            }
+            disc[root] = timer;
+            low[root] = timer;
+            timer += 1;
+            stack.push((root as u32, u32::MAX, 0));
+            while let Some(frame) = stack.last_mut() {
+                let (u, parent) = (frame.0 as usize, frame.1);
+                if frame.2 < adj[u].len() {
+                    let (v, mult) = adj[u][frame.2];
+                    frame.2 += 1;
+                    let v = v as usize;
+                    if disc[v] == u32::MAX {
+                        disc[v] = timer;
+                        low[v] = timer;
+                        timer += 1;
+                        stack.push((v as u32, u as u32, 0));
+                    } else if v as u32 != parent || mult > 1 {
+                        // Back edge — or a parallel cable to the parent,
+                        // which counts as one (the tree edge used one of
+                        // the cables; its twin is a genuine cycle).
+                        low[u] = low[u].min(disc[v]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(p, _, _)) = stack.last() {
+                        let p = p as usize;
+                        low[p] = low[p].min(low[u]);
+                        if low[u] > disc[p] {
+                            out.push((p.min(u), p.max(u)));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Rank of each switch as hop distance to the nearest endpoint-bearing
     /// (leaf) switch: leaves are rank 0, their neighbors rank 1, and so on.
     /// This is the rank structure fat-tree routing keys off.
@@ -184,6 +292,48 @@ impl SwitchGraph {
             }
         }
         rank
+    }
+}
+
+/// Connected-component labels over a [`SwitchGraph`], as produced by
+/// [`SwitchGraph::components`]. Labels are dense (`0..count`) and
+/// deterministic: component `k` is the one whose lowest switch index is the
+/// `k`-th lowest among component representatives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    label: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of connected components (`1` on a healthy fabric).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the graph is split into more than one component.
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.count > 1
+    }
+
+    /// Component label of switch index `s`.
+    #[must_use]
+    pub fn label_of(&self, s: usize) -> u32 {
+        self.label[s]
+    }
+
+    /// Whether switches `a` and `b` share a component.
+    #[must_use]
+    pub fn same(&self, a: usize, b: usize) -> bool {
+        self.label[a] == self.label[b]
+    }
+
+    /// The full label array, indexed by switch index.
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.label
     }
 }
 
@@ -493,6 +643,86 @@ mod tests {
             err.to_string().contains("no endpoint"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn components_on_connected_and_split_graphs() {
+        let (mut t, g) = managed_linear();
+        let c = g.components();
+        assert_eq!(c.count(), 1);
+        assert!(!c.is_partitioned());
+        assert!(c.same(0, 2));
+
+        // Cut the middle link: two components, labeled in index order.
+        let s0 = t.switch_levels[0][0];
+        let s1 = t.switch_levels[0][1];
+        let (port, _) = t
+            .subnet
+            .node(s0)
+            .connected_ports()
+            .find(|(_, r)| r.node == s1)
+            .unwrap();
+        t.subnet.set_link_down(s0, port).unwrap();
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        let c = g.components();
+        assert_eq!(c.count(), 2);
+        assert!(c.is_partitioned());
+        assert_eq!(c.label_of(0), 0);
+        assert_eq!(c.label_of(1), 1);
+        assert_eq!(c.label_of(2), 1);
+        assert!(!c.same(0, 1));
+        assert!(c.same(1, 2));
+    }
+
+    #[test]
+    fn bridges_on_a_linear_chain() {
+        // Every link of a chain is a bridge.
+        let (_, g) = managed_linear();
+        assert_eq!(g.bridges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn fat_tree_with_redundant_spines_has_no_bridges() {
+        let mut t = two_level(3, 2, 2);
+        crate::testutil::assign_lids(&mut t);
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        assert!(g.bridges().is_empty());
+    }
+
+    #[test]
+    fn losing_spine_redundancy_creates_bridges() {
+        // Cut every leaf->spine1 uplink: the remaining leaf->spine0 links
+        // are each the only path out of their leaf.
+        let mut t = two_level(3, 2, 2);
+        crate::testutil::assign_lids(&mut t);
+        let spine1 = t.switch_levels[1][1];
+        for &leaf in &t.switch_levels[0] {
+            let (port, _) = t
+                .subnet
+                .node(leaf)
+                .connected_ports()
+                .find(|(_, r)| r.node == spine1)
+                .unwrap();
+            t.subnet.set_link_down(leaf, port).unwrap();
+        }
+        let g = SwitchGraph::build(&t.subnet).unwrap();
+        assert_eq!(g.bridges().len(), 3, "each surviving uplink is a bridge");
+        assert_eq!(g.components().count(), 2, "spine1 is its own component");
+    }
+
+    #[test]
+    fn parallel_cables_are_never_bridges() {
+        let mut s = Subnet::new();
+        let a = s.add_switch("a", 4);
+        let b = s.add_switch("b", 4);
+        s.connect(a, PortNum::new(1), b, PortNum::new(1)).unwrap();
+        s.connect(a, PortNum::new(2), b, PortNum::new(2)).unwrap();
+        let g = SwitchGraph::build(&s).unwrap();
+        assert!(g.bridges().is_empty());
+        // Cut one of the twins: the survivor becomes a bridge.
+        s.set_link_down(a, PortNum::new(1)).unwrap();
+        let g = SwitchGraph::build(&s).unwrap();
+        assert_eq!(g.bridges(), vec![(0, 1)]);
     }
 
     #[test]

@@ -103,15 +103,10 @@ impl RoutingEngine for Lash {
                 },
             );
         }
-        for (dsw, tree) in trees.iter().enumerate() {
-            if tree
-                .iter()
-                .enumerate()
-                .any(|(s, p)| s != dsw && p.is_none())
-            {
-                return Err(IbError::Topology("disconnected switch graph".into()));
-            }
-        }
+        // A `None` tree entry for s != dsw means the fabric is split and s
+        // cannot reach dsw: the stage fill below leaves that LFT row empty
+        // (an explicit hole) and the pair packing skips the pair — every
+        // reachable pair still gets a path and a lane.
 
         // LFTs straight from the trees: each switch's staging row is
         // independent, so the fill fans across workers too.
@@ -157,11 +152,18 @@ impl RoutingEngine for Lash {
                 if src == dsw {
                     continue;
                 }
+                if trees[dsw][src].is_none() {
+                    // Split fabric: src cannot reach dsw, so the pair has
+                    // no path and needs no lane.
+                    continue;
+                }
                 // Materialize the channel-id path src -> dsw along the tree.
+                // (Every switch on the walk is reachable once src is: the
+                // in-tree is connected toward dsw.)
                 ids.clear();
                 let mut cur = src;
                 while cur != dsw {
-                    let p = trees[dsw][cur].expect("connected graph");
+                    let p = trees[dsw][cur].expect("on the in-tree toward dsw");
                     ids.push(channel_ids[&(cur as u32, p.raw())]);
                     decisions += 1;
                     cur = g
@@ -332,15 +334,9 @@ impl RoutingEngine for Lash {
                 },
             );
         }
-        for (ti, tree) in trees.iter().enumerate() {
-            if tree
-                .iter()
-                .enumerate()
-                .any(|(s, p)| s != dirty_switches[ti] && p.is_none())
-            {
-                return Err(IbError::Topology("disconnected switch graph".into()));
-            }
-        }
+        // A `None` tree entry means the fault split the fabric: the splice
+        // below *clears* that row (no stale route into the lost component)
+        // and the lane re-placement drops the pair.
 
         // Splice the dirty columns: identical to what the full compute's
         // stage fill would produce from the same trees.
@@ -446,10 +442,16 @@ impl RoutingEngine for Lash {
                 if src == dsw {
                     continue;
                 }
+                if tree[src].is_none() {
+                    // The fault cut src off from dsw: the pair no longer
+                    // has a path, so it holds no lane either.
+                    pair_lane.remove(&(src as u32, dsw as u32));
+                    continue;
+                }
                 ids.clear();
                 let mut cur = src;
                 while cur != dsw {
-                    let p = tree[cur].expect("connected graph");
+                    let p = tree[cur].expect("on the in-tree toward dsw");
                     ids.push(channel_ids[&(cur as u32, p.raw())]);
                     decisions += 1;
                     cur = g
@@ -650,9 +652,11 @@ pub fn verify_pair_layers_acyclic(subnet: &Subnet, tables: &RoutingTables) -> Ib
                 let mut prev: Option<usize> = None;
                 let mut hops = 0;
                 while cur != dsw {
-                    let p = tables.lfts[&g.node_id(cur)]
-                        .get(dest.lid)
-                        .expect("routed pair");
+                    // A missing row means the pair is unrouted (a split
+                    // fabric): no path, no dependencies to absorb.
+                    let Some(p) = tables.lfts[&g.node_id(cur)].get(dest.lid) else {
+                        break;
+                    };
                     let ch = cdg.intern((cur as u32, p.raw()));
                     if let Some(pr) = prev {
                         cdg.add_edge(pr, ch, dest.lid.raw());

@@ -39,11 +39,12 @@ pub mod ftree;
 pub mod graph;
 pub mod lash;
 pub mod minhop;
+pub(crate) mod swcols;
 pub mod tables;
 #[doc(hidden)]
 pub mod testutil;
 pub mod updn;
 
 pub use engine::{EngineKind, RoutingEngine, RoutingOptions};
-pub use graph::{BfsScratch, Destination, DistanceMatrix, SwitchGraph};
+pub use graph::{BfsScratch, Components, Destination, DistanceMatrix, SwitchGraph};
 pub use tables::{RoutingTables, VlAssignment};

@@ -8,6 +8,10 @@
 //! has an inherently serial phase on top of the parallel distance matrix —
 //! one reason Min-Hop costs more than structured fat-tree routing in
 //! Fig. 7.
+//!
+//! Switch-destined LIDs are routed up*/down*-legally on a dedicated
+//! lane (see [`crate::swcols`]) — least-loaded valleys between sibling
+//! spines would otherwise close credit loops on the host lane.
 
 use ib_observe::Observer;
 use ib_subnet::Subnet;
@@ -16,6 +20,7 @@ use rustc_hash::FxHashMap;
 
 use crate::engine::{RoutingEngine, RoutingOptions};
 use crate::graph::{DistanceMatrix, SwitchGraph};
+use crate::swcols::{switch_dest_vls, SwitchColumns};
 use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The Min-Hop engine.
@@ -51,6 +56,13 @@ impl RoutingEngine for MinHop {
             DistanceMatrix::all_pairs(&g, opts.effective_workers(g.len()))
         };
 
+        // Switch-destined columns are valley-routed via the hub on their
+        // own lane instead of load-balanced: a spine-to-spine route must
+        // dip through a leaf, and two such valleys through different
+        // leaves close a credit loop (see `swcols`). They take no part
+        // in the port-load accounting below.
+        let swcols = SwitchColumns::new(&g, opts.effective_workers(g.len()));
+
         // Serial assignment: OpenSM's destination-ordered port-load
         // balancing. Each pick reads the loads left by every earlier pick,
         // so this phase stays single-threaded to keep tables byte-identical
@@ -71,12 +83,18 @@ impl RoutingEngine for MinHop {
                     stages[s][lid_idx] = Some(dest.port);
                     continue;
                 }
+                if dest.port == PortNum::MANAGEMENT {
+                    // Switch LID: legal pick (None across a split).
+                    stages[s][lid_idx] = swcols.pick(dest.switch, dest.lid, s);
+                    continue;
+                }
                 let d_here = dist.row(s)[dest.switch];
                 if d_here == u32::MAX {
-                    return Err(IbError::Topology(format!(
-                        "switch {s} cannot reach LID {}",
-                        dest.lid
-                    )));
+                    // The destination sits in another component (a split
+                    // fabric): the column stays `None` here — an explicit
+                    // hole, not a stale route — and routing proceeds for
+                    // every reachable pair.
+                    continue;
                 }
                 // Minimal candidates: neighbors exactly one hop closer.
                 let mut best: Option<(u64, PortNum)> = None;
@@ -101,7 +119,7 @@ impl RoutingEngine for MinHop {
 
         Ok(RoutingTables {
             lfts: stages_to_lfts(&g, stages),
-            vls: VlAssignment::SingleVl,
+            vls: switch_dest_vls(&g),
             engine: self.name(),
             decisions,
         })
@@ -145,16 +163,26 @@ impl RoutingEngine for MinHop {
             .collect();
         let mut out = prior.clone();
         out.engine = self.name();
-        out.vls = VlAssignment::SingleVl;
+        out.vls = switch_dest_vls(g);
         out.decisions = 0;
         if dirty_dests.is_empty() {
             return Ok(out);
         }
 
+        // Switch-destined dirty columns rebuild their valley routes on
+        // the degraded graph (see `swcols`); they never touch the port
+        // loads.
+        let swcols = dirty_dests
+            .iter()
+            .any(|d| d.port == PortNum::MANAGEMENT)
+            .then(|| SwitchColumns::new(g, opts.effective_workers(g.len())));
+
         let stride = 2 + g.neighbors_max_port().unwrap_or(PortNum::MANAGEMENT).raw() as usize;
         let mut port_load: Vec<u64> = vec![0; stride * g.len()];
         for dest in g.destinations() {
-            if dirty.contains(&dest.lid.raw()) {
+            // Switch-destined columns take no part in the full compute's
+            // load accounting, so they must not seed the repair's either.
+            if dirty.contains(&dest.lid.raw()) || dest.port == PortNum::MANAGEMENT {
                 continue;
             }
             for s in 0..g.len() {
@@ -171,9 +199,13 @@ impl RoutingEngine for MinHop {
             }
         }
 
-        // BFS only from the dirty delivery switches (distances are
-        // symmetric: row(dsw)[s] == dist(s -> dsw)).
-        let mut dirty_switches: Vec<usize> = dirty_dests.iter().map(|d| d.switch).collect();
+        // BFS only from the dirty HCA-destined delivery switches
+        // (distances are symmetric: row(dsw)[s] == dist(s -> dsw)).
+        let mut dirty_switches: Vec<usize> = dirty_dests
+            .iter()
+            .filter(|d| d.port != PortNum::MANAGEMENT)
+            .map(|d| d.switch)
+            .collect();
         dirty_switches.sort_unstable();
         dirty_switches.dedup();
         let row_of: FxHashMap<usize, usize> = dirty_switches
@@ -190,6 +222,24 @@ impl RoutingEngine for MinHop {
         let mut decisions = 0u64;
         let mut column: Vec<Option<PortNum>> = vec![None; g.len()];
         for dest in &dirty_dests {
+            if dest.port == PortNum::MANAGEMENT {
+                for (s, slot) in column.iter_mut().enumerate() {
+                    decisions += 1;
+                    *slot = if s == dest.switch {
+                        Some(dest.port)
+                    } else {
+                        // Sticky: keep the installed port while it is
+                        // still valley-legal on the degraded graph, so
+                        // the splice rewrites only what the fault broke.
+                        let installed = prior.lfts[&g.node_id(s)].get(dest.lid);
+                        swcols
+                            .as_ref()
+                            .and_then(|sw| sw.sticky_pick(dest.switch, dest.lid, s, installed))
+                    };
+                }
+                out.set_column(dest.lid, |sw| g.index(sw).and_then(|s| column[s]));
+                continue;
+            }
             let row = dist.row(row_of[&dest.switch]);
             for (s, slot) in column.iter_mut().enumerate() {
                 decisions += 1;
@@ -199,10 +249,11 @@ impl RoutingEngine for MinHop {
                 }
                 let d_here = row[s];
                 if d_here == u32::MAX {
-                    return Err(IbError::Topology(format!(
-                        "repair: switch {s} cannot reach LID {}",
-                        dest.lid
-                    )));
+                    // The fault split the fabric: this switch can no longer
+                    // reach the destination, so its row is cleared rather
+                    // than left pointing into the lost component.
+                    *slot = None;
+                    continue;
                 }
                 // Sticky selection: a repair's job is the smallest diff,
                 // not a global rebalance — keep the installed port

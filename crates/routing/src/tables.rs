@@ -24,12 +24,13 @@ pub(crate) fn stages_to_lfts(
 /// How flows are spread across virtual lanes for deadlock freedom.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VlAssignment {
-    /// Everything on VL0 (engines whose routes are acyclic by construction:
-    /// fat-tree, Up*/Down*, and Min-Hop — which makes no such guarantee but
-    /// assigns no lanes either).
+    /// Everything on VL0 (engines whose routes are acyclic by
+    /// construction on one lane, like Up*/Down*).
     SingleVl,
-    /// DFSSSP-style: each *destination LID* is served on one VL; the
-    /// per-destination routing tree lives entirely in that layer.
+    /// Each *destination LID* is served on one VL; the per-destination
+    /// routing tree lives entirely in that layer. DFSSSP's layering, and
+    /// — with just VL0/VL1 — the minimal engines' isolation of
+    /// switch-destined traffic from the host lane.
     PerDestination(FxHashMap<u16, VirtualLane>),
     /// LASH-style: each ordered source→destination *switch pair* is assigned
     /// a layer.

@@ -19,7 +19,7 @@ use ib_types::{IbError, IbResult, PortNum};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::engine::{RoutingEngine, RoutingOptions};
-use crate::graph::{parallel_for_each, SwitchGraph};
+use crate::graph::{parallel_for_each, Components, SwitchGraph};
 use crate::tables::{stages_to_lfts, RoutingTables, VlAssignment};
 
 /// The Up*/Down* engine.
@@ -40,6 +40,45 @@ pub(crate) fn labels(g: &SwitchGraph, root: usize) -> Vec<(u32, usize)> {
             if level[v as usize] == u32::MAX {
                 level[v as usize] = level[u] + 1;
                 queue.push_back(v as usize);
+            }
+        }
+    }
+    level.into_iter().enumerate().map(|(i, l)| (l, i)).collect()
+}
+
+/// Per-component labels: every component gets its own root and its own
+/// BFS levels, so a split fabric still carries a complete up*/down*
+/// orientation. Labels are only ever compared across an edge, and edges
+/// never cross components, so independent level ranges are safe.
+pub(crate) fn component_labels(
+    g: &SwitchGraph,
+    comps: &Components,
+    explicit_root: Option<usize>,
+) -> Vec<(u32, usize)> {
+    let ranks = g.ranks();
+    let mut level = vec![u32::MAX; g.len()];
+    let mut queue = VecDeque::new();
+    for c in 0..comps.count() as u32 {
+        // The component's root: the explicit override if it lives here,
+        // else the maximal-rank switch (lowest index on ties), else —
+        // for a component with no ranked switch — the lowest index.
+        let root = explicit_root
+            .filter(|&r| r < g.len() && comps.label_of(r) == c)
+            .or_else(|| {
+                (0..g.len())
+                    .filter(|&s| comps.label_of(s) == c && ranks[s] != u32::MAX)
+                    .max_by_key(|&s| (ranks[s], std::cmp::Reverse(s)))
+            })
+            .or_else(|| (0..g.len()).find(|&s| comps.label_of(s) == c));
+        let Some(root) = root else { continue };
+        level[root] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in g.neighbors(u) {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = level[u] + 1;
+                    queue.push_back(v as usize);
+                }
             }
         }
     }
@@ -89,11 +128,15 @@ impl RoutingEngine for UpDown {
             });
         }
         let n = g.len();
-        let root = self.pick_root(&g);
-        let lab = labels(&g, root);
-        if lab.iter().any(|&(l, _)| l == u32::MAX) {
-            return Err(IbError::Topology("disconnected switch graph".into()));
-        }
+        // A split fabric gets one root (and one label range) per
+        // component; the connected fast path is byte-identical to the
+        // single-root labeling it always used.
+        let comps = g.components();
+        let lab = if comps.is_partitioned() {
+            component_labels(&g, &comps, self.root)
+        } else {
+            labels(&g, self.pick_root(&g))
+        };
         // Relaxation order for the up-phase: increasing label, so every
         // up-move goes to an already-finalized switch. Identical for every
         // delivery switch, so it is computed once, outside the fan-out.
@@ -162,7 +205,11 @@ impl RoutingEngine for UpDown {
             );
         }
         for (gi, (dsw, _)) in groups.iter().enumerate() {
-            if full_data[gi * n..(gi + 1) * n].contains(&u32::MAX) {
+            let full = &full_data[gi * n..(gi + 1) * n];
+            // Legality is required only within the delivery switch's
+            // component: a cross-component MAX is an honest hole (the
+            // column entry stays `None`), not a broken orientation.
+            if (0..n).any(|s| comps.same(s, *dsw) && full[s] == u32::MAX) {
                 return Err(IbError::Topology(format!(
                     "no legal up*/down* path to switch {dsw}"
                 )));
@@ -190,6 +237,12 @@ impl RoutingEngine for UpDown {
                     }
                     let down = &down_data[gi * n..(gi + 1) * n];
                     let full = &full_data[gi * n..(gi + 1) * n];
+                    if full[s] == u32::MAX {
+                        // Split fabric: the group's delivery switch lives
+                        // in another component. The stage entries stay
+                        // `None` — explicit holes, not stale routes.
+                        continue;
+                    }
                     // The rule must compose: a packet that descended into
                     // `s` follows the same LFT row as one that just
                     // arrived climbing, so the row itself must never turn
@@ -269,11 +322,12 @@ impl RoutingEngine for UpDown {
         // graph: it is one ranks pass plus one BFS, and reusing a stale
         // root or label set would silently diverge from what a full sweep
         // would install.
-        let root = self.pick_root(g);
-        let lab = labels(g, root);
-        if lab.iter().any(|&(l, _)| l == u32::MAX) {
-            return Err(IbError::Topology("disconnected switch graph".into()));
-        }
+        let comps = g.components();
+        let lab = if comps.is_partitioned() {
+            component_labels(g, &comps, self.root)
+        } else {
+            labels(g, self.pick_root(g))
+        };
         let order = {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_unstable_by_key(|&s| lab[s]);
@@ -344,7 +398,10 @@ impl RoutingEngine for UpDown {
             );
         }
         for (gi, (dsw, _)) in groups.iter().enumerate() {
-            if full_data[gi * n..(gi + 1) * n].contains(&u32::MAX) {
+            let full = &full_data[gi * n..(gi + 1) * n];
+            // As in the full compute: legality is only required within
+            // the delivery switch's component.
+            if (0..n).any(|s| comps.same(s, *dsw) && full[s] == u32::MAX) {
                 return Err(IbError::Topology(format!(
                     "no legal up*/down* path to switch {dsw}"
                 )));
@@ -361,7 +418,10 @@ impl RoutingEngine for UpDown {
             // built once per (switch, group) pair, as in the full compute.
             for (s, c) in cand.iter_mut().enumerate() {
                 c.clear();
-                if s == *dsw {
+                if s == *dsw || full[s] == u32::MAX {
+                    // Delivery rows need no candidates; cross-component
+                    // rows legitimately have none (the fault cut them off
+                    // and their columns are cleared below).
                     continue;
                 }
                 if down[s] != u32::MAX {
@@ -394,6 +454,12 @@ impl RoutingEngine for UpDown {
                     decisions += 1;
                     *slot = if s == *dsw {
                         Some(dest.port)
+                    } else if full[s] == u32::MAX {
+                        // The fault split the fabric: this switch can no
+                        // longer reach the destination, so its row is
+                        // cleared rather than left pointing into the lost
+                        // component.
+                        None
                     } else {
                         // Sticky selection: keep the installed port while
                         // it is still a legal up*/down* minimal candidate

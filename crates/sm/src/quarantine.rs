@@ -85,6 +85,9 @@ struct LinkRecord {
 pub struct LinkQuarantine {
     options: QuarantineOptions,
     links: FxHashMap<(NodeId, PortNum), LinkRecord>,
+    /// Times the bridge guard blocked an admin-down that would have split
+    /// the fabric (see [`Self::bridge_refusals`]).
+    bridge_refusals: u64,
 }
 
 impl LinkQuarantine {
@@ -94,6 +97,7 @@ impl LinkQuarantine {
         Self {
             options,
             links: FxHashMap::default(),
+            bridge_refusals: 0,
         }
     }
 
@@ -139,6 +143,15 @@ impl LinkQuarantine {
     /// became) quarantined, the damper has re-asserted the administrative
     /// down state, and the caller should *not* run a re-sweep for this
     /// trap. Returns `false` when the event should be handled normally.
+    ///
+    /// The damper never partitions the fabric itself: before administering
+    /// a down it checks whether the cable is a *bridge* of the switch
+    /// graph, and on a bridge it refuses — skipping the quarantine at
+    /// threshold-crossing, or early-releasing an active hold-down whose
+    /// link just resurrected (re-downing it would undo a heal). Refusals
+    /// are counted in [`Self::bridge_refusals`]; a chronically flapping
+    /// bridge is simply paid for with re-sweeps, which is cheaper than a
+    /// self-inflicted split.
     pub fn note_link_event(
         &mut self,
         subnet: &mut Subnet,
@@ -156,8 +169,18 @@ impl LinkQuarantine {
         let in_hold_down = rec.held_until.is_some_and(|until| until > now_ns);
         if in_hold_down {
             // A resurrection inside the window: push the link back down and
-            // keep absorbing until the hold-down expires.
+            // keep absorbing until the hold-down expires — unless the link
+            // came back as the only path between two components, in which
+            // case the hold-down is released early instead of re-splitting
+            // the fabric.
             if subnet.is_link_up(key.0, key.1) {
+                if Self::downing_would_split(subnet, key) {
+                    self.bridge_refusals += 1;
+                    rec.held_until = None;
+                    rec.admin_down = false;
+                    self.links.insert(key, rec);
+                    return Ok(false);
+                }
                 subnet.set_link_down(key.0, key.1)?;
                 rec.admin_down = true;
             }
@@ -166,13 +189,22 @@ impl LinkQuarantine {
         }
 
         if rec.penalty >= self.options.flap_threshold {
-            rec.strikes += 1;
-            rec.penalty = 0;
-            rec.held_until = Some(now_ns + self.options.hold_down_for(rec.strikes));
             if subnet.is_link_up(key.0, key.1) {
+                if Self::downing_would_split(subnet, key) {
+                    // Refuse the quarantine outright: taking this link down
+                    // would strand everything behind it. The penalty resets
+                    // so the next flap burst re-evaluates from scratch.
+                    self.bridge_refusals += 1;
+                    rec.penalty = 0;
+                    self.links.insert(key, rec);
+                    return Ok(false);
+                }
                 subnet.set_link_down(key.0, key.1)?;
                 rec.admin_down = true;
             }
+            rec.strikes += 1;
+            rec.penalty = 0;
+            rec.held_until = Some(now_ns + self.options.hold_down_for(rec.strikes));
             self.links.insert(key, rec);
             // Absorbed as far as damping goes, but the topology just
             // changed (the link went administratively down), so the caller
@@ -182,6 +214,38 @@ impl LinkQuarantine {
 
         self.links.insert(key, rec);
         Ok(false)
+    }
+
+    /// Whether administratively downing the (currently live) cable at
+    /// `key` would split the switch fabric: both ends are switches and the
+    /// cable is a bridge of the current switch graph. Host uplinks and
+    /// graphs that cannot be built are never refused — the guard only
+    /// blocks provable self-inflicted splits.
+    fn downing_would_split(subnet: &Subnet, key: (NodeId, PortNum)) -> bool {
+        let Some(remote) = subnet.cabled_neighbor(key.0, key.1) else {
+            return false;
+        };
+        if !subnet.node(key.0).is_switch() || !subnet.node(remote.node).is_switch() {
+            return false;
+        }
+        let Ok(graph) = ib_routing::SwitchGraph::build(subnet) else {
+            return false;
+        };
+        let (Some(a), Some(b)) = (graph.index(key.0), graph.index(remote.node)) else {
+            return false;
+        };
+        graph
+            .bridges()
+            .iter()
+            .any(|&(u, v)| (u, v) == (a, b) || (u, v) == (b, a))
+    }
+
+    /// Times the bridge guard refused an administrative down (or released
+    /// a hold-down early) because the link was the only path between two
+    /// parts of the fabric.
+    #[must_use]
+    pub fn bridge_refusals(&self) -> u64 {
+        self.bridge_refusals
     }
 
     /// Releases every link whose hold-down expired by `now_ns`, restoring
@@ -245,11 +309,41 @@ impl LinkQuarantine {
     /// means the quarantine held — no installed route uses a damped link.
     #[must_use]
     pub fn verify_absent(&self, subnet: &Subnet, now_ns: u64) -> Vec<String> {
+        self.verify_absent_scoped(subnet, now_ns, None)
+    }
+
+    /// [`Self::verify_absent`] restricted to the switches `viewpoint` can
+    /// reach over live links. A split fabric strands switches whose stale
+    /// tables still cross their (now quarantined) uplinks — no SMP can
+    /// clear those rows until the heal, so only the governable component
+    /// is judged. `None` judges every switch.
+    #[must_use]
+    pub fn verify_absent_scoped(
+        &self,
+        subnet: &Subnet,
+        now_ns: u64,
+        viewpoint: Option<NodeId>,
+    ) -> Vec<String> {
         let mut offenders = Vec::new();
         let held = self.quarantined_links(now_ns);
         if held.is_empty() {
             return offenders;
         }
+        // The viewpoint's live component, when one is given.
+        let scope: Option<Vec<bool>> = viewpoint.map(|start| {
+            let mut seen = vec![false; subnet.node_ids().count()];
+            seen[start.index()] = true;
+            let mut stack = vec![start];
+            while let Some(at) = stack.pop() {
+                for (_, remote) in subnet.node(at).connected_ports() {
+                    if !seen[remote.node.index()] && subnet.node(remote.node).is_alive() {
+                        seen[remote.node.index()] = true;
+                        stack.push(remote.node);
+                    }
+                }
+            }
+            seen
+        });
         // Both ends of each quarantined cable, as (node, out-port) pairs.
         let mut banned: Vec<(NodeId, PortNum)> = Vec::new();
         for &((node, port), _) in &held {
@@ -259,6 +353,9 @@ impl LinkQuarantine {
             }
         }
         for node in subnet.switches() {
+            if scope.as_ref().is_some_and(|s| !s[node.id.index()]) {
+                continue;
+            }
             let Some(lft) = subnet.lft(node.id) else {
                 continue;
             };
@@ -399,6 +496,76 @@ mod tests {
             !t.subnet.is_link_up(leaf, port),
             "the damper never downed it, so it must not bring it up"
         );
+    }
+
+    /// A 3-switch line with one host per switch: every inter-switch cable
+    /// is a bridge — any admin-down would split the fabric.
+    fn line_fabric() -> (Subnet, Vec<NodeId>) {
+        let mut s = Subnet::new();
+        let sw: Vec<NodeId> = (0..3).map(|i| s.add_switch(format!("sw{i}"), 4)).collect();
+        s.connect(sw[0], PortNum::new(1), sw[1], PortNum::new(1))
+            .unwrap();
+        s.connect(sw[1], PortNum::new(2), sw[2], PortNum::new(1))
+            .unwrap();
+        for (i, &w) in sw.iter().enumerate() {
+            let h = s.add_hca(format!("h{i}"));
+            s.connect(w, PortNum::new(3), h, PortNum::new(1)).unwrap();
+        }
+        (s, sw)
+    }
+
+    #[test]
+    fn bridge_links_refuse_quarantine_on_a_tree() {
+        // On a tree every switch-switch link is a bridge: however hard a
+        // link flaps, the damper must never be the one to split the fabric.
+        let (mut s, sw) = line_fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        for trunk in [(sw[0], PortNum::new(1)), (sw[1], PortNum::new(2))] {
+            for at in 0..10 {
+                assert!(!q.note_link_event(&mut s, trunk.0, trunk.1, at).unwrap());
+            }
+            assert!(s.is_link_up(trunk.0, trunk.1), "never admin-downed");
+            assert!(!q.is_quarantined(&s, trunk.0, trunk.1, 10));
+        }
+        // Threshold 3 over 10 events per trunk: 3 refusals each.
+        assert_eq!(q.bridge_refusals(), 6);
+        s.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn resurrected_bridge_is_released_early_instead_of_re_split() {
+        let (mut s, sw) = line_fabric();
+        let (node, port) = (sw[0], PortNum::new(1));
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        // The trunk goes physically down first: holding it down changes
+        // nothing (the split already exists), so the quarantine may trip.
+        s.set_link_down(node, port).unwrap();
+        for at in 0..3 {
+            q.note_link_event(&mut s, node, port, at).unwrap();
+        }
+        assert!(q.is_quarantined(&s, node, port, 3));
+        // The link comes back as the only path between the two halves:
+        // re-downing it would re-split, so the hold-down releases early
+        // and the event goes through to a normal fold-in sweep.
+        s.set_link_up(node, port).unwrap();
+        assert!(!q.note_link_event(&mut s, node, port, 4).unwrap());
+        assert!(s.is_link_up(node, port), "heal preserved");
+        assert!(!q.is_quarantined(&s, node, port, 4));
+        assert_eq!(q.bridge_refusals(), 1);
+    }
+
+    #[test]
+    fn redundant_links_still_quarantine_with_the_guard_active() {
+        // The fat tree's leaf-spine link has a redundant twin through the
+        // other spine: not a bridge, so damping proceeds as ever.
+        let (mut t, leaf, port) = fabric();
+        let mut q = LinkQuarantine::new(QuarantineOptions::enabled());
+        for at in 0..3 {
+            q.note_link_event(&mut t.subnet, leaf, port, at).unwrap();
+        }
+        assert!(q.is_quarantined(&t.subnet, leaf, port, 2));
+        assert!(!t.subnet.is_link_up(leaf, port));
+        assert_eq!(q.bridge_refusals(), 0);
     }
 
     #[test]

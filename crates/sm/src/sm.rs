@@ -6,7 +6,8 @@ use ib_mad::SmpLedger;
 use ib_observe::Observer;
 use ib_routing::{EngineKind, RoutingOptions};
 use ib_subnet::{lft::min_blocks_for, NodeId, Subnet};
-use ib_types::{IbResult, LidSpace};
+use ib_types::{IbResult, Lid, LidSpace};
+use std::collections::HashSet;
 
 use crate::discovery;
 use crate::distribution;
@@ -193,6 +194,16 @@ pub struct SubnetManager {
     /// When the pending batch is due: first-deferred-trap time plus the
     /// coalescing window.
     pub(crate) batch_deadline_ns: Option<u64>,
+    /// Degraded-mode ledger: LIDs the last sweep proved unreachable from
+    /// the SM (the far side of a fabric split), in ascending order. Empty
+    /// when the fabric is whole. A heal sweep must show every one of these
+    /// regained a full destination column before the ledger clears.
+    pub(crate) unreachable_lids: Vec<Lid>,
+    /// The nodes beyond the split — switches in foreign components plus
+    /// the endpoints hanging off them. Their traps are absorbed (no MAD
+    /// from a lost component can physically reach the SM) and their LFTs
+    /// are excluded from distribution until a heal reconnects them.
+    pub(crate) lost_nodes: HashSet<NodeId>,
 }
 
 impl SubnetManager {
@@ -210,6 +221,8 @@ impl SubnetManager {
             cached_graph: None,
             pending_traps: Vec::new(),
             batch_deadline_ns: None,
+            unreachable_lids: Vec::new(),
+            lost_nodes: HashSet::new(),
         }
     }
 
@@ -289,18 +302,30 @@ impl SubnetManager {
         };
         let path_computation = started.elapsed();
 
-        let dist = distribution::distribute_opts(
-            subnet,
-            self.sm_node,
-            &tables,
-            self.config.smp_mode,
-            &mut self.ledger,
-            self.config.sweep,
-        )?;
+        let healed = self.refresh_partition_state(subnet);
+        let dist = match self.served_tables(&tables) {
+            Some(served) => distribution::distribute_opts(
+                subnet,
+                self.sm_node,
+                &served,
+                self.config.smp_mode,
+                &mut self.ledger,
+                self.config.sweep,
+            )?,
+            None => distribution::distribute_opts(
+                subnet,
+                self.sm_node,
+                &tables,
+                self.config.smp_mode,
+                &mut self.ledger,
+                self.config.sweep,
+            )?,
+        };
 
         if self.config.verify {
             self.verify_installed(subnet, &tables.vls)?;
         }
+        self.verify_healed(subnet, &healed)?;
 
         let report = BringUpReport {
             discovery_smps: 0,
@@ -394,16 +419,19 @@ impl SubnetManager {
     /// Runs the [`ib_verify::FabricVerifier`] against the installed tables
     /// (with the VL layering the engine produced), turning any violation
     /// into a hard error. Emits `verify.*` counters into the observer.
+    ///
+    /// Verification is scoped to the SM's own connected component: after a
+    /// fabric split, switches beyond the cut keep whatever rows were last
+    /// installed — no SMP the master sends can reach them, so their stale
+    /// state is the *lost* side's problem until a heal sweep rewrites it.
     pub(crate) fn verify_installed(
         &mut self,
         subnet: &Subnet,
         vls: &ib_routing::VlAssignment,
     ) -> IbResult<()> {
-        let report = ib_verify::FabricVerifier::new().verify_observed(
-            subnet,
-            vls,
-            self.ledger.observer(),
-        )?;
+        let report = ib_verify::FabricVerifier::new()
+            .with_viewpoint(self.sm_node)
+            .verify_observed(subnet, vls, self.ledger.observer())?;
         if report.is_clean() {
             Ok(())
         } else {
@@ -412,6 +440,167 @@ impl SubnetManager {
                 report.summary()
             )))
         }
+    }
+
+    /// Re-labels the fabric's connected components after a sweep computed
+    /// fresh tables, updating the degraded-mode ledger. A split is counted
+    /// (`sm.partitioned` per sweep that still sees it, `sm.unreachable_lids`
+    /// with the stranded LID count); a fabric that is whole again clears
+    /// the ledger. Returns the LIDs that were unreachable *before* this
+    /// refresh so the caller can prove a heal restored their columns
+    /// ([`Self::verify_healed`]).
+    pub(crate) fn refresh_partition_state(&mut self, subnet: &Subnet) -> Vec<Lid> {
+        let prior = std::mem::take(&mut self.unreachable_lids);
+        self.lost_nodes.clear();
+        if let Some((lost, lids)) = self.partition_scan(subnet) {
+            let observer = self.ledger.observer();
+            observer.incr("sm.partitioned");
+            observer.add("sm.unreachable_lids", lids.len() as u64);
+            self.lost_nodes = lost;
+            self.unreachable_lids = lids;
+        }
+        prior
+    }
+
+    /// Labels the connected components of the switch graph (reusing the
+    /// epoch-cached CSR build when one is current) and, on a split, returns
+    /// the nodes beyond the SM's component together with the LIDs stranded
+    /// there. `None` when the fabric is whole — or when no component can be
+    /// labeled at all (the SM host's own uplink is down, or the degraded
+    /// subnet cannot express a CSR graph), in which case the sweep proceeds
+    /// exactly as before this machinery existed.
+    fn partition_scan(&mut self, subnet: &Subnet) -> Option<(HashSet<NodeId>, Vec<Lid>)> {
+        let epoch = subnet.topology_epoch();
+        let graph = match self.cached_graph.take() {
+            Some((e, g)) if e == epoch => g,
+            _ => ib_routing::SwitchGraph::build(subnet).ok()?,
+        };
+        let scan = self.scan_lost(subnet, &graph);
+        self.cached_graph = Some((epoch, graph));
+        scan
+    }
+
+    /// The component walk behind [`Self::partition_scan`]: everything not
+    /// in the SM's own component is lost, and every LID registered on a
+    /// lost node is unreachable.
+    fn scan_lost(
+        &self,
+        subnet: &Subnet,
+        graph: &ib_routing::SwitchGraph,
+    ) -> Option<(HashSet<NodeId>, Vec<Lid>)> {
+        let comps = graph.components();
+        if !comps.is_partitioned() {
+            return None;
+        }
+        // Anchor the scan at the switch the SM talks through (the SM host
+        // itself when it *is* a switch).
+        let anchor = if subnet.node(self.sm_node).is_switch() {
+            self.sm_node
+        } else {
+            subnet
+                .node(self.sm_node)
+                .connected_ports()
+                .map(|(_, r)| r.node)
+                .find(|&n| subnet.node(n).is_switch())?
+        };
+        let scope = comps.label_of(graph.index(anchor)?);
+        let in_scope = |node: NodeId| {
+            graph
+                .index(node)
+                .is_some_and(|i| comps.label_of(i) == scope)
+        };
+        let mut lost = HashSet::new();
+        let mut lids = Vec::new();
+        for n in subnet.nodes().filter(|n| n.is_alive()) {
+            let reachable = if n.id == self.sm_node {
+                true
+            } else if n.is_switch() {
+                in_scope(n.id)
+            } else {
+                // An endpoint follows whichever switch still links it in.
+                n.connected_ports().any(|(_, r)| in_scope(r.node))
+            };
+            if !reachable {
+                lids.extend(n.lids());
+                lost.insert(n.id);
+            }
+        }
+        lids.sort_unstable();
+        Some((lost, lids))
+    }
+
+    /// The subset of `tables` the SM can still deliver: switches beyond the
+    /// split are dropped — their `Set` SMPs would only burn the retry
+    /// budget, and the heal sweep rewrites their rows wholesale anyway.
+    /// `None` when the fabric is whole (the common case pays nothing).
+    pub(crate) fn served_tables(
+        &self,
+        tables: &ib_routing::RoutingTables,
+    ) -> Option<ib_routing::RoutingTables> {
+        if self.lost_nodes.is_empty() {
+            return None;
+        }
+        self.ledger.observer().add(
+            "sm.switches_unserved",
+            tables
+                .lfts
+                .keys()
+                .filter(|id| self.lost_nodes.contains(id))
+                .count() as u64,
+        );
+        Some(ib_routing::RoutingTables {
+            lfts: tables
+                .lfts
+                .iter()
+                .filter(|(id, _)| !self.lost_nodes.contains(id))
+                .map(|(&id, lft)| (id, lft.clone()))
+                .collect(),
+            vls: tables.vls.clone(),
+            engine: tables.engine,
+            decisions: tables.decisions,
+        })
+    }
+
+    /// After a sweep on a fabric that is whole again: every LID the split
+    /// had stranded — and that still exists — must have regained a full
+    /// destination column on every switch, or the heal is declared broken.
+    /// Counts `sm.healed` once per recovery. A no-op while still degraded
+    /// or when nothing was stranded.
+    pub(crate) fn verify_healed(&mut self, subnet: &Subnet, stranded: &[Lid]) -> IbResult<()> {
+        if stranded.is_empty() || !self.unreachable_lids.is_empty() {
+            return Ok(());
+        }
+        self.ledger.observer().incr("sm.healed");
+        for &lid in stranded {
+            if subnet.endpoint_of(lid).is_none() {
+                continue; // pruned while lost; nothing to restore
+            }
+            for sw in subnet.switches() {
+                if sw.lft().is_some_and(|l| l.get(lid).is_none()) {
+                    return Err(ib_types::IbError::Management(format!(
+                        "heal verification failed: {} has no route toward \
+                         previously-unreachable LID {lid}",
+                        subnet.name_of(sw.id)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The LIDs the last sweep left unreachable (ascending), empty when
+    /// the fabric is whole. The soak harness and drivers read this to know
+    /// whether the SM is serving a degraded fabric.
+    #[must_use]
+    pub fn unreachable_lids(&self) -> &[Lid] {
+        &self.unreachable_lids
+    }
+
+    /// True while the SM is serving only its own component of a split
+    /// fabric.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.unreachable_lids.is_empty() || !self.lost_nodes.is_empty()
     }
 }
 

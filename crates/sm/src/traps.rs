@@ -130,6 +130,10 @@ impl SubnetManager {
         transport: &mut SmpTransport<C>,
     ) -> IbResult<ResweepReport> {
         self.ledger.observer().incr("trap.received");
+        if self.trap_is_beyond_split(subnet, &trap) {
+            self.ledger.observer().incr("sm.trap_absorbed_lost");
+            return Ok(absorbed_report());
+        }
         match trap {
             Trap::LinkStateChange { node, port } => {
                 if self.config().repair {
@@ -160,14 +164,25 @@ impl SubnetManager {
         transport: &mut SmpTransport<C>,
         now_ns: u64,
     ) -> IbResult<ResweepReport> {
+        if self.trap_is_beyond_split(subnet, &trap) {
+            let observer = self.ledger.observer();
+            observer.incr("trap.received");
+            observer.incr("sm.trap_absorbed_lost");
+            return Ok(absorbed_report());
+        }
         if let Trap::LinkStateChange { node, port } = trap {
             if self.config().quarantine.enabled {
                 let was_held = self.quarantine.is_quarantined(subnet, node, port, now_ns);
+                let refusals_before = self.quarantine.bridge_refusals();
                 let absorbed = self
                     .quarantine
                     .note_link_event(subnet, node, port, now_ns)?;
                 let observer = self.ledger.observer();
                 observer.incr("quarantine.events");
+                observer.add(
+                    "quarantine.bridge_refused",
+                    self.quarantine.bridge_refusals() - refusals_before,
+                );
                 if absorbed {
                     observer.incr("quarantine.absorbed");
                     self.ledger.observer().incr("trap.received");
@@ -188,6 +203,27 @@ impl SubnetManager {
             }
         }
         self.handle_trap(subnet, trap, transport)
+    }
+
+    /// Whether the current split physically keeps `trap` from reaching the
+    /// SM: its reporter sits beyond the cut and — for a link coming *up* —
+    /// so does the far end. A boundary link-up is the heal signal and must
+    /// get through (its MAD can cross the freshly risen link); everything
+    /// else from a lost component is absorbed, exactly as a real master
+    /// never sees MADs from switches it cannot route to.
+    fn trap_is_beyond_split(&self, subnet: &Subnet, trap: &Trap) -> bool {
+        if self.lost_nodes.is_empty() {
+            return false;
+        }
+        match *trap {
+            Trap::LinkStateChange { node, port } => {
+                self.lost_nodes.contains(&node)
+                    && subnet
+                        .neighbor(node, port)
+                        .is_none_or(|r| self.lost_nodes.contains(&r.node))
+            }
+            Trap::SwitchDeath { node } => self.lost_nodes.contains(&node),
+        }
     }
 
     /// Queues one link-down trap for the pending batch (deduplicated per
@@ -251,9 +287,13 @@ impl SubnetManager {
     }
 
     /// Light sweep: recompute routes over the currently known topology and
-    /// push the dirty blocks. LIDs are not touched. If path computation
-    /// fails — some destination became unreachable, meaning the topology
-    /// the SM believes in is stale — escalates to a heavy sweep.
+    /// push the dirty blocks. LIDs are not touched. A fabric split is *not*
+    /// an error here: the engines route each component on its own and clear
+    /// the cross-component columns, the SM enters counted degraded mode
+    /// (`sm.partitioned`) and keeps serving its own side. Escalation to a
+    /// heavy sweep remains for genuine engine failures — topology the
+    /// engine cannot even express (e.g. a LID stranded on a switchless
+    /// endpoint), which only rediscovery-plus-pruning repairs.
     pub fn light_sweep<C: SmpChannel>(
         &mut self,
         subnet: &mut Subnet,
@@ -265,10 +305,14 @@ impl SubnetManager {
         match engine.compute_with(subnet, routing, self.ledger.observer()) {
             Ok(tables) => {
                 self.ledger.observer().incr("resweep.light");
+                let healed = self.refresh_partition_state(subnet);
                 let (distribution, retry_passes, failed_blocks) =
                     self.distribute_resumably(subnet, &tables, transport)?;
                 self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
                 self.refresh_route_index(subnet, &failed_blocks);
+                if failed_blocks.is_empty() {
+                    self.verify_healed(subnet, &healed)?;
+                }
                 self.last_tables = Some(tables);
                 Ok(ResweepReport {
                     kind: SweepKind::Light,
@@ -291,9 +335,15 @@ impl SubnetManager {
     }
 
     /// Heavy sweep: rediscover the fabric from the SM node, drop every
-    /// previously active node the sweep no longer reaches (pruning and
-    /// releasing its LIDs — *without* renumbering any survivor), then
-    /// recompute and redistribute routes.
+    /// previously active node the sweep no longer reaches *and cannot come
+    /// back on its own* (pruning and releasing its LIDs — *without*
+    /// renumbering any survivor), then recompute and redistribute routes.
+    ///
+    /// Partition tolerance narrows the prune set: a node that is alive and
+    /// still holds live cables merely sits beyond a split — its LIDs are
+    /// kept so the heal sweep restores it in place. What is pruned: dead
+    /// nodes' LID registrations, and live nodes whose every cable went down
+    /// with a dead neighbor (nothing short of recabling reconnects those).
     pub fn heavy_sweep<C: SmpChannel>(
         &mut self,
         subnet: &mut Subnet,
@@ -307,18 +357,23 @@ impl SubnetManager {
             reached[n.index()] = true;
         }
 
-        // Prune what the sweep lost: unreached nodes that were part of the
-        // active fabric (they hold LIDs, or are alive with cabling). Nodes
-        // that never joined — e.g. dormant dynamic-mode VFs with no cable
-        // and no LID — are left alone, as are nodes already processed by an
-        // earlier sweep.
+        // Prune what the sweep lost for good. Nodes that never joined —
+        // e.g. dormant dynamic-mode VFs with no cable and no LID — are
+        // left alone, as are nodes already processed by an earlier sweep
+        // and live nodes beyond a split (they keep their LIDs for the
+        // heal).
         let mut pruned_lids = Vec::new();
         let mut removed_nodes = 0;
         let lost: Vec<NodeId> = subnet
             .nodes()
             .filter(|n| !reached[n.id.index()])
             .filter(|n| {
-                n.lids().next().is_some() || (n.is_alive() && n.cabled_ports().next().is_some())
+                if n.is_alive() {
+                    n.connected_ports().next().is_none()
+                        && (n.lids().next().is_some() || n.cabled_ports().next().is_some())
+                } else {
+                    n.lids().next().is_some()
+                }
             })
             .map(|n| n.id)
             .collect();
@@ -343,10 +398,14 @@ impl SubnetManager {
         let engine = self.config().engine.build();
         let routing = self.config().routing;
         let tables = engine.compute_with(subnet, routing, self.ledger.observer())?;
+        let healed = self.refresh_partition_state(subnet);
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         self.verify_converged(subnet, &tables.vls, &failed_blocks)?;
         self.refresh_route_index(subnet, &failed_blocks);
+        if failed_blocks.is_empty() {
+            self.verify_healed(subnet, &healed)?;
+        }
         self.last_tables = Some(tables);
         Ok(ResweepReport {
             kind: SweepKind::Heavy,
@@ -441,11 +500,13 @@ impl SubnetManager {
                 return self.light_sweep(subnet, transport);
             }
         };
+        let healed = self.refresh_partition_state(subnet);
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         if failed_blocks.is_empty() {
             let report = ib_verify::FabricVerifier::new()
                 .with_deadlock(self.config().verify)
+                .with_viewpoint(self.sm_node)
                 .verify_observed(subnet, &tables.vls, self.ledger.observer())?;
             let touched: std::collections::HashSet<Lid> = dirty.iter().copied().collect();
             if self.repair_gate_rejects(&report, &touched) {
@@ -457,7 +518,7 @@ impl SubnetManager {
                 return self.light_sweep(subnet, transport);
             }
             self.count_repair_success();
-            if repair_was_spliced(engine.as_ref(), &prior, &tables) {
+            if repair_was_spliced(engine.as_ref(), &prior, &tables) && self.lost_nodes.is_empty() {
                 if let Some(idx) = self.route_index.as_mut() {
                     for &lid in &dirty {
                         idx.apply_column_update(lid, &prior, &tables);
@@ -466,10 +527,13 @@ impl SubnetManager {
             } else {
                 // A full-recompute "repair" (default-fallback engines, or
                 // an incremental engine that lost its baseline) may have
-                // rewritten any column: per-column splicing cannot track
-                // it, so rebuild the index from what is now installed.
+                // rewritten any column — and a repair on a split fabric
+                // rewrote columns on switches the SM no longer serves:
+                // per-column splicing cannot track either, so rebuild the
+                // index from what is now installed.
                 self.route_index = Some(ib_verify::ReverseRouteIndex::from_installed(subnet));
             }
+            self.verify_healed(subnet, &healed)?;
         } else {
             // Mirrors `verify_converged`: tables with stranded blocks are
             // expected to be inconsistent, so the gate is deferred — and
@@ -581,11 +645,13 @@ impl SubnetManager {
                 return self.light_sweep(subnet, transport);
             }
         };
+        let healed = self.refresh_partition_state(subnet);
         let (distribution, retry_passes, failed_blocks) =
             self.distribute_resumably(subnet, &tables, transport)?;
         if failed_blocks.is_empty() {
             let report = ib_verify::FabricVerifier::new()
                 .with_deadlock(self.config().verify)
+                .with_viewpoint(self.sm_node)
                 .verify_observed(subnet, &tables.vls, self.ledger.observer())?;
             let touched: std::collections::HashSet<Lid> =
                 groups.iter().flatten().copied().collect();
@@ -595,7 +661,7 @@ impl SubnetManager {
                 return self.light_sweep(subnet, transport);
             }
             self.count_repair_success();
-            if repair_was_spliced(engine.as_ref(), &prior, &tables) {
+            if repair_was_spliced(engine.as_ref(), &prior, &tables) && self.lost_nodes.is_empty() {
                 if let Some(idx) = self.route_index.as_mut() {
                     for group in &groups {
                         for &lid in group {
@@ -606,6 +672,7 @@ impl SubnetManager {
             } else {
                 self.route_index = Some(ib_verify::ReverseRouteIndex::from_installed(subnet));
             }
+            self.verify_healed(subnet, &healed)?;
         } else {
             self.ledger.observer().incr("repair.unconverged");
             self.route_index = None;
@@ -759,12 +826,18 @@ impl SubnetManager {
     /// so the returned report equals the fault-free report once every block
     /// has landed — a switch split across passes is counted once in
     /// `switches_updated` and its blocks sum in `max_blocks_per_switch`.
+    ///
+    /// On a split fabric, switches beyond the cut are excluded up front
+    /// ([`SubnetManager::served_tables`]) instead of burning all
+    /// [`MAX_RETRY_PASSES`] against links no SMP can cross.
     fn distribute_resumably<C: SmpChannel>(
         &mut self,
         subnet: &mut Subnet,
         tables: &ib_routing::RoutingTables,
         transport: &mut SmpTransport<C>,
     ) -> IbResult<(DistributionReport, usize, Vec<FailedBlock>)> {
+        let served = self.served_tables(tables);
+        let tables = served.as_ref().unwrap_or(tables);
         let mode = self.config().smp_mode;
         let sweep = self.config().sweep;
         let mut acct = ResumeAccounting::new();
@@ -915,34 +988,104 @@ mod tests {
         t.subnet.validate_degraded().unwrap();
     }
 
-    #[test]
-    fn isolating_a_leaf_escalates_and_prunes_its_hosts() {
-        let (mut t, mut sm) = bring_up();
-        // Kill every uplink of leaf 2 (the SM host is on leaf 0): its two
-        // hosts drop off the fabric.
-        let leaf2 = t.switch_levels[0][2];
+    /// Downs every physical uplink of leaf `idx`, returning the ports.
+    fn isolate_leaf(t: &mut ib_subnet::topology::BuiltTopology, idx: usize) -> Vec<PortNum> {
+        let leaf = t.switch_levels[0][idx];
         let uplinks: Vec<PortNum> = t
             .subnet
-            .node(leaf2)
+            .node(leaf)
             .connected_ports()
             .filter(|(_, r)| t.subnet.node(r.node).is_physical_switch())
             .map(|(p, _)| p)
             .collect();
         for p in &uplinks {
-            t.subnet.set_link_down(leaf2, *p).unwrap();
+            t.subnet.set_link_down(leaf, *p).unwrap();
         }
+        uplinks
+    }
+
+    #[test]
+    fn isolating_a_leaf_enters_degraded_mode_without_pruning() {
+        let (mut t, mut sm) = bring_up();
+        // Kill every uplink of leaf 2 (the SM host is on leaf 0): its two
+        // hosts sit beyond the split but stay alive.
+        isolate_leaf(&mut t, 2);
+        let lids_before = all_lids(&t.subnet);
 
         let mut transport = SmpTransport::perfect(sm.sm_node);
         let report = sm.light_sweep(&mut t.subnet, &mut transport).unwrap();
-        // Light sweep cannot route to the isolated leaf: escalation.
-        assert!(report.escalated);
-        assert_eq!(report.kind, SweepKind::Heavy);
-        // Leaf 2 + its 2 hosts: 3 pruned LIDs, 3 removed nodes.
-        assert_eq!(report.removed_nodes, 3);
-        assert_eq!(report.pruned_lids.len(), 3);
+        // Degraded mode, not escalation: the sweep serves the master's
+        // component and leaves the lost one for the heal.
+        assert_eq!(report.kind, SweepKind::Light);
+        assert!(!report.escalated);
+        assert!(report.pruned_lids.is_empty());
+        assert_eq!(report.removed_nodes, 0);
+        assert!(report.failed_blocks.is_empty());
+        // No LID moved or vanished — a reconnect restores the lost side
+        // in place.
+        assert_eq!(all_lids(&t.subnet), lids_before);
+        assert!(sm.is_degraded());
+        // Leaf 2 + its 2 hosts were stranded.
+        assert_eq!(sm.unreachable_lids().len(), 3);
         let survivors: Vec<NodeId> = t.hosts[4..6].to_vec();
         assert_all_pairs_connected(&t, &survivors);
         t.subnet.validate_degraded().unwrap();
+    }
+
+    #[test]
+    fn heal_after_split_restores_columns_and_counts() {
+        let (mut t, mut sm) = bring_up();
+        sm.set_observer(ib_observe::Observer::metrics());
+        let leaf2 = t.switch_levels[0][2];
+        let uplinks = isolate_leaf(&mut t, 2);
+        let mut transport = SmpTransport::perfect(sm.sm_node);
+        sm.light_sweep(&mut t.subnet, &mut transport).unwrap();
+        assert!(sm.is_degraded());
+
+        // A trap from beyond the split is absorbed without a sweep: no MAD
+        // from the lost component can physically reach the master.
+        let report = sm
+            .handle_trap(
+                &mut t.subnet,
+                Trap::LinkStateChange {
+                    node: leaf2,
+                    port: uplinks[1],
+                },
+                &mut transport,
+            )
+            .unwrap();
+        assert_eq!(report.distribution.lft_smps, 0);
+
+        // One uplink comes back: the boundary link-up trap gets through
+        // and the heal sweep restores every stranded column.
+        t.subnet.set_link_up(leaf2, uplinks[0]).unwrap();
+        let report = sm
+            .handle_trap(
+                &mut t.subnet,
+                Trap::LinkStateChange {
+                    node: leaf2,
+                    port: uplinks[0],
+                },
+                &mut transport,
+            )
+            .unwrap();
+        assert_eq!(report.kind, SweepKind::Light);
+        assert!(report.failed_blocks.is_empty());
+        assert!(!sm.is_degraded());
+        assert_all_pairs_connected(&t, &[]);
+        assert!(sm.verify_route_index(&t.subnet).is_empty());
+        t.subnet.validate_degraded().unwrap();
+
+        let snap = sm.observer().snapshot().unwrap();
+        assert_eq!(snap.counter("sm.partitioned"), 1);
+        assert_eq!(snap.counter("sm.unreachable_lids"), 3);
+        assert_eq!(snap.counter("sm.trap_absorbed_lost"), 1);
+        assert_eq!(snap.counter("sm.healed"), 1);
+        // The stranded leaf's rows were refreshed by the heal sweep.
+        let leaf2_lft = t.subnet.lft(leaf2).unwrap();
+        for lid in all_lids(&t.subnet) {
+            assert!(leaf2_lft.get(lid).is_some(), "leaf2 routes LID {lid}");
+        }
     }
 
     /// The leaf0 -> spine0 uplink, downed, plus its trap.

@@ -653,9 +653,12 @@ impl Subnet {
     ///    on both ends or neither);
     /// 2. dead nodes have no live links;
     /// 3. every registered LID belongs to a node that actually carries it;
-    /// 4. every registered LID is owned by an *alive* node reachable from
-    ///    the first alive node over live links (i.e. the SM pruned the LIDs
-    ///    of everything that fell off the fabric).
+    /// 4. every registered LID is owned by an *alive* node that some
+    ///    component of the fabric can still serve: a switch (however
+    ///    isolated — a split strands whole components, and a heal restores
+    ///    them in place), or an endpoint with at least one live uplink.
+    ///    An endpoint whose every cable is down holds a LID no SM in any
+    ///    component could ever route to — that one the SM must prune.
     pub fn validate_degraded(&self) -> IbResult<()> {
         for node in &self.nodes {
             for (port, remote) in node.cabled_ports() {
@@ -689,7 +692,6 @@ impl Subnet {
                 }
             }
         }
-        let reachable = self.live_reachable();
         for (&raw, ep) in &self.lid_map {
             let node = self
                 .nodes
@@ -707,7 +709,7 @@ impl Subnet {
                     node.name
                 )));
             }
-            if !reachable.get(ep.node.index()).copied().unwrap_or(false) {
+            if !node.is_switch() && node.connected_ports().next().is_none() {
                 return Err(IbError::Management(format!(
                     "LID {raw} owned by {} which is unreachable on the degraded fabric",
                     node.name
@@ -715,26 +717,6 @@ impl Subnet {
             }
         }
         Ok(())
-    }
-
-    /// Which nodes the first alive node can reach over live links.
-    fn live_reachable(&self) -> Vec<bool> {
-        let mut seen = vec![false; self.nodes.len()];
-        let Some(start) = self.nodes.iter().find(|n| n.is_alive()) else {
-            return seen;
-        };
-        let mut queue = std::collections::VecDeque::new();
-        seen[start.id.index()] = true;
-        queue.push_back(start.id);
-        while let Some(id) = queue.pop_front() {
-            for (_, remote) in self.nodes[id.index()].connected_ports() {
-                if !seen[remote.node.index()] {
-                    seen[remote.node.index()] = true;
-                    queue.push_back(remote.node);
-                }
-            }
-        }
-        seen
     }
 
     fn bfs_reach(&self, start: NodeId) -> usize {
@@ -1142,10 +1124,16 @@ mod tests {
 
     #[test]
     fn degraded_validation_rejects_unreachable_lid_owner() {
-        let (mut s, sw0, _, _, h1) = two_switch_subnet();
+        let (mut s, sw0, sw1, _, h1) = two_switch_subnet();
         s.assign_port_lid(h1, PortNum::new(1), Lid::from_raw(2))
             .unwrap();
+        // A fabric *split* is legal degraded state: h1 keeps its LID in
+        // the {sw1, h1} component, to be healed in place.
         s.set_link_down(sw0, PortNum::new(1)).unwrap();
+        s.validate_degraded().unwrap();
+        // An endpoint with every cable down is not: no component can ever
+        // serve that LID, so the SM must prune it.
+        s.set_link_down(sw1, PortNum::new(2)).unwrap();
         let err = s.validate_degraded().unwrap_err();
         assert!(err.to_string().contains("unreachable"), "{err}");
     }

@@ -22,6 +22,10 @@ impl VirtualLane {
     /// VL0, the default data lane.
     pub const VL0: VirtualLane = VirtualLane(0);
 
+    /// VL1, the first escape lane — used by the minimal engines to
+    /// isolate switch-destined traffic from the host lane.
+    pub const VL1: VirtualLane = VirtualLane(1);
+
     /// Creates a data VL (0..=14).
     pub fn new(raw: u8) -> Result<Self, AddressError> {
         if raw < MAX_DATA_VLS {

@@ -22,6 +22,13 @@ pub enum InvariantClass {
     /// vSwitch addressing broken: duplicate LID ownership, or a registered
     /// LID that does not resolve to a live owning endpoint.
     Addressing,
+    /// A switch still holds an LFT row toward a destination it cannot
+    /// reach (the fabric is split and the row points into the lost
+    /// component). The legal degraded states are an *empty* row or an
+    /// explicit drop — distribution pads cleared rows to the drop port,
+    /// OpenSM-style — so a row toward a real port is stale routing state
+    /// that was never cleared.
+    StaleRoute,
 }
 
 impl InvariantClass {
@@ -33,6 +40,7 @@ impl InvariantClass {
             Self::ForwardingLoop => "forwarding-loop",
             Self::DeadlockCycle => "deadlock-cycle",
             Self::Addressing => "addressing",
+            Self::StaleRoute => "stale-route",
         }
     }
 }
@@ -146,6 +154,13 @@ pub struct FabricVerifier {
     /// torus routed by an engine that relies on lanes they cannot supply)
     /// may disable it rather than report false cycles.
     pub deadlock: bool,
+    /// Restrict forwarding checks to the connected component this node
+    /// belongs to. A subnet manager that lost part of the fabric can only
+    /// govern (and only answer for) its own component: switches beyond the
+    /// split keep whatever tables they had, and judging them would drown
+    /// the report in violations no SMP can fix. `None` (the default)
+    /// verifies every component.
+    pub viewpoint: Option<NodeId>,
 }
 
 impl Default for FabricVerifier {
@@ -153,6 +168,7 @@ impl Default for FabricVerifier {
         Self {
             max_hops: 64,
             deadlock: true,
+            viewpoint: None,
         }
     }
 }
@@ -175,6 +191,14 @@ impl FabricVerifier {
     #[must_use]
     pub fn with_deadlock(mut self, deadlock: bool) -> Self {
         self.deadlock = deadlock;
+        self
+    }
+
+    /// Builder-style viewpoint: verify only the component `node` sits in
+    /// (the component a subnet manager on that node can actually govern).
+    #[must_use]
+    pub fn with_viewpoint(mut self, node: NodeId) -> Self {
+        self.viewpoint = Some(node);
         self
     }
 
@@ -208,10 +232,28 @@ impl FabricVerifier {
             .collect();
         let lids = subnet.lids();
 
+        // Reachability awareness: label the live switch components once,
+        // so a missing LFT row can be judged legal (the destination is
+        // genuinely beyond a split) or a violation (it is reachable and
+        // the row should exist) — and a *present* row toward an
+        // unreachable destination becomes a stale-route finding.
+        let comp = switch_components(subnet, &switches, &index_of);
+        let scope = self
+            .viewpoint
+            .and_then(|vp| component_of(subnet, vp, &index_of, &comp));
+
         let mut violations = Vec::new();
         self.check_addressing(subnet, &mut violations);
         for &lid in &lids {
-            self.check_forwarding(subnet, &switches, &index_of, lid, &mut violations);
+            self.check_forwarding(
+                subnet,
+                &switches,
+                &index_of,
+                &comp,
+                scope,
+                lid,
+                &mut violations,
+            );
         }
         if self.deadlock {
             self.check_deadlock(subnet, vls, &mut violations)?;
@@ -240,6 +282,10 @@ impl FabricVerifier {
             observer.add(
                 "verify.addressing",
                 report.count(InvariantClass::Addressing) as u64,
+            );
+            observer.add(
+                "verify.stale_routes",
+                report.count(InvariantClass::StaleRoute) as u64,
             );
             if report.is_clean() {
                 observer.incr("verify.clean");
@@ -317,19 +363,29 @@ impl FabricVerifier {
         }
     }
 
-    /// Invariants 1 + 2 for one destination: every switch's walk must end
-    /// at the LID's endpoint without revisiting a switch.
+    /// Invariants 1 + 2 for one destination: every switch that can still
+    /// reach the LID's endpoint must deliver without revisiting a switch;
+    /// every switch that *cannot* (the fabric is split) must hold an
+    /// **empty or drop** row — one toward a real port is a stale route
+    /// into the lost component.
+    #[allow(clippy::too_many_arguments)]
     fn check_forwarding(
         &self,
         subnet: &Subnet,
         switches: &[NodeId],
         index_of: &FxHashMap<NodeId, usize>,
+        comp: &[u32],
+        scope: Option<u32>,
         lid: Lid,
         out: &mut Vec<Violation>,
     ) {
         let Some(target) = subnet.endpoint_of(lid) else {
             return; // Already reported by the addressing check.
         };
+        // The component the destination is delivered in; `None` when no
+        // live delivery switch exists (the endpoint itself is gone), which
+        // makes the LID unreachable from everywhere.
+        let dest_comp = component_of(subnet, target.node, index_of, comp);
         // One bounded table walk per switch, memoized through `outcome` so
         // shared suffixes are walked once; terminal failures and loops are
         // reported once per destination, not once per upstream switch.
@@ -346,6 +402,32 @@ impl FabricVerifier {
         let mut reported: FxHashSet<usize> = FxHashSet::default();
 
         for start in 0..switches.len() {
+            if scope.is_some_and(|sc| comp[start] != sc) {
+                // Beyond the viewpoint's split: not governable, not judged.
+                continue;
+            }
+            if dest_comp != Some(comp[start]) {
+                // The destination is unreachable from this switch: the
+                // legal degraded states are an empty row or an explicit
+                // drop (distribution pads cleared rows to the drop port,
+                // OpenSM-style). A row toward a *port* points into the
+                // lost component and is stale.
+                if subnet
+                    .lft(switches[start])
+                    .and_then(|lft| lft.get(lid))
+                    .is_some_and(|p| !p.is_drop())
+                {
+                    out.push(Violation {
+                        class: InvariantClass::StaleRoute,
+                        detail: format!(
+                            "LID {lid} at {}: stale route toward an unreachable destination",
+                            subnet.name_of(switches[start])
+                        ),
+                        lid: Some(lid),
+                    });
+                }
+                continue;
+            }
             if outcome[start] != UNKNOWN {
                 continue;
             }
@@ -583,6 +665,64 @@ impl FabricVerifier {
     }
 }
 
+/// Labels the live switch components: BFS over switch-switch cables that
+/// are up on both ends, in switch-list order (deterministic labels).
+fn switch_components(
+    subnet: &Subnet,
+    switches: &[NodeId],
+    index_of: &FxHashMap<NodeId, usize>,
+) -> Vec<u32> {
+    let mut label = vec![u32::MAX; switches.len()];
+    let mut queue: Vec<usize> = Vec::new();
+    let mut count = 0u32;
+    for root in 0..switches.len() {
+        if label[root] != u32::MAX {
+            continue;
+        }
+        label[root] = count;
+        queue.clear();
+        queue.push(root);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for (_, remote) in subnet.node(switches[u]).connected_ports() {
+                let Some(&v) = index_of.get(&remote.node) else {
+                    continue;
+                };
+                if label[v] == u32::MAX {
+                    label[v] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    label
+}
+
+/// The component a node's traffic is delivered in: a switch's own label,
+/// or — for an HCA — the label of its live attached switch. `None` when
+/// the node is dead or has no live switch uplink (unreachable from
+/// everywhere).
+fn component_of(
+    subnet: &Subnet,
+    node: NodeId,
+    index_of: &FxHashMap<NodeId, usize>,
+    comp: &[u32],
+) -> Option<u32> {
+    if !subnet.is_alive(node) {
+        return None;
+    }
+    if let Some(&i) = index_of.get(&node) {
+        return Some(comp[i]);
+    }
+    subnet
+        .node(node)
+        .connected_ports()
+        .find_map(|(_, remote)| index_of.get(&remote.node).map(|&i| comp[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +852,81 @@ mod tests {
         let report = FabricVerifier::new().verify(&t.subnet).unwrap();
         assert!(report.count(InvariantClass::Addressing) >= 1, "{report}");
         assert!(report.summary().contains("owned by 2 nodes"));
+    }
+
+    /// Isolates leaf 1 (every switch-switch uplink downed) and recomputes
+    /// routing on the split fabric. Returns the built topology.
+    fn split_installed() -> ib_subnet::topology::BuiltTopology {
+        let mut t = two_level(2, 2, 2);
+        assign_lids(&mut t);
+        let leaf1 = t.switch_levels[0][1];
+        let uplinks: Vec<PortNum> = t
+            .subnet
+            .node(leaf1)
+            .connected_ports()
+            .filter(|(_, r)| t.subnet.node(r.node).is_switch())
+            .map(|(p, _)| p)
+            .collect();
+        for p in uplinks {
+            t.subnet.set_link_down(leaf1, p).unwrap();
+        }
+        let tables = EngineKind::MinHop.build().compute(&t.subnet).unwrap();
+        tables.install(&mut t.subnet).unwrap();
+        t
+    }
+
+    #[test]
+    fn split_fabric_with_cleared_columns_verifies_clean() {
+        let t = split_installed();
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_route_toward_unreachable_destination_is_caught() {
+        let mut t = split_installed();
+        // Leaf 0 grows back a row toward a host beyond the split.
+        let lost = host_lid(&t, 2);
+        let leaf0 = t.switch_levels[0][0];
+        t.subnet.lft_mut(leaf0).unwrap().set(lost, PortNum::new(1));
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert_eq!(report.count(InvariantClass::StaleRoute), 1, "{report}");
+        assert_eq!(report.count(InvariantClass::BlackHole), 0, "{report}");
+        assert!(report.summary().contains("stale route"));
+    }
+
+    #[test]
+    fn missing_row_toward_reachable_destination_is_still_a_black_hole() {
+        let mut t = split_installed();
+        // Clearing a *reachable* destination's row stays a black hole even
+        // on the split fabric.
+        let local = host_lid(&t, 0);
+        let spine0 = t.switch_levels[1][0];
+        t.subnet.lft_mut(spine0).unwrap().clear(local);
+        let report = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert_eq!(report.count(InvariantClass::BlackHole), 1, "{report}");
+    }
+
+    #[test]
+    fn viewpoint_scopes_verification_to_the_masters_component() {
+        let mut t = split_installed();
+        // Stale state on the *lost* side: leaf 1 keeps a row toward a
+        // master-side host it can no longer reach.
+        let master_host = host_lid(&t, 0);
+        let leaf1 = t.switch_levels[0][1];
+        t.subnet
+            .lft_mut(leaf1)
+            .unwrap()
+            .set(master_host, PortNum::new(1));
+        let unscoped = FabricVerifier::new().verify(&t.subnet).unwrap();
+        assert_eq!(unscoped.count(InvariantClass::StaleRoute), 1, "{unscoped}");
+        // From the master's viewpoint the lost component is dark: no SMP
+        // can reach it, so it is not judged.
+        let scoped = FabricVerifier::new()
+            .with_viewpoint(t.switch_levels[0][0])
+            .verify(&t.subnet)
+            .unwrap();
+        assert!(scoped.is_clean(), "{scoped}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use ib_core::{DataCenter, DataCenterConfig, VirtArch};
 use ib_mad::SmpTransport;
+use ib_observe::{FakeClock, Observer};
 use ib_sm::{SweepKind, Trap};
 use ib_subnet::topology::fattree;
 use ib_subnet::{NodeId, Subnet};
@@ -200,6 +201,105 @@ fn black_hole_migration_rolls_back_and_routing_survives() {
     }
     assert_eq!(dc.vm(vm).unwrap().hypervisor, 0, "VM still at the source");
     dc.verify_connectivity().expect("all pairs still connected");
+}
+
+#[test]
+fn migration_to_a_split_off_pod_aborts_before_any_smp() {
+    let observer = Observer::with_clock(Box::new(FakeClock::new()));
+    let built = fattree::three_level(2, 2, 2, 2);
+    let levels = built.switch_levels.clone();
+    let mut dc = DataCenter::from_topology_observed(
+        built,
+        DataCenterConfig {
+            arch: VirtArch::VSwitchPrepopulated,
+            vfs_per_hypervisor: 2,
+            ..DataCenterConfig::default()
+        },
+        observer.clone(),
+    )
+    .expect("3-level bring-up");
+    let vm = dc.create_vm("vm", 0).expect("create");
+
+    // Sever the destination pod: every core uplink of the mids serving
+    // hypervisor 5's leaf goes down, leaving pod 1 as its own component.
+    let dest_leaf = dc.hypervisors[5].leaf;
+    let pod_mids: Vec<NodeId> = dc
+        .subnet
+        .node(dest_leaf)
+        .connected_ports()
+        .filter(|(_, ep)| levels[1].contains(&ep.node))
+        .map(|(_, ep)| ep.node)
+        .collect();
+    assert!(!pod_mids.is_empty(), "fat-tree wiring has pod mids");
+    let mut cut = Vec::new();
+    for &mid in &pod_mids {
+        let uplinks: Vec<_> = dc
+            .subnet
+            .node(mid)
+            .connected_ports()
+            .filter(|(_, ep)| levels[2].contains(&ep.node))
+            .map(|(port, _)| port)
+            .collect();
+        for port in uplinks {
+            dc.subnet.set_link_down(mid, port).expect("cut core uplink");
+            cut.push((mid, port));
+        }
+    }
+
+    let before = lid_map(&dc.subnet);
+    let mut transport = SmpTransport::perfect(dc.sm.sm_node);
+    let report = dc
+        .migrate_vm_resilient(vm, 5, &mut transport)
+        .expect("pre-flight abort is a clean report, not an error");
+
+    assert!(!report.committed, "nothing beyond a split may commit");
+    assert_eq!(report.hypervisor_smps, 0, "no step (a) signal was sent");
+    assert_eq!(report.lft.lft_smps, 0, "no step (b) LFT SMP was sent");
+    assert_eq!(report.lft.switches_updated, 0);
+    assert_eq!(report.tx.attempts, 0);
+    assert_eq!(
+        report.tx.rollback_smps, 0,
+        "nothing delivered, nothing owed"
+    );
+    assert!(
+        dc.sm
+            .ledger
+            .phase_records(&format!("migrate-{vm}"))
+            .is_empty(),
+        "not one data-path SMP toward the lost component (or anywhere)"
+    );
+    let snap = observer.snapshot().expect("enabled");
+    assert_eq!(snap.counter("migration.abort.unreachable"), 1);
+    assert_eq!(dc.vm(vm).unwrap().hypervisor, 0, "VM still at the source");
+    assert_eq!(lid_map(&dc.subnet), before, "addressing untouched");
+
+    // Heal the split and retry: the pre-flight only rejects genuinely
+    // lost destinations, so the same migration now goes through.
+    for &(mid, port) in &cut {
+        dc.subnet.set_link_up(mid, port).expect("restore uplink");
+    }
+    let (mid, port) = cut[0];
+    dc.sm
+        .handle_trap(
+            &mut dc.subnet,
+            Trap::LinkStateChange { node: mid, port },
+            &mut transport,
+        )
+        .expect("heal re-sweep");
+    let report = dc
+        .migrate_vm_resilient(vm, 5, &mut transport)
+        .expect("post-heal migration");
+    assert!(report.committed, "healed fabric migrates normally");
+    assert_eq!(dc.vm(vm).unwrap().hypervisor, 5);
+    assert_eq!(
+        observer
+            .snapshot()
+            .expect("enabled")
+            .counter("migration.abort.unreachable"),
+        1,
+        "the healed retry takes no unreachable abort"
+    );
+    dc.verify_connectivity().expect("all pairs connected");
 }
 
 #[test]
